@@ -1,0 +1,152 @@
+//! Instruction melding compatibility.
+//!
+//! Two instructions may be melded into one when they perform the same
+//! operation on operands of the same types — the criteria of Rocha et al.
+//! ("Function Merging by Sequence Alignment") that the paper adopts for
+//! instruction alignment (§IV-C). A load is never aligned with a store, and
+//! memory operations must target the same address space (melding an LDS
+//! access with a global access would change its latency class and is not a
+//! single machine instruction).
+
+use darm_ir::cost;
+use darm_ir::{AddrSpace, Function, InstId, Opcode};
+
+/// The "instruction type" used by the profitability metric's frequency
+/// profile (set `Q` in the paper's `MP_B` formula): the opcode plus, for
+/// memory operations, the address space accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstKind {
+    /// The opcode (with its payload: predicate, GEP element type, ...).
+    pub opcode: Opcode,
+    /// Address space for loads/stores, `None` otherwise.
+    pub space: Option<AddrSpace>,
+}
+
+impl InstKind {
+    /// The static latency of this kind.
+    pub fn latency(self) -> u64 {
+        cost::latency(self.opcode, self.space)
+    }
+}
+
+/// The [`InstKind`] of an instruction.
+pub fn inst_kind(func: &Function, id: InstId) -> InstKind {
+    let data = func.inst(id);
+    InstKind { opcode: data.opcode, space: cost::mem_space_of(func, data) }
+}
+
+/// Whether two instructions (possibly from different functions) may be
+/// melded into a single instruction.
+///
+/// φ-nodes and terminators are never melded here — Algorithm 2 copies φs
+/// and melds exit branches through dedicated side blocks instead.
+pub fn meldable_insts(fa: &Function, a: InstId, fb: &Function, b: InstId) -> bool {
+    let ia = fa.inst(a);
+    let ib = fb.inst(b);
+    if ia.opcode != ib.opcode {
+        return false;
+    }
+    if ia.opcode.is_phi() || ia.opcode.is_terminator() {
+        return false;
+    }
+    // Barriers and warp intrinsics must keep their exact execution context.
+    if matches!(ia.opcode, Opcode::Syncthreads) || ia.opcode.is_warp_intrinsic() {
+        return false;
+    }
+    if ia.ty != ib.ty || ia.operands.len() != ib.operands.len() {
+        return false;
+    }
+    for (&oa, &ob) in ia.operands.iter().zip(&ib.operands) {
+        if fa.value_ty(oa) != fb.value_ty(ob) {
+            return false;
+        }
+    }
+    // Memory operations must agree on address space.
+    if ia.opcode.is_mem() {
+        let sa = cost::mem_space_of(fa, ia);
+        let sb = cost::mem_space_of(fb, ib);
+        if sa != sb {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{Dim, IcmpPred, Type};
+
+    /// Builds one block with a mix of instructions; returns (func, inst ids).
+    fn sample() -> (Function, Vec<InstId>) {
+        let mut f = Function::new("s", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+        let sh = f.add_shared_array("t", Type::I32, 32);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        let tid = b.thread_idx(Dim::X);
+        let a1 = b.add(tid, b.param(1)); // 1
+        let a2 = b.add(tid, tid); // 2
+        let m = b.mul(tid, tid); // 3
+        let c1 = b.icmp(IcmpPred::Slt, a1, a2); // 4
+        let _c2 = b.icmp(IcmpPred::Sgt, a1, a2); // 5
+        let gp = b.gep(Type::I32, b.param(0), tid); // 6
+        let gl = b.load(Type::I32, gp); // 7
+        let sb = b.shared_base(sh); // 8
+        let sp = b.gep(Type::I32, sb, tid); // 9
+        let sl = b.load(Type::I32, sp); // 10
+        b.store(gl, sp); // 11
+        b.store(sl, gp); // 12
+        let _sel = b.select(c1, m, a1); // 13
+        b.ret(None);
+        let ids = f.insts_of(e).to_vec();
+        (f, ids)
+    }
+
+    #[test]
+    fn same_opcode_same_types_meldable() {
+        let (f, ids) = sample();
+        assert!(meldable_insts(&f, ids[1], &f, ids[2])); // add vs add
+    }
+
+    #[test]
+    fn different_opcodes_not_meldable() {
+        let (f, ids) = sample();
+        assert!(!meldable_insts(&f, ids[1], &f, ids[3])); // add vs mul
+    }
+
+    #[test]
+    fn icmp_predicates_must_match() {
+        let (f, ids) = sample();
+        // icmp slt vs icmp sgt — the bitonic-sort situation: not meldable.
+        assert!(!meldable_insts(&f, ids[4], &f, ids[5]));
+        assert!(meldable_insts(&f, ids[4], &f, ids[4]));
+    }
+
+    #[test]
+    fn loads_from_different_spaces_not_meldable() {
+        let (f, ids) = sample();
+        assert!(!meldable_insts(&f, ids[7], &f, ids[10])); // global vs shared load
+    }
+
+    #[test]
+    fn stores_to_different_spaces_not_meldable() {
+        let (f, ids) = sample();
+        assert!(!meldable_insts(&f, ids[11], &f, ids[12]));
+    }
+
+    #[test]
+    fn load_never_melds_with_store() {
+        let (f, ids) = sample();
+        assert!(!meldable_insts(&f, ids[7], &f, ids[11]));
+    }
+
+    #[test]
+    fn kind_latency_distinguishes_spaces() {
+        let (f, ids) = sample();
+        let kg = inst_kind(&f, ids[7]);
+        let ks = inst_kind(&f, ids[10]);
+        assert_ne!(kg, ks);
+        assert!(kg.latency() > ks.latency());
+    }
+}

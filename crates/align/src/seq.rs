@@ -1,0 +1,254 @@
+//! Generic pairwise sequence alignment.
+//!
+//! One dynamic program serves both uses in the paper: aligning the ordered
+//! SESE subgraph chains of the two divergent paths (scored by `MP_S`), and
+//! aligning the instruction sequences of two corresponding basic blocks
+//! (scored by latency, as in Branch Fusion). The paper uses
+//! Smith–Waterman; both the local (SW) and global (Needleman–Wunsch)
+//! variants are provided.
+
+/// One element of an alignment result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignStep {
+    /// `a[i]` is aligned with `b[j]`.
+    Match(usize, usize),
+    /// `a[i]` is aligned with a gap.
+    GapA(usize),
+    /// `b[j]` is aligned with a gap.
+    GapB(usize),
+}
+
+/// Global (Needleman–Wunsch) alignment of `a` and `b`.
+///
+/// `score(x, y)` returns `None` when the pair may not be matched at all,
+/// otherwise the benefit of matching. `gap` is the (usually non-positive)
+/// penalty per unmatched element. Returns the total score and the alignment
+/// steps in order; every index of both sequences appears exactly once.
+pub fn global_align<T>(
+    a: &[T],
+    b: &[T],
+    mut score: impl FnMut(&T, &T) -> Option<i64>,
+    gap: i64,
+) -> (i64, Vec<AlignStep>) {
+    let (n, m) = (a.len(), b.len());
+    const NEG: i64 = i64::MIN / 4;
+    // dp[i][j] = best score aligning a[..i] with b[..j]
+    let mut dp = vec![vec![0i64; m + 1]; n + 1];
+    for i in 1..=n {
+        dp[i][0] = dp[i - 1][0] + gap;
+    }
+    for j in 1..=m {
+        dp[0][j] = dp[0][j - 1] + gap;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = match score(&a[i - 1], &b[j - 1]) {
+                Some(s) => dp[i - 1][j - 1] + s,
+                None => NEG,
+            };
+            dp[i][j] = diag.max(dp[i - 1][j] + gap).max(dp[i][j - 1] + gap);
+        }
+    }
+    // Traceback.
+    let mut steps = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let diag = match score(&a[i - 1], &b[j - 1]) {
+                Some(s) => dp[i - 1][j - 1] + s,
+                None => NEG,
+            };
+            if dp[i][j] == diag {
+                steps.push(AlignStep::Match(i - 1, j - 1));
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && dp[i][j] == dp[i - 1][j] + gap {
+            steps.push(AlignStep::GapA(i - 1));
+            i -= 1;
+        } else {
+            steps.push(AlignStep::GapB(j - 1));
+            j -= 1;
+        }
+    }
+    steps.reverse();
+    (dp[n][m], steps)
+}
+
+/// Local (Smith–Waterman) alignment: finds the highest-scoring pair of
+/// contiguous regions. Elements outside the matched window are reported as
+/// gaps so that, as with [`global_align`], every index appears exactly once.
+pub fn local_align<T>(
+    a: &[T],
+    b: &[T],
+    mut score: impl FnMut(&T, &T) -> Option<i64>,
+    gap: i64,
+) -> (i64, Vec<AlignStep>) {
+    let (n, m) = (a.len(), b.len());
+    const NEG: i64 = i64::MIN / 4;
+    let mut dp = vec![vec![0i64; m + 1]; n + 1];
+    let (mut best, mut bi, mut bj) = (0i64, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = match score(&a[i - 1], &b[j - 1]) {
+                Some(s) => dp[i - 1][j - 1] + s,
+                None => NEG,
+            };
+            dp[i][j] = 0.max(diag).max(dp[i - 1][j] + gap).max(dp[i][j - 1] + gap);
+            if dp[i][j] > best {
+                best = dp[i][j];
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    // Traceback from the maximum until a zero cell.
+    let mut core = Vec::new();
+    let (mut i, mut j) = (bi, bj);
+    while i > 0 && j > 0 && dp[i][j] > 0 {
+        let diag = match score(&a[i - 1], &b[j - 1]) {
+            Some(s) => dp[i - 1][j - 1] + s,
+            None => NEG,
+        };
+        if dp[i][j] == diag {
+            core.push(AlignStep::Match(i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+        } else if dp[i][j] == dp[i - 1][j] + gap {
+            core.push(AlignStep::GapA(i - 1));
+            i -= 1;
+        } else {
+            core.push(AlignStep::GapB(j - 1));
+            j -= 1;
+        }
+    }
+    core.reverse();
+    // Pad the unmatched prefixes and suffixes with gaps.
+    let mut steps = Vec::new();
+    for k in 0..i {
+        steps.push(AlignStep::GapA(k));
+    }
+    for k in 0..j {
+        steps.push(AlignStep::GapB(k));
+    }
+    steps.extend(core);
+    for k in bi..n {
+        steps.push(AlignStep::GapA(k));
+    }
+    for k in bj..m {
+        steps.push(AlignStep::GapB(k));
+    }
+    (best, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn char_score(a: &char, b: &char) -> Option<i64> {
+        (a == b).then_some(2)
+    }
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    fn matches(steps: &[AlignStep]) -> Vec<(usize, usize)> {
+        steps
+            .iter()
+            .filter_map(|s| match s {
+                AlignStep::Match(i, j) => Some((*i, *j)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every index of both sequences appears exactly once, in order.
+    fn check_cover(steps: &[AlignStep], n: usize, m: usize) {
+        let mut ai = Vec::new();
+        let mut bj = Vec::new();
+        for s in steps {
+            match *s {
+                AlignStep::Match(i, j) => {
+                    ai.push(i);
+                    bj.push(j);
+                }
+                AlignStep::GapA(i) => ai.push(i),
+                AlignStep::GapB(j) => bj.push(j),
+            }
+        }
+        assert_eq!(ai, (0..n).collect::<Vec<_>>());
+        assert_eq!(bj, (0..m).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_sequences_fully_match() {
+        let a = chars("abcd");
+        let (score, steps) = global_align(&a, &a, char_score, -1);
+        assert_eq!(score, 8);
+        assert_eq!(matches(&steps).len(), 4);
+        check_cover(&steps, 4, 4);
+    }
+
+    #[test]
+    fn global_alignment_handles_insertion() {
+        let a = chars("abcd");
+        let b = chars("abXcd");
+        let (score, steps) = global_align(&a, &b, char_score, -1);
+        assert_eq!(score, 8 - 1);
+        assert_eq!(matches(&steps).len(), 4);
+        assert!(steps.contains(&AlignStep::GapB(2)));
+        check_cover(&steps, 4, 5);
+    }
+
+    #[test]
+    fn incompatible_pairs_never_match() {
+        let a = chars("ab");
+        let b = chars("ab");
+        // forbid matching 'a' with anything
+        let score = |x: &char, y: &char| (x == y && *x != 'a').then_some(2);
+        let (_, steps) = global_align(&a, &b, score, 0);
+        let m = matches(&steps);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0], (1, 1));
+        check_cover(&steps, 2, 2);
+    }
+
+    #[test]
+    fn matches_are_monotone() {
+        let a = chars("axbyc");
+        let b = chars("aybxc");
+        let (_, steps) = global_align(&a, &b, char_score, 0);
+        let m = matches(&steps);
+        for w in m.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        check_cover(&steps, 5, 5);
+    }
+
+    #[test]
+    fn local_alignment_finds_core() {
+        let a = chars("xxabcyy");
+        let b = chars("zzabcww");
+        let (score, steps) = local_align(&a, &b, char_score, -1);
+        assert_eq!(score, 6);
+        let m = matches(&steps);
+        assert_eq!(m, vec![(2, 2), (3, 3), (4, 4)]);
+        check_cover(&steps, 7, 7);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let a: Vec<char> = vec![];
+        let b = chars("ab");
+        let (score, steps) = global_align(&a, &b, char_score, -1);
+        assert_eq!(score, -2);
+        check_cover(&steps, 0, 2);
+        let (ls, lsteps) = local_align(&a, &b, char_score, -1);
+        assert_eq!(ls, 0);
+        check_cover(&lsteps, 0, 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! SIMT divergence analysis.
+//!
+//! Determines which values differ across the threads of a warp and which
+//! branches therefore diverge. Follows the structure of LLVM's divergence
+//! analysis (Karrenberg & Hack, CC'12), which the paper uses to detect
+//! divergent branches (§II-B, §IV-B):
+//!
+//! * **Roots**: the thread index `tid.x`/`tid.y` (block/grid intrinsics and
+//!   kernel parameters are uniform across a block).
+//! * **Data dependence**: any instruction with a divergent operand is
+//!   divergent. In particular a load from a divergent address yields a
+//!   divergent value — this is how data-dependent branching (mergesort, PCM,
+//!   DCT) becomes divergent.
+//! * **Sync dependence**: a φ-node at a join point of a divergent branch is
+//!   divergent even when all incoming values are uniform, because *which*
+//!   incoming value arrives depends on the thread's path. Join points are
+//!   the iterated dominance frontier of the branch's successors.
+
+use crate::cfg::Cfg;
+use crate::dom::{DomTree, PostDomTree};
+use darm_ir::{BlockId, Function, InstId, Opcode, Value};
+
+/// Result of divergence analysis over one function.
+#[derive(Debug, Clone)]
+pub struct DivergenceAnalysis {
+    div_inst: Vec<bool>,
+    div_branch_block: Vec<bool>,
+}
+
+impl DivergenceAnalysis {
+    /// Runs the analysis, computing the CFG and dominator tree internally.
+    pub fn new(func: &Function) -> DivergenceAnalysis {
+        let cfg = Cfg::new(func);
+        let dt = DomTree::new(func, &cfg);
+        DivergenceAnalysis::run(func, &cfg, &dt)
+    }
+
+    /// Join points of a divergent branch at `bb`: the IDF of its successors
+    /// restricted to blocks the paths can reach before (or at) the branch's
+    /// IPDOM.
+    fn branch_joins(
+        func: &Function,
+        cfg: &Cfg,
+        dt: &DomTree,
+        pdt: &PostDomTree,
+        bb: BlockId,
+        succs: &[BlockId],
+    ) -> Vec<BlockId> {
+        let idf = dt.iterated_dominance_frontier(cfg, succs);
+        let _ = func;
+        match pdt.ipdom(bb) {
+            Some(x) => idf
+                .into_iter()
+                .filter(|&j| j == x || pdt.post_dominates(x, j))
+                .collect(),
+            None => idf,
+        }
+    }
+
+    /// Runs the analysis with caller-provided CFG and dominator tree.
+    pub fn run(func: &Function, cfg: &Cfg, dt: &DomTree) -> DivergenceAnalysis {
+        let pdt = PostDomTree::new(func, cfg);
+        let mut div_inst = vec![false; func.inst_capacity()];
+        let mut div_branch_block = vec![false; func.block_capacity()];
+
+        // Use map: inst -> instructions using its result.
+        let mut users: Vec<Vec<InstId>> = vec![Vec::new(); func.inst_capacity()];
+        for b in func.block_ids() {
+            for &id in func.insts_of(b) {
+                for &op in &func.inst(id).operands {
+                    if let Value::Inst(dep) = op {
+                        users[dep.index()].push(id);
+                    }
+                }
+            }
+        }
+
+        let mut work: Vec<InstId> = Vec::new();
+        for b in func.block_ids() {
+            for &id in func.insts_of(b) {
+                if matches!(func.inst(id).opcode, Opcode::ThreadIdx(_)) {
+                    div_inst[id.index()] = true;
+                    work.push(id);
+                }
+            }
+        }
+
+        // Per-branch join sets are computed lazily and cached.
+        let mut joins_cache: std::collections::HashMap<usize, Vec<BlockId>> =
+            std::collections::HashMap::new();
+
+        while let Some(id) = work.pop() {
+            // Propagate data dependence to users.
+            for &u in &users[id.index()] {
+                if !div_inst[u.index()] && !matches!(func.inst(u).opcode, Opcode::Br | Opcode::Jump | Opcode::Ret)
+                {
+                    div_inst[u.index()] = true;
+                    work.push(u);
+                }
+            }
+            // Sync dependence: a conditional branch using this value diverges.
+            for &u in &users[id.index()] {
+                let inst = func.inst(u);
+                if inst.opcode != Opcode::Br {
+                    continue;
+                }
+                let bb = inst.block;
+                if div_branch_block[bb.index()] {
+                    continue;
+                }
+                div_branch_block[bb.index()] = true;
+                let joins = joins_cache.entry(bb.index()).or_insert_with(|| {
+                    let succs: Vec<BlockId> = inst.succs.clone();
+                    DivergenceAnalysis::branch_joins(func, cfg, dt, &pdt, bb, &succs)
+                });
+                for &j in joins.iter() {
+                    for phi in func.phis_of(j) {
+                        if !div_inst[phi.index()] {
+                            div_inst[phi.index()] = true;
+                            work.push(phi);
+                        }
+                    }
+                }
+            }
+        }
+
+        DivergenceAnalysis { div_inst, div_branch_block }
+    }
+
+    /// Whether a value may differ across the threads of a warp.
+    pub fn is_value_divergent(&self, v: Value) -> bool {
+        match v {
+            Value::Inst(id) => self.div_inst.get(id.index()).copied().unwrap_or(false),
+            // Kernel parameters and constants are uniform across the launch.
+            _ => false,
+        }
+    }
+
+    /// Whether the instruction's result is divergent.
+    pub fn is_inst_divergent(&self, id: InstId) -> bool {
+        self.div_inst.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether `b` ends in a divergent conditional branch.
+    pub fn is_divergent_branch(&self, b: BlockId) -> bool {
+        self.div_branch_block.get(b.index()).copied().unwrap_or(false)
+    }
+
+    /// All blocks ending in divergent conditional branches.
+    pub fn divergent_branch_blocks(&self) -> Vec<BlockId> {
+        self.div_branch_block
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(BlockId::new(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{AddrSpace, Dim, IcmpPred, Type};
+
+    #[test]
+    fn tid_branch_is_divergent_uniform_is_not() {
+        // entry: br (tid < arg0)  -- divergent
+        // t:     br (arg0 < 5)    -- uniform
+        let mut f = Function::new("k", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let t2 = f.add_block("t2");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let tid = b.thread_idx(Dim::X);
+        let c = b.icmp(IcmpPred::Slt, tid, b.param(0));
+        b.br(c, t, x);
+        b.switch_to(t);
+        let c2 = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(5));
+        b.br(c2, t2, x);
+        b.switch_to(t2);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+
+        let da = DivergenceAnalysis::new(&f);
+        assert!(da.is_divergent_branch(entry));
+        assert!(!da.is_divergent_branch(t));
+        assert!(da.is_value_divergent(tid));
+        assert!(da.is_value_divergent(c));
+        assert!(!da.is_value_divergent(c2));
+    }
+
+    #[test]
+    fn divergent_load_propagates() {
+        // v = load (p + tid); br (v < 0)  -- data-dependent divergence
+        let mut f = Function::new("k", vec![Type::Ptr(AddrSpace::Global)], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let tid = b.thread_idx(Dim::X);
+        let p = b.gep(Type::I32, b.param(0), tid);
+        let v = b.load(Type::I32, p);
+        let c = b.icmp(IcmpPred::Slt, v, b.const_i32(0));
+        b.br(c, t, x);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+
+        let da = DivergenceAnalysis::new(&f);
+        assert!(da.is_value_divergent(v));
+        assert!(da.is_divergent_branch(entry));
+    }
+
+    #[test]
+    fn uniform_load_stays_uniform() {
+        let mut f = Function::new("k", vec![Type::Ptr(AddrSpace::Global)], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let v = b.load(Type::I32, b.param(0));
+        let c = b.icmp(IcmpPred::Slt, v, b.const_i32(0));
+        b.br(c, t, x);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+
+        let da = DivergenceAnalysis::new(&f);
+        assert!(!da.is_value_divergent(v));
+        assert!(!da.is_divergent_branch(entry));
+    }
+
+    #[test]
+    fn sync_dependent_phi_is_divergent() {
+        // if (tid < n) a = 1 else a = 2; phi at join is divergent even though
+        // both incomings are constants.
+        let mut f = Function::new("k", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let tid = b.thread_idx(Dim::X);
+        let c = b.icmp(IcmpPred::Slt, tid, b.param(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let phi = b.phi(Type::I32, &[(t, Value::I32(1)), (e, Value::I32(2))]);
+        b.ret(Some(phi));
+        use darm_ir::Value;
+
+        let da = DivergenceAnalysis::new(&f);
+        assert!(da.is_value_divergent(phi));
+    }
+
+    #[test]
+    fn uniform_branch_phi_stays_uniform() {
+        let mut f = Function::new("k", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(3));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let phi = b.phi(Type::I32, &[(t, Value::I32(1)), (e, Value::I32(2))]);
+        b.ret(Some(phi));
+        use darm_ir::Value;
+
+        let da = DivergenceAnalysis::new(&f);
+        assert!(!da.is_value_divergent(phi));
+    }
+}

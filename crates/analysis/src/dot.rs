@@ -1,0 +1,88 @@
+//! Graphviz (dot) export of control-flow graphs, with optional divergence
+//! annotation — handy for eyeballing what the melder did (the paper's
+//! Fig. 4-style before/after pictures).
+
+use crate::divergence::DivergenceAnalysis;
+use crate::Cfg;
+use darm_ir::{Function, Opcode};
+use std::fmt::Write as _;
+
+/// Renders the CFG as a `digraph`. Blocks ending in divergent branches are
+/// drawn with doubled red borders; edge labels distinguish the true/false
+/// targets of conditional branches.
+pub fn to_dot(func: &Function) -> String {
+    let cfg = Cfg::new(func);
+    let da = DivergenceAnalysis::new(func);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name());
+    let _ = writeln!(out, "  node [shape=box, fontname=monospace];");
+    for &b in cfg.rpo() {
+        let name = func.block_name(b);
+        let insts = func.insts_of(b).len();
+        let style = if da.is_divergent_branch(b) {
+            ", color=red, peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{name}\" [label=\"{name}\\n{insts} insts\"{style}];");
+        if let Some(t) = func.terminator(b) {
+            let succs = &func.inst(t).succs;
+            let cond = func.inst(t).opcode == Opcode::Br;
+            for (k, s) in succs.iter().enumerate() {
+                let label = if cond {
+                    if k == 0 {
+                        " [label=T]"
+                    } else {
+                        " [label=F]"
+                    }
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  \"{name}\" -> \"{}\"{label};", func.block_name(*s));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{Dim, IcmpPred, Type};
+
+    #[test]
+    fn renders_divergent_branch_specially() {
+        let mut f = Function::new("dot", vec![], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let tid = b.thread_idx(Dim::X);
+        let c = b.icmp(IcmpPred::Slt, tid, b.const_i32(4));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+
+        let dot = to_dot(&f);
+        assert!(dot.starts_with("digraph \"dot\""));
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.contains("\"entry\" -> \"t\" [label=T];"), "{dot}");
+        assert!(dot.contains("\"t\" -> \"x\";"), "{dot}");
+    }
+
+    #[test]
+    fn uniform_graph_has_no_red() {
+        let mut f = Function::new("u", vec![], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        b.ret(None);
+        assert!(!to_dot(&f).contains("color=red"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Liveness analysis and register-pressure estimation.
+//!
+//! Melding trades divergence for straight-line code whose values from both
+//! paths are live simultaneously — a known register-pressure cost of
+//! if-conversion-style transformations. This module computes classic
+//! backward liveness over the SSA function and a per-block pressure
+//! estimate, so the trade-off can be measured (see the
+//! `melding_pressure_tradeoff` integration test).
+
+use crate::cfg::Cfg;
+use darm_ir::{BlockId, Function, InstId, Opcode, Value};
+use std::collections::HashSet;
+
+/// Live-in/live-out sets per block, over instruction results.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<InstId>>,
+    live_out: Vec<HashSet<InstId>>,
+}
+
+impl Liveness {
+    /// Computes liveness by backward iteration to a fixpoint.
+    ///
+    /// φ semantics: a φ's operands are treated as used at the end of the
+    /// corresponding predecessor (the standard SSA convention), and the φ
+    /// result is defined at the top of its block.
+    pub fn new(func: &Function) -> Liveness {
+        let cfg = Cfg::new(func);
+        let n = func.block_capacity();
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+
+        // Upward-exposed uses and defs per block; φ operand uses are
+        // attributed to the end of the incoming predecessor.
+        let mut ue_uses = vec![HashSet::new(); n];
+        let mut phi_out_uses = vec![HashSet::new(); n];
+        let mut defs = vec![HashSet::new(); n];
+        for &b in cfg.rpo() {
+            for &id in func.insts_of(b) {
+                let inst = func.inst(id);
+                if inst.opcode == Opcode::Phi {
+                    for (pred, v) in inst.phi_incoming() {
+                        if let Value::Inst(d) = v {
+                            phi_out_uses[pred.index()].insert(d);
+                        }
+                    }
+                } else {
+                    for &op in &inst.operands {
+                        if let Value::Inst(d) = op {
+                            if !defs[b.index()].contains(&d) {
+                                ue_uses[b.index()].insert(d);
+                            }
+                        }
+                    }
+                }
+                if inst.ty != darm_ir::Type::Void {
+                    defs[b.index()].insert(id);
+                }
+            }
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().rev() {
+                // live-out = φ-attributed uses ∪ union of successors' live-in.
+                let mut out: HashSet<InstId> = phi_out_uses[b.index()].clone();
+                for &s in cfg.succs(b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                // live-in = (live-out − defs) ∪ upward-exposed uses.
+                let mut inn: HashSet<InstId> =
+                    out.difference(&defs[b.index()]).copied().collect();
+                inn.extend(ue_uses[b.index()].iter().copied());
+                if inn != live_in[b.index()] || out != live_out[b.index()] {
+                    live_in[b.index()] = inn;
+                    live_out[b.index()] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Values live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<InstId> {
+        &self.live_in[b.index()]
+    }
+
+    /// Values live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<InstId> {
+        &self.live_out[b.index()]
+    }
+}
+
+/// Maximum number of simultaneously-live values across all program points —
+/// a simple register-pressure proxy.
+pub fn max_pressure(func: &Function) -> usize {
+    let live = Liveness::new(func);
+    let cfg = Cfg::new(func);
+    let mut max = 0;
+    for &b in cfg.rpo() {
+        let mut current: HashSet<InstId> = live.live_out(b).clone();
+        max = max.max(current.len());
+        // Walk backwards through the block.
+        for &id in func.insts_of(b).iter().rev() {
+            current.remove(&id);
+            let inst = func.inst(id);
+            if inst.opcode != Opcode::Phi {
+                for &op in &inst.operands {
+                    if let Value::Inst(d) = op {
+                        current.insert(d);
+                    }
+                }
+            }
+            max = max.max(current.len());
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{Dim, IcmpPred, Type};
+
+    #[test]
+    fn straightline_liveness() {
+        let mut f = Function::new("sl", vec![], Type::I32);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        let tid = b.thread_idx(Dim::X);
+        let x = b.add(tid, tid);
+        let y = b.mul(x, x);
+        b.ret(Some(y));
+        let live = Liveness::new(&f);
+        assert!(live.live_in(e).is_empty());
+        assert!(live.live_out(e).is_empty());
+        assert!(max_pressure(&f) >= 1);
+    }
+
+    #[test]
+    fn value_live_across_branch() {
+        // v defined in entry, used in both arms: live-in of both arms.
+        let mut f = Function::new("br", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e2 = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let v = b.add(b.param(0), b.const_i32(1));
+        let c = b.icmp(IcmpPred::Slt, v, b.const_i32(0));
+        b.br(c, t, e2);
+        b.switch_to(t);
+        let a = b.mul(v, b.const_i32(2));
+        b.jump(x);
+        b.switch_to(e2);
+        let d = b.mul(v, b.const_i32(3));
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, a), (e2, d)]);
+        b.ret(Some(p));
+
+        let live = Liveness::new(&f);
+        let v_id = v.as_inst().unwrap();
+        assert!(live.live_in(t).contains(&v_id));
+        assert!(live.live_in(e2).contains(&v_id));
+        assert!(!live.live_in(x).contains(&v_id));
+        // φ operands are live-out of their predecessors
+        assert!(live.live_out(t).contains(&a.as_inst().unwrap()));
+        assert!(live.live_out(e2).contains(&d.as_inst().unwrap()));
+    }
+
+    #[test]
+    fn loop_carried_value_stays_live() {
+        let mut f = Function::new("lp", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let hdr = f.add_block("hdr");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        b.jump(hdr);
+        b.switch_to(hdr);
+        let i = b.phi(Type::I32, &[(entry, darm_ir::Value::I32(0))]);
+        let c = b.icmp(IcmpPred::Slt, i, b.param(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add(i, b.const_i32(1));
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let pi = i.as_inst().unwrap();
+        f.inst_mut(pi).operands.push(i2);
+        f.inst_mut(pi).phi_blocks.push(body);
+
+        let live = Liveness::new(&f);
+        // i is live around the loop: live-in of body and exit.
+        assert!(live.live_in(body).contains(&pi));
+        assert!(live.live_in(exit).contains(&pi));
+    }
+}

@@ -1,0 +1,147 @@
+//! Natural-loop detection.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use darm_ir::BlockId;
+
+/// One natural loop: a header plus the body blocks of all backedges
+/// targeting it.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// Source blocks of the backedges (`latch -> header`).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+/// All natural loops of a function, with per-block nesting depth.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Detects natural loops using backedges `l -> h` where `h` dominates `l`.
+    pub fn new(cfg: &Cfg, dt: &DomTree) -> LoopInfo {
+        let n = cfg.rpo().iter().map(|b| b.index()).max().map_or(0, |m| m + 1);
+        let mut by_header: std::collections::BTreeMap<usize, (Vec<BlockId>, Vec<BlockId>)> =
+            std::collections::BTreeMap::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dt.dominates(s, b) {
+                    // backedge b -> s
+                    let entry = by_header.entry(s.index()).or_default();
+                    entry.0.push(b);
+                }
+            }
+        }
+        // Collect loop bodies: reverse flood fill from each latch up to the header.
+        let mut loops = Vec::new();
+        let mut depth = vec![0u32; n];
+        for (h, (latches, _)) in by_header.iter_mut() {
+            let header = BlockId::new(*h);
+            let mut in_loop = vec![false; n];
+            in_loop[*h] = true;
+            let mut stack: Vec<BlockId> = latches.clone();
+            for l in latches.iter() {
+                in_loop[l.index()] = true;
+            }
+            let mut blocks = vec![header];
+            while let Some(b) = stack.pop() {
+                if b != header {
+                    blocks.push(b);
+                }
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) && b != header && !in_loop[p.index()] {
+                        in_loop[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            blocks.sort();
+            blocks.dedup();
+            for &b in &blocks {
+                depth[b.index()] += 1;
+            }
+            loops.push(Loop { header, latches: latches.clone(), blocks });
+        }
+        LoopInfo { loops, depth }
+    }
+
+    /// The detected loops, ordered by header block index.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Loop nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether `b` is a loop header.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{Function, IcmpPred, Type, Value};
+
+    #[test]
+    fn detects_nested_loops() {
+        // entry -> oh; oh -> {ih, exit}; ih -> {body, oh_latch}; body -> ih; oh_latch -> oh
+        let mut f = Function::new("nest", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let oh = f.add_block("outer_header");
+        let ih = f.add_block("inner_header");
+        let body = f.add_block("body");
+        let ol = f.add_block("outer_latch");
+        let exit = f.add_block("exit");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        b.jump(oh);
+        b.switch_to(oh);
+        let c = b.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(10));
+        b.br(c, ih, exit);
+        b.switch_to(ih);
+        let c2 = b.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(5));
+        b.br(c2, body, ol);
+        b.switch_to(body);
+        b.jump(ih);
+        b.switch_to(ol);
+        b.jump(oh);
+        b.switch_to(exit);
+        b.ret(None);
+
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dt);
+        assert_eq!(li.loops().len(), 2);
+        assert!(li.is_header(oh));
+        assert!(li.is_header(ih));
+        assert_eq!(li.depth(body), 2);
+        assert_eq!(li.depth(ol), 1);
+        assert_eq!(li.depth(exit), 0);
+        assert_eq!(li.depth(entry), 0);
+    }
+
+    #[test]
+    fn no_loops_in_dag() {
+        let mut f = Function::new("dag", vec![], Type::Void);
+        let e = f.entry();
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, e);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dt);
+        assert!(li.loops().is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! SESE subgraph decomposition of divergent-region paths.
+//!
+//! Implements Definitions 1–4 of the paper: inside a divergent region
+//! `(E, X)`, the true path (from one successor of `E` to `X`) decomposes
+//! into an ordered chain of *single-entry single-exit subgraphs* — each
+//! either a single basic block or a (simple) region. The ordering follows
+//! the post-dominance relation of subgraph entries/exits (§IV-C).
+
+use crate::cfg::Cfg;
+use crate::dom::{DomTree, PostDomTree};
+use darm_ir::BlockId;
+
+/// One SESE subgraph on a divergent path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeseSubgraph {
+    /// Entry block (dominates every block of the subgraph).
+    pub entry: BlockId,
+    /// The anchor block this subgraph exits into. Not part of the subgraph;
+    /// it is either the next subgraph's entry or the region exit.
+    pub exit_target: BlockId,
+    /// All blocks of the subgraph (sorted by arena index).
+    pub blocks: Vec<BlockId>,
+}
+
+impl SeseSubgraph {
+    /// Whether the subgraph is a single basic block.
+    pub fn is_single_block(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Whether `b` belongs to the subgraph.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// Decomposes the path from `start` to `stop` into an ordered chain of SESE
+/// subgraphs by walking the immediate-post-dominator chain: consecutive
+/// anchors `a₀ = start, aᵢ₊₁ = ipdom(aᵢ)` delimit the subgraphs, and each
+/// subgraph's body is everything reachable from its entry without crossing
+/// its exit anchor.
+///
+/// Returns `None` when the path is not decomposable into well-formed
+/// subgraphs (a body block not dominated by its entry — i.e. a side entry —
+/// or an ipdom chain that escapes `stop`). Callers treat `None` as
+/// "not meldable".
+pub fn sese_chain(
+    cfg: &Cfg,
+    dt: &DomTree,
+    pdt: &PostDomTree,
+    start: BlockId,
+    stop: BlockId,
+) -> Option<Vec<SeseSubgraph>> {
+    let mut chain = Vec::new();
+    let mut cur = start;
+    let mut steps = 0usize;
+    let budget = cfg.rpo().len() + 2;
+    while cur != stop {
+        steps += 1;
+        if steps > budget {
+            return None; // malformed chain
+        }
+        let next = pdt.ipdom(cur)?;
+        let mut blocks = cfg.reachable_avoiding(cur, next);
+        // `stop` must not be inside a subgraph body.
+        if blocks.contains(&stop) && stop != next {
+            return None;
+        }
+        // Single-entry check: every body block is dominated by the entry.
+        for &b in &blocks {
+            if !dt.dominates(cur, b) {
+                return None;
+            }
+        }
+        blocks.sort();
+        chain.push(SeseSubgraph { entry: cur, exit_target: next, blocks });
+        cur = next;
+    }
+    Some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{Function, IcmpPred, Type, Value};
+
+    /// True path of a divergent region with two chained subgraphs:
+    ///   start -> {i1t, i1e} -> j1 -> {i2t fallthrough} ...
+    /// start: if-then-else join j1; j1: if-then join stop.
+    fn chained() -> (Function, Vec<BlockId>) {
+        let mut f = Function::new("c", vec![Type::I32], Type::Void);
+        let entry = f.entry(); // will act as `start`
+        let i1t = f.add_block("i1t");
+        let i1e = f.add_block("i1e");
+        let j1 = f.add_block("j1");
+        let i2t = f.add_block("i2t");
+        let stop = f.add_block("stop");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c0 = b.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(0));
+        b.br(c0, i1t, i1e);
+        b.switch_to(i1t);
+        b.jump(j1);
+        b.switch_to(i1e);
+        b.jump(j1);
+        b.switch_to(j1);
+        let c1 = b.icmp(IcmpPred::Sgt, Value::Param(0), Value::I32(5));
+        b.br(c1, i2t, stop);
+        b.switch_to(i2t);
+        b.jump(stop);
+        b.switch_to(stop);
+        b.ret(None);
+        let ids = f.block_ids();
+        (f, ids)
+    }
+
+    #[test]
+    fn decomposes_into_two_subgraphs() {
+        let (f, ids) = chained();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let (entry, i1t, i1e, j1, i2t, stop) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let chain = sese_chain(&cfg, &dt, &pdt, entry, stop).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].entry, entry);
+        assert_eq!(chain[0].exit_target, j1);
+        assert_eq!(chain[0].blocks, vec![entry, i1t, i1e]);
+        assert!(!chain[0].is_single_block());
+        assert_eq!(chain[1].entry, j1);
+        assert_eq!(chain[1].exit_target, stop);
+        assert_eq!(chain[1].blocks, vec![j1, i2t]);
+    }
+
+    #[test]
+    fn single_block_chain() {
+        let mut f = Function::new("s", vec![], Type::Void);
+        let e = f.entry();
+        let m = f.add_block("m");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, e);
+        b.jump(m);
+        b.switch_to(m);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let chain = sese_chain(&cfg, &dt, &pdt, m, x).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert!(chain[0].is_single_block());
+        assert!(chain[0].contains(m));
+        assert!(!chain[0].contains(x));
+    }
+
+    #[test]
+    fn empty_chain_when_start_is_stop() {
+        let (f, ids) = chained();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let chain = sese_chain(&cfg, &dt, &pdt, ids[5], ids[5]).unwrap();
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn loop_inside_subgraph_is_captured() {
+        // start -> h; h -> {body, x}; body -> h  — subgraph {start} then {h, body}
+        let mut f = Function::new("l", vec![Type::I32], Type::Void);
+        let start = f.entry();
+        let h = f.add_block("h");
+        let body = f.add_block("body");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, start);
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(3));
+        b.br(c, body, x);
+        b.switch_to(body);
+        b.jump(h);
+        b.switch_to(x);
+        b.ret(None);
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let pdt = PostDomTree::new(&f, &cfg);
+        let chain = sese_chain(&cfg, &dt, &pdt, start, x).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[1].blocks, vec![h, body]);
+    }
+}

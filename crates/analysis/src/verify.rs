@@ -1,0 +1,176 @@
+//! Full SSA verification: structural checks plus dominance of definitions
+//! over uses. Run after every transformation in tests; melding bugs show up
+//! here first.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use darm_ir::{Function, IrError, Opcode, Value};
+
+/// Verifies structural invariants ([`Function::verify_structure`]) and the
+/// SSA dominance property:
+///
+/// * a non-φ use must be dominated by its definition (same-block uses must
+///   come after the definition),
+/// * a φ incoming value must dominate the terminator of its incoming block.
+///
+/// Unreachable blocks are ignored (dominance is undefined there), matching
+/// LLVM's verifier behaviour.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_ssa(func: &Function) -> Result<(), IrError> {
+    func.verify_structure()?;
+    let cfg = Cfg::new(func);
+    let dt = DomTree::new(func, &cfg);
+
+    // Per-block instruction positions for same-block ordering checks.
+    let mut pos = vec![usize::MAX; func.inst_capacity()];
+    for &b in cfg.rpo() {
+        for (k, &id) in func.insts_of(b).iter().enumerate() {
+            pos[id.index()] = k;
+        }
+    }
+
+    for &b in cfg.rpo() {
+        for &id in func.insts_of(b) {
+            let inst = func.inst(id);
+            if inst.opcode == Opcode::Phi {
+                for (pred, val) in inst.phi_incoming() {
+                    let Value::Inst(def) = val else { continue };
+                    let def_block = func.inst(def).block;
+                    if !cfg.is_reachable(pred) {
+                        continue;
+                    }
+                    if !dt.dominates(def_block, pred) {
+                        return Err(IrError::SsaViolation(format!(
+                            "phi %{} in {}: incoming %{} (defined in {}) does not dominate pred {}",
+                            id.index(),
+                            func.block_name(b),
+                            def.index(),
+                            func.block_name(def_block),
+                            func.block_name(pred)
+                        )));
+                    }
+                }
+            } else {
+                for &op in &inst.operands {
+                    let Value::Inst(def) = op else { continue };
+                    let def_block = func.inst(def).block;
+                    let ok = if def_block == b {
+                        pos[def.index()] < pos[id.index()]
+                    } else {
+                        dt.dominates(def_block, b)
+                    };
+                    if !ok {
+                        return Err(IrError::SsaViolation(format!(
+                            "%{} in {} uses %{} (defined in {}) which does not dominate it",
+                            id.index(),
+                            func.block_name(b),
+                            def.index(),
+                            func.block_name(def_block)
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{IcmpPred, InstData, Type};
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut f = Function::new("ok", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, a), (e, Value::I32(0))]);
+        b.ret(Some(p));
+        use darm_ir::Value;
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut f = Function::new("bad", vec![], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        let one = b.const_i32(1);
+        let x = b.add(one, one);
+        let _y = b.add(x, one);
+        b.ret(None);
+        // swap the two adds so the use precedes the def
+        let insts = f.insts_of(e).to_vec();
+        let def = insts[0];
+        let usr = insts[1];
+        f.remove_inst(def);
+        let data = InstData::new(darm_ir::Opcode::Add, Type::I32, vec![Value::I32(1), Value::I32(1)]);
+        use darm_ir::Value;
+        let newdef = f.insert_inst_at(e, 1, data);
+        // make `usr` refer to the re-inserted def that now comes *after* it
+        f.inst_mut(usr).operands[0] = Value::Inst(newdef);
+        assert!(matches!(verify_ssa(&f), Err(IrError::SsaViolation(_))));
+    }
+
+    #[test]
+    fn rejects_cross_block_non_dominating_use() {
+        // t defines a value; e uses it, but t does not dominate e.
+        let mut f = Function::new("bad2", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        let _u = b.add(a, b.const_i32(2)); // invalid use
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+        assert!(matches!(verify_ssa(&f), Err(IrError::SsaViolation(_))));
+    }
+
+    #[test]
+    fn phi_incoming_must_dominate_pred() {
+        let mut f = Function::new("bad3", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        // `a` flows in from `e`, but is defined in `t`, which does not
+        // dominate `e`.
+        let p = b.phi(Type::I32, &[(t, Value::I32(0)), (e, a)]);
+        b.ret(Some(p));
+        use darm_ir::Value;
+        assert!(matches!(verify_ssa(&f), Err(IrError::SsaViolation(_))));
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation of §IV-E: DARM with and without unpredication. Without it,
+//! unaligned stores are fully predicated (load + select + store), which
+//! costs extra memory traffic exactly as the paper describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darm_kernels::synthetic::{build_case, SyntheticKind};
+use darm_melding::{meld_function, MeldConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_unpredication");
+    group.sample_size(10);
+    for kind in [SyntheticKind::Sb1R, SyntheticKind::Sb2R] {
+        let case = build_case(kind, 64);
+        let mut with_unpred = case.func.clone();
+        meld_function(&mut with_unpred, &MeldConfig::default());
+        let mut without = case.func.clone();
+        meld_function(&mut without, &MeldConfig { unpredicate: false, ..MeldConfig::default() });
+        group.bench_with_input(BenchmarkId::new("unpredicated", kind.name()), &case, |b, case| {
+            b.iter(|| case.run_checked(&with_unpred))
+        });
+        group.bench_with_input(BenchmarkId::new("predicated", kind.name()), &case, |b, case| {
+            b.iter(|| case.run_checked(&without))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench behind Fig. 12: end-to-end (pass + simulation) time at
+//! different melding-profitability thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darm_kernels::bitonic;
+use darm_melding::{meld_function, MeldConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_threshold");
+    group.sample_size(10);
+    let case = bitonic::build_case(64);
+    for t in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        group.bench_with_input(BenchmarkId::new("BIT64", format!("{t}")), &t, |b, &t| {
+            b.iter(|| {
+                let mut f = case.func.clone();
+                meld_function(&mut f, &MeldConfig::with_threshold(t));
+                case.run_checked(&f)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Fig. 8: wall-clock simulation time of the
+//! synthetic kernels, baseline vs DARM vs BF. Simulated-cycle speedups (the
+//! paper's metric) are printed by `--bin fig8`; wall time of the simulator
+//! tracks issued warp instructions and therefore moves the same way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darm_kernels::synthetic::{build_case, SyntheticKind};
+use darm_melding::{meld_function, MeldConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_synthetic");
+    group.sample_size(10);
+    for kind in [SyntheticKind::Sb1, SyntheticKind::Sb2R, SyntheticKind::Sb4] {
+        let case = build_case(kind, 64);
+        let mut darm_fn = case.func.clone();
+        meld_function(&mut darm_fn, &MeldConfig::default());
+        let mut bf_fn = case.func.clone();
+        meld_function(&mut bf_fn, &MeldConfig::branch_fusion());
+        group.bench_with_input(BenchmarkId::new("baseline", kind.name()), &case, |b, case| {
+            b.iter(|| case.run_checked(&case.func))
+        });
+        group.bench_with_input(BenchmarkId::new("darm", kind.name()), &case, |b, case| {
+            b.iter(|| case.run_checked(&darm_fn))
+        });
+        group.bench_with_input(BenchmarkId::new("bf", kind.name()), &case, |b, case| {
+            b.iter(|| case.run_checked(&bf_fn))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind Fig. 9: simulation time of representative
+//! real-world kernels, baseline vs DARM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darm_kernels::{bitonic, dct, pcm};
+use darm_melding::{meld_function, MeldConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_realworld");
+    group.sample_size(10);
+    let cases = vec![bitonic::build_case(64), pcm::build_case(64), dct::build_case((8, 8))];
+    for case in &cases {
+        let mut darm_fn = case.func.clone();
+        meld_function(&mut darm_fn, &MeldConfig::default());
+        group.bench_with_input(BenchmarkId::new("baseline", &case.name), case, |b, case| {
+            b.iter(|| case.run_checked(&case.func))
+        });
+        group.bench_with_input(BenchmarkId::new("darm", &case.name), case, |b, case| {
+            b.iter(|| case.run_checked(&darm_fn))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

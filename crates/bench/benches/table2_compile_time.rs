@@ -1,0 +1,34 @@
+//! Criterion bench behind Table II: compile-time cost of the DARM pass per
+//! benchmark kernel (the paper reports ~1-5% overhead on total device
+//! compilation; here we isolate pass runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darm_melding::{meld_function, MeldConfig};
+use darm_transforms::{run_dce, simplify_cfg};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_compile_time");
+    for case in darm_bench::counter_cases() {
+        group.bench_with_input(BenchmarkId::new("o3", &case.name), &case, |b, case| {
+            b.iter(|| {
+                let mut f = case.func.clone();
+                simplify_cfg(&mut f);
+                run_dce(&mut f);
+                f
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("o3+darm", &case.name), &case, |b, case| {
+            b.iter(|| {
+                let mut f = case.func.clone();
+                simplify_cfg(&mut f);
+                run_dce(&mut f);
+                meld_function(&mut f, &MeldConfig::default());
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Table I: the capability matrix of tail merging vs branch
+//! fusion vs DARM.
+fn main() {
+    print!("{}", darm_bench::render_capability_matrix());
+}

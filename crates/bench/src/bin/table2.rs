@@ -1,0 +1,4 @@
+//! Regenerates Table II: compile-time overhead of the DARM pass.
+fn main() {
+    print!("{}", darm_bench::render_compile_times());
+}

@@ -1,0 +1,39 @@
+//! Sanity tests for the experiment harness itself: every case in every
+//! figure grid must execute and validate, and the renderers must produce
+//! well-formed tables.
+
+use darm_bench::{counter_cases, fig8_cases, geomean, render_capability_matrix, run_case};
+
+#[test]
+fn geomean_basics() {
+    assert!((geomean([1.0, 1.0]) - 1.0).abs() < 1e-12);
+    assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+    assert_eq!(geomean(std::iter::empty()), 1.0);
+}
+
+#[test]
+fn counter_cases_all_run_and_check() {
+    for case in counter_cases() {
+        let r = run_case(&case);
+        assert!(r.baseline.cycles > 0, "{}", r.name);
+        assert!(r.darm.cycles > 0);
+        assert!(r.darm_speedup() > 0.5, "{}: {}", r.name, r.darm_speedup());
+    }
+}
+
+#[test]
+fn fig8_grid_is_complete() {
+    let cases = fig8_cases();
+    assert_eq!(cases.len(), 8 * 4, "8 patterns x 4 block sizes");
+    // spot-check one case end to end
+    let r = run_case(&cases[0]);
+    assert!(r.darm_speedup() > 1.0, "SB1 must improve: {}", r.darm_speedup());
+}
+
+#[test]
+fn capability_matrix_matches_the_paper() {
+    let m = render_capability_matrix();
+    assert!(m.contains("| diamond, identical sequences | yes | yes | yes |"), "{m}");
+    assert!(m.contains("| diamond, distinct sequences | no | yes | yes |"), "{m}");
+    assert!(m.contains("| complex control flow | no | no | yes |"), "{m}");
+}

@@ -1,0 +1,356 @@
+//! Instruction opcodes.
+
+use crate::types::Type;
+use std::fmt;
+
+/// Grid/block dimension selector for GPU intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// x dimension.
+    X,
+    /// y dimension.
+    Y,
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::X => write!(f, "x"),
+            Dim::Y => write!(f, "y"),
+        }
+    }
+}
+
+/// Integer comparison predicates (LLVM `icmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum IcmpPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+}
+
+impl IcmpPred {
+    /// The predicate with operand order swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> IcmpPred {
+        use IcmpPred::*;
+        match self {
+            Eq => Eq,
+            Ne => Ne,
+            Slt => Sgt,
+            Sle => Sge,
+            Sgt => Slt,
+            Sge => Sle,
+            Ult => Ugt,
+            Ule => Uge,
+            Ugt => Ult,
+            Uge => Ule,
+        }
+    }
+
+    /// Textual mnemonic (`slt`, `uge`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        use IcmpPred::*;
+        match self {
+            Eq => "eq",
+            Ne => "ne",
+            Slt => "slt",
+            Sle => "sle",
+            Sgt => "sgt",
+            Sge => "sge",
+            Ult => "ult",
+            Ule => "ule",
+            Ugt => "ugt",
+            Uge => "uge",
+        }
+    }
+}
+
+/// Float comparison predicates (ordered subset of LLVM `fcmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum FcmpPred {
+    Oeq,
+    One,
+    Olt,
+    Ole,
+    Ogt,
+    Oge,
+}
+
+impl FcmpPred {
+    /// Textual mnemonic (`oeq`, `olt`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        use FcmpPred::*;
+        match self {
+            Oeq => "oeq",
+            One => "one",
+            Olt => "olt",
+            Ole => "ole",
+            Ogt => "ogt",
+            Oge => "oge",
+        }
+    }
+}
+
+/// Instruction opcodes.
+///
+/// The set mirrors the LLVM-IR subset that appears in the paper's kernels:
+/// integer/float arithmetic, comparisons, `select`, casts, typed memory
+/// access in two address spaces, GPU intrinsics, φ-nodes and terminators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // ---- integer binary ----
+    /// Integer addition. Operands: `(a, b)`.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Signed division.
+    SDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned division.
+    UDiv,
+    /// Unsigned remainder.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+
+    // ---- float binary ----
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+
+    // ---- float unary ----
+    /// Square root intrinsic.
+    FSqrt,
+    /// Absolute value intrinsic.
+    FAbs,
+    /// Negation.
+    FNeg,
+    /// Exponential intrinsic.
+    FExp,
+
+    // ---- comparisons & select ----
+    /// Integer comparison; result is `i1`.
+    Icmp(IcmpPred),
+    /// Float comparison; result is `i1`.
+    Fcmp(FcmpPred),
+    /// `select cond, a, b`. Operands: `(cond, a, b)`.
+    Select,
+
+    // ---- casts ----
+    /// Zero extension (i1/i32 → i32/i64).
+    Zext,
+    /// Sign extension.
+    Sext,
+    /// Truncation (i64 → i32, i32 → i1).
+    Trunc,
+    /// Signed int → float.
+    SiToFp,
+    /// Float → signed int.
+    FpToSi,
+
+    // ---- memory ----
+    /// Load of the instruction's result type through a pointer operand.
+    Load,
+    /// `store value, ptr`. The stored type is the type of operand 0.
+    Store,
+    /// Pointer arithmetic: `ptr + index * size_of(elem)`. Operands `(ptr, index)`.
+    Gep {
+        /// Element type the index strides over.
+        elem: Type,
+    },
+
+    // ---- GPU intrinsics ----
+    /// Thread index within the block (divergence root).
+    ThreadIdx(Dim),
+    /// Block index within the grid (uniform).
+    BlockIdx(Dim),
+    /// Threads per block (uniform).
+    BlockDim(Dim),
+    /// Blocks per grid (uniform).
+    GridDim(Dim),
+    /// Base pointer of the function's n-th shared-memory array.
+    SharedBase(u32),
+    /// Block-wide barrier (`__syncthreads`).
+    Syncthreads,
+    /// Warp-level ballot (returns an `i64` lane mask). Melding must skip
+    /// subgraphs containing warp-level intrinsics (§IV-C).
+    Ballot,
+
+    // ---- SSA ----
+    /// φ-node. Operand k flows in from `phi_blocks[k]`.
+    Phi,
+
+    // ---- terminators ----
+    /// Conditional branch. Operands: `(cond)`; successors `[then, else]`.
+    Br,
+    /// Unconditional branch. Successors `[target]`.
+    Jump,
+    /// Function return. Operands: `()` or `(value)`.
+    Ret,
+}
+
+impl Opcode {
+    /// Whether this opcode ends a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Opcode::Br | Opcode::Jump | Opcode::Ret)
+    }
+
+    /// Whether this is a φ-node.
+    pub fn is_phi(self) -> bool {
+        matches!(self, Opcode::Phi)
+    }
+
+    /// Whether the instruction reads or writes memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Whether removing an otherwise-unused instance changes behaviour.
+    pub fn has_side_effects(self) -> bool {
+        matches!(
+            self,
+            Opcode::Store | Opcode::Syncthreads | Opcode::Ballot | Opcode::Br | Opcode::Jump | Opcode::Ret
+        )
+    }
+
+    /// Warp-level intrinsics: subgraphs containing them are never melded
+    /// because melding them can deadlock (§IV-C).
+    pub fn is_warp_intrinsic(self) -> bool {
+        matches!(self, Opcode::Ballot)
+    }
+
+    /// Whether `op(a, b) == op(b, a)`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Mul
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::FAdd
+                | Opcode::FMul
+        )
+    }
+
+    /// Textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> String {
+        match self {
+            Opcode::Add => "add".into(),
+            Opcode::Sub => "sub".into(),
+            Opcode::Mul => "mul".into(),
+            Opcode::SDiv => "sdiv".into(),
+            Opcode::SRem => "srem".into(),
+            Opcode::UDiv => "udiv".into(),
+            Opcode::URem => "urem".into(),
+            Opcode::And => "and".into(),
+            Opcode::Or => "or".into(),
+            Opcode::Xor => "xor".into(),
+            Opcode::Shl => "shl".into(),
+            Opcode::LShr => "lshr".into(),
+            Opcode::AShr => "ashr".into(),
+            Opcode::FAdd => "fadd".into(),
+            Opcode::FSub => "fsub".into(),
+            Opcode::FMul => "fmul".into(),
+            Opcode::FDiv => "fdiv".into(),
+            Opcode::FSqrt => "fsqrt".into(),
+            Opcode::FAbs => "fabs".into(),
+            Opcode::FNeg => "fneg".into(),
+            Opcode::FExp => "fexp".into(),
+            Opcode::Icmp(p) => format!("icmp {}", p.mnemonic()),
+            Opcode::Fcmp(p) => format!("fcmp {}", p.mnemonic()),
+            Opcode::Select => "select".into(),
+            Opcode::Zext => "zext".into(),
+            Opcode::Sext => "sext".into(),
+            Opcode::Trunc => "trunc".into(),
+            Opcode::SiToFp => "sitofp".into(),
+            Opcode::FpToSi => "fptosi".into(),
+            Opcode::Load => "load".into(),
+            Opcode::Store => "store".into(),
+            Opcode::Gep { elem } => format!("gep {elem}"),
+            Opcode::ThreadIdx(d) => format!("tid.{d}"),
+            Opcode::BlockIdx(d) => format!("ctaid.{d}"),
+            Opcode::BlockDim(d) => format!("ntid.{d}"),
+            Opcode::GridDim(d) => format!("nctaid.{d}"),
+            Opcode::SharedBase(i) => format!("shared.base {i}"),
+            Opcode::Syncthreads => "bar.sync".into(),
+            Opcode::Ballot => "ballot".into(),
+            Opcode::Phi => "phi".into(),
+            Opcode::Br => "br".into(),
+            Opcode::Jump => "jump".into(),
+            Opcode::Ret => "ret".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::Jump.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+        assert!(!Opcode::Phi.is_terminator());
+    }
+
+    #[test]
+    fn side_effects() {
+        assert!(Opcode::Store.has_side_effects());
+        assert!(Opcode::Syncthreads.has_side_effects());
+        assert!(!Opcode::Load.has_side_effects());
+        assert!(!Opcode::Add.has_side_effects());
+    }
+
+    #[test]
+    fn swapped_predicates_are_involutions() {
+        use IcmpPred::*;
+        for p in [Eq, Ne, Slt, Sle, Sgt, Sge, Ult, Ule, Ugt, Uge] {
+            assert_eq!(p.swapped().swapped(), p);
+        }
+        assert_eq!(Slt.swapped(), Sgt);
+        assert_eq!(Ule.swapped(), Uge);
+    }
+
+    #[test]
+    fn warp_intrinsics() {
+        assert!(Opcode::Ballot.is_warp_intrinsic());
+        assert!(!Opcode::Syncthreads.is_warp_intrinsic());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Opcode::Icmp(IcmpPred::Slt).mnemonic(), "icmp slt");
+        assert_eq!(Opcode::Gep { elem: Type::I32 }.mnemonic(), "gep i32");
+        assert_eq!(Opcode::ThreadIdx(Dim::X).mnemonic(), "tid.x");
+    }
+}

@@ -1,0 +1,672 @@
+//! Parser for the textual IR form produced by the printer.
+//!
+//! Round-trips with [`Display`](std::fmt::Display): `parse(&f.to_string())`
+//! reconstructs an equivalent function. Useful for golden tests and for
+//! writing kernels as text.
+//!
+//! ```
+//! use darm_ir::parser::parse_function;
+//!
+//! let f = parse_function(r#"
+//! fn @axpy(ptr(global) %arg0, i32 %arg1) -> void {
+//! entry:
+//!   %0 = tid.x
+//!   %1 = mul %0, %arg1
+//!   %2 = gep i32 %arg0, %0
+//!   store %1, %2
+//!   ret
+//! }
+//! "#).unwrap();
+//! assert_eq!(f.name(), "axpy");
+//! assert!(f.verify_structure().is_ok());
+//! ```
+
+use crate::function::{BlockId, Function, InstData, InstId};
+use crate::opcode::{Dim, FcmpPred, IcmpPred, Opcode};
+use crate::types::{AddrSpace, Type};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
+    match s {
+        "void" => Ok(Type::Void),
+        "i1" => Ok(Type::I1),
+        "i32" => Ok(Type::I32),
+        "i64" => Ok(Type::I64),
+        "f32" => Ok(Type::F32),
+        "ptr(global)" => Ok(Type::Ptr(AddrSpace::Global)),
+        "ptr(shared)" => Ok(Type::Ptr(AddrSpace::Shared)),
+        _ => err(line, format!("unknown type `{s}`")),
+    }
+}
+
+/// Parses a value token in the context of the growing function.
+fn parse_value(
+    tok: &str,
+    names: &HashMap<String, InstId>,
+    line: usize,
+) -> Result<Value, ParseError> {
+    let tok = tok.trim();
+    if let Some(rest) = tok.strip_prefix("%arg") {
+        return rest
+            .parse::<u32>()
+            .map(Value::Param)
+            .map_err(|_| ParseError { line, message: format!("bad parameter `{tok}`") });
+    }
+    if tok.starts_with('%') {
+        return match names.get(tok) {
+            Some(&id) => Ok(Value::Inst(id)),
+            None => err(line, format!("undefined value `{tok}`")),
+        };
+    }
+    if tok == "true" {
+        return Ok(Value::I1(true));
+    }
+    if tok == "false" {
+        return Ok(Value::I1(false));
+    }
+    if let Some(rest) = tok.strip_prefix("undef:") {
+        return Ok(Value::Undef(parse_type(rest, line)?));
+    }
+    if let Some(rest) = tok.strip_suffix("i64") {
+        if let Ok(x) = rest.parse::<i64>() {
+            return Ok(Value::I64(x));
+        }
+    }
+    if let Some(rest) = tok.strip_suffix('f') {
+        if let Ok(x) = rest.parse::<f32>() {
+            return Ok(Value::const_f32(x));
+        }
+    }
+    if let Ok(x) = tok.parse::<i32>() {
+        return Ok(Value::I32(x));
+    }
+    err(line, format!("cannot parse value `{tok}`"))
+}
+
+fn parse_icmp_pred(s: &str, line: usize) -> Result<IcmpPred, ParseError> {
+    use IcmpPred::*;
+    Ok(match s {
+        "eq" => Eq,
+        "ne" => Ne,
+        "slt" => Slt,
+        "sle" => Sle,
+        "sgt" => Sgt,
+        "sge" => Sge,
+        "ult" => Ult,
+        "ule" => Ule,
+        "ugt" => Ugt,
+        "uge" => Uge,
+        _ => return err(line, format!("unknown icmp predicate `{s}`")),
+    })
+}
+
+fn parse_fcmp_pred(s: &str, line: usize) -> Result<FcmpPred, ParseError> {
+    use FcmpPred::*;
+    Ok(match s {
+        "oeq" => Oeq,
+        "one" => One,
+        "olt" => Olt,
+        "ole" => Ole,
+        "ogt" => Ogt,
+        "oge" => Oge,
+        _ => return err(line, format!("unknown fcmp predicate `{s}`")),
+    })
+}
+
+fn parse_dim(s: &str, line: usize) -> Result<Dim, ParseError> {
+    match s {
+        "x" => Ok(Dim::X),
+        "y" => Ok(Dim::Y),
+        _ => err(line, format!("unknown dimension `{s}`")),
+    }
+}
+
+/// Splits an operand list on top-level commas (commas inside `[...]` are
+/// respected for φ incoming lists).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Parses the textual form of a single function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on malformed input.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+        .collect();
+    let mut it = lines.iter().peekable();
+
+    // Header: fn @name(params) -> ret {
+    let &(hline, header) = it.next().ok_or(ParseError { line: 0, message: "empty input".into() })?;
+    let header = header
+        .strip_prefix("fn @")
+        .ok_or_else(|| ParseError { line: hline, message: "expected `fn @name(...)`".into() })?;
+    let open = header.find('(').ok_or(ParseError { line: hline, message: "expected `(`".into() })?;
+    let close = header.rfind(')').ok_or(ParseError { line: hline, message: "expected `)`".into() })?;
+    let name = &header[..open];
+    let params_src = &header[open + 1..close];
+    let rest = header[close + 1..].trim();
+    let ret_src = rest
+        .strip_prefix("->")
+        .and_then(|r| r.trim().strip_suffix('{'))
+        .ok_or(ParseError { line: hline, message: "expected `-> TYPE {`".into() })?;
+    let ret = parse_type(ret_src.trim(), hline)?;
+    let mut params = Vec::new();
+    for (k, p) in params_src.split(',').filter(|p| !p.trim().is_empty()).enumerate() {
+        let ty_src = p
+            .trim()
+            .rsplit_once(' ')
+            .map(|(t, _)| t)
+            .ok_or_else(|| ParseError { line: hline, message: format!("bad parameter {k}") })?;
+        params.push(parse_type(ty_src.trim(), hline)?);
+    }
+    let mut func = Function::new(name, params, ret);
+
+    // First pass: shared decls and block labels (blocks must exist before
+    // branches reference them). The auto-created entry block is renamed to
+    // the first label.
+    let mut blocks: HashMap<String, BlockId> = HashMap::new();
+    let mut first_label = true;
+    for &(line, l) in it.clone() {
+        if l == "}" {
+            continue;
+        }
+        if let Some(decl) = l.strip_prefix("shared ") {
+            // shared NAME : [LEN x TYPE]
+            let (name, rest) = decl
+                .split_once(':')
+                .ok_or(ParseError { line, message: "bad shared declaration".into() })?;
+            let inner = rest
+                .trim()
+                .strip_prefix('[')
+                .and_then(|r| r.strip_suffix(']'))
+                .ok_or(ParseError { line, message: "bad shared declaration".into() })?;
+            let (len_src, ty_src) = inner
+                .split_once(" x ")
+                .ok_or(ParseError { line, message: "bad shared declaration".into() })?;
+            let len: u64 = len_src
+                .trim()
+                .parse()
+                .map_err(|_| ParseError { line, message: "bad shared length".into() })?;
+            func.add_shared_array(name.trim(), parse_type(ty_src.trim(), line)?, len);
+        } else if let Some(label) = l.strip_suffix(':') {
+            let id = if first_label {
+                first_label = false;
+                func.set_block_name(func.entry(), label);
+                func.entry()
+            } else {
+                func.add_block(label)
+            };
+            if blocks.insert(label.to_string(), id).is_some() {
+                return err(line, format!("duplicate block label `{label}`"));
+            }
+        }
+    }
+
+    // Second pass: instructions. Operands may forward-reference values, so
+    // instructions are created with placeholder operands first and patched
+    // at the end.
+    let mut names: HashMap<String, InstId> = HashMap::new();
+    #[allow(clippy::type_complexity)]
+    let mut pending: Vec<(InstId, usize, Vec<String>, Vec<String>)> = Vec::new(); // (inst, line, operand tokens, phi block labels)
+    let mut cur_block: Option<BlockId> = None;
+    for &(line, l) in it {
+        if l == "}" || l.starts_with("shared ") {
+            continue;
+        }
+        if let Some(label) = l.strip_suffix(':') {
+            cur_block = Some(blocks[label]);
+            continue;
+        }
+        let block = match cur_block {
+            Some(b) => b,
+            None => return err(line, "instruction before any block label"),
+        };
+        // `%N = OP ...` or `OP ...`
+        let (result, body) = match l.split_once('=') {
+            Some((lhs, rhs)) if lhs.trim().starts_with('%') && !lhs.trim().contains(' ') => {
+                (Some(lhs.trim().to_string()), rhs.trim())
+            }
+            _ => (None, l),
+        };
+        let (inst, op_tokens, phi_blocks) = parse_inst(&mut func, body, &blocks, line)?;
+        let id = func.add_inst(block, inst);
+        if let Some(r) = result {
+            names.insert(r, id);
+        }
+        pending.push((id, line, op_tokens, phi_blocks));
+    }
+
+    // Patch operands.
+    for (id, line, tokens, phi_labels) in pending {
+        let mut ops = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            ops.push(parse_value(t, &names, line)?);
+        }
+        let inst = func.inst_mut(id);
+        inst.operands = ops;
+        if !phi_labels.is_empty() {
+            inst.phi_blocks = phi_labels.iter().map(|l| blocks[l]).collect();
+        }
+    }
+    Ok(func)
+}
+
+/// Parses one instruction body into an [`InstData`] skeleton plus the raw
+/// operand tokens (patched later) and φ incoming block labels.
+fn parse_inst(
+    func: &mut Function,
+    body: &str,
+    blocks: &HashMap<String, BlockId>,
+    line: usize,
+) -> Result<(InstData, Vec<String>, Vec<String>), ParseError> {
+    let (mnemonic, rest) = body.split_once(' ').unwrap_or((body, ""));
+    let rest = rest.trim();
+    let block_of = |label: &str| -> Result<BlockId, ParseError> {
+        blocks
+            .get(label.trim())
+            .copied()
+            .ok_or_else(|| ParseError { line, message: format!("unknown block `{label}`") })
+    };
+
+    // Terminators.
+    match mnemonic {
+        "jump" => {
+            return Ok((
+                InstData::terminator(Opcode::Jump, vec![], vec![block_of(rest)?]),
+                vec![],
+                vec![],
+            ));
+        }
+        "br" => {
+            let parts = split_operands(rest);
+            if parts.len() != 3 {
+                return err(line, "br expects `cond, then, else`");
+            }
+            return Ok((
+                InstData::terminator(Opcode::Br, vec![], vec![block_of(&parts[1])?, block_of(&parts[2])?]),
+                vec![parts[0].clone()],
+                vec![],
+            ));
+        }
+        "ret" => {
+            let ops = if rest.is_empty() { vec![] } else { vec![rest.to_string()] };
+            return Ok((InstData::terminator(Opcode::Ret, vec![], vec![]), ops, vec![]));
+        }
+        _ => {}
+    }
+
+    // φ-nodes: `phi TYPE [v, blk], [v, blk], ...`
+    if mnemonic == "phi" {
+        let (ty_src, list) = rest
+            .split_once(' ')
+            .ok_or(ParseError { line, message: "phi expects a type".into() })?;
+        let ty = parse_type(ty_src, line)?;
+        let mut ops = Vec::new();
+        let mut labels = Vec::new();
+        for ent in split_operands(list) {
+            let inner = ent
+                .strip_prefix('[')
+                .and_then(|e| e.strip_suffix(']'))
+                .ok_or_else(|| ParseError { line, message: format!("bad phi entry `{ent}`") })?;
+            let (v, blk) = inner
+                .split_once(',')
+                .ok_or_else(|| ParseError { line, message: format!("bad phi entry `{ent}`") })?;
+            ops.push(v.trim().to_string());
+            labels.push(blk.trim().to_string());
+        }
+        let mut data = InstData::new(Opcode::Phi, ty, vec![]);
+        data.phi_blocks = vec![]; // patched later
+        return Ok((data, ops, labels));
+    }
+
+    // Typed unary/memory forms: `load TYPE ptr`, `zext TYPE v`, ...
+    let typed = |op: Opcode, rest: &str| -> Result<(InstData, Vec<String>, Vec<String>), ParseError> {
+        let (ty_src, v) = rest
+            .split_once(' ')
+            .ok_or(ParseError { line, message: format!("{} expects a type", op.mnemonic()) })?;
+        let ty = parse_type(ty_src, line)?;
+        Ok((InstData::new(op, ty, vec![]), split_operands(v), vec![]))
+    };
+    match mnemonic {
+        "load" => return typed(Opcode::Load, rest),
+        "zext" => return typed(Opcode::Zext, rest),
+        "sext" => return typed(Opcode::Sext, rest),
+        "trunc" => return typed(Opcode::Trunc, rest),
+        "fptosi" => return typed(Opcode::FpToSi, rest),
+        "gep" => {
+            let (ty_src, v) = rest
+                .split_once(' ')
+                .ok_or(ParseError { line, message: "gep expects an element type".into() })?;
+            let elem = parse_type(ty_src, line)?;
+            // result type = pointer operand type; patched after operand
+            // resolution is not possible here, so default to global and fix
+            // in a post-pass below via `fixup_gep_types`.
+            return Ok((
+                InstData::new(Opcode::Gep { elem }, Type::Ptr(AddrSpace::Global), vec![]),
+                split_operands(v),
+                vec![],
+            ));
+        }
+        _ => {}
+    }
+
+    // Fixed-type opcodes and operand-typed binary ops.
+    let (opcode, ty, nops): (Opcode, Option<Type>, usize) = match mnemonic {
+        "add" => (Opcode::Add, None, 2),
+        "sub" => (Opcode::Sub, None, 2),
+        "mul" => (Opcode::Mul, None, 2),
+        "sdiv" => (Opcode::SDiv, None, 2),
+        "srem" => (Opcode::SRem, None, 2),
+        "udiv" => (Opcode::UDiv, None, 2),
+        "urem" => (Opcode::URem, None, 2),
+        "and" => (Opcode::And, None, 2),
+        "or" => (Opcode::Or, None, 2),
+        "xor" => (Opcode::Xor, None, 2),
+        "shl" => (Opcode::Shl, None, 2),
+        "lshr" => (Opcode::LShr, None, 2),
+        "ashr" => (Opcode::AShr, None, 2),
+        "fadd" => (Opcode::FAdd, Some(Type::F32), 2),
+        "fsub" => (Opcode::FSub, Some(Type::F32), 2),
+        "fmul" => (Opcode::FMul, Some(Type::F32), 2),
+        "fdiv" => (Opcode::FDiv, Some(Type::F32), 2),
+        "fsqrt" => (Opcode::FSqrt, Some(Type::F32), 1),
+        "fabs" => (Opcode::FAbs, Some(Type::F32), 1),
+        "fneg" => (Opcode::FNeg, Some(Type::F32), 1),
+        "fexp" => (Opcode::FExp, Some(Type::F32), 1),
+        "sitofp" => (Opcode::SiToFp, Some(Type::F32), 1),
+        "select" => (Opcode::Select, None, 3),
+        "store" => (Opcode::Store, Some(Type::Void), 2),
+        "icmp" => {
+            let (p, v) = rest
+                .split_once(' ')
+                .ok_or(ParseError { line, message: "icmp expects a predicate".into() })?;
+            let pred = parse_icmp_pred(p, line)?;
+            return Ok((InstData::new(Opcode::Icmp(pred), Type::I1, vec![]), split_operands(v), vec![]));
+        }
+        "fcmp" => {
+            let (p, v) = rest
+                .split_once(' ')
+                .ok_or(ParseError { line, message: "fcmp expects a predicate".into() })?;
+            let pred = parse_fcmp_pred(p, line)?;
+            return Ok((InstData::new(Opcode::Fcmp(pred), Type::I1, vec![]), split_operands(v), vec![]));
+        }
+        "ballot" => (Opcode::Ballot, Some(Type::I64), 1),
+        "bar.sync" => (Opcode::Syncthreads, Some(Type::Void), 0),
+        m if m.starts_with("tid.") => {
+            let d = parse_dim(&m[4..], line)?;
+            return Ok((InstData::new(Opcode::ThreadIdx(d), Type::I32, vec![]), vec![], vec![]));
+        }
+        m if m.starts_with("ctaid.") => {
+            let d = parse_dim(&m[6..], line)?;
+            return Ok((InstData::new(Opcode::BlockIdx(d), Type::I32, vec![]), vec![], vec![]));
+        }
+        m if m.starts_with("ntid.") => {
+            let d = parse_dim(&m[5..], line)?;
+            return Ok((InstData::new(Opcode::BlockDim(d), Type::I32, vec![]), vec![], vec![]));
+        }
+        m if m.starts_with("nctaid.") => {
+            let d = parse_dim(&m[7..], line)?;
+            return Ok((InstData::new(Opcode::GridDim(d), Type::I32, vec![]), vec![], vec![]));
+        }
+        "shared.base" => {
+            let idx: u32 = rest
+                .parse()
+                .map_err(|_| ParseError { line, message: "bad shared.base index".into() })?;
+            if idx as usize >= func.shared_arrays().len() {
+                return err(line, format!("shared array {idx} not declared"));
+            }
+            return Ok((
+                InstData::new(Opcode::SharedBase(idx), Type::Ptr(AddrSpace::Shared), vec![]),
+                vec![],
+                vec![],
+            ));
+        }
+        other => return err(line, format!("unknown instruction `{other}`")),
+    };
+    let tokens = if rest.is_empty() { vec![] } else { split_operands(rest) };
+    if tokens.len() != nops {
+        return err(line, format!("{mnemonic} expects {nops} operands, got {}", tokens.len()));
+    }
+    // Operand-typed ops get a placeholder; fixed later by `fixup_types`.
+    Ok((InstData::new(opcode, ty.unwrap_or(Type::I32), vec![]), tokens, vec![]))
+}
+
+/// Parses and then resolves operand-derived result types (binary ops,
+/// `select`, `gep`) and verifies the result.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax; type errors surface via
+/// the structural verifier with line 0.
+pub fn parse_and_verify(text: &str) -> Result<Function, ParseError> {
+    let mut func = parse_function(text)?;
+    fixup_types(&mut func);
+    func.verify_structure()
+        .map_err(|e| ParseError { line: 0, message: format!("verification failed: {e}") })?;
+    Ok(func)
+}
+
+/// Re-derives operand-dependent result types after operand patching. Runs
+/// to a fixpoint because types flow through chains of such instructions.
+pub fn fixup_types(func: &mut Function) {
+    loop {
+        let mut changed = false;
+        for b in func.block_ids() {
+            for id in func.insts_of(b).to_vec() {
+                let inst = func.inst(id);
+                let new_ty = match inst.opcode {
+                    Opcode::Add
+                    | Opcode::Sub
+                    | Opcode::Mul
+                    | Opcode::SDiv
+                    | Opcode::SRem
+                    | Opcode::UDiv
+                    | Opcode::URem
+                    | Opcode::And
+                    | Opcode::Or
+                    | Opcode::Xor
+                    | Opcode::Shl
+                    | Opcode::LShr
+                    | Opcode::AShr => Some(func.value_ty(inst.operands[0])),
+                    Opcode::Select => Some(func.value_ty(inst.operands[1])),
+                    Opcode::Gep { .. } => Some(func.value_ty(inst.operands[0])),
+                    _ => None,
+                };
+                if let Some(ty) = new_ty {
+                    if func.inst(id).ty != ty {
+                        func.inst_mut(id).ty = ty;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn parses_simple_kernel() {
+        let f = parse_and_verify(
+            r#"
+fn @k(ptr(global) %arg0, i32 %arg1) -> void {
+entry:
+  %0 = tid.x
+  %1 = icmp slt %0, %arg1
+  br %1, t, x
+t:
+  %2 = mul %0, 2
+  %3 = gep i32 %arg0, %0
+  store %2, %3
+  jump x
+x:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(f.name(), "k");
+        assert_eq!(f.block_ids().len(), 3);
+        assert_eq!(f.params().len(), 2);
+    }
+
+    #[test]
+    fn parses_phis_and_loops() {
+        let f = parse_and_verify(
+            r#"
+fn @sum(i32 %arg0) -> i32 {
+entry:
+  jump hdr
+hdr:
+  %0 = phi i32 [0, entry], [%3, body]
+  %1 = phi i32 [0, entry], [%4, body]
+  %2 = icmp slt %0, %arg0
+  br %2, body, exit
+body:
+  %3 = add %0, 1
+  %4 = add %1, %0
+  jump hdr
+exit:
+  ret %1
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(f.block_ids().len(), 4);
+    }
+
+    #[test]
+    fn parses_shared_memory_and_floats() {
+        let f = parse_and_verify(
+            r#"
+fn @s() -> void {
+  shared tile : [64 x f32]
+entry:
+  %0 = shared.base 0
+  %1 = tid.x
+  %2 = gep f32 %0, %1
+  %3 = load f32 %2
+  %4 = fadd %3, 1.5f
+  store %4, %2
+  bar.sync
+  ret
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(f.shared_arrays()[0].len, 64);
+    }
+
+    #[test]
+    fn round_trips_printer_output() {
+        // Build a function with diverse constructs, print it, parse it, and
+        // compare the reprints.
+        let mut f = Function::new("rt", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::I32);
+        let sh = f.add_shared_array("t", Type::I32, 32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let tid = b.thread_idx(Dim::X);
+        let base = b.shared_base(sh);
+        let sp = b.gep(Type::I32, base, tid);
+        let v = b.load(Type::I32, sp);
+        let c = b.icmp(IcmpPred::Slt, v, b.param(1));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(v, b.const_i32(1));
+        let wide = b.sext(a, Type::I64);
+        let back = b.trunc(wide, Type::I32);
+        b.jump(x);
+        b.switch_to(e);
+        let m = b.select(c, v, b.const_i32(7));
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, back), (e, m)]);
+        b.ret(Some(p));
+
+        let printed = f.to_string();
+        let reparsed = parse_and_verify(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_function("fn @x() -> void {\nentry:\n  %0 = bogus 1, 2\n  ret\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_value_is_an_error() {
+        let e = parse_function("fn @x() -> void {\nentry:\n  store %9, %9\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("undefined value"));
+    }
+
+    #[test]
+    fn unknown_block_is_an_error() {
+        let e = parse_function("fn @x() -> void {\nentry:\n  jump nowhere\n}").unwrap_err();
+        assert!(e.message.contains("unknown block"));
+    }
+}

@@ -1,0 +1,103 @@
+//! LLVM-like textual rendering of functions, for debugging and golden tests.
+
+use crate::function::Function;
+use crate::opcode::Opcode;
+use crate::types::Type;
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn @{}(", self.name())?;
+        for (i, ty) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ty} %arg{i}")?;
+        }
+        writeln!(f, ") -> {} {{", self.ret_ty())?;
+        for arr in self.shared_arrays() {
+            writeln!(f, "  shared {} : [{} x {}]", arr.name, arr.len, arr.elem)?;
+        }
+        for b in self.block_ids() {
+            writeln!(f, "{}:", self.block_name(b))?;
+            for &id in self.insts_of(b) {
+                let inst = self.inst(id);
+                write!(f, "  ")?;
+                if inst.ty != Type::Void {
+                    write!(f, "%{} = ", id.index())?;
+                }
+                write!(f, "{}", inst.opcode.mnemonic())?;
+                // Opcodes whose result type is not derivable from operands
+                // carry an explicit type annotation (keeps text parseable).
+                if matches!(
+                    inst.opcode,
+                    Opcode::Load | Opcode::Zext | Opcode::Sext | Opcode::Trunc | Opcode::FpToSi | Opcode::Phi
+                ) {
+                    write!(f, " {}", inst.ty)?;
+                }
+                if inst.opcode == Opcode::Phi {
+                    for (k, (blk, val)) in inst.phi_incoming().enumerate() {
+                        let sep = if k == 0 { " " } else { ", " };
+                        write!(f, "{sep}[{val}, {}]", self.block_name(blk))?;
+                    }
+                } else {
+                    for (k, op) in inst.operands.iter().enumerate() {
+                        let sep = if k == 0 { " " } else { ", " };
+                        write!(f, "{sep}{op}")?;
+                    }
+                    for (k, s) in inst.succs.iter().enumerate() {
+                        let sep = if k == 0 && inst.operands.is_empty() { " " } else { ", " };
+                        write!(f, "{sep}{}", self.block_name(*s))?;
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::function::Function;
+    use crate::opcode::IcmpPred;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_branches_and_phis() {
+        let mut f = Function::new("p", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let one = b.const_i32(1);
+        let a = b.add(b.param(0), one);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, a), (e, Value::I32(0))]);
+        b.ret(Some(p));
+        use crate::value::Value;
+        let text = f.to_string();
+        assert!(text.contains("fn @p(i32 %arg0) -> i32 {"), "{text}");
+        assert!(text.contains("icmp slt %arg0, 0"), "{text}");
+        assert!(text.contains("br %0, t, e"), "{text}");
+        assert!(text.contains("phi i32 [%2, t], [0, e]"), "{text}");
+    }
+
+    #[test]
+    fn prints_shared_decls() {
+        let mut f = Function::new("s", vec![], Type::Void);
+        f.add_shared_array("tile", Type::F32, 128);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        b.ret(None);
+        assert!(f.to_string().contains("shared tile : [128 x f32]"));
+    }
+}

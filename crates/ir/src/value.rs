@@ -1,0 +1,111 @@
+//! SSA values.
+
+use crate::function::InstId;
+use crate::types::Type;
+use std::fmt;
+
+/// An SSA value: an instruction result, a function parameter, a constant, or
+/// `undef`.
+///
+/// `Value` is a small `Copy` handle; constant floats are stored as raw bits so
+/// that `Value` can implement `Eq` and `Hash` (needed by the melding operand
+/// maps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Result of an instruction.
+    Inst(InstId),
+    /// The n-th function parameter.
+    Param(u32),
+    /// `i1` constant.
+    I1(bool),
+    /// `i32` constant.
+    I32(i32),
+    /// `i64` constant.
+    I64(i64),
+    /// `f32` constant, stored as IEEE-754 bits.
+    F32Bits(u32),
+    /// Undefined value of the given type (LLVM `undef`).
+    Undef(Type),
+}
+
+impl Value {
+    /// Constructs an `f32` constant.
+    pub fn const_f32(x: f32) -> Value {
+        Value::F32Bits(x.to_bits())
+    }
+
+    /// The float value of an [`Value::F32Bits`] constant, if this is one.
+    pub fn as_f32(self) -> Option<f32> {
+        match self {
+            Value::F32Bits(bits) => Some(f32::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// The instruction id, if this value is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is a compile-time constant (including `undef`).
+    pub fn is_const(self) -> bool {
+        !matches!(self, Value::Inst(_) | Value::Param(_))
+    }
+
+    /// Whether this value is `undef`.
+    pub fn is_undef(self) -> bool {
+        matches!(self, Value::Undef(_))
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "%{}", id.index()),
+            Value::Param(i) => write!(f, "%arg{i}"),
+            Value::I1(b) => write!(f, "{b}"),
+            Value::I32(x) => write!(f, "{x}"),
+            Value::I64(x) => write!(f, "{x}i64"),
+            Value::F32Bits(bits) => write!(f, "{:?}f", f32::from_bits(*bits)),
+            Value::Undef(ty) => write!(f, "undef:{ty}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_constants_round_trip() {
+        let v = Value::const_f32(1.5);
+        assert_eq!(v.as_f32(), Some(1.5));
+        assert_eq!(v, Value::const_f32(1.5));
+        assert_ne!(v, Value::const_f32(2.5));
+    }
+
+    #[test]
+    fn const_classification() {
+        assert!(Value::I32(3).is_const());
+        assert!(Value::Undef(Type::I32).is_const());
+        assert!(Value::Undef(Type::I32).is_undef());
+        assert!(!Value::Param(0).is_const());
+        assert!(!Value::Inst(InstId::new(0)).is_const());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::I32(42).to_string(), "42");
+        assert_eq!(Value::Param(1).to_string(), "%arg1");
+        assert_eq!(Value::Undef(Type::I1).to_string(), "undef:i1");
+    }
+}

@@ -1,0 +1,169 @@
+//! BIT — bitonic sort, the paper's running example (Fig. 1).
+//!
+//! Each thread block loads a tile into shared memory and sorts it with the
+//! bitonic network. The `(tid & k) == 0` branch is divergent and its two
+//! sides are *if-then regions* over shared memory — exactly the meldable
+//! divergent region of Fig. 4 (tail merging and branch fusion cannot handle
+//! it, §III).
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, Dim, Function, IcmpPred, Type, Value};
+use darm_simt::LaunchConfig;
+
+const GRID: u32 = 2;
+
+/// Builds a `BIT<block_size>` case: `GRID` blocks each sorting a
+/// `block_size`-element bucket.
+pub fn build_case(block_size: u32) -> BenchCase {
+    let n = (GRID * block_size) as usize;
+    let input = crate::pseudo_random_i32(0xB170, n, 10_000);
+    let mut expected = input.clone();
+    for chunk in expected.chunks_mut(block_size as usize) {
+        chunk.sort_unstable();
+    }
+    BenchCase {
+        name: format!("BIT{block_size}"),
+        func: build_kernel(block_size),
+        launch: LaunchConfig::linear(GRID, block_size),
+        args: vec![ArgSpec::BufI32(vec![0; n]), ArgSpec::BufI32(input)],
+        expected: vec![(0, BufData::I32(expected))],
+    }
+}
+
+/// Builds the bitonic-sort kernel for one block size (the paper's Fig. 1,
+/// with real loops instead of relying on unrolling).
+pub fn build_kernel(block_size: u32) -> Function {
+    let mut f = Function::new(
+        &format!("bitonic_{block_size}"),
+        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global)],
+        Type::Void,
+    );
+    let sh = f.add_shared_array("tile", Type::I32, block_size as u64);
+    let entry = f.entry();
+    let k_hdr = f.add_block("k.hdr");
+    let j_hdr = f.add_block("j.hdr");
+    let j_body = f.add_block("j.body");
+    let guard_then = f.add_block("guard.then");
+    let b_asc = f.add_block("asc"); // (tid & k) == 0: sort ascending
+    let asc_then = f.add_block("asc.then");
+    let asc_join = f.add_block("asc.join");
+    let b_desc = f.add_block("desc");
+    let desc_then = f.add_block("desc.then");
+    let desc_join = f.add_block("desc.join");
+    let merge = f.add_block("merge");
+    let j_latch = f.add_block("j.latch");
+    let k_latch = f.add_block("k.latch");
+    let done = f.add_block("done");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tid = b.thread_idx(Dim::X);
+    let bid = b.block_idx(Dim::X);
+    let bdim = b.block_dim(Dim::X);
+    let off = b.mul(bid, bdim);
+    let gid = b.add(off, tid);
+    let gin = b.gep(Type::I32, b.param(1), gid);
+    let v0 = b.load(Type::I32, gin);
+    let base = b.shared_base(sh);
+    let sp = b.gep(Type::I32, base, tid);
+    b.store(v0, sp);
+    b.syncthreads();
+    b.jump(k_hdr);
+
+    // for (k = 2; k <= block_size; k *= 2)
+    b.switch_to(k_hdr);
+    let k = b.phi(Type::I32, &[(entry, Value::I32(2))]);
+    let one = b.const_i32(1);
+    let k_half = b.ashr(k, one); // initial j for this k iteration
+    let kc = b.icmp(IcmpPred::Sle, k, b.const_i32(block_size as i32));
+    b.br(kc, j_hdr, done);
+
+    // for (j = k / 2; j > 0; j /= 2)
+    b.switch_to(j_hdr);
+    let j = b.phi(Type::I32, &[(k_hdr, k_half)]);
+    let jc = b.icmp(IcmpPred::Sgt, j, b.const_i32(0));
+    b.br(jc, j_body, k_latch);
+
+    // ixj = tid ^ j; if (ixj > tid) { ... }
+    b.switch_to(j_body);
+    let ixj = b.xor(tid, j);
+    let pp = b.gep(Type::I32, base, ixj);
+    let gc = b.icmp(IcmpPred::Sgt, ixj, tid);
+    b.br(gc, guard_then, merge);
+
+    b.switch_to(guard_then);
+    let kbit = b.and(tid, k);
+    let dir = b.icmp(IcmpPred::Eq, kbit, b.const_i32(0));
+    b.br(dir, b_asc, b_desc);
+
+    // ascending: if (tile[ixj] < tile[tid]) swap
+    b.switch_to(b_asc);
+    let pa = b.load(Type::I32, pp);
+    let va = b.load(Type::I32, sp);
+    let ca = b.icmp(IcmpPred::Slt, pa, va);
+    b.br(ca, asc_then, asc_join);
+    b.switch_to(asc_then);
+    b.store(va, pp);
+    b.store(pa, sp);
+    b.jump(asc_join);
+    b.switch_to(asc_join);
+    b.jump(merge);
+
+    // descending: if (tile[ixj] > tile[tid]) swap
+    b.switch_to(b_desc);
+    let pd = b.load(Type::I32, pp);
+    let vd = b.load(Type::I32, sp);
+    let cd = b.icmp(IcmpPred::Sgt, pd, vd);
+    b.br(cd, desc_then, desc_join);
+    b.switch_to(desc_then);
+    b.store(vd, pp);
+    b.store(pd, sp);
+    b.jump(desc_join);
+    b.switch_to(desc_join);
+    b.jump(merge);
+
+    b.switch_to(merge);
+    b.syncthreads();
+    b.jump(j_latch);
+
+    b.switch_to(j_latch);
+    let j_next = b.ashr(j, one);
+    b.jump(j_hdr);
+
+    b.switch_to(k_latch);
+    let k_next = b.shl(k, one);
+    b.jump(k_hdr);
+
+    b.switch_to(done);
+    let vout = b.load(Type::I32, sp);
+    let gout = b.gep(Type::I32, b.param(0), gid);
+    b.store(vout, gout);
+    b.ret(None);
+
+    // Patch loop φs with their backedge values.
+    let pj = j.as_inst().unwrap();
+    f.inst_mut(pj).operands.push(j_next);
+    f.inst_mut(pj).phi_blocks.push(j_latch);
+    let pk = k.as_inst().unwrap();
+    f.inst_mut(pk).operands.push(k_next);
+    f.inst_mut(pk).phi_blocks.push(k_latch);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn sorts_each_block_bucket() {
+        for bs in [32, 64] {
+            let case = build_case(bs);
+            verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
+            let result = case.execute().unwrap();
+            case.check(&result).unwrap();
+            assert!(result.stats.shared_mem_insts > 0);
+            assert!(result.stats.simd_efficiency() < 1.0, "bitonic must diverge");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! DCT — in-place quantization of a DCT coefficient plane.
+//!
+//! The quantization rounds *away from zero*, so positive and negative
+//! coefficients take different paths (§VI-A: "the quantization process is
+//! different for positive and negative values resulting in data-dependent
+//! divergence"). Both paths contain the same expensive division — a
+//! high-profit diamond meld.
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, Dim, Function, IcmpPred, Type};
+use darm_simt::LaunchConfig;
+
+/// Plane width/height used by the cases.
+pub const PLANE: u32 = 64;
+/// Quantization parameter.
+pub const QP: i32 = 10;
+
+/// Builds a `DCT<bx>x<by>` case over a `PLANE`×`PLANE` coefficient plane.
+pub fn build_case(block: (u32, u32)) -> BenchCase {
+    let n = (PLANE * PLANE) as usize;
+    let input = crate::pseudo_random_i32(0xDC7, n, 2_000);
+    let expected: Vec<i32> = input.iter().map(|&v| reference(v)).collect();
+    BenchCase {
+        name: format!("DCT{}x{}", block.0, block.1),
+        func: build_kernel(),
+        launch: LaunchConfig::grid2d((PLANE / block.0, PLANE / block.1), block),
+        args: vec![ArgSpec::BufI32(input), ArgSpec::I32(QP)],
+        expected: vec![(0, BufData::I32(expected))],
+    }
+}
+
+/// CPU reference for one coefficient.
+pub fn reference(v: i32) -> i32 {
+    if v < 0 {
+        let q = ((-v) * 2 + QP) / (2 * QP);
+        -(q * QP)
+    } else {
+        let q = (v * 2 + QP) / (2 * QP);
+        q * QP
+    }
+}
+
+/// Builds the quantization kernel `dct(plane, qp)` (2-D launch).
+pub fn build_kernel() -> Function {
+    let mut f = Function::new("dct_quant", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+    let entry = f.entry();
+    let neg = f.add_block("neg");
+    let pos = f.add_block("pos");
+    let join = f.add_block("join");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tx = b.thread_idx(Dim::X);
+    let ty = b.thread_idx(Dim::Y);
+    let bx = b.block_idx(Dim::X);
+    let by = b.block_idx(Dim::Y);
+    let ntx = b.block_dim(Dim::X);
+    let nty = b.block_dim(Dim::Y);
+    let gx0 = b.mul(bx, ntx);
+    let gx = b.add(gx0, tx);
+    let gy0 = b.mul(by, nty);
+    let gy = b.add(gy0, ty);
+    let width = b.const_i32(PLANE as i32);
+    let row = b.mul(gy, width);
+    let idx = b.add(row, gx);
+    let p = b.gep(Type::I32, b.param(0), idx);
+    let v = b.load(Type::I32, p);
+    let qp = b.param(1);
+    let two = b.const_i32(2);
+    let qp2 = b.mul(qp, two);
+    let c = b.icmp(IcmpPred::Slt, v, b.const_i32(0));
+    b.br(c, neg, pos);
+
+    // negative: q = ((-v)*2 + qp) / (2*qp); r = -(q*qp)
+    b.switch_to(neg);
+    let nv = b.sub(b.const_i32(0), v);
+    let nv2 = b.mul(nv, two);
+    let num_n = b.add(nv2, qp);
+    let q_n = b.sdiv(num_n, qp2);
+    let r_n0 = b.mul(q_n, qp);
+    let r_n = b.sub(b.const_i32(0), r_n0);
+    b.jump(join);
+
+    // positive: q = (v*2 + qp) / (2*qp); r = q*qp
+    b.switch_to(pos);
+    let v2 = b.mul(v, two);
+    let num_p = b.add(v2, qp);
+    let q_p = b.sdiv(num_p, qp2);
+    let r_p = b.mul(q_p, qp);
+    b.jump(join);
+
+    b.switch_to(join);
+    let r = b.phi(Type::I32, &[(neg, r_n), (pos, r_p)]);
+    b.store(r, p);
+    b.ret(None);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn quantizes_the_plane() {
+        for block in [(4, 4), (8, 8), (16, 16)] {
+            let case = build_case(block);
+            verify_ssa(&case.func).unwrap();
+            let result = case.execute().unwrap();
+            case.check(&result).unwrap();
+        }
+    }
+
+    #[test]
+    fn rounds_away_from_zero_symmetrically() {
+        assert_eq!(reference(15), 20);
+        assert_eq!(reference(-15), -20);
+        assert_eq!(reference(4), 0);
+        assert_eq!(reference(-4), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! MS — bottom-up merge sort.
+//!
+//! One merge step: the input contains sorted runs of width `w`; each thread
+//! merges one pair of runs into the output. The `in[i] <= in[j]` comparison
+//! inside the merge loop is data-dependent and divergent, and its two sides
+//! (take-left / take-right) are meldable; the run-exhausted checks add an
+//! if-then-elseif chain around it (§VI-A).
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, Dim, Function, IcmpPred, Type};
+use darm_simt::LaunchConfig;
+
+/// Sorted-run width of the merge step.
+pub const RUN_WIDTH: u32 = 8;
+
+/// Builds an `MS<block_size>` case: `block_size` threads each merge a pair
+/// of `RUN_WIDTH`-element sorted runs.
+pub fn build_case(block_size: u32) -> BenchCase {
+    let n = (block_size * 2 * RUN_WIDTH) as usize;
+    let mut input = crate::pseudo_random_i32(0x4D53, n, 100_000);
+    for run in input.chunks_mut(RUN_WIDTH as usize) {
+        run.sort_unstable();
+    }
+    let mut expected = vec![0; n];
+    for (t, chunk) in input.chunks(2 * RUN_WIDTH as usize).enumerate() {
+        let mut merged = chunk.to_vec();
+        merged.sort_unstable();
+        expected[t * 2 * RUN_WIDTH as usize..(t + 1) * 2 * RUN_WIDTH as usize]
+            .copy_from_slice(&merged);
+    }
+    BenchCase {
+        name: format!("MS{block_size}"),
+        func: build_kernel(),
+        launch: LaunchConfig::linear(1, block_size),
+        args: vec![
+            ArgSpec::BufI32(vec![0; n]),
+            ArgSpec::BufI32(input),
+            ArgSpec::I32(RUN_WIDTH as i32),
+        ],
+        expected: vec![(0, BufData::I32(expected))],
+    }
+}
+
+/// Builds the merge-step kernel `merge(out, in, w)`.
+pub fn build_kernel() -> Function {
+    let mut f = Function::new(
+        "mergesort_step",
+        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global), Type::I32],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let hdr = f.add_block("hdr");
+    let body = f.add_block("body");
+    let left_done = f.add_block("left.done"); // i >= mid: must take right
+    let chk_right = f.add_block("chk.right");
+    let right_done = f.add_block("right.done"); // j >= end: must take left
+    let cmp = f.add_block("cmp");
+    let take_l = f.add_block("take.l");
+    let take_r = f.add_block("take.r");
+    let join = f.add_block("join");
+    let exit = f.add_block("exit");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tid = b.thread_idx(Dim::X);
+    let bid = b.block_idx(Dim::X);
+    let bdim = b.block_dim(Dim::X);
+    let off = b.mul(bid, bdim);
+    let t = b.add(off, tid);
+    let w = b.param(2);
+    let two = b.const_i32(2);
+    let w2 = b.mul(w, two);
+    let base = b.mul(t, w2);
+    let mid = b.add(base, w);
+    let end = b.add(base, w2);
+    b.jump(hdr);
+
+    // while (k < end)
+    b.switch_to(hdr);
+    let i = b.phi(Type::I32, &[(entry, base)]);
+    let j = b.phi(Type::I32, &[(entry, mid)]);
+    let kk = b.phi(Type::I32, &[(entry, base)]);
+    let kc = b.icmp(IcmpPred::Slt, kk, end);
+    b.br(kc, body, exit);
+
+    b.switch_to(body);
+    let li_done = b.icmp(IcmpPred::Sge, i, mid);
+    b.br(li_done, left_done, chk_right);
+
+    // left run exhausted: take right
+    b.switch_to(left_done);
+    let pr0 = b.gep(Type::I32, b.param(1), j);
+    let vr0 = b.load(Type::I32, pr0);
+    let j0 = b.add(j, b.const_i32(1));
+    b.jump(join);
+
+    b.switch_to(chk_right);
+    let rj_done = b.icmp(IcmpPred::Sge, j, end);
+    b.br(rj_done, right_done, cmp);
+
+    // right run exhausted: take left
+    b.switch_to(right_done);
+    let pl0 = b.gep(Type::I32, b.param(1), i);
+    let vl0 = b.load(Type::I32, pl0);
+    let i0 = b.add(i, b.const_i32(1));
+    b.jump(join);
+
+    // both live: data-dependent comparison
+    b.switch_to(cmp);
+    let pl = b.gep(Type::I32, b.param(1), i);
+    let vl = b.load(Type::I32, pl);
+    let pr = b.gep(Type::I32, b.param(1), j);
+    let vr = b.load(Type::I32, pr);
+    let cle = b.icmp(IcmpPred::Sle, vl, vr);
+    b.br(cle, take_l, take_r);
+
+    b.switch_to(take_l);
+    let i1 = b.add(i, b.const_i32(1));
+    b.jump(join);
+
+    b.switch_to(take_r);
+    let j1 = b.add(j, b.const_i32(1));
+    b.jump(join);
+
+    b.switch_to(join);
+    let v = b.phi(
+        Type::I32,
+        &[(left_done, vr0), (right_done, vl0), (take_l, vl), (take_r, vr)],
+    );
+    let i_next = b.phi(Type::I32, &[(left_done, i), (right_done, i0), (take_l, i1), (take_r, i)]);
+    let j_next = b.phi(Type::I32, &[(left_done, j0), (right_done, j), (take_l, j), (take_r, j1)]);
+    let pout = b.gep(Type::I32, b.param(0), kk);
+    b.store(v, pout);
+    let k_next = b.add(kk, b.const_i32(1));
+    b.jump(hdr);
+
+    b.switch_to(exit);
+    b.ret(None);
+
+    for (phi, backedge) in [(i, i_next), (j, j_next), (kk, k_next)] {
+        let id = phi.as_inst().unwrap();
+        f.inst_mut(id).operands.push(backedge);
+        f.inst_mut(id).phi_blocks.push(join);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn merges_sorted_runs() {
+        let case = build_case(32);
+        verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
+        let result = case.execute().unwrap();
+        case.check(&result).unwrap();
+        assert!(result.stats.simd_efficiency() < 1.0, "data-dependent merge must diverge");
+    }
+}

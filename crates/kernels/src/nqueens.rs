@@ -1,0 +1,224 @@
+//! NQU — N-queens backtracking solver.
+//!
+//! Every thread fixes the first-row queen at column `t % N` and counts the
+//! solutions of the remaining board with an iterative backtracking loop.
+//! The loop body is the paper's "divergent if-then-elseif section"
+//! (§VI-A): *backtrack* when the candidate column overflows, otherwise
+//! *place/descend* or *advance* depending on a data-dependent safety check
+//! — DARM removes divergence here with region replication.
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, Dim, Function, IcmpPred, Type, Value};
+use darm_simt::LaunchConfig;
+
+/// Board size. (The paper uses N=15 on a real GPU; the cycle-accurate
+/// interpreter uses a smaller board with the same control-flow structure.)
+pub const N: i32 = 6;
+
+/// Builds an `NQU<block_size>` case.
+pub fn build_case(block_size: u32) -> BenchCase {
+    let threads = block_size as usize;
+    let expected: Vec<i32> = (0..threads).map(|t| reference((t as i32) % N)).collect();
+    BenchCase {
+        name: format!("NQU{block_size}"),
+        func: build_kernel(),
+        launch: LaunchConfig::linear(1, block_size),
+        args: vec![
+            ArgSpec::BufI32(vec![0; threads]),
+            ArgSpec::BufI32(vec![0; threads * N as usize]),
+        ],
+        expected: vec![(0, BufData::I32(expected))],
+    }
+}
+
+/// CPU reference: solutions of N-queens with the row-0 queen at `first`.
+pub fn reference(first: i32) -> i32 {
+    fn safe(pos: &[i32], row: i32, col: i32) -> bool {
+        (0..row).all(|r| {
+            let p = pos[r as usize];
+            p != col && p - col != row - r && col - p != row - r
+        })
+    }
+    let mut pos = vec![0i32; N as usize];
+    pos[0] = first;
+    let (mut row, mut col, mut count) = (1i32, 0i32, 0i32);
+    while row >= 1 {
+        if col >= N {
+            row -= 1;
+            if row >= 1 {
+                col = pos[row as usize] + 1;
+            }
+        } else if safe(&pos, row, col) {
+            pos[row as usize] = col;
+            if row == N - 1 {
+                count += 1;
+                col += 1;
+            } else {
+                row += 1;
+                col = 0;
+            }
+        } else {
+            col += 1;
+        }
+    }
+    count
+}
+
+/// Builds the kernel `nqueens(out, scratch)`; `scratch` holds each thread's
+/// partial placement (`scratch[t*N + row]`).
+pub fn build_kernel() -> Function {
+    let mut f = Function::new(
+        "nqueens",
+        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global)],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let hdr = f.add_block("hdr");
+    let body = f.add_block("body");
+    let bt = f.add_block("bt");
+    let btload = f.add_block("bt.load");
+    let chk = f.add_block("chk");
+    let s_hdr = f.add_block("safe.hdr");
+    let s_body = f.add_block("safe.body");
+    let s_done = f.add_block("safe.done");
+    let place = f.add_block("place");
+    let sol = f.add_block("sol");
+    let desc = f.add_block("desc");
+    let adv = f.add_block("adv");
+    let done = f.add_block("done");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tid = b.thread_idx(Dim::X);
+    let bid = b.block_idx(Dim::X);
+    let bdim = b.block_dim(Dim::X);
+    let off = b.mul(bid, bdim);
+    let t = b.add(off, tid);
+    let n_c = b.const_i32(N);
+    let first = b.srem(t, n_c);
+    let pos_base = b.mul(t, n_c);
+    let p0 = b.gep(Type::I32, b.param(1), pos_base);
+    b.store(first, p0);
+    b.jump(hdr);
+
+    // while (row >= 1)
+    b.switch_to(hdr);
+    let row = b.phi(Type::I32, &[(entry, Value::I32(1))]);
+    let col = b.phi(Type::I32, &[(entry, Value::I32(0))]);
+    let count = b.phi(Type::I32, &[(entry, Value::I32(0))]);
+    let cx = b.icmp(IcmpPred::Slt, row, b.const_i32(1));
+    b.br(cx, done, body);
+
+    // if (col >= N) backtrack else check safety
+    b.switch_to(body);
+    let ca = b.icmp(IcmpPred::Sge, col, n_c);
+    b.br(ca, bt, chk);
+
+    b.switch_to(bt);
+    let one = b.const_i32(1);
+    let rm1 = b.sub(row, one);
+    let btc = b.icmp(IcmpPred::Sge, rm1, one);
+    b.br(btc, btload, hdr);
+
+    b.switch_to(btload);
+    let bt_idx = b.add(pos_base, rm1);
+    let bt_ptr = b.gep(Type::I32, b.param(1), bt_idx);
+    let pcv = b.load(Type::I32, bt_ptr);
+    let ncol = b.add(pcv, one);
+    b.jump(hdr);
+
+    // safety check loop: for r in 0..row while no conflict
+    b.switch_to(chk);
+    b.jump(s_hdr);
+    b.switch_to(s_hdr);
+    let r = b.phi(Type::I32, &[(chk, Value::I32(0))]);
+    let ok = b.phi(Type::I1, &[(chk, Value::I1(true))]);
+    let sc = b.icmp(IcmpPred::Slt, r, row);
+    let cont = b.and(sc, ok);
+    b.br(cont, s_body, s_done);
+
+    b.switch_to(s_body);
+    let pr_idx = b.add(pos_base, r);
+    let pr_ptr = b.gep(Type::I32, b.param(1), pr_idx);
+    let pv = b.load(Type::I32, pr_ptr);
+    let e1 = b.icmp(IcmpPred::Eq, pv, col);
+    let d = b.sub(row, r);
+    let dl = b.sub(pv, col);
+    let e2 = b.icmp(IcmpPred::Eq, dl, d);
+    let dr = b.sub(col, pv);
+    let e3 = b.icmp(IcmpPred::Eq, dr, d);
+    let cf0 = b.or(e1, e2);
+    let cf = b.or(cf0, e3);
+    let ncf = b.xor(cf, Value::I1(true));
+    let ok2 = b.and(ok, ncf);
+    let r2 = b.add(r, one);
+    b.jump(s_hdr);
+
+    b.switch_to(s_done);
+    b.br(ok, place, adv);
+
+    // place the queen; solution row or descend
+    b.switch_to(place);
+    let pl_idx = b.add(pos_base, row);
+    let pl_ptr = b.gep(Type::I32, b.param(1), pl_idx);
+    b.store(col, pl_ptr);
+    let nm1 = b.const_i32(N - 1);
+    let last = b.icmp(IcmpPred::Eq, row, nm1);
+    b.br(last, sol, desc);
+
+    b.switch_to(sol);
+    let count2 = b.add(count, one);
+    let col_s = b.add(col, one);
+    b.jump(hdr);
+
+    b.switch_to(desc);
+    let row2 = b.add(row, one);
+    b.jump(hdr);
+
+    b.switch_to(adv);
+    let col2 = b.add(col, one);
+    b.jump(hdr);
+
+    b.switch_to(done);
+    let out_ptr = b.gep(Type::I32, b.param(0), t);
+    b.store(count, out_ptr);
+    b.ret(None);
+
+    // hdr φ backedges: (entry handled), bt, btload, sol, desc, adv.
+    let patch = |f: &mut Function, phi: Value, entries: &[(darm_ir::BlockId, Value)]| {
+        let id = phi.as_inst().unwrap();
+        for &(blk, v) in entries {
+            f.inst_mut(id).operands.push(v);
+            f.inst_mut(id).phi_blocks.push(blk);
+        }
+    };
+    patch(&mut f, row, &[(bt, rm1), (btload, rm1), (sol, row), (desc, row2), (adv, row)]);
+    patch(&mut f, col, &[(bt, col), (btload, ncol), (sol, col_s), (desc, Value::I32(0)), (adv, col2)]);
+    patch(&mut f, count, &[(bt, count), (btload, count), (sol, count2), (desc, count), (adv, count)]);
+    // safe loop backedges
+    patch(&mut f, r, &[(s_body, r2)]);
+    patch(&mut f, ok, &[(s_body, ok2)]);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn reference_totals_match_known_counts() {
+        // 6-queens has 4 solutions in total.
+        let total: i32 = (0..N).map(reference).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn kernel_counts_match_reference() {
+        let case = build_case(32);
+        verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
+        let result = case.execute().unwrap();
+        case.check(&result).unwrap();
+        assert!(result.stats.simd_efficiency() < 1.0, "backtracking must diverge");
+    }
+}

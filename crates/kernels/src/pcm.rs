@@ -1,0 +1,154 @@
+//! PCM — partition and concurrent merge (Batcher-style odd-even merging).
+//!
+//! Each block sorts its bucket in shared memory with odd-even transposition
+//! phases. The compare-exchange direction check is *data dependent*
+//! (`tile[i] > tile[i+1]`), and each side of it contains a nested if-then
+//! region over shared memory — the "loops with nested data-dependent
+//! branches" structure §VI-A describes. Branch fusion only melds the inner
+//! diamonds; DARM melds the whole region.
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, Dim, Function, IcmpPred, Type, Value};
+use darm_simt::LaunchConfig;
+
+const GRID: u32 = 2;
+
+/// Builds a `PCM<block_size>` case.
+pub fn build_case(block_size: u32) -> BenchCase {
+    let n = (GRID * block_size) as usize;
+    let input = crate::pseudo_random_i32(0x9C31, n, 50_000);
+    let mut expected = input.clone();
+    for chunk in expected.chunks_mut(block_size as usize) {
+        chunk.sort_unstable();
+    }
+    BenchCase {
+        name: format!("PCM{block_size}"),
+        func: build_kernel(block_size),
+        launch: LaunchConfig::linear(GRID, block_size),
+        args: vec![ArgSpec::BufI32(vec![0; n]), ArgSpec::BufI32(input)],
+        expected: vec![(0, BufData::I32(expected))],
+    }
+}
+
+/// Builds the PCM kernel: `block_size` odd-even phases over a shared tile.
+pub fn build_kernel(block_size: u32) -> Function {
+    let mut f = Function::new(
+        &format!("pcm_{block_size}"),
+        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global)],
+        Type::Void,
+    );
+    let sh = f.add_shared_array("tile", Type::I32, block_size as u64);
+    let entry = f.entry();
+    let p_hdr = f.add_block("p.hdr");
+    let p_body = f.add_block("p.body");
+    let active = f.add_block("active");
+    let gt = f.add_block("gt"); // tile[i] > tile[i+1]
+    let gt_then = f.add_block("gt.then");
+    let gt_join = f.add_block("gt.join");
+    let le = f.add_block("le");
+    let le_then = f.add_block("le.then");
+    let le_join = f.add_block("le.join");
+    let merge = f.add_block("merge");
+    let p_latch = f.add_block("p.latch");
+    let done = f.add_block("done");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tid = b.thread_idx(Dim::X);
+    let bid = b.block_idx(Dim::X);
+    let bdim = b.block_dim(Dim::X);
+    let off = b.mul(bid, bdim);
+    let gid = b.add(off, tid);
+    let gin = b.gep(Type::I32, b.param(1), gid);
+    let v0 = b.load(Type::I32, gin);
+    let base = b.shared_base(sh);
+    let own = b.gep(Type::I32, base, tid);
+    b.store(v0, own);
+    b.syncthreads();
+    b.jump(p_hdr);
+
+    // for (p = 0; p < block_size; p++)
+    b.switch_to(p_hdr);
+    let p = b.phi(Type::I32, &[(entry, Value::I32(0))]);
+    let pc = b.icmp(IcmpPred::Slt, p, b.const_i32(block_size as i32));
+    b.br(pc, p_body, done);
+
+    // i = 2*tid + (p & 1); if (i + 1 < block_size) { compare-exchange }
+    b.switch_to(p_body);
+    let one = b.const_i32(1);
+    let two = b.const_i32(2);
+    let t2 = b.mul(tid, two);
+    let ph = b.and(p, one);
+    let i = b.add(t2, ph);
+    let ip1 = b.add(i, one);
+    let in_range = b.icmp(IcmpPred::Slt, ip1, b.const_i32(block_size as i32));
+    b.br(in_range, active, merge);
+
+    b.switch_to(active);
+    let pi = b.gep(Type::I32, base, i);
+    let pj = b.gep(Type::I32, base, ip1);
+    let x = b.load(Type::I32, pi);
+    let y = b.load(Type::I32, pj);
+    let c = b.icmp(IcmpPred::Sgt, x, y); // data dependent
+    b.br(c, gt, le);
+
+    // x > y: nested check, then swap
+    b.switch_to(gt);
+    let d1 = b.sub(x, y);
+    let c1 = b.icmp(IcmpPred::Sgt, d1, b.const_i32(0));
+    b.br(c1, gt_then, gt_join);
+    b.switch_to(gt_then);
+    b.store(y, pi);
+    b.store(x, pj);
+    b.jump(gt_join);
+    b.switch_to(gt_join);
+    b.jump(merge);
+
+    // x <= y: nested check, write back in order
+    b.switch_to(le);
+    let d2 = b.sub(y, x);
+    let c2 = b.icmp(IcmpPred::Sge, d2, b.const_i32(0));
+    b.br(c2, le_then, le_join);
+    b.switch_to(le_then);
+    b.store(x, pi);
+    b.store(y, pj);
+    b.jump(le_join);
+    b.switch_to(le_join);
+    b.jump(merge);
+
+    b.switch_to(merge);
+    b.syncthreads();
+    b.jump(p_latch);
+
+    b.switch_to(p_latch);
+    let p_next = b.add(p, one);
+    b.jump(p_hdr);
+
+    b.switch_to(done);
+    let vout = b.load(Type::I32, own);
+    let gout = b.gep(Type::I32, b.param(0), gid);
+    b.store(vout, gout);
+    b.ret(None);
+
+    let pp = p.as_inst().unwrap();
+    f.inst_mut(pp).operands.push(p_next);
+    f.inst_mut(pp).phi_blocks.push(p_latch);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn sorts_each_block_bucket() {
+        for bs in [32, 64] {
+            let case = build_case(bs);
+            verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
+            let result = case.execute().unwrap();
+            case.check(&result).unwrap();
+            assert!(result.stats.shared_mem_insts > 0);
+        }
+    }
+}

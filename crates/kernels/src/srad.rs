@@ -1,0 +1,242 @@
+//! SRAD — speckle-reducing anisotropic diffusion (Rodinia).
+//!
+//! One diffusion step over an image. Two divergent regions, as in §VI-B:
+//!
+//! * **RB** — boundary-handling if-then-else chains when computing
+//!   neighbour indices (no shared-memory instructions; melding these does
+//!   not pay off),
+//! * **RD** — a data-dependent *3-way* branch clamping the diffusion
+//!   coefficient, whose arms touch shared memory and whose execution is
+//!   biased toward two of the three ways.
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, Dim, FcmpPred, Function, IcmpPred, Type};
+use darm_simt::LaunchConfig;
+
+/// Image width/height.
+pub const DIM: u32 = 64;
+
+/// Builds an `SRAD<bx>x<by>` case over a `DIM`×`DIM` image.
+pub fn build_case(block: (u32, u32)) -> BenchCase {
+    let n = (DIM * DIM) as usize;
+    let input: Vec<f32> = crate::pseudo_random_i32(0x52AD, n, 900)
+        .into_iter()
+        .map(|v| 1.0 + (v.unsigned_abs() as f32) / 100.0)
+        .collect();
+    let expected = reference(&input);
+    BenchCase {
+        name: format!("SRAD{}x{}", block.0, block.1),
+        func: build_kernel(block),
+        launch: LaunchConfig::grid2d((DIM / block.0, DIM / block.1), block),
+        args: vec![ArgSpec::BufF32(vec![0.0; n]), ArgSpec::BufF32(input)],
+        expected: vec![(0, BufData::F32(expected))],
+    }
+}
+
+/// CPU reference of one diffusion step (mirrors the kernel's operation
+/// order exactly so f32 results match).
+pub fn reference(img: &[f32]) -> Vec<f32> {
+    let w = DIM as usize;
+    let h = DIM as usize;
+    let mut out = vec![0.0f32; img.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let xw = if x == 0 { x } else { x - 1 };
+            let xe = if x == w - 1 { x } else { x + 1 };
+            let yn = if y == 0 { y } else { y - 1 };
+            let ys = if y == h - 1 { y } else { y + 1 };
+            let c = img[y * w + x];
+            let n = img[yn * w + x];
+            let s = img[ys * w + x];
+            let wv = img[y * w + xw];
+            let e = img[y * w + xe];
+            let d = n + s + wv + e - 4.0 * c;
+            let q = d / (c + 1.0);
+            #[allow(clippy::manual_clamp)] // mirrors the kernel's 3-way branch order
+            let coef = if q < 0.0 {
+                0.0
+            } else if q > 1.0 {
+                1.0
+            } else {
+                q
+            };
+            out[y * w + x] = c + 0.25 * coef * d;
+        }
+    }
+    out
+}
+
+/// Builds the kernel `srad(out, in)` for a 2-D block size.
+pub fn build_kernel(block: (u32, u32)) -> Function {
+    let mut f = Function::new(
+        &format!("srad_{}x{}", block.0, block.1),
+        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global)],
+        Type::Void,
+    );
+    let lanes = (block.0 * block.1) as u64;
+    let sh = f.add_shared_array("coef", Type::F32, lanes);
+    let entry = f.entry();
+    // RB: four boundary diamonds
+    let xw_t = f.add_block("xw.t");
+    let xw_e = f.add_block("xw.e");
+    let xw_j = f.add_block("xw.j");
+    let xe_t = f.add_block("xe.t");
+    let xe_e = f.add_block("xe.e");
+    let xe_j = f.add_block("xe.j");
+    let yn_t = f.add_block("yn.t");
+    let yn_e = f.add_block("yn.e");
+    let yn_j = f.add_block("yn.j");
+    let ys_t = f.add_block("ys.t");
+    let ys_e = f.add_block("ys.e");
+    let ys_j = f.add_block("ys.j");
+    // RD: 3-way clamp
+    let neg = f.add_block("q.neg");
+    let chk_hi = f.add_block("q.chk_hi");
+    let hi = f.add_block("q.hi");
+    let mid = f.add_block("q.mid");
+    let j_hi = f.add_block("q.jhi");
+    let join = f.add_block("q.join");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tx = b.thread_idx(Dim::X);
+    let ty = b.thread_idx(Dim::Y);
+    let bx = b.block_idx(Dim::X);
+    let by = b.block_idx(Dim::Y);
+    let ntx = b.block_dim(Dim::X);
+    let nty = b.block_dim(Dim::Y);
+    let gx0 = b.mul(bx, ntx);
+    let x = b.add(gx0, tx);
+    let gy0 = b.mul(by, nty);
+    let y = b.add(gy0, ty);
+    let width = b.const_i32(DIM as i32);
+    let wm1 = b.const_i32(DIM as i32 - 1);
+    let one = b.const_i32(1);
+
+    // RB region (divergent at image boundaries; no shared memory).
+    let cxw = b.icmp(IcmpPred::Eq, x, b.const_i32(0));
+    b.br(cxw, xw_t, xw_e);
+    b.switch_to(xw_t);
+    b.jump(xw_j);
+    b.switch_to(xw_e);
+    let xm1 = b.sub(x, one);
+    b.jump(xw_j);
+    b.switch_to(xw_j);
+    let xw = b.phi(Type::I32, &[(xw_t, x), (xw_e, xm1)]);
+    let cxe = b.icmp(IcmpPred::Eq, x, wm1);
+    b.br(cxe, xe_t, xe_e);
+    b.switch_to(xe_t);
+    b.jump(xe_j);
+    b.switch_to(xe_e);
+    let xp1 = b.add(x, one);
+    b.jump(xe_j);
+    b.switch_to(xe_j);
+    let xe = b.phi(Type::I32, &[(xe_t, x), (xe_e, xp1)]);
+    let cyn = b.icmp(IcmpPred::Eq, y, b.const_i32(0));
+    b.br(cyn, yn_t, yn_e);
+    b.switch_to(yn_t);
+    b.jump(yn_j);
+    b.switch_to(yn_e);
+    let ym1 = b.sub(y, one);
+    b.jump(yn_j);
+    b.switch_to(yn_j);
+    let yn = b.phi(Type::I32, &[(yn_t, y), (yn_e, ym1)]);
+    let cys = b.icmp(IcmpPred::Eq, y, wm1);
+    b.br(cys, ys_t, ys_e);
+    b.switch_to(ys_t);
+    b.jump(ys_j);
+    b.switch_to(ys_e);
+    let yp1 = b.add(y, one);
+    b.jump(ys_j);
+    b.switch_to(ys_j);
+    let ys = b.phi(Type::I32, &[(ys_t, y), (ys_e, yp1)]);
+
+    // Load the 5-point stencil.
+    let img = b.param(1);
+    let idx_row = b.mul(y, width);
+    let idx = b.add(idx_row, x);
+    let pc = b.gep(Type::F32, img, idx);
+    let c = b.load(Type::F32, pc);
+    let n_row = b.mul(yn, width);
+    let n_idx = b.add(n_row, x);
+    let pn = b.gep(Type::F32, img, n_idx);
+    let nv = b.load(Type::F32, pn);
+    let s_row = b.mul(ys, width);
+    let s_idx = b.add(s_row, x);
+    let ps = b.gep(Type::F32, img, s_idx);
+    let sv = b.load(Type::F32, ps);
+    let w_idx = b.add(idx_row, xw);
+    let pw = b.gep(Type::F32, img, w_idx);
+    let wv = b.load(Type::F32, pw);
+    let e_idx = b.add(idx_row, xe);
+    let pe = b.gep(Type::F32, img, e_idx);
+    let ev = b.load(Type::F32, pe);
+
+    let ns = b.fadd(nv, sv);
+    let we = b.fadd(wv, ev);
+    let sum = b.fadd(ns, we);
+    let four = b.const_f32(4.0);
+    let c4 = b.fmul(four, c);
+    let d = b.fsub(sum, c4);
+    let cp1 = b.fadd(c, b.const_f32(1.0));
+    let q = b.fdiv(d, cp1);
+
+    // RD region: 3-way clamp with shared-memory traffic on every arm.
+    let lrow = b.mul(ty, ntx);
+    let lid = b.add(lrow, tx);
+    let base = b.shared_base(sh);
+    let sp = b.gep(Type::F32, base, lid);
+    let cneg = b.fcmp(FcmpPred::Olt, q, b.const_f32(0.0));
+    b.br(cneg, neg, chk_hi);
+
+    b.switch_to(neg);
+    b.store(b.const_f32(0.0), sp);
+    let coef_n = b.load(Type::F32, sp);
+    b.jump(join);
+
+    b.switch_to(chk_hi);
+    let chi = b.fcmp(FcmpPred::Ogt, q, b.const_f32(1.0));
+    b.br(chi, hi, mid);
+
+    b.switch_to(hi);
+    b.store(b.const_f32(1.0), sp);
+    let coef_h = b.load(Type::F32, sp);
+    b.jump(j_hi);
+
+    b.switch_to(mid);
+    b.store(q, sp);
+    let coef_m = b.load(Type::F32, sp);
+    b.jump(j_hi);
+
+    b.switch_to(j_hi);
+    let coef_hm = b.phi(Type::F32, &[(hi, coef_h), (mid, coef_m)]);
+    b.jump(join);
+
+    b.switch_to(join);
+    let coef = b.phi(Type::F32, &[(neg, coef_n), (j_hi, coef_hm)]);
+    let quarter = b.const_f32(0.25);
+    let cd = b.fmul(coef, d);
+    let upd = b.fmul(quarter, cd);
+    let res = b.fadd(c, upd);
+    let pout = b.gep(Type::F32, b.param(0), idx);
+    b.store(res, pout);
+    b.ret(None);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn diffusion_step_matches_reference() {
+        for block in [(16, 16), (32, 32)] {
+            let case = build_case(block);
+            verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
+            let result = case.execute().unwrap();
+            case.check(&result).unwrap();
+            assert!(result.stats.shared_mem_insts > 0);
+        }
+    }
+}

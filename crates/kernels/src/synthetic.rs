@@ -1,0 +1,466 @@
+//! The synthetic benchmarks SB1–SB4 and their `-R` variants (Fig. 7).
+//!
+//! Each kernel has two nested loops; the inner loop body contains a
+//! divergent region of the pattern's shape, computing on the thread's slot
+//! of a shared-memory tile:
+//!
+//! * **SB1** — diamond (`A2`/`A3`) with identical computations,
+//! * **SB2** — if-then *regions* on both sides with identical then-blocks,
+//! * **SB3** — two consecutive if-then regions on each side,
+//! * **SB4** — three-way divergence (`if-else-if-else`) with identical
+//!   blocks `D2`/`D4`/`D5` (exercises region replication),
+//! * the `-R` variants use non-identical instruction sequences on the
+//!   paths, so instructions only partially align.
+
+use crate::{ArgSpec, BenchCase, BufData};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{AddrSpace, BlockId, Dim, Function, IcmpPred, Type, Value};
+use darm_simt::LaunchConfig;
+
+/// Which synthetic pattern to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticKind {
+    /// Diamond, identical arms.
+    Sb1,
+    /// Diamond, non-identical arms.
+    Sb1R,
+    /// If-then regions, identical then-blocks.
+    Sb2,
+    /// If-then regions, non-identical then-blocks.
+    Sb2R,
+    /// Two if-then regions per side, identical.
+    Sb3,
+    /// Two if-then regions per side, non-identical.
+    Sb3R,
+    /// Three-way divergence, identical blocks.
+    Sb4,
+    /// Three-way divergence, non-identical blocks.
+    Sb4R,
+}
+
+impl SyntheticKind {
+    /// All kinds in Fig. 8's order.
+    pub fn all() -> [SyntheticKind; 8] {
+        use SyntheticKind::*;
+        [Sb1, Sb1R, Sb2, Sb2R, Sb3, Sb3R, Sb4, Sb4R]
+    }
+
+    /// Display name (`SB1`, `SB1-R`, ...).
+    pub fn name(self) -> &'static str {
+        use SyntheticKind::*;
+        match self {
+            Sb1 => "SB1",
+            Sb1R => "SB1-R",
+            Sb2 => "SB2",
+            Sb2R => "SB2-R",
+            Sb3 => "SB3",
+            Sb3R => "SB3-R",
+            Sb4 => "SB4",
+            Sb4R => "SB4-R",
+        }
+    }
+}
+
+const OUTER: i32 = 2;
+const INNER: i32 = 4;
+const GRID: u32 = 2;
+
+/// The two per-path computations used throughout: `f1` is the "identical"
+/// computation, `f2` the deliberately different one for `-R` variants.
+fn f1(v: i32, i: i32) -> i32 {
+    v.wrapping_mul(3).wrapping_add(i)
+}
+fn f2(v: i32, i: i32) -> i32 {
+    (v << 1) ^ i.wrapping_add(7)
+}
+
+/// Emits `f1` on the builder.
+fn emit_f1(b: &mut FunctionBuilder<'_>, v: Value, i: Value) -> Value {
+    let three = b.const_i32(3);
+    let m = b.mul(v, three);
+    b.add(m, i)
+}
+/// Emits `f2` on the builder.
+fn emit_f2(b: &mut FunctionBuilder<'_>, v: Value, i: Value) -> Value {
+    let one = b.const_i32(1);
+    let s = b.shl(v, one);
+    let seven = b.const_i32(7);
+    let i7 = b.add(i, seven);
+    b.xor(s, i7)
+}
+
+/// Builds a synthetic benchmark case at the given block size.
+pub fn build_case(kind: SyntheticKind, block_size: u32) -> BenchCase {
+    let n = (GRID * block_size) as usize;
+    let input = crate::pseudo_random_i32(kind as u64 + 1, n, 1001);
+    let func = build_kernel(kind, block_size);
+    let expected = reference(kind, &input, block_size);
+    BenchCase {
+        name: format!("{}-{}", kind.name(), block_size),
+        func,
+        launch: LaunchConfig::linear(GRID, block_size),
+        args: vec![ArgSpec::BufI32(vec![0; n]), ArgSpec::BufI32(input)],
+        expected: vec![(0, BufData::I32(expected))],
+    }
+}
+
+/// CPU reference: replays the same per-element computation.
+pub fn reference(kind: SyntheticKind, input: &[i32], block_size: u32) -> Vec<i32> {
+    let mut out = input.to_vec();
+    for (gid, v) in out.iter_mut().enumerate() {
+        let tid = (gid % block_size as usize) as i32;
+        for _o in 0..OUTER {
+            for i in 0..INNER {
+                *v = step(kind, *v, tid, i);
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::if_same_then_else)] // SB1's identical arms are the benchmark's point
+fn step(kind: SyntheticKind, v: i32, tid: i32, i: i32) -> i32 {
+    use SyntheticKind::*;
+    let even = tid & 1 == 0;
+    match kind {
+        Sb1 => {
+            if even {
+                f1(v, i)
+            } else {
+                f1(v, i)
+            }
+        }
+        Sb1R => {
+            if even {
+                f1(v, i)
+            } else {
+                f2(v, i)
+            }
+        }
+        Sb2 => {
+            if even {
+                if v > 0 {
+                    f1(v, i)
+                } else {
+                    v
+                }
+            } else if v < 0 {
+                f1(v, i)
+            } else {
+                v
+            }
+        }
+        Sb2R => {
+            if even {
+                if v > 0 {
+                    f1(v, i)
+                } else {
+                    v
+                }
+            } else if v < 0 {
+                f2(v, i)
+            } else {
+                v
+            }
+        }
+        Sb3 | Sb3R => {
+            let alt = kind == Sb3R;
+            let mut x = v;
+            if even {
+                if x > 0 {
+                    x = f1(x, i);
+                }
+                if x & 1 != 0 {
+                    x = x.wrapping_add(i);
+                }
+            } else {
+                if x < 0 {
+                    x = if alt { f2(x, i) } else { f1(x, i) };
+                }
+                if x & 1 == 0 {
+                    x = if alt { x.wrapping_sub(i.wrapping_mul(3)) } else { x.wrapping_add(i) };
+                }
+            }
+            x
+        }
+        Sb4 => match tid.rem_euclid(3) {
+            0 => f1(v, i),
+            1 => f1(v, i),
+            _ => f1(v, i),
+        },
+        Sb4R => match tid.rem_euclid(3) {
+            0 => f1(v, i),
+            1 => f2(v, i),
+            _ => f1(v, i).wrapping_add(5),
+        },
+    }
+}
+
+/// Emits an `if (cond) { slot = f(slot, i) }` region; returns its entry
+/// block. The continuation is `cont`.
+#[allow(clippy::too_many_arguments)]
+fn emit_if_then(
+    b: &mut FunctionBuilder<'_>,
+    name: &str,
+    sp: Value,
+    i_val: Value,
+    cont: BlockId,
+    cond_of: impl FnOnce(&mut FunctionBuilder<'_>, Value) -> Value,
+    body: impl FnOnce(&mut FunctionBuilder<'_>, Value, Value) -> Value,
+) -> BlockId {
+    let entry = b.add_block(&format!("{name}.hdr"));
+    let then = b.add_block(&format!("{name}.then"));
+    let join = b.add_block(&format!("{name}.join"));
+    b.switch_to(entry);
+    let v = b.load(Type::I32, sp);
+    let c = cond_of(b, v);
+    b.br(c, then, join);
+    b.switch_to(then);
+    let v2 = body(b, v, i_val);
+    b.store(v2, sp);
+    b.jump(join);
+    b.switch_to(join);
+    b.jump(cont);
+    entry
+}
+
+/// Builds the IR kernel for a pattern.
+pub fn build_kernel(kind: SyntheticKind, block_size: u32) -> Function {
+    use SyntheticKind::*;
+    let mut f = Function::new(
+        &format!("{}_{}", kind.name().to_lowercase().replace('-', "_"), block_size),
+        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global)],
+        Type::Void,
+    );
+    let sh = f.add_shared_array("tile", Type::I32, block_size as u64);
+    let entry = f.entry();
+    let o_hdr = f.add_block("outer.hdr");
+    let i_hdr = f.add_block("inner.hdr");
+    let body = f.add_block("body");
+    let i_latch = f.add_block("inner.latch");
+    let o_latch = f.add_block("outer.latch");
+    let done = f.add_block("done");
+
+    let mut b = FunctionBuilder::new(&mut f, entry);
+    let tid = b.thread_idx(Dim::X);
+    let bid = b.block_idx(Dim::X);
+    let bdim = b.block_dim(Dim::X);
+    let off = b.mul(bid, bdim);
+    let gid = b.add(off, tid);
+    let gin = b.gep(Type::I32, b.param(1), gid);
+    let v0 = b.load(Type::I32, gin);
+    let base = b.shared_base(sh);
+    let sp = b.gep(Type::I32, base, tid);
+    b.store(v0, sp);
+    b.syncthreads();
+    b.jump(o_hdr);
+
+    // outer loop
+    b.switch_to(o_hdr);
+    let o = b.phi(Type::I32, &[(entry, Value::I32(0))]);
+    let oc = b.icmp(IcmpPred::Slt, o, b.const_i32(OUTER));
+    b.br(oc, i_hdr, done);
+
+    // inner loop
+    b.switch_to(i_hdr);
+    let i = b.phi(Type::I32, &[(o_hdr, Value::I32(0))]);
+    let ic = b.icmp(IcmpPred::Slt, i, b.const_i32(INNER));
+    b.br(ic, body, o_latch);
+
+    // divergent region
+    b.switch_to(body);
+    let one = b.const_i32(1);
+    let parity = b.and(tid, one);
+    match kind {
+        Sb1 | Sb1R => {
+            let t = b.add_block("t");
+            let e = b.add_block("e");
+            let c = b.icmp(IcmpPred::Eq, parity, b.const_i32(0));
+            b.br(c, t, e);
+            b.switch_to(t);
+            let v = b.load(Type::I32, sp);
+            let r = emit_f1(&mut b, v, i);
+            b.store(r, sp);
+            b.jump(i_latch);
+            b.switch_to(e);
+            let v = b.load(Type::I32, sp);
+            let r = if kind == Sb1 { emit_f1(&mut b, v, i) } else { emit_f2(&mut b, v, i) };
+            b.store(r, sp);
+            b.jump(i_latch);
+        }
+        Sb2 | Sb2R => {
+            let c = b.icmp(IcmpPred::Eq, parity, b.const_i32(0));
+            let cur = b.current_block();
+            let lt = emit_if_then(
+                &mut b,
+                "t",
+                sp,
+                i,
+                i_latch,
+                |b, v| b.icmp(IcmpPred::Sgt, v, b.const_i32(0)),
+                emit_f1,
+            );
+            let alt = kind == Sb2R;
+            let le = emit_if_then(
+                &mut b,
+                "e",
+                sp,
+                i,
+                i_latch,
+                |b, v| b.icmp(IcmpPred::Slt, v, b.const_i32(0)),
+                move |b, v, i| if alt { emit_f2(b, v, i) } else { emit_f1(b, v, i) },
+            );
+            b.switch_to(cur);
+            b.br(c, lt, le);
+        }
+        Sb3 | Sb3R => {
+            let c = b.icmp(IcmpPred::Eq, parity, b.const_i32(0));
+            let cur = b.current_block();
+            let alt = kind == Sb3R;
+            // true path: two consecutive if-then regions
+            let t2 = emit_if_then(
+                &mut b,
+                "t2",
+                sp,
+                i,
+                i_latch,
+                |b, v| {
+                    let one = b.const_i32(1);
+                    let a = b.and(v, one);
+                    b.icmp(IcmpPred::Ne, a, b.const_i32(0))
+                },
+                |b, v, i| b.add(v, i),
+            );
+            let t1 = emit_if_then(
+                &mut b,
+                "t1",
+                sp,
+                i,
+                t2,
+                |b, v| b.icmp(IcmpPred::Sgt, v, b.const_i32(0)),
+                emit_f1,
+            );
+            // false path: two consecutive if-then regions
+            let e2 = emit_if_then(
+                &mut b,
+                "e2",
+                sp,
+                i,
+                i_latch,
+                |b, v| {
+                    let one = b.const_i32(1);
+                    let a = b.and(v, one);
+                    b.icmp(IcmpPred::Eq, a, b.const_i32(0))
+                },
+                move |b, v, i| {
+                    if alt {
+                        let three = b.const_i32(3);
+                        let m = b.mul(i, three);
+                        b.sub(v, m)
+                    } else {
+                        b.add(v, i)
+                    }
+                },
+            );
+            let e1 = emit_if_then(
+                &mut b,
+                "e1",
+                sp,
+                i,
+                e2,
+                |b, v| b.icmp(IcmpPred::Slt, v, b.const_i32(0)),
+                move |b, v, i| if alt { emit_f2(b, v, i) } else { emit_f1(b, v, i) },
+            );
+            b.switch_to(cur);
+            b.br(c, t1, e1);
+        }
+        Sb4 | Sb4R => {
+            let three = b.const_i32(3);
+            let m = b.srem(tid, three);
+            let c0 = b.icmp(IcmpPred::Eq, m, b.const_i32(0));
+            let d2 = b.add_block("d2");
+            let sel = b.add_block("sel");
+            let d4 = b.add_block("d4");
+            let d5 = b.add_block("d5");
+            let j45 = b.add_block("j45");
+            b.br(c0, d2, sel);
+            b.switch_to(d2);
+            let v = b.load(Type::I32, sp);
+            let r = emit_f1(&mut b, v, i);
+            b.store(r, sp);
+            b.jump(i_latch);
+            b.switch_to(sel);
+            let c1 = b.icmp(IcmpPred::Eq, m, b.const_i32(1));
+            b.br(c1, d4, d5);
+            b.switch_to(d4);
+            let v = b.load(Type::I32, sp);
+            let r = if kind == Sb4 { emit_f1(&mut b, v, i) } else { emit_f2(&mut b, v, i) };
+            b.store(r, sp);
+            b.jump(j45);
+            b.switch_to(d5);
+            let v = b.load(Type::I32, sp);
+            let r = emit_f1(&mut b, v, i);
+            let r = if kind == Sb4 {
+                r
+            } else {
+                let five = b.const_i32(5);
+                b.add(r, five)
+            };
+            b.store(r, sp);
+            b.jump(j45);
+            b.switch_to(j45);
+            b.jump(i_latch);
+        }
+    }
+
+    // inner latch
+    b.switch_to(i_latch);
+    let i_next = b.add(i, b.const_i32(1));
+    b.jump(i_hdr);
+
+    // outer latch
+    b.switch_to(o_latch);
+    let o_next = b.add(o, b.const_i32(1));
+    b.jump(o_hdr);
+
+    // write back
+    b.switch_to(done);
+    b.syncthreads();
+    let vout = b.load(Type::I32, sp);
+    let gout = b.gep(Type::I32, b.param(0), gid);
+    b.store(vout, gout);
+    b.ret(None);
+
+    // patch loop phis
+    let pi = i.as_inst().unwrap();
+    f.inst_mut(pi).operands.push(i_next);
+    f.inst_mut(pi).phi_blocks.push(i_latch);
+    let po = o.as_inst().unwrap();
+    f.inst_mut(po).operands.push(o_next);
+    f.inst_mut(po).phi_blocks.push(o_latch);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+
+    #[test]
+    fn all_kinds_verify_and_match_reference() {
+        for kind in SyntheticKind::all() {
+            let case = build_case(kind, 32);
+            verify_ssa(&case.func)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", case.name, case.func));
+            let result = case.execute().unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            case.check(&result).unwrap();
+        }
+    }
+
+    #[test]
+    fn divergent_patterns_underutilize_simd() {
+        let case = build_case(SyntheticKind::Sb1, 64);
+        let result = case.execute().unwrap();
+        assert!(result.stats.simd_efficiency() < 1.0);
+    }
+}

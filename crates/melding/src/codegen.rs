@@ -1,0 +1,429 @@
+//! Melding code generation (Algorithm 2 and the surrounding region
+//! rewiring).
+//!
+//! Given a meldable divergent region and a plan (which subgraph pairs to
+//! meld, which subgraphs stay unmatched), this module:
+//!
+//! 1. creates one fresh block per matched block pair,
+//! 2. clones φs (copied, never melded), aligned instructions (one clone per
+//!    `I-I` pair) and unaligned instructions (tagged with their side),
+//! 3. resolves operands through the shared operand map, inserting
+//!    `select C, vT, vF` only where the two sides disagree,
+//! 4. re-links the region into a straight chain: melded subgraphs inline,
+//!    unmatched subgraphs guarded by `br C, ...` (their original blocks are
+//!    reused),
+//! 5. rewrites the region-exit φs to a per-side select in the final block,
+//! 6. applies unpredication (§IV-E) or store-predication, and
+//! 7. deletes the now-unreachable original blocks.
+
+use crate::region::{MeldableRegion, Subgraph};
+use crate::unpredicate::{predicate_stores, unpredicate_block, GapRun};
+use darm_align::instr::{align_block_instructions, AlignmentPair};
+use darm_ir::{BlockId, Function, InstData, InstId, Opcode, Value};
+use std::collections::HashMap;
+
+/// Which side of the divergent branch an instruction originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Melded from both paths (an `I-I` pair).
+    Both,
+    /// Only on the true path (`I-G`).
+    TrueSide,
+    /// Only on the false path (`G-I`).
+    FalseSide,
+}
+
+/// One element of a region melding plan, in chain order.
+#[derive(Debug, Clone)]
+pub enum PlanElement {
+    /// Meld `st` (true path) with `sf` (false path) using the given
+    /// pre-order block correspondence.
+    Meld {
+        /// True-path subgraph.
+        st: Subgraph,
+        /// False-path subgraph.
+        sf: Subgraph,
+        /// Block correspondence in pre-order.
+        pairs: Vec<(BlockId, BlockId)>,
+        /// The `MP_S` profitability that justified the meld.
+        profit: f64,
+    },
+    /// Keep a true-path subgraph, guarded by the branch condition.
+    GapTrue(Subgraph),
+    /// Keep a false-path subgraph, guarded by the negated condition.
+    GapFalse(Subgraph),
+}
+
+/// Statistics of one region meld.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionMeldStats {
+    /// Subgraph pairs melded.
+    pub melded_subgraphs: usize,
+    /// `select` instructions inserted for diverging operands.
+    pub selects_inserted: usize,
+    /// Unaligned instruction groups split out by unpredication.
+    pub unpredicated_groups: usize,
+}
+
+struct CloneRecord {
+    new_id: InstId,
+    src_t: Option<InstId>,
+    src_f: Option<InstId>,
+    origin: Origin,
+}
+
+/// Melds one divergent region according to `plan`. The caller is expected
+/// to run SSA repair, `simplify_cfg` and DCE afterwards (the driver does).
+pub fn meld_region(
+    func: &mut Function,
+    region: &MeldableRegion,
+    plan: &[PlanElement],
+    unpredicate: bool,
+) -> RegionMeldStats {
+    let mut stats = RegionMeldStats::default();
+    let cond = region.cond;
+
+    // ---- Phase A: create melded blocks ----
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for el in plan {
+        if let PlanElement::Meld { pairs, .. } = el {
+            for &(bt, bf) in pairs {
+                let name = format!("{}_{}", func.block_name(bt), func.block_name(bf));
+                let m = func.add_block(&name);
+                block_map.insert(bt, m);
+                block_map.insert(bf, m);
+            }
+        }
+    }
+
+    // ---- Phase B: clone φs, bodies and terminators ----
+    let mut operand_map: HashMap<InstId, Value> = HashMap::new();
+    let mut records: Vec<CloneRecord> = Vec::new();
+    // Gap runs per melded block, for unpredication (recorded in order).
+    let mut origins: HashMap<BlockId, Vec<(InstId, Origin)>> = HashMap::new();
+    // Melded entry blocks whose φs need their outside pred patched at link
+    // time.
+    let mut pending_entry_phis: HashMap<BlockId, Vec<InstId>> = HashMap::new();
+
+    for el in plan {
+        let PlanElement::Meld { st, sf, pairs, .. } = el else { continue };
+        for &(bt, bf) in pairs {
+            let m = block_map[&bt];
+            // φs are copied, never melded (§IV-D "Melding φ Nodes").
+            for (side_block, origin) in [(bt, Origin::TrueSide), (bf, Origin::FalseSide)] {
+                for phi in func.phis_of(side_block) {
+                    let data = func.inst(phi).clone();
+                    let new_id = func.add_inst(m, data);
+                    operand_map.insert(phi, Value::Inst(new_id));
+                    records.push(CloneRecord {
+                        new_id,
+                        src_t: (origin == Origin::TrueSide).then_some(phi),
+                        src_f: (origin == Origin::FalseSide).then_some(phi),
+                        origin,
+                    });
+                    if side_block == st.entry || side_block == sf.entry {
+                        pending_entry_phis.entry(m).or_default().push(new_id);
+                    }
+                }
+            }
+            // Body alignment (Algorithm 2's ComputeInstrAlignment).
+            let alignment = align_block_instructions(func, bt, bf);
+            for step in &alignment.steps {
+                let (src, src_t, src_f, origin) = match *step {
+                    AlignmentPair::Match(it, if_) => (it, Some(it), Some(if_), Origin::Both),
+                    AlignmentPair::GapA(it) => (it, Some(it), None, Origin::TrueSide),
+                    AlignmentPair::GapB(if_) => (if_, None, Some(if_), Origin::FalseSide),
+                };
+                let data = func.inst(src).clone();
+                let new_id = func.add_inst(m, data);
+                if let Some(it) = src_t {
+                    operand_map.insert(it, Value::Inst(new_id));
+                }
+                if let Some(if_) = src_f {
+                    operand_map.insert(if_, Value::Inst(new_id));
+                }
+                origins.entry(m).or_default().push((new_id, origin));
+                records.push(CloneRecord { new_id, src_t, src_f, origin });
+            }
+            // Terminator: by isomorphism both sides have the same kind.
+            let tt = func.terminator(bt).expect("terminator");
+            let tf = func.terminator(bf).expect("terminator");
+            let dt = func.inst(tt).clone();
+            // Successors map through `block_map`; an exit edge keeps the
+            // *original* exit target as a placeholder that the linker
+            // rewrites to the next chain element.
+            let map_succ = |target: BlockId| -> BlockId {
+                if target == st.exit_target {
+                    st.exit_target
+                } else {
+                    block_map[&target]
+                }
+            };
+            match dt.opcode {
+                Opcode::Jump => {
+                    let target = map_succ(dt.succs[0]);
+                    func.add_inst(m, InstData::terminator(Opcode::Jump, vec![], vec![target]));
+                }
+                Opcode::Br => {
+                    let s0 = map_succ(dt.succs[0]);
+                    let s1 = map_succ(dt.succs[1]);
+                    let new_id = func.add_inst(
+                        m,
+                        InstData::terminator(Opcode::Br, vec![dt.operands[0]], vec![s0, s1]),
+                    );
+                    records.push(CloneRecord {
+                        new_id,
+                        src_t: Some(tt),
+                        src_f: Some(tf),
+                        origin: Origin::Both,
+                    });
+                }
+                _ => unreachable!("subgraph terminators are jump/br"),
+            }
+        }
+    }
+
+    // ---- Phase C: link the chain ----
+    // The branch at the region entry is replaced by a jump into the chain.
+    // `cursor` is the block whose forward edge must be pointed at the next
+    // chain element; `placeholder` is the successor to rewrite (None while
+    // the cursor has no terminator yet).
+    let branch = func.terminator(region.branch_block).expect("divergent branch");
+    func.remove_inst(branch);
+    let mut cursor = region.branch_block;
+    let mut placeholder: Option<BlockId> = None;
+    let mut guard_n = 0usize;
+    // Remember, per melded entry block, which new block feeds it.
+    let mut link_pred: HashMap<BlockId, BlockId> = HashMap::new();
+
+    fn link(func: &mut Function, cursor: BlockId, placeholder: Option<BlockId>, target: BlockId) {
+        match placeholder {
+            None => {
+                func.add_inst(cursor, InstData::terminator(Opcode::Jump, vec![], vec![target]));
+            }
+            Some(ph) => func.replace_succ(cursor, ph, target),
+        }
+    }
+
+    for el in plan {
+        match el {
+            PlanElement::Meld { st, .. } => {
+                let entry_new = block_map[&st.entry];
+                link(func, cursor, placeholder, entry_new);
+                link_pred.insert(entry_new, cursor);
+                cursor = block_map[&st.exit_block];
+                placeholder = Some(st.exit_target);
+            }
+            PlanElement::GapTrue(sg) | PlanElement::GapFalse(sg) => {
+                let is_true = matches!(el, PlanElement::GapTrue(_));
+                let guard = func.add_block(&format!("guard.{guard_n}"));
+                let join = func.add_block(&format!("guard.join.{guard_n}"));
+                guard_n += 1;
+                link(func, cursor, placeholder, guard);
+                let (s0, s1) = if is_true { (sg.entry, join) } else { (join, sg.entry) };
+                func.add_inst(guard, InstData::terminator(Opcode::Br, vec![cond], vec![s0, s1]));
+                // The gap subgraph keeps its blocks; re-point its entry φs
+                // and exit edge.
+                retarget_outside_phi_preds(func, sg, guard);
+                func.replace_succ(sg.exit_block, sg.exit_target, join);
+                cursor = join;
+                placeholder = None;
+            }
+        }
+    }
+
+    // ---- Phase D: SetOperands ----
+    for rec in &records {
+        let is_phi = func.inst(rec.new_id).opcode == Opcode::Phi;
+        if is_phi {
+            // Per-side resolution; incoming blocks remapped, the outside
+            // pred patched to the linked predecessor.
+            let m = func.inst(rec.new_id).block;
+            let n = func.inst(rec.new_id).operands.len();
+            for k in 0..n {
+                let v = func.inst(rec.new_id).operands[k];
+                let p = func.inst(rec.new_id).phi_blocks[k];
+                let new_v = resolve(&operand_map, v);
+                let new_p = match block_map.get(&p) {
+                    Some(&mp) => mp,
+                    None => *link_pred.get(&m).unwrap_or(&p),
+                };
+                let inst = func.inst_mut(rec.new_id);
+                inst.operands[k] = new_v;
+                inst.phi_blocks[k] = new_p;
+            }
+            continue;
+        }
+        match rec.origin {
+            Origin::Both => {
+                let it = rec.src_t.expect("both sides present");
+                let if_ = rec.src_f.expect("both sides present");
+                let n = func.inst(rec.new_id).operands.len();
+                for k in 0..n {
+                    let vt = resolve(&operand_map, func.inst(it).operands[k]);
+                    let vf = resolve(&operand_map, func.inst(if_).operands[k]);
+                    let merged = if vt == vf {
+                        vt
+                    } else {
+                        let ty = func.value_ty(vt);
+                        let sel = func.insert_inst_before(
+                            rec.new_id,
+                            InstData::new(Opcode::Select, ty, vec![cond, vt, vf]),
+                        );
+                        stats.selects_inserted += 1;
+                        Value::Inst(sel)
+                    };
+                    func.inst_mut(rec.new_id).operands[k] = merged;
+                }
+            }
+            Origin::TrueSide | Origin::FalseSide => {
+                let n = func.inst(rec.new_id).operands.len();
+                for k in 0..n {
+                    let v = resolve(&operand_map, func.inst(rec.new_id).operands[k]);
+                    func.inst_mut(rec.new_id).operands[k] = v;
+                }
+            }
+        }
+    }
+
+    // Entry φs of melded blocks may still name pre-link outside preds when
+    // the side block's φ listed a block that was itself melded away; the
+    // per-record pass above already remapped those. Nothing further needed.
+    let _ = pending_entry_phis;
+
+    // ---- Phase E: region-exit φs ----
+    // The original region preds of X are the exit blocks of the last
+    // subgraph on each path.
+    let t_exit = region.true_chain.last().expect("nonempty chain").exit_block;
+    let f_exit = region.false_chain.last().expect("nonempty chain").exit_block;
+    let new_t_exit = block_map.get(&t_exit).copied();
+    let new_f_exit = block_map.get(&f_exit).copied();
+    // Compute every φ's merged value first: phi_remove_incoming strips the
+    // old entries from *all* φs of the block at once, so the reads must not
+    // be interleaved with the removal.
+    let mut merged_entries: Vec<(InstId, Value)> = Vec::new();
+    for phi in func.phis_of(region.exit) {
+        let vt = func.inst(phi).phi_value_for(t_exit);
+        let vf = func.inst(phi).phi_value_for(f_exit);
+        let (Some(vt), Some(vf)) = (vt, vf) else { continue };
+        let vt = resolve(&operand_map, vt);
+        let vf = resolve(&operand_map, vf);
+        let merged = if vt == vf {
+            vt
+        } else {
+            let ty = func.inst(phi).ty;
+            let data = InstData::new(Opcode::Select, ty, vec![cond, vt, vf]);
+            let sel = match func.terminator(cursor) {
+                Some(t) => func.insert_inst_before(t, data),
+                None => func.add_inst(cursor, data),
+            };
+            stats.selects_inserted += 1;
+            Value::Inst(sel)
+        };
+        merged_entries.push((phi, merged));
+    }
+    if !merged_entries.is_empty() {
+        func.phi_remove_incoming(region.exit, t_exit);
+        func.phi_remove_incoming(region.exit, f_exit);
+        for (phi, merged) in merged_entries {
+            let inst = func.inst_mut(phi);
+            inst.phi_blocks.push(cursor);
+            inst.operands.push(merged);
+        }
+    }
+    // When gap guards re-pointed a side's exit to a join block, the φ entry
+    // for the original exit block is gone already (replace_succ changed the
+    // edge, and the φ entries above referenced the original exits). The
+    // remaining case — a gap subgraph at the end of a chain — leaves the φ
+    // entry keyed by the gap's exit block, which still reaches X only
+    // through the join; `phi_value_for` above handled it because the gap's
+    // exit block kept its identity.
+    link(func, cursor, placeholder, region.exit);
+    let _ = (new_t_exit, new_f_exit);
+
+    // ---- Phase F: global use rewrite and cleanup ----
+    let keys: Vec<InstId> = operand_map.keys().copied().collect();
+    for orig in keys {
+        let to = operand_map[&orig];
+        func.rauw(Value::Inst(orig), to);
+    }
+    for el in plan {
+        if let PlanElement::Meld { st, sf, .. } = el {
+            stats.melded_subgraphs += 1;
+            for &b in st.blocks.iter().chain(&sf.blocks) {
+                func.remove_block(b);
+            }
+        }
+    }
+
+    // ---- Phase G: unpredication / store predication ----
+    for el in plan {
+        let PlanElement::Meld { st, .. } = el else { continue };
+        for &bt in st.blocks.iter() {
+            let Some(&m) = block_map.get(&bt) else { continue };
+            let Some(runs) = origins.get(&m) else { continue };
+            let gap_runs: Vec<GapRun> = collect_gap_runs(runs);
+            if gap_runs.is_empty() {
+                continue;
+            }
+            if unpredicate {
+                stats.unpredicated_groups += unpredicate_block(func, m, cond, &gap_runs);
+            } else {
+                predicate_stores(func, m, cond, &gap_runs);
+            }
+        }
+    }
+
+    stats
+}
+
+fn resolve(map: &HashMap<InstId, Value>, v: Value) -> Value {
+    match v {
+        Value::Inst(id) => map.get(&id).copied().unwrap_or(v),
+        _ => v,
+    }
+}
+
+/// Re-points φ incoming blocks that lie outside the subgraph to `new_pred`.
+fn retarget_outside_phi_preds(func: &mut Function, sg: &Subgraph, new_pred: BlockId) {
+    for phi in func.phis_of(sg.entry) {
+        let n = func.inst(phi).phi_blocks.len();
+        for k in 0..n {
+            let p = func.inst(phi).phi_blocks[k];
+            if !sg.contains(p) {
+                func.inst_mut(phi).phi_blocks[k] = new_pred;
+            }
+        }
+    }
+}
+
+/// Groups consecutive single-side instructions into gap runs.
+fn collect_gap_runs(origins: &[(InstId, Origin)]) -> Vec<GapRun> {
+    let mut runs = Vec::new();
+    let mut cur: Option<GapRun> = None;
+    for &(id, origin) in origins {
+        match origin {
+            Origin::Both => {
+                if let Some(r) = cur.take() {
+                    runs.push(r);
+                }
+            }
+            Origin::TrueSide | Origin::FalseSide => {
+                let true_side = origin == Origin::TrueSide;
+                match &mut cur {
+                    Some(r) if r.true_side == true_side => r.insts.push(id),
+                    _ => {
+                        if let Some(r) = cur.take() {
+                            runs.push(r);
+                        }
+                        cur = Some(GapRun { insts: vec![id], true_side });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(r) = cur {
+        runs.push(r);
+    }
+    runs
+}

@@ -1,0 +1,306 @@
+#![warn(missing_docs)]
+
+//! # darm-melding
+//!
+//! The DARM control-flow melding transformation (Saumya et al., CGO 2022)
+//! plus the two baselines the paper compares against:
+//!
+//! * [`meld_function`] — the full DARM pass (Algorithm 1): detect meldable
+//!   divergent regions, align their SESE subgraph chains by melding
+//!   profitability, meld profitable pairs (region-region, basic
+//!   block-region via *region replication*, and basic block-basic block),
+//!   unpredicate unaligned groups, and clean up — to a fixpoint.
+//! * [`MeldMode::BranchFusion`] — DARM restricted to diamond-shaped
+//!   control flow, the way the paper's own evaluation implements Branch
+//!   Fusion (§VI-A).
+//! * [`tail_merge()`](tail_merge::tail_merge) — classic tail merging (Table I's weakest row).
+//!
+//! ```
+//! use darm_melding::{meld_function, MeldConfig};
+//! use darm_ir::{builder::FunctionBuilder, Function, Type, AddrSpace, Dim, IcmpPred};
+//!
+//! // if (tid < n) out[tid] = tid*2+1 else out[tid] = tid*3+7 — meldable.
+//! let mut f = Function::new("k", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+//! let entry = f.entry();
+//! let t = f.add_block("t");
+//! let e = f.add_block("e");
+//! let x = f.add_block("x");
+//! let mut b = FunctionBuilder::new(&mut f, entry);
+//! let tid = b.thread_idx(Dim::X);
+//! let c = b.icmp(IcmpPred::Slt, tid, b.param(1));
+//! b.br(c, t, e);
+//! b.switch_to(t);
+//! let v1 = b.mul(tid, b.const_i32(2));
+//! let v1b = b.add(v1, b.const_i32(1));
+//! let p1 = b.gep(Type::I32, b.param(0), tid);
+//! b.store(v1b, p1);
+//! b.jump(x);
+//! b.switch_to(e);
+//! let v2 = b.mul(tid, b.const_i32(3));
+//! let v2b = b.add(v2, b.const_i32(7));
+//! let p2 = b.gep(Type::I32, b.param(0), tid);
+//! b.store(v2b, p2);
+//! b.jump(x);
+//! b.switch_to(x);
+//! b.ret(None);
+//!
+//! let stats = meld_function(&mut f, &MeldConfig::default());
+//! assert_eq!(stats.melded_subgraphs, 1);
+//! ```
+
+pub mod codegen;
+pub mod isomorphism;
+pub mod region;
+pub mod replicate;
+pub mod tail_merge;
+pub mod unpredicate;
+
+pub use codegen::{PlanElement, RegionMeldStats};
+pub use region::{Analyses, MeldableRegion, Subgraph};
+pub use tail_merge::tail_merge;
+
+use darm_align::{global_align, subgraph_melding_profit, AlignStep};
+use darm_ir::Function;
+use darm_transforms::{repair_ssa, run_dce, run_instcombine, simplify_cfg};
+
+/// Which melding technique to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeldMode {
+    /// Full DARM: region-region, block-region (replication), block-block.
+    #[default]
+    Darm,
+    /// Branch fusion: only single block ↔ single block melds (diamonds),
+    /// as in the paper's §VI-A baseline implementation.
+    BranchFusion,
+}
+
+/// Configuration of the melding pass.
+#[derive(Debug, Clone, Copy)]
+pub struct MeldConfig {
+    /// Technique to apply.
+    pub mode: MeldMode,
+    /// Melding profitability threshold; the paper's default is 0.2 (§V,
+    /// sensitivity study in Fig. 12).
+    pub threshold: f64,
+    /// Whether to run unpredication (§IV-E). Disabling it is the ablation
+    /// studied by `bench ablation_unpredication`.
+    pub unpredicate: bool,
+    /// Fixpoint iteration cap for Algorithm 1's outer loop.
+    pub max_iterations: usize,
+}
+
+impl Default for MeldConfig {
+    fn default() -> MeldConfig {
+        MeldConfig { mode: MeldMode::Darm, threshold: 0.2, unpredicate: true, max_iterations: 32 }
+    }
+}
+
+impl MeldConfig {
+    /// The paper's branch-fusion baseline configuration.
+    pub fn branch_fusion() -> MeldConfig {
+        MeldConfig { mode: MeldMode::BranchFusion, ..MeldConfig::default() }
+    }
+
+    /// A DARM configuration with a custom profitability threshold.
+    pub fn with_threshold(threshold: f64) -> MeldConfig {
+        MeldConfig { threshold, ..MeldConfig::default() }
+    }
+}
+
+/// Cumulative statistics of a [`meld_function`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeldStats {
+    /// Divergent regions rewritten.
+    pub melded_regions: usize,
+    /// Subgraph pairs melded across all regions.
+    pub melded_subgraphs: usize,
+    /// Region replications performed (block ↔ region melds).
+    pub replications: usize,
+    /// `select` instructions inserted.
+    pub selects_inserted: usize,
+    /// Unaligned groups moved out by unpredication.
+    pub unpredicated_groups: usize,
+    /// Definitions repaired by SSA reconstruction.
+    pub ssa_repairs: usize,
+    /// Outer fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+/// How a subgraph pair would be melded, decided during planning.
+enum MatchKind {
+    Iso(Vec<(darm_ir::BlockId, darm_ir::BlockId)>),
+    ReplicateTrue(darm_ir::BlockId),
+    ReplicateFalse(darm_ir::BlockId),
+}
+
+/// Runs the melding pass on `func` until no profitable melds remain
+/// (Algorithm 1). Returns cumulative statistics. The function is left in
+/// valid SSA form.
+pub fn meld_function(func: &mut Function, config: &MeldConfig) -> MeldStats {
+    let mut stats = MeldStats::default();
+    'outer: for _ in 0..config.max_iterations {
+        stats.iterations += 1;
+        let a = Analyses::new(func);
+        // Candidate regions, innermost (smallest) first: melding an inner
+        // diamond before its enclosing region avoids unnecessary region
+        // replication (the SB4 situation, §VI-B).
+        let mut candidates: Vec<(usize, darm_ir::BlockId)> = a
+            .cfg
+            .rpo()
+            .iter()
+            .copied()
+            .filter(|&b| a.da.is_divergent_branch(b))
+            .map(|b| {
+                let size = region::detect_region(func, &a, b)
+                    .map(|r| {
+                        r.true_chain.iter().chain(&r.false_chain).map(|s| s.blocks.len()).sum()
+                    })
+                    .unwrap_or(usize::MAX / 2);
+                (size, b)
+            })
+            .collect();
+        candidates.sort_by_key(|&(size, b)| (size, std::cmp::Reverse(a.cfg.rpo_index(b))));
+        for (_, b) in candidates {
+            // Region simplification (Definition 3/4) may change the CFG;
+            // restart with fresh analyses when it does.
+            if region::simplify_region_entry(func, &a, b) {
+                continue 'outer;
+            }
+            let Some(r) = region::detect_region(func, &a, b) else { continue };
+            let Some((plan, n_repl)) = plan_region(func, &r, config) else { continue };
+            let rstats = codegen::meld_region(func, &r, &plan, config.unpredicate);
+            stats.melded_regions += 1;
+            stats.melded_subgraphs += rstats.melded_subgraphs;
+            stats.selects_inserted += rstats.selects_inserted;
+            stats.unpredicated_groups += rstats.unpredicated_groups;
+            stats.replications += n_repl;
+            stats.ssa_repairs += repair_ssa(func);
+            run_instcombine(func);
+            simplify_cfg(func);
+            run_dce(func);
+            continue 'outer;
+        }
+        break;
+    }
+    stats
+}
+
+/// Computes the melding plan for a region: aligns the two subgraph chains
+/// with `MP_S` scoring (Definition 7) and keeps matches at or above the
+/// profitability threshold. Returns `None` when nothing profitable exists.
+/// The second component counts region replications the plan will perform.
+fn plan_region(
+    func: &mut Function,
+    r: &MeldableRegion,
+    config: &MeldConfig,
+) -> Option<(Vec<PlanElement>, usize)> {
+    fn score_pair(
+        func: &Function,
+        config: &MeldConfig,
+        st: &Subgraph,
+        sf: &Subgraph,
+    ) -> Option<(f64, MatchKind)> {
+        if st.has_meld_barrier(func) || sf.has_meld_barrier(func) {
+            return None;
+        }
+        match (st.is_single_block(), sf.is_single_block()) {
+            (true, true) => {
+                let p = subgraph_melding_profit(func, &[(st.entry, sf.entry)]);
+                Some((p, MatchKind::Iso(vec![(st.entry, sf.entry)])))
+            }
+            (false, false) => {
+                if config.mode == MeldMode::BranchFusion {
+                    return None;
+                }
+                let pairs = isomorphism::isomorphic_pairs(func, st, sf)?;
+                let p = subgraph_melding_profit(func, &pairs);
+                Some((p, MatchKind::Iso(pairs)))
+            }
+            (true, false) => {
+                if config.mode == MeldMode::BranchFusion {
+                    return None;
+                }
+                if !func.phis_of(st.entry).is_empty() || replicate::has_cycle(func, sf) {
+                    return None;
+                }
+                let (pos, p) = replicate::best_position(func, st, sf);
+                Some((p, MatchKind::ReplicateTrue(pos)))
+            }
+            (false, true) => {
+                if config.mode == MeldMode::BranchFusion {
+                    return None;
+                }
+                if !func.phis_of(sf.entry).is_empty() || replicate::has_cycle(func, st) {
+                    return None;
+                }
+                let (pos, p) = replicate::best_position(func, sf, st);
+                Some((p, MatchKind::ReplicateFalse(pos)))
+            }
+        }
+    }
+
+    // Chain alignment: only matches meeting the threshold are allowed.
+    let (_, steps) = global_align(
+        &r.true_chain,
+        &r.false_chain,
+        |st, sf| {
+            let (p, _) = score_pair(func, config, st, sf)?;
+            (p >= config.threshold).then_some((p * 1e6) as i64)
+        },
+        0,
+    );
+    if !steps.iter().any(|s| matches!(s, AlignStep::Match(..))) {
+        return None;
+    }
+
+    let mut plan = Vec::new();
+    let mut replications = 0;
+    for step in steps {
+        match step {
+            AlignStep::Match(i, j) => {
+                let st = r.true_chain[i].clone();
+                let sf = r.false_chain[j].clone();
+                let (profit, kind) = score_pair(func, config, &st, &sf).expect("scored during alignment");
+                match kind {
+                    MatchKind::Iso(pairs) => {
+                        plan.push(PlanElement::Meld { st, sf, pairs, profit });
+                    }
+                    MatchKind::ReplicateTrue(pos) => {
+                        match replicate::replicate(func, &st, &sf, pos) {
+                            Some(lprime) => {
+                                let pairs = isomorphism::isomorphic_pairs(func, &lprime, &sf)
+                                    .expect("replication is isomorphic by construction");
+                                replications += 1;
+                                plan.push(PlanElement::Meld { st: lprime, sf, pairs, profit });
+                            }
+                            None => {
+                                plan.push(PlanElement::GapTrue(st));
+                                plan.push(PlanElement::GapFalse(sf));
+                            }
+                        }
+                    }
+                    MatchKind::ReplicateFalse(pos) => {
+                        match replicate::replicate(func, &sf, &st, pos) {
+                            Some(lprime) => {
+                                let pairs = isomorphism::isomorphic_pairs(func, &st, &lprime)
+                                    .expect("replication is isomorphic by construction");
+                                replications += 1;
+                                plan.push(PlanElement::Meld { st, sf: lprime, pairs, profit });
+                            }
+                            None => {
+                                plan.push(PlanElement::GapTrue(st));
+                                plan.push(PlanElement::GapFalse(sf));
+                            }
+                        }
+                    }
+                }
+            }
+            AlignStep::GapA(i) => plan.push(PlanElement::GapTrue(r.true_chain[i].clone())),
+            AlignStep::GapB(j) => plan.push(PlanElement::GapFalse(r.false_chain[j].clone())),
+        }
+    }
+    if !plan.iter().any(|e| matches!(e, PlanElement::Meld { .. })) {
+        return None;
+    }
+    Some((plan, replications))
+}

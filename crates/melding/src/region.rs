@@ -1,0 +1,453 @@
+//! Meldable divergent region detection (Definition 5) and SESE chain
+//! construction with region simplification (Definitions 3–4).
+
+use darm_analysis::{Cfg, DivergenceAnalysis, DomTree, PostDomTree};
+use darm_ir::{BlockId, Function, InstData, Opcode, Value};
+
+/// A divergent region `(E, X)` whose true/false paths decompose into SESE
+/// subgraph chains (the unit Algorithm 1 operates on).
+#[derive(Debug, Clone)]
+pub struct MeldableRegion {
+    /// The block whose terminator is the divergent branch (`E`).
+    pub branch_block: BlockId,
+    /// The branch condition (`C` in Algorithm 2).
+    pub cond: Value,
+    /// The region exit (`X`), the IPDOM of the branch.
+    pub exit: BlockId,
+    /// Ordered SESE subgraphs of the true path.
+    pub true_chain: Vec<Subgraph>,
+    /// Ordered SESE subgraphs of the false path.
+    pub false_chain: Vec<Subgraph>,
+}
+
+/// One SESE subgraph in a chain. Unlike the raw anchors-based decomposition
+/// in `darm-analysis`, join blocks whose predecessors all lie inside the
+/// subgraph are absorbed, so a diamond includes its join and the subgraph
+/// has a unique exit block carrying the single exit edge (a *simple region*
+/// after simplification).
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Entry block (single incoming edge from outside after simplification).
+    pub entry: BlockId,
+    /// All blocks, sorted by arena index.
+    pub blocks: Vec<BlockId>,
+    /// The unique block holding the exit edge.
+    pub exit_block: BlockId,
+    /// The block the exit edge targets (next subgraph's entry or the region
+    /// exit).
+    pub exit_target: BlockId,
+}
+
+impl Subgraph {
+    /// Whether the subgraph is a single basic block.
+    pub fn is_single_block(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Whether `b` is one of the subgraph's blocks.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+
+    /// Whether the subgraph contains an instruction that forbids melding
+    /// (barriers or warp-level intrinsics, §IV-C).
+    pub fn has_meld_barrier(&self, func: &Function) -> bool {
+        self.blocks.iter().any(|&b| {
+            func.insts_of(b).iter().any(|&i| {
+                let op = func.inst(i).opcode;
+                op == Opcode::Syncthreads || op.is_warp_intrinsic()
+            })
+        })
+    }
+}
+
+/// Bundle of CFG analyses used throughout the pass.
+#[derive(Debug)]
+pub struct Analyses {
+    /// CFG snapshot.
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dt: DomTree,
+    /// Post-dominator tree.
+    pub pdt: PostDomTree,
+    /// Divergence analysis.
+    pub da: DivergenceAnalysis,
+}
+
+impl Analyses {
+    /// Computes all analyses for the current state of `func`.
+    pub fn new(func: &Function) -> Analyses {
+        let cfg = Cfg::new(func);
+        let dt = DomTree::new(func, &cfg);
+        let pdt = PostDomTree::new(func, &cfg);
+        let da = DivergenceAnalysis::run(func, &cfg, &dt);
+        Analyses { cfg, dt, pdt, da }
+    }
+}
+
+/// Detects the meldable divergent region entered at `b`, if any
+/// (Definition 5): `b` ends in a divergent conditional branch and neither
+/// successor post-dominates the other.
+pub fn detect_region(func: &Function, a: &Analyses, b: BlockId) -> Option<MeldableRegion> {
+    let term = func.terminator(b)?;
+    if func.inst(term).opcode != Opcode::Br {
+        return None;
+    }
+    if !a.da.is_divergent_branch(b) {
+        return None;
+    }
+    let succs = &func.inst(term).succs;
+    let (bt, bf) = (succs[0], succs[1]);
+    if bt == bf {
+        return None;
+    }
+    // Condition 2: neither path is empty.
+    if a.pdt.post_dominates(bt, bf) || a.pdt.post_dominates(bf, bt) {
+        return None;
+    }
+    let exit = a.pdt.ipdom(b)?;
+    let cond = func.inst(term).operands[0];
+    let true_chain = compute_chain(func, a, bt, exit)?;
+    let false_chain = compute_chain(func, a, bf, exit)?;
+    if true_chain.is_empty() || false_chain.is_empty() {
+        return None;
+    }
+    Some(MeldableRegion { branch_block: b, cond, exit, true_chain, false_chain })
+}
+
+/// Decomposes the path `start → stop` into SESE subgraphs, absorbing join
+/// anchors whose predecessors all lie inside the current subgraph (so an
+/// if-then-else includes its join block). Returns `None` when the path has
+/// side entries or is otherwise not decomposable.
+pub fn compute_chain(
+    _func: &Function,
+    a: &Analyses,
+    start: BlockId,
+    stop: BlockId,
+) -> Option<Vec<Subgraph>> {
+    let mut chain = Vec::new();
+    let mut cur = start;
+    let budget = a.cfg.rpo().len() + 2;
+    let mut steps = 0;
+    while cur != stop {
+        steps += 1;
+        if steps > budget {
+            return None;
+        }
+        let mut next = a.pdt.ipdom(cur)?;
+        let mut blocks;
+        loop {
+            blocks = a.cfg.reachable_avoiding(cur, next);
+            if blocks.contains(&stop) {
+                return None;
+            }
+            // Count exit edges and check whether `next` can be absorbed.
+            if next == stop {
+                break;
+            }
+            let exit_edges: usize = blocks
+                .iter()
+                .map(|&blk| a.cfg.succs(blk).iter().filter(|&&s| s == next).count())
+                .sum();
+            let preds_inside =
+                a.cfg.preds(next).iter().all(|p| blocks.contains(p));
+            if exit_edges > 1 && preds_inside {
+                next = a.pdt.ipdom(next)?;
+                continue;
+            }
+            break;
+        }
+        // Single-entry check: no side entries into the subgraph body.
+        for &blk in &blocks {
+            if !a.dt.dominates(cur, blk) {
+                return None;
+            }
+        }
+        blocks.sort();
+        // The unique exit block: the block carrying the edge into `next`.
+        let exit_blocks: Vec<BlockId> = blocks
+            .iter()
+            .copied()
+            .filter(|&blk| a.cfg.succs(blk).contains(&next))
+            .collect();
+        let exit_block = match exit_blocks.len() {
+            1 => exit_blocks[0],
+            // Multiple exit edges into the region exit: region
+            // simplification must insert a landing pad first.
+            _ => return None,
+        };
+        chain.push(Subgraph { entry: cur, blocks, exit_block, exit_target: next });
+        cur = next;
+    }
+    Some(chain)
+}
+
+/// Region simplification (Definition 3/4): gives every chain position a
+/// dedicated single exit edge by inserting landing-pad blocks where a
+/// subgraph would otherwise have several edges to the region exit, and
+/// removes trivial φs at subgraph entries. Returns `true` if the CFG
+/// changed (callers must recompute analyses and re-detect).
+pub fn simplify_region_entry(func: &mut Function, a: &Analyses, b: BlockId) -> bool {
+    let Some(term) = func.terminator(b) else { return false };
+    if func.inst(term).opcode != Opcode::Br {
+        return false;
+    }
+    let succs = func.inst(term).succs.clone();
+    let (bt, bf) = (succs[0], succs[1]);
+    let Some(exit) = a.pdt.ipdom(b) else { return false };
+    let mut changed = false;
+    for start in [bt, bf] {
+        if start == exit {
+            continue;
+        }
+        changed |= pad_exits_on_path(func, a, start, exit);
+    }
+    changed
+}
+
+/// Walks the ipdom chain from `start` to `stop`; wherever a would-be
+/// subgraph has multiple edges into an anchor it cannot absorb, inserts a
+/// landing pad collecting those edges.
+fn pad_exits_on_path(func: &mut Function, a: &Analyses, start: BlockId, stop: BlockId) -> bool {
+    let changed = false;
+    let mut cur = start;
+    let budget = a.cfg.rpo().len() + 2;
+    let mut steps = 0;
+    while cur != stop {
+        steps += 1;
+        if steps > budget {
+            break;
+        }
+        let mut next = match a.pdt.ipdom(cur) {
+            Some(n) => n,
+            None => break,
+        };
+        let mut blocks;
+        loop {
+            blocks = a.cfg.reachable_avoiding(cur, next);
+            if next == stop {
+                break;
+            }
+            let exit_edges: usize = blocks
+                .iter()
+                .map(|&blk| a.cfg.succs(blk).iter().filter(|&&s| s == next).count())
+                .sum();
+            let preds_inside = a.cfg.preds(next).iter().all(|p| blocks.contains(p));
+            if exit_edges > 1 && preds_inside {
+                next = match a.pdt.ipdom(next) {
+                    Some(n) => n,
+                    None => return changed,
+                };
+                continue;
+            }
+            break;
+        }
+        let exit_sources: Vec<BlockId> = blocks
+            .iter()
+            .copied()
+            .filter(|&blk| a.cfg.succs(blk).contains(&next))
+            .collect();
+        if exit_sources.len() > 1 {
+            insert_landing_pad(func, &exit_sources, next);
+            // CFG changed: the caller recomputes and calls again.
+            return true;
+        }
+        cur = next;
+    }
+    changed
+}
+
+/// Inserts a block `L` so that every edge `s → target` (s ∈ sources) becomes
+/// `s → L → target`, migrating φ entries into new φs in `L`.
+pub fn insert_landing_pad(func: &mut Function, sources: &[BlockId], target: BlockId) -> BlockId {
+    let pad = func.add_block(&format!("{}.pad", func.block_name(target)));
+    // Build φs in the pad for every φ in the target that distinguishes the
+    // rerouted predecessors.
+    let phis = func.phis_of(target);
+    for phi in phis {
+        let ty = func.inst(phi).ty;
+        let mut incoming = Vec::new();
+        for &s in sources {
+            if let Some(v) = func.inst(phi).phi_value_for(s) {
+                incoming.push((s, v));
+            }
+        }
+        if incoming.is_empty() {
+            continue;
+        }
+        let pad_phi = func.insert_inst_at(pad, 0, InstData::phi(ty, &incoming));
+        // Replace the source entries with a single entry from the pad.
+        for &s in sources {
+            let inst = func.inst_mut(phi);
+            let mut k = 0;
+            while k < inst.phi_blocks.len() {
+                if inst.phi_blocks[k] == s {
+                    inst.phi_blocks.remove(k);
+                    inst.operands.remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        let inst = func.inst_mut(phi);
+        inst.phi_blocks.push(pad);
+        inst.operands.push(Value::Inst(pad_phi));
+    }
+    func.add_inst(pad, InstData::terminator(Opcode::Jump, vec![], vec![target]));
+    for &s in sources {
+        func.replace_succ(s, target, pad);
+    }
+    pad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{Dim, IcmpPred, Type};
+
+    /// The bitonic-sort shaped region: divergent branch at B; each side is
+    /// an if-then region ({C, E} joining at X1 / {D, F} joining at X2).
+    fn bitonic_shape() -> (Function, Vec<BlockId>) {
+        let mut f = Function::new("bit", vec![Type::I32], Type::Void);
+        let sh = f.add_shared_array("s", Type::I32, 64);
+        let b_blk = f.entry();
+        let c_blk = f.add_block("C");
+        let e_blk = f.add_block("E");
+        let x1 = f.add_block("X1");
+        let d_blk = f.add_block("D");
+        let f_blk = f.add_block("F");
+        let x2 = f.add_block("X2");
+        let g_blk = f.add_block("G");
+        let mut b = FunctionBuilder::new(&mut f, b_blk);
+        let tid = b.thread_idx(Dim::X);
+        let k = b.and(tid, b.param(0));
+        let c0 = b.icmp(IcmpPred::Eq, k, b.const_i32(0));
+        let base = b.shared_base(sh);
+        let p1 = b.gep(Type::I32, base, tid);
+        let v1 = b.load(Type::I32, p1);
+        b.br(c0, c_blk, d_blk);
+
+        b.switch_to(c_blk);
+        let c1 = b.icmp(IcmpPred::Slt, v1, b.const_i32(10));
+        b.br(c1, e_blk, x1);
+        b.switch_to(e_blk);
+        b.store(tid, p1);
+        b.jump(x1);
+        b.switch_to(x1);
+        b.jump(g_blk);
+
+        b.switch_to(d_blk);
+        let c2 = b.icmp(IcmpPred::Sgt, v1, b.const_i32(10));
+        b.br(c2, f_blk, x2);
+        b.switch_to(f_blk);
+        b.store(tid, p1);
+        b.jump(x2);
+        b.switch_to(x2);
+        b.jump(g_blk);
+
+        b.switch_to(g_blk);
+        b.ret(None);
+        let ids = f.block_ids();
+        (f, ids)
+    }
+
+    #[test]
+    fn detects_bitonic_region() {
+        let (f, ids) = bitonic_shape();
+        verify_ssa(&f).unwrap();
+        let a = Analyses::new(&f);
+        let region = detect_region(&f, &a, ids[0]).expect("region");
+        assert_eq!(region.exit, ids[7]); // G
+        assert_eq!(region.true_chain.len(), 1);
+        assert_eq!(region.false_chain.len(), 1);
+        // The if-then subgraph absorbs its join: {C, E, X1}.
+        let t = &region.true_chain[0];
+        assert_eq!(t.blocks, vec![ids[1], ids[2], ids[3]]);
+        assert_eq!(t.exit_block, ids[3]); // X1 carries the exit edge
+        assert!(!t.is_single_block());
+    }
+
+    #[test]
+    fn uniform_branch_is_not_a_region() {
+        let mut f = Function::new("u", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0)); // uniform
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+        let a = Analyses::new(&f);
+        assert!(detect_region(&f, &a, entry).is_none());
+    }
+
+    #[test]
+    fn if_then_without_else_fails_condition_2() {
+        // entry -> {t, x}; t -> x. x post-dominates t: no melding partner.
+        let mut f = Function::new("it", vec![], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let tid = b.thread_idx(Dim::X);
+        let c = b.icmp(IcmpPred::Slt, tid, b.const_i32(4));
+        b.br(c, t, x);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+        let a = Analyses::new(&f);
+        assert!(detect_region(&f, &a, entry).is_none());
+    }
+
+    #[test]
+    fn barrier_in_subgraph_is_flagged() {
+        let (mut f, ids) = bitonic_shape();
+        // Plant a barrier in E.
+        let term = f.terminator(ids[2]).unwrap();
+        f.insert_inst_before(term, InstData::new(Opcode::Syncthreads, Type::Void, vec![]));
+        let a = Analyses::new(&f);
+        let region = detect_region(&f, &a, ids[0]).expect("region");
+        assert!(region.true_chain[0].has_meld_barrier(&f));
+        assert!(!region.false_chain[0].has_meld_barrier(&f));
+    }
+
+    #[test]
+    fn landing_pad_migrates_phis() {
+        // t and e both jump to x which has a φ; pad collects both edges.
+        let mut f = Function::new("pad", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let v1 = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        let v2 = b.add(b.param(0), b.const_i32(2));
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, v1), (e, v2)]);
+        b.ret(Some(p));
+
+        let pad = insert_landing_pad(&mut f, &[t, e], x);
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.succs(t), vec![pad]);
+        assert_eq!(f.succs(e), vec![pad]);
+        assert_eq!(f.phis_of(pad).len(), 1);
+        // x's φ now has a single incoming, from the pad.
+        let xphi = f.phis_of(x)[0];
+        assert_eq!(f.inst(xphi).phi_blocks, vec![pad]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Simulated device memory: global buffers and per-block shared arenas.
+
+use darm_ir::Type;
+
+/// Handle to a global-memory buffer allocated on a [`crate::Gpu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) u32);
+
+/// Pointers are 64-bit: buffer id (1-based) in the high 16 bits, byte offset
+/// in the low 48. Shared-memory pointers use buffer id 0 with the offset
+/// addressing the block's shared arena.
+pub(crate) fn encode_global(buf: BufferId, offset: u64) -> u64 {
+    ((buf.0 as u64 + 1) << 48) | (offset & 0xFFFF_FFFF_FFFF)
+}
+
+pub(crate) fn encode_shared(offset: u64) -> u64 {
+    offset & 0xFFFF_FFFF_FFFF
+}
+
+pub(crate) fn decode(addr: u64) -> (Option<BufferId>, u64) {
+    let hi = addr >> 48;
+    let off = addr & 0xFFFF_FFFF_FFFF;
+    if hi == 0 {
+        (None, off)
+    } else {
+        (Some(BufferId((hi - 1) as u32)), off)
+    }
+}
+
+/// A raw byte store with typed accessors.
+#[derive(Debug, Clone, Default)]
+pub struct ByteStore {
+    bytes: Vec<u8>,
+}
+
+impl ByteStore {
+    pub(crate) fn with_len(len: usize) -> ByteStore {
+        ByteStore { bytes: vec![0; len] }
+    }
+
+    pub(crate) fn from_bytes(bytes: Vec<u8>) -> ByteStore {
+        ByteStore { bytes }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub(crate) fn read(&self, ty: Type, off: u64) -> Option<RawVal> {
+        let size = ty.size_bytes() as usize;
+        let off = off as usize;
+        let slice = self.bytes.get(off..off + size)?;
+        Some(match ty {
+            Type::I1 => RawVal::I1(slice[0] != 0),
+            Type::I32 => RawVal::I32(i32::from_le_bytes(slice.try_into().unwrap())),
+            Type::F32 => RawVal::F32(f32::from_le_bytes(slice.try_into().unwrap())),
+            Type::I64 => RawVal::I64(i64::from_le_bytes(slice.try_into().unwrap())),
+            Type::Ptr(_) => RawVal::Ptr(u64::from_le_bytes(slice.try_into().unwrap())),
+            Type::Void => return None,
+        })
+    }
+
+    pub(crate) fn write(&mut self, off: u64, v: RawVal) -> Option<()> {
+        let off = off as usize;
+        match v {
+            RawVal::I1(x) => *self.bytes.get_mut(off)? = x as u8,
+            RawVal::I32(x) => self.bytes.get_mut(off..off + 4)?.copy_from_slice(&x.to_le_bytes()),
+            RawVal::F32(x) => self.bytes.get_mut(off..off + 4)?.copy_from_slice(&x.to_le_bytes()),
+            RawVal::I64(x) => self.bytes.get_mut(off..off + 8)?.copy_from_slice(&x.to_le_bytes()),
+            RawVal::Ptr(x) => self.bytes.get_mut(off..off + 8)?.copy_from_slice(&x.to_le_bytes()),
+            RawVal::Undef => return None,
+        }
+        Some(())
+    }
+}
+
+/// A runtime lane value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawVal {
+    /// Boolean.
+    I1(bool),
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// Pointer (encoded address).
+    Ptr(u64),
+    /// Undefined (reading it through memory or branching on it is an error).
+    Undef,
+}
+
+impl RawVal {
+    pub(crate) fn as_i64_index(self) -> Option<i64> {
+        match self {
+            RawVal::I32(x) => Some(x as i64),
+            RawVal::I64(x) => Some(x),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let addr = encode_global(BufferId(7), 1234);
+        assert_eq!(decode(addr), (Some(BufferId(7)), 1234));
+        let saddr = encode_shared(64);
+        assert_eq!(decode(saddr), (None, 64));
+    }
+
+    #[test]
+    fn typed_read_write() {
+        let mut s = ByteStore::with_len(64);
+        s.write(0, RawVal::I32(-5)).unwrap();
+        s.write(8, RawVal::F32(2.5)).unwrap();
+        s.write(16, RawVal::I64(1 << 40)).unwrap();
+        assert_eq!(s.read(Type::I32, 0), Some(RawVal::I32(-5)));
+        assert_eq!(s.read(Type::F32, 8), Some(RawVal::F32(2.5)));
+        assert_eq!(s.read(Type::I64, 16), Some(RawVal::I64(1 << 40)));
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_none() {
+        let s = ByteStore::with_len(4);
+        assert!(s.read(Type::I64, 0).is_none());
+        assert!(s.read(Type::I32, 2).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Performance counters — the simulator's answer to `rocprof` (§VI-B..D).
+
+/// Counters collected over one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Total issue cycles summed over all warps. Speedups in the
+    /// reproduction are ratios of this number.
+    pub cycles: u64,
+    /// Dynamically issued warp instructions (each issue covers all active
+    /// lanes of one warp).
+    pub warp_instructions: u64,
+    /// Sum of active lanes over all issues (thread-instructions).
+    pub thread_instructions: u64,
+    /// Issued ALU warp instructions (arithmetic, compares, selects, casts,
+    /// address computation).
+    pub alu_issues: u64,
+    /// Active lanes summed over ALU issues; `alu_utilization` =
+    /// `alu_active_lanes / (alu_issues * warp_size)`.
+    pub alu_active_lanes: u64,
+    /// Issued global-memory loads+stores ("vector mem RD+WR" in Fig. 11).
+    pub global_mem_insts: u64,
+    /// Issued shared-memory (LDS) loads+stores.
+    pub shared_mem_insts: u64,
+    /// 128-byte segments touched by global accesses (coalescing metric).
+    pub global_transactions: u64,
+    /// Maximum-degree bank conflicts accumulated over shared accesses (0
+    /// when every warp access was conflict-free).
+    pub shared_bank_conflicts: u64,
+    /// Barriers executed (warp-level count).
+    pub barriers: u64,
+    /// Warp size used by the launch (needed to normalize utilization).
+    pub warp_size: u32,
+}
+
+impl KernelStats {
+    /// ALU (vector unit) utilization in percent — Fig. 10's metric.
+    pub fn alu_utilization(&self) -> f64 {
+        if self.alu_issues == 0 || self.warp_size == 0 {
+            return 0.0;
+        }
+        100.0 * self.alu_active_lanes as f64 / (self.alu_issues as f64 * self.warp_size as f64)
+    }
+
+    /// Average active lanes per issued instruction (SIMD efficiency).
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.warp_instructions == 0 || self.warp_size == 0 {
+            return 0.0;
+        }
+        self.thread_instructions as f64 / (self.warp_instructions as f64 * self.warp_size as f64)
+    }
+
+    /// Accumulates another launch's counters (used to sum per-block runs).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.warp_instructions += other.warp_instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.alu_issues += other.alu_issues;
+        self.alu_active_lanes += other.alu_active_lanes;
+        self.global_mem_insts += other.global_mem_insts;
+        self.shared_mem_insts += other.shared_mem_insts;
+        self.global_transactions += other.global_transactions;
+        self.shared_bank_conflicts += other.shared_bank_conflicts;
+        self.barriers += other.barriers;
+        self.warp_size = other.warp_size.max(self.warp_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = KernelStats {
+            alu_issues: 10,
+            alu_active_lanes: 160,
+            warp_size: 32,
+            ..Default::default()
+        };
+        assert!((s.alu_utilization() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_utilization() {
+        assert_eq!(KernelStats::default().alu_utilization(), 0.0);
+        assert_eq!(KernelStats::default().simd_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelStats { cycles: 10, warp_size: 32, ..Default::default() };
+        let b = KernelStats { cycles: 5, barriers: 2, warp_size: 32, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.barriers, 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Dead code elimination.
+
+use darm_ir::{Function, InstId, Value};
+
+/// Removes instructions whose results are unused and that have no side
+/// effects (stores, barriers, warp intrinsics and terminators are kept).
+/// Returns the number of removed instructions.
+pub fn run_dce(func: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        // Recompute use counts each round; φ self-references do not keep a
+        // value alive on their own, but we treat them conservatively.
+        let mut used = vec![false; func.inst_capacity()];
+        for b in func.block_ids() {
+            for &id in func.insts_of(b) {
+                for &op in &func.inst(id).operands {
+                    if let Value::Inst(dep) = op {
+                        if dep != id {
+                            used[dep.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut dead: Vec<InstId> = Vec::new();
+        for b in func.block_ids() {
+            for &id in func.insts_of(b) {
+                let inst = func.inst(id);
+                if !inst.opcode.has_side_effects() && !used[id.index()] {
+                    dead.push(id);
+                }
+            }
+        }
+        if dead.is_empty() {
+            return removed;
+        }
+        for id in dead {
+            func.remove_inst(id);
+            removed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{AddrSpace, Dim, Type};
+
+    #[test]
+    fn removes_dead_chain_keeps_stores() {
+        let mut f = Function::new("d", vec![Type::Ptr(AddrSpace::Global)], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        let tid = b.thread_idx(Dim::X);
+        let dead1 = b.add(tid, tid);
+        let _dead2 = b.mul(dead1, dead1); // transitively dead
+        let p = b.gep(Type::I32, b.param(0), tid);
+        b.store(tid, p);
+        b.ret(None);
+        let n = run_dce(&mut f);
+        assert_eq!(n, 2);
+        verify_ssa(&f).unwrap();
+        // tid, gep, store, ret survive
+        assert_eq!(f.insts_of(e).len(), 4);
+    }
+
+    #[test]
+    fn keeps_live_values() {
+        let mut f = Function::new("l", vec![], Type::I32);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        let x = b.add(b.const_i32(1), b.const_i32(2));
+        b.ret(Some(x));
+        assert_eq!(run_dce(&mut f), 0);
+    }
+
+    #[test]
+    fn keeps_barriers_and_ballots() {
+        let mut f = Function::new("sb", vec![], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f, e);
+        b.syncthreads();
+        let _mask = b.ballot(Value::I1(true)); // result unused but side-effecting
+        b.ret(None);
+        use darm_ir::Value;
+        assert_eq!(run_dce(&mut f), 0);
+        assert_eq!(f.insts_of(e).len(), 3);
+    }
+}

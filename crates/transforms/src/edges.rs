@@ -1,0 +1,67 @@
+//! Edge surgery helpers.
+
+use darm_ir::{BlockId, Function, InstData, Opcode};
+
+/// Splits the edge `from → to` by inserting a fresh block containing a
+/// single jump. All edges from `from` to `to` are redirected through the new
+/// block (a conditional branch with both targets equal contributes one
+/// split block). φ-nodes in `to` are retargeted accordingly.
+///
+/// Returns the inserted block. This is the primitive behind the paper's
+/// *region simplification* (Definition 3: turning regions into simple
+/// regions by introducing dedicated entry/exit blocks).
+pub fn split_edge(func: &mut Function, from: BlockId, to: BlockId, name: &str) -> BlockId {
+    let mid = func.add_block(name);
+    func.add_inst(mid, InstData::terminator(Opcode::Jump, vec![], vec![to]));
+    func.replace_succ(from, to, mid);
+    func.phi_retarget_pred(to, from, mid);
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{IcmpPred, Type, Value};
+
+    #[test]
+    fn splits_critical_edge_and_fixes_phis() {
+        // entry -> {x, e}; e -> x. Edge entry->x is critical.
+        let mut f = Function::new("ce", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, x, e);
+        b.switch_to(e);
+        let v = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(entry, Value::I32(0)), (e, v)]);
+        b.ret(Some(p));
+        verify_ssa(&f).unwrap();
+
+        let mid = split_edge(&mut f, entry, x, "entry.x");
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.succs(entry), vec![mid, e]);
+        assert_eq!(f.succs(mid), vec![x]);
+    }
+
+    #[test]
+    fn split_handles_duplicate_edges() {
+        let mut f = Function::new("dup", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, x, x);
+        b.switch_to(x);
+        b.ret(None);
+        let mid = split_edge(&mut f, entry, x, "m");
+        // both branch targets now go through mid
+        assert_eq!(f.succs(entry), vec![mid, mid]);
+        verify_ssa(&f).unwrap();
+    }
+}

@@ -1,0 +1,463 @@
+//! CFG simplification, the analogue of LLVM's `simplifycfg`.
+
+use darm_analysis::Cfg;
+use darm_ir::{BlockId, Function, InstData, Opcode, Value};
+
+/// Statistics of one [`simplify_cfg`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Constant conditional branches rewritten to jumps.
+    pub folded_const_branches: usize,
+    /// `br c, X, X` rewritten to `jump X`.
+    pub folded_same_target_branches: usize,
+    /// Blocks merged into their unique predecessor.
+    pub merged_blocks: usize,
+    /// Empty forwarding blocks removed.
+    pub elided_empty_blocks: usize,
+    /// Unreachable blocks removed.
+    pub removed_unreachable: usize,
+    /// Trivial (single-value) φ-nodes replaced.
+    pub removed_trivial_phis: usize,
+    /// Duplicate φ-nodes deduplicated.
+    pub removed_duplicate_phis: usize,
+}
+
+impl SimplifyStats {
+    /// Total number of simplifications applied.
+    pub fn total(&self) -> usize {
+        self.folded_const_branches
+            + self.folded_same_target_branches
+            + self.merged_blocks
+            + self.elided_empty_blocks
+            + self.removed_unreachable
+            + self.removed_trivial_phis
+            + self.removed_duplicate_phis
+    }
+}
+
+/// Simplifies the CFG to a fixpoint and returns what was done.
+///
+/// Mirrors the subset of LLVM `simplifycfg` that Algorithm 1 relies on
+/// between melding iterations. The function is left structurally valid;
+/// callers that care about SSA dominance should run the verifier in tests.
+pub fn simplify_cfg(func: &mut Function) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        let mut changed = false;
+        changed |= remove_unreachable(func, &mut stats);
+        changed |= fold_branches(func, &mut stats);
+        changed |= remove_trivial_phis(func, &mut stats);
+        changed |= dedup_phis(func, &mut stats);
+        changed |= merge_straightline(func, &mut stats);
+        changed |= elide_empty_blocks(func, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+fn remove_unreachable(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let cfg = Cfg::new(func);
+    let mut changed = false;
+    let dead: Vec<BlockId> =
+        func.block_ids().into_iter().filter(|&b| !cfg.is_reachable(b)).collect();
+    if dead.is_empty() {
+        return false;
+    }
+    for &b in &dead {
+        // Remove φ entries in reachable successors that name this block.
+        for s in func.succs(b) {
+            if cfg.is_reachable(s) {
+                func.phi_remove_incoming(s, b);
+            }
+        }
+    }
+    for b in dead {
+        func.remove_block(b);
+        stats.removed_unreachable += 1;
+        changed = true;
+    }
+    changed
+}
+
+fn fold_branches(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    for b in func.block_ids() {
+        let Some(t) = func.terminator(b) else { continue };
+        if func.inst(t).opcode != Opcode::Br {
+            continue;
+        }
+        let succs = func.inst(t).succs.clone();
+        let cond = func.inst(t).operands[0];
+        if succs[0] == succs[1] {
+            func.remove_inst(t);
+            func.add_inst(b, InstData::terminator(Opcode::Jump, vec![], vec![succs[0]]));
+            stats.folded_same_target_branches += 1;
+            changed = true;
+        } else if let Value::I1(c) = cond {
+            let (taken, dead) = if c { (succs[0], succs[1]) } else { (succs[1], succs[0]) };
+            func.remove_inst(t);
+            func.add_inst(b, InstData::terminator(Opcode::Jump, vec![], vec![taken]));
+            func.phi_remove_incoming(dead, b);
+            stats.folded_const_branches += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn remove_trivial_phis(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+        for b in func.block_ids() {
+            for phi in func.phis_of(b) {
+                let inst = func.inst(phi);
+                // A φ is trivial if all incomings are the same value or the φ
+                // itself (self-reference through a loop).
+                let mut unique: Option<Value> = None;
+                let mut trivial = true;
+                for &v in &inst.operands {
+                    if v == Value::Inst(phi) {
+                        continue;
+                    }
+                    match unique {
+                        None => unique = Some(v),
+                        Some(u) if u == v => {}
+                        Some(_) => {
+                            trivial = false;
+                            break;
+                        }
+                    }
+                }
+                if trivial {
+                    let replacement = unique.unwrap_or(Value::Undef(inst.ty));
+                    func.rauw(Value::Inst(phi), replacement);
+                    func.remove_inst(phi);
+                    stats.removed_trivial_phis += 1;
+                    local = true;
+                    changed = true;
+                }
+            }
+        }
+        if !local {
+            break;
+        }
+    }
+    changed
+}
+
+fn dedup_phis(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    for b in func.block_ids() {
+        let phis = func.phis_of(b);
+        for i in 0..phis.len() {
+            if !func.is_inst_alive(phis[i]) {
+                continue;
+            }
+            for j in (i + 1)..phis.len() {
+                if !func.is_inst_alive(phis[j]) {
+                    continue;
+                }
+                let a = func.inst(phis[i]);
+                let c = func.inst(phis[j]);
+                if a.ty == c.ty && a.operands == c.operands && a.phi_blocks == c.phi_blocks {
+                    func.rauw(Value::Inst(phis[j]), Value::Inst(phis[i]));
+                    func.remove_inst(phis[j]);
+                    stats.removed_duplicate_phis += 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Merges `B` into its unique predecessor `P` when `P` unconditionally jumps
+/// to `B` and `B` has no other predecessors.
+fn merge_straightline(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::new(func);
+        let mut merged = false;
+        for b in func.block_ids() {
+            if b == func.entry() {
+                continue;
+            }
+            let preds = cfg.preds(b);
+            if preds.len() != 1 {
+                continue;
+            }
+            let p = preds[0];
+            if !func.is_block_alive(p) || func.succs(p).len() != 1 {
+                continue;
+            }
+            let Some(pt) = func.terminator(p) else { continue };
+            if func.inst(pt).opcode != Opcode::Jump {
+                continue;
+            }
+            // Single-incoming φs in `b` fold to their value.
+            for phi in func.phis_of(b) {
+                let v = func.inst(phi).operands[0];
+                func.rauw(Value::Inst(phi), v);
+                func.remove_inst(phi);
+            }
+            // Move b's instructions into p.
+            func.remove_inst(pt);
+            let insts = func.insts_of(b).to_vec();
+            for id in insts {
+                let data = func.inst(id).clone();
+                func.remove_inst(id);
+                let new_id = func.add_inst(p, data);
+                func.rauw(Value::Inst(id), Value::Inst(new_id));
+            }
+            for s in func.succs(p) {
+                func.phi_retarget_pred(s, b, p);
+            }
+            func.remove_block(b);
+            stats.merged_blocks += 1;
+            merged = true;
+            changed = true;
+            break; // CFG changed; recompute
+        }
+        if !merged {
+            break;
+        }
+    }
+    changed
+}
+
+/// Removes blocks that contain only an unconditional jump, redirecting their
+/// predecessors straight to the target (LLVM's
+/// `TryToSimplifyUncondBranchFromEmptyBlock`).
+fn elide_empty_blocks(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::new(func);
+        let mut elided = false;
+        'outer: for b in func.block_ids() {
+            if b == func.entry() {
+                continue;
+            }
+            let insts = func.insts_of(b);
+            if insts.len() != 1 {
+                continue;
+            }
+            let t = insts[0];
+            if func.inst(t).opcode != Opcode::Jump {
+                continue;
+            }
+            let target = func.inst(t).succs[0];
+            if target == b {
+                continue; // self-loop
+            }
+            let preds: Vec<BlockId> = cfg.preds(b).to_vec();
+            if preds.is_empty() {
+                continue;
+            }
+            // Feasibility: for each φ in target, rerouting must not create
+            // conflicting incoming values for any predecessor.
+            let mut unique_preds = preds.clone();
+            unique_preds.sort();
+            unique_preds.dedup();
+            for phi in func.phis_of(target) {
+                let inst = func.inst(phi);
+                let Some(v_b) = inst.phi_value_for(b) else { continue 'outer };
+                for &p in &unique_preds {
+                    if let Some(v_p) = inst.phi_value_for(p) {
+                        if v_p != v_b {
+                            continue 'outer; // would need a merge; skip
+                        }
+                    }
+                }
+            }
+            // Also: a predecessor that already branches to `target` directly
+            // *and* through `b` would leave φs unable to distinguish edges;
+            // allowed only because values were checked equal above.
+            for phi in func.phis_of(target) {
+                let v_b = func.inst(phi).phi_value_for(b).unwrap();
+                let inst = func.inst_mut(phi);
+                // drop entry for b
+                let mut k = 0;
+                while k < inst.phi_blocks.len() {
+                    if inst.phi_blocks[k] == b {
+                        inst.phi_blocks.remove(k);
+                        inst.operands.remove(k);
+                    } else {
+                        k += 1;
+                    }
+                }
+                for &p in &unique_preds {
+                    let inst = func.inst_mut(phi);
+                    if !inst.phi_blocks.contains(&p) {
+                        inst.phi_blocks.push(p);
+                        inst.operands.push(v_b);
+                    }
+                }
+            }
+            for &p in &unique_preds {
+                func.replace_succ(p, b, target);
+            }
+            func.remove_block(b);
+            stats.elided_empty_blocks += 1;
+            elided = true;
+            changed = true;
+            break;
+        }
+        if !elided {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_analysis::verify_ssa;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{IcmpPred, Type};
+
+    #[test]
+    fn folds_constant_branch_and_removes_unreachable() {
+        let mut f = Function::new("cb", vec![], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        b.br(Value::I1(true), t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, Value::I32(1)), (e, Value::I32(2))]);
+        b.ret(Some(p));
+
+        let stats = simplify_cfg(&mut f);
+        assert!(stats.folded_const_branches >= 1);
+        assert!(stats.removed_unreachable >= 1);
+        verify_ssa(&f).unwrap();
+        // Everything should have collapsed into one block returning 1.
+        assert_eq!(f.block_ids().len(), 1);
+        let term = f.terminator(f.entry()).unwrap();
+        assert_eq!(f.inst(term).operands[0], Value::I32(1));
+    }
+
+    #[test]
+    fn folds_same_target_branch() {
+        let mut f = Function::new("st", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, x, x);
+        b.switch_to(x);
+        b.ret(None);
+        let stats = simplify_cfg(&mut f);
+        assert_eq!(stats.folded_same_target_branches, 1);
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.block_ids().len(), 1);
+    }
+
+    #[test]
+    fn merges_straightline_chain() {
+        let mut f = Function::new("ml", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let m = f.add_block("m");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let a = b.add(b.param(0), b.const_i32(1));
+        b.jump(m);
+        b.switch_to(m);
+        let c = b.mul(a, a);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(Some(c));
+        let stats = simplify_cfg(&mut f);
+        assert!(stats.merged_blocks >= 2);
+        assert_eq!(f.block_ids().len(), 1);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn elides_empty_forwarding_block() {
+        // entry -> {fwd, e}; fwd -> x; e -> x
+        let mut f = Function::new("fw", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let fwd = f.add_block("fwd");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, fwd, e);
+        b.switch_to(fwd);
+        b.jump(x);
+        b.switch_to(e);
+        let v = b.add(b.param(0), b.const_i32(5));
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(fwd, Value::I32(1)), (e, v)]);
+        b.ret(Some(p));
+        let before = f.block_ids().len();
+        let stats = simplify_cfg(&mut f);
+        assert!(stats.elided_empty_blocks >= 1);
+        assert!(f.block_ids().len() < before);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn removes_trivial_and_duplicate_phis() {
+        let mut f = Function::new("ph", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let v = b.add(b.param(0), b.const_i32(1));
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p1 = b.phi(Type::I32, &[(t, v), (e, v)]); // trivial
+        let p2 = b.phi(Type::I32, &[(t, v), (e, Value::I32(0))]);
+        let p3 = b.phi(Type::I32, &[(t, v), (e, Value::I32(0))]); // dup of p2
+        let s = b.add(p1, p2);
+        let s2 = b.add(s, p3);
+        b.ret(Some(s2));
+        let stats = simplify_cfg(&mut f);
+        assert!(stats.removed_trivial_phis >= 1);
+        assert!(stats.removed_duplicate_phis >= 1);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let mut f = Function::new("idem", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let v = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, v), (e, Value::I32(0))]);
+        b.ret(Some(p));
+        simplify_cfg(&mut f);
+        let snapshot = f.to_string();
+        let stats2 = simplify_cfg(&mut f);
+        assert_eq!(stats2.total(), 0);
+        assert_eq!(f.to_string(), snapshot);
+    }
+}

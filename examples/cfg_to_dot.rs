@@ -1,0 +1,21 @@
+//! Exports Graphviz renderings of a kernel's CFG before and after melding
+//! (the Fig. 4-style before/after pictures).
+//!
+//! ```sh
+//! cargo run --release --example cfg_to_dot > /tmp/darm.dot
+//! dot -Tpng /tmp/darm.dot -o darm.png   # if graphviz is installed
+//! ```
+
+use darm::analysis::to_dot;
+use darm::prelude::*;
+
+fn main() {
+    let case = darm::kernels::bitonic::build_case(64);
+    println!("// === before melding (divergent branches in red) ===");
+    print!("{}", to_dot(&case.func));
+
+    let mut melded = case.func.clone();
+    darm::melding::meld_function(&mut melded, &MeldConfig::default());
+    println!("\n// === after DARM ===");
+    print!("{}", to_dot(&melded));
+}

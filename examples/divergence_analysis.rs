@@ -1,0 +1,62 @@
+//! Inspecting DARM's analysis phase: divergence analysis, meldable
+//! divergent region detection, SESE chains, and melding profitability.
+//!
+//! ```sh
+//! cargo run --release --example divergence_analysis
+//! ```
+
+use darm::align::block_melding_profit;
+use darm::analysis::{Cfg, DomTree, PostDomTree};
+use darm::melding::{Analyses, MeldableRegion};
+use darm::prelude::*;
+
+fn main() {
+    let case = darm::kernels::synthetic::build_case(
+        darm::kernels::synthetic::SyntheticKind::Sb2,
+        64,
+    );
+    let func = &case.func;
+    println!("kernel:\n{func}");
+
+    let cfg = Cfg::new(func);
+    let dt = DomTree::new(func, &cfg);
+    let pdt = PostDomTree::new(func, &cfg);
+    let da = DivergenceAnalysis::run(func, &cfg, &dt);
+
+    println!("block analysis:");
+    for &b in cfg.rpo() {
+        println!(
+            "  {:14} idom={:<12} ipdom={:<12} divergent-branch={}",
+            func.block_name(b),
+            dt.idom(b).map(|d| func.block_name(d).to_string()).unwrap_or_else(|| "-".into()),
+            pdt.ipdom(b).map(|d| func.block_name(d).to_string()).unwrap_or_else(|| "-".into()),
+            da.is_divergent_branch(b),
+        );
+    }
+
+    let analyses = Analyses::new(func);
+    for &b in analyses.cfg.rpo() {
+        let Some(region): Option<MeldableRegion> =
+            darm::melding::region::detect_region(func, &analyses, b)
+        else {
+            continue;
+        };
+        println!(
+            "\nmeldable divergent region at {} (exit {}):",
+            func.block_name(region.branch_block),
+            func.block_name(region.exit)
+        );
+        for (label, chain) in [("true", &region.true_chain), ("false", &region.false_chain)] {
+            for (i, sg) in chain.iter().enumerate() {
+                let blocks: Vec<_> = sg.blocks.iter().map(|&b| func.block_name(b)).collect();
+                println!("  {label} path subgraph {i}: {blocks:?}");
+            }
+        }
+        // Profitability of the first pair of subgraph entries.
+        let (st, sf) = (&region.true_chain[0], &region.false_chain[0]);
+        println!(
+            "  MP_B(entry, entry) = {:.3}",
+            block_melding_profit(func, st.entry, sf.entry)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The Fig. 12 experiment in miniature: how the melding-profitability
+//! threshold changes DARM's effectiveness on one benchmark.
+//!
+//! ```sh
+//! cargo run --release --example threshold_sweep
+//! ```
+
+use darm::kernels::bitonic;
+use darm::prelude::*;
+
+fn main() {
+    let case = bitonic::build_case(64);
+    let baseline = case.run_checked(&case.func).stats;
+    println!("BIT64 baseline cycles: {}", baseline.cycles);
+    println!("threshold  speedup  melded-subgraphs");
+    for t in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.8] {
+        let mut f = case.func.clone();
+        let stats = darm::melding::meld_function(&mut f, &MeldConfig::with_threshold(t));
+        let run = case.run_checked(&f).stats;
+        println!(
+            "{t:9.2}  {:.3}x   {}",
+            baseline.cycles as f64 / run.cycles as f64,
+            stats.melded_subgraphs
+        );
+    }
+}

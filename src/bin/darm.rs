@@ -1,0 +1,197 @@
+//! `darm` — command-line driver for the control-flow melding toolchain.
+//!
+//! ```text
+//! darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T]
+//!           [--no-unpredicate] [--dot out.dot] [--stats]
+//! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
+//! darm analyze <input.ir>
+//! ```
+//!
+//! `meld` parses a textual IR kernel, runs DARM (or the branch-fusion
+//! baseline), and prints or writes the transformed kernel. `run` executes a
+//! kernel on the SIMT simulator with zero-initialized `i32` buffers and
+//! prints the counters. `analyze` reports divergence analysis and meldable
+//! regions without transforming.
+
+use darm::analysis::{to_dot, verify_ssa, DivergenceAnalysis};
+use darm::ir::parser::{fixup_types, parse_function};
+use darm::melding::{meld_function, region, Analyses, MeldConfig, MeldMode};
+use darm::prelude::*;
+use darm::simt::KernelArg;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Function {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut func = parse_function(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    });
+    fixup_types(&mut func);
+    if let Err(e) = verify_ssa(&func) {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    }
+    func
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "meld" => cmd_meld(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_meld(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut output = None;
+    let mut dot = None;
+    let mut config = MeldConfig::default();
+    let mut show_stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = it.next().cloned(),
+            "--dot" => dot = it.next().cloned(),
+            "--stats" => show_stats = true,
+            "--no-unpredicate" => config.unpredicate = false,
+            "--mode" => match it.next().map(String::as_str) {
+                Some("darm") => config.mode = MeldMode::Darm,
+                Some("bf") => config.mode = MeldMode::BranchFusion,
+                _ => usage(),
+            },
+            "--threshold" => {
+                config.threshold = it.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| usage())
+            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let mut func = load(&input);
+    let stats = meld_function(&mut func, &config);
+    if let Err(e) = verify_ssa(&func) {
+        eprintln!("internal error: melded function fails verification: {e}");
+        return ExitCode::FAILURE;
+    }
+    if show_stats {
+        eprintln!(
+            "melded {} region(s), {} subgraph(s), {} replication(s), {} select(s), {} unpredicated group(s)",
+            stats.melded_regions,
+            stats.melded_subgraphs,
+            stats.replications,
+            stats.selects_inserted,
+            stats.unpredicated_groups
+        );
+    }
+    if let Some(p) = dot {
+        if let Err(e) = std::fs::write(&p, to_dot(&func)) {
+            eprintln!("error: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let text = func.to_string();
+    match output {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, text) {
+                eprintln!("error: cannot write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut block = 32u32;
+    let mut grid = 1u32;
+    let mut arg_specs: Vec<(bool, i64)> = Vec::new(); // (is_buffer, len-or-value)
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--block" => block = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--grid" => grid = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--buf" => arg_specs
+                .push((true, it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))),
+            "--i32" => arg_specs
+                .push((false, it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))),
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let func = load(&input);
+    let mut gpu = Gpu::new(GpuConfig::default());
+    let mut kargs = Vec::new();
+    let mut buffers = Vec::new();
+    for &(is_buf, v) in &arg_specs {
+        if is_buf {
+            let b = gpu.alloc_i32(&vec![0; v as usize]);
+            buffers.push(b);
+            kargs.push(KernelArg::Buffer(b));
+        } else {
+            kargs.push(KernelArg::I32(v as i32));
+        }
+    }
+    match gpu.launch(&func, &LaunchConfig::linear(grid, block), &kargs) {
+        Ok(stats) => {
+            println!("cycles:              {}", stats.cycles);
+            println!("warp instructions:   {}", stats.warp_instructions);
+            println!("SIMD efficiency:     {:.3}", stats.simd_efficiency());
+            println!("ALU utilization:     {:.1}%", stats.alu_utilization());
+            println!("global mem insts:    {}", stats.global_mem_insts);
+            println!("shared mem insts:    {}", stats.shared_mem_insts);
+            println!("bank conflicts:      {}", stats.shared_bank_conflicts);
+            for (k, b) in buffers.iter().enumerate() {
+                let data = gpu.read_i32(*b);
+                let head: Vec<i32> = data.iter().copied().take(8).collect();
+                println!("buffer {k}: {head:?}{}", if data.len() > 8 { " ..." } else { "" });
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else { usage() };
+    let func = load(input);
+    let da = DivergenceAnalysis::new(&func);
+    println!("kernel {} — {} blocks, {} instructions", func.name(), func.block_ids().len(), func.live_inst_count());
+    let divergent = da.divergent_branch_blocks();
+    println!("divergent branches: {}", divergent.len());
+    for b in &divergent {
+        println!("  {}", func.block_name(*b));
+    }
+    let analyses = Analyses::new(&func);
+    for &b in analyses.cfg.rpo() {
+        if let Some(r) = region::detect_region(&func, &analyses, b) {
+            println!(
+                "meldable divergent region at {} (exit {}): {} true / {} false subgraph(s)",
+                func.block_name(r.branch_block),
+                func.block_name(r.exit),
+                r.true_chain.len(),
+                r.false_chain.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the `darm` command-line driver: meld, run and
+//! analyze a textual kernel end to end through the real binary.
+
+use std::process::Command;
+
+const KERNEL: &str = r#"
+fn @cli_demo(ptr(global) %arg0) -> void {
+entry:
+  %0 = tid.x
+  %1 = and %0, 1
+  %2 = icmp eq %1, 0
+  br %2, t, e
+t:
+  %3 = mul %0, 3
+  %4 = add %3, 10
+  %5 = gep i32 %arg0, %0
+  store %4, %5
+  jump x
+e:
+  %6 = mul %0, 5
+  %7 = add %6, 77
+  %8 = gep i32 %arg0, %0
+  store %7, %8
+  jump x
+x:
+  ret
+}
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_darm"))
+}
+
+fn write_kernel(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, KERNEL).unwrap();
+    path
+}
+
+#[test]
+fn meld_subcommand_transforms_and_reports() {
+    let input = write_kernel("darm_cli_meld.ir");
+    let out = bin().args(["meld", input.to_str().unwrap(), "--stats"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stdout.contains("fn @cli_demo"), "{stdout}");
+    // the divergent diamond must be gone: a single select-merged path
+    assert!(stderr.contains("melded 1 region(s)"), "{stderr}");
+    assert!(stdout.contains("select"), "{stdout}");
+}
+
+#[test]
+fn meld_output_is_reparseable_and_runnable() {
+    let input = write_kernel("darm_cli_meld2.ir");
+    let melded = std::env::temp_dir().join("darm_cli_meld2.out.ir");
+    let ok = bin()
+        .args(["meld", input.to_str().unwrap(), "-o", melded.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(ok.success());
+    let out = bin()
+        .args(["run", melded.to_str().unwrap(), "--block", "32", "--buf", "32"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("cycles:"), "{stdout}");
+    // tid 0: even → 0*3+10 = 10; tid 1: odd → 1*5+77 = 82
+    assert!(stdout.contains("[10, 82,"), "{stdout}");
+}
+
+#[test]
+fn run_subcommand_executes_baseline() {
+    let input = write_kernel("darm_cli_run.ir");
+    let out = bin()
+        .args(["run", input.to_str().unwrap(), "--block", "32", "--buf", "32"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SIMD efficiency"), "{stdout}");
+    assert!(stdout.contains("[10, 82,"), "{stdout}");
+}
+
+#[test]
+fn analyze_subcommand_reports_regions() {
+    let input = write_kernel("darm_cli_analyze.ir");
+    let out = bin().args(["analyze", input.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("divergent branches: 1"), "{stdout}");
+    assert!(stdout.contains("meldable divergent region at entry"), "{stdout}");
+}
+
+#[test]
+fn dot_export_writes_a_digraph() {
+    let input = write_kernel("darm_cli_dot.ir");
+    let dot = std::env::temp_dir().join("darm_cli.dot");
+    let ok = bin()
+        .args(["meld", input.to_str().unwrap(), "--dot", dot.to_str().unwrap(), "-o", "/dev/null"])
+        .status()
+        .unwrap();
+    assert!(ok.success());
+    let text = std::fs::read_to_string(&dot).unwrap();
+    assert!(text.starts_with("digraph"));
+}
+
+#[test]
+fn bad_input_fails_with_diagnostic() {
+    let path = std::env::temp_dir().join("darm_cli_bad.ir");
+    std::fs::write(&path, "fn @x() -> void {\nentry:\n  %0 = bogus\n  ret\n}").unwrap();
+    let out = bin().args(["meld", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 3"), "{stderr}");
+}

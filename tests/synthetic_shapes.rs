@@ -1,0 +1,130 @@
+//! Golden structural tests for the Fig. 7 synthetic patterns: the CFG
+//! shapes, the divergence analysis verdicts, and the region decomposition
+//! must match the paper's diagrams.
+
+use darm::kernels::synthetic::{build_kernel, SyntheticKind};
+use darm::melding::{region, Analyses};
+use darm::prelude::*;
+
+/// Finds the unique meldable divergent region of a synthetic kernel.
+fn the_region(func: &Function) -> darm::melding::MeldableRegion {
+    let a = Analyses::new(func);
+    let mut found = None;
+    for &b in a.cfg.rpo() {
+        if let Some(r) = region::detect_region(func, &a, b) {
+            assert!(found.is_none(), "expected exactly one meldable region");
+            found = Some(r);
+        }
+    }
+    found.expect("synthetic kernels contain a meldable divergent region")
+}
+
+#[test]
+fn sb1_is_a_diamond() {
+    let f = build_kernel(SyntheticKind::Sb1, 32);
+    let r = the_region(&f);
+    assert_eq!(r.true_chain.len(), 1);
+    assert_eq!(r.false_chain.len(), 1);
+    assert!(r.true_chain[0].is_single_block());
+    assert!(r.false_chain[0].is_single_block());
+}
+
+#[test]
+fn sb2_sides_are_if_then_regions() {
+    let f = build_kernel(SyntheticKind::Sb2, 32);
+    let r = the_region(&f);
+    assert_eq!(r.true_chain.len(), 1);
+    assert_eq!(r.false_chain.len(), 1);
+    // if-then region absorbed its join: header + then + join = 3 blocks
+    assert_eq!(r.true_chain[0].blocks.len(), 3);
+    assert_eq!(r.false_chain[0].blocks.len(), 3);
+}
+
+#[test]
+fn sb3_sides_are_two_chained_regions() {
+    let f = build_kernel(SyntheticKind::Sb3, 32);
+    let r = the_region(&f);
+    assert_eq!(r.true_chain.len(), 2, "two consecutive if-then regions");
+    assert_eq!(r.false_chain.len(), 2);
+    for sg in r.true_chain.iter().chain(&r.false_chain) {
+        assert_eq!(sg.blocks.len(), 3);
+    }
+}
+
+#[test]
+fn sb4_has_three_way_divergence() {
+    let f = build_kernel(SyntheticKind::Sb4, 32);
+    // Two nested divergent branches (if-else-if-else).
+    let a = Analyses::new(&f);
+    let divergent: Vec<_> = a
+        .cfg
+        .rpo()
+        .iter()
+        .copied()
+        .filter(|&b| a.da.is_divergent_branch(b))
+        .collect();
+    assert_eq!(divergent.len(), 2, "outer + inner divergent branch");
+}
+
+#[test]
+fn loop_branches_are_uniform() {
+    // The nested loop conditions (o < OUTER, i < INNER) are uniform: they
+    // must not be flagged divergent and must not form meldable regions.
+    let f = build_kernel(SyntheticKind::Sb1, 32);
+    let a = Analyses::new(&f);
+    for &b in a.cfg.rpo() {
+        let name = f.block_name(b).to_string();
+        if name.contains("hdr") {
+            assert!(!a.da.is_divergent_branch(b), "loop header {name} must be uniform");
+        }
+    }
+}
+
+/// §VIII: "DARM can be used as an intra-function code size reduction
+/// optimization" — the melded kernel has fewer static instructions.
+#[test]
+fn melding_reduces_static_code_size_on_identical_paths() {
+    for kind in [SyntheticKind::Sb1, SyntheticKind::Sb2, SyntheticKind::Sb3, SyntheticKind::Sb4] {
+        let f = build_kernel(kind, 32);
+        let before = f.live_inst_count();
+        let mut melded = f.clone();
+        darm::melding::meld_function(&mut melded, &MeldConfig::default());
+        let after = melded.live_inst_count();
+        assert!(
+            after < before,
+            "{}: melding identical paths must shrink code ({before} -> {after})",
+            kind.name()
+        );
+    }
+}
+
+/// §VIII: melding reduces the number of branches a symbolic executor would
+/// have to fork on.
+#[test]
+fn melding_reduces_branch_count_on_identical_paths() {
+    let f = build_kernel(SyntheticKind::Sb1, 32);
+    let mut melded = f.clone();
+    darm::melding::meld_function(&mut melded, &MeldConfig::default());
+    assert!(melded.cond_branch_count() < f.cond_branch_count());
+}
+
+/// Melding straight-lines both paths, so values of both sides are live at
+/// once: register pressure may rise but must stay bounded (here: at most
+/// 2× plus the inserted selects). This documents the known if-conversion
+/// trade-off the paper accepts.
+#[test]
+fn melding_pressure_tradeoff_is_bounded() {
+    use darm::analysis::max_pressure;
+    for kind in [SyntheticKind::Sb1R, SyntheticKind::Sb2R] {
+        let f = build_kernel(kind, 32);
+        let before = max_pressure(&f);
+        let mut melded = f.clone();
+        darm::melding::meld_function(&mut melded, &MeldConfig::default());
+        let after = max_pressure(&melded);
+        assert!(
+            after <= before * 2 + 8,
+            "{}: pressure exploded ({before} -> {after})",
+            kind.name()
+        );
+    }
+}
