@@ -18,12 +18,43 @@ pub enum AlignStep {
     GapB(usize),
 }
 
+const NEG: i64 = i64::MIN / 4;
+
+/// A `(n+1) × (m+1)` score matrix in a single allocation, row-strided.
+///
+/// The `Vec<Vec<i64>>` the DPs used previously cost one heap allocation per
+/// row and an extra pointer chase per cell; this flat layout is one
+/// allocation and pure index arithmetic.
+struct FlatMatrix {
+    cells: Vec<i64>,
+    stride: usize,
+}
+
+impl FlatMatrix {
+    fn new(n: usize, m: usize, fill: i64) -> FlatMatrix {
+        FlatMatrix { cells: vec![fill; (n + 1) * (m + 1)], stride: m + 1 }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize, j: usize) -> i64 {
+        self.cells[i * self.stride + j]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, j: usize, v: i64) {
+        self.cells[i * self.stride + j] = v;
+    }
+}
+
 /// Global (Needleman–Wunsch) alignment of `a` and `b`.
 ///
 /// `score(x, y)` returns `None` when the pair may not be matched at all,
 /// otherwise the benefit of matching. `gap` is the (usually non-positive)
 /// penalty per unmatched element. Returns the total score and the alignment
 /// steps in order; every index of both sequences appears exactly once.
+///
+/// `score` is invoked exactly once per `(i, j)` cell: the fill pass records
+/// each diagonal candidate so the traceback never re-scores.
 pub fn global_align<T>(
     a: &[T],
     b: &[T],
@@ -31,41 +62,38 @@ pub fn global_align<T>(
     gap: i64,
 ) -> (i64, Vec<AlignStep>) {
     let (n, m) = (a.len(), b.len());
-    const NEG: i64 = i64::MIN / 4;
-    // dp[i][j] = best score aligning a[..i] with b[..j]
-    let mut dp = vec![vec![0i64; m + 1]; n + 1];
+    // dp[i][j] = best score aligning a[..i] with b[..j];
+    // diag[i][j] = dp[i-1][j-1] + score(a[i-1], b[j-1]), recorded for the
+    // traceback (NEG when the pair may not match).
+    let mut dp = FlatMatrix::new(n, m, 0);
+    let mut diag = FlatMatrix::new(n, m, NEG);
     for i in 1..=n {
-        dp[i][0] = dp[i - 1][0] + gap;
+        dp.set(i, 0, dp.get(i - 1, 0) + gap);
     }
     for j in 1..=m {
-        dp[0][j] = dp[0][j - 1] + gap;
+        dp.set(0, j, dp.get(0, j - 1) + gap);
     }
     for i in 1..=n {
         for j in 1..=m {
-            let diag = match score(&a[i - 1], &b[j - 1]) {
-                Some(s) => dp[i - 1][j - 1] + s,
+            let d = match score(&a[i - 1], &b[j - 1]) {
+                Some(s) => dp.get(i - 1, j - 1) + s,
                 None => NEG,
             };
-            dp[i][j] = diag.max(dp[i - 1][j] + gap).max(dp[i][j - 1] + gap);
+            diag.set(i, j, d);
+            dp.set(i, j, d.max(dp.get(i - 1, j) + gap).max(dp.get(i, j - 1) + gap));
         }
     }
-    // Traceback.
+    // Traceback over the recorded candidates.
     let mut steps = Vec::new();
     let (mut i, mut j) = (n, m);
     while i > 0 || j > 0 {
-        if i > 0 && j > 0 {
-            let diag = match score(&a[i - 1], &b[j - 1]) {
-                Some(s) => dp[i - 1][j - 1] + s,
-                None => NEG,
-            };
-            if dp[i][j] == diag {
-                steps.push(AlignStep::Match(i - 1, j - 1));
-                i -= 1;
-                j -= 1;
-                continue;
-            }
+        if i > 0 && j > 0 && dp.get(i, j) == diag.get(i, j) {
+            steps.push(AlignStep::Match(i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+            continue;
         }
-        if i > 0 && dp[i][j] == dp[i - 1][j] + gap {
+        if i > 0 && dp.get(i, j) == dp.get(i - 1, j) + gap {
             steps.push(AlignStep::GapA(i - 1));
             i -= 1;
         } else {
@@ -74,7 +102,7 @@ pub fn global_align<T>(
         }
     }
     steps.reverse();
-    (dp[n][m], steps)
+    (dp.get(n, m), steps)
 }
 
 /// Local (Smith–Waterman) alignment: finds the highest-scoring pair of
@@ -87,18 +115,20 @@ pub fn local_align<T>(
     gap: i64,
 ) -> (i64, Vec<AlignStep>) {
     let (n, m) = (a.len(), b.len());
-    const NEG: i64 = i64::MIN / 4;
-    let mut dp = vec![vec![0i64; m + 1]; n + 1];
+    let mut dp = FlatMatrix::new(n, m, 0);
+    let mut diag = FlatMatrix::new(n, m, NEG);
     let (mut best, mut bi, mut bj) = (0i64, 0usize, 0usize);
     for i in 1..=n {
         for j in 1..=m {
-            let diag = match score(&a[i - 1], &b[j - 1]) {
-                Some(s) => dp[i - 1][j - 1] + s,
+            let d = match score(&a[i - 1], &b[j - 1]) {
+                Some(s) => dp.get(i - 1, j - 1) + s,
                 None => NEG,
             };
-            dp[i][j] = 0.max(diag).max(dp[i - 1][j] + gap).max(dp[i][j - 1] + gap);
-            if dp[i][j] > best {
-                best = dp[i][j];
+            diag.set(i, j, d);
+            let cell = 0.max(d).max(dp.get(i - 1, j) + gap).max(dp.get(i, j - 1) + gap);
+            dp.set(i, j, cell);
+            if cell > best {
+                best = cell;
                 bi = i;
                 bj = j;
             }
@@ -107,16 +137,12 @@ pub fn local_align<T>(
     // Traceback from the maximum until a zero cell.
     let mut core = Vec::new();
     let (mut i, mut j) = (bi, bj);
-    while i > 0 && j > 0 && dp[i][j] > 0 {
-        let diag = match score(&a[i - 1], &b[j - 1]) {
-            Some(s) => dp[i - 1][j - 1] + s,
-            None => NEG,
-        };
-        if dp[i][j] == diag {
+    while i > 0 && j > 0 && dp.get(i, j) > 0 {
+        if dp.get(i, j) == diag.get(i, j) {
             core.push(AlignStep::Match(i - 1, j - 1));
             i -= 1;
             j -= 1;
-        } else if dp[i][j] == dp[i - 1][j] + gap {
+        } else if dp.get(i, j) == dp.get(i - 1, j) + gap {
             core.push(AlignStep::GapA(i - 1));
             i -= 1;
         } else {

@@ -1,0 +1,108 @@
+//! Interpreter-throughput microbenchmark: the pre-decoded warp-vectorized
+//! engine vs the original per-lane reference interpreter, on the fig. 9
+//! real-world kernel set.
+//!
+//! Reports per-case criterion timings for both engines plus a summary table
+//! of simulated thread-instructions per second and the geomean speedup.
+//! The acceptance target for the decode/execute split is a **≥2× geomean**
+//! throughput improvement; full bench runs assert it.
+//!
+//! `cargo bench --bench interp_throughput` — measure.
+//! `cargo bench --bench interp_throughput -- --test` — smoke mode: each
+//! engine runs every case once and the stats are cross-checked, untimed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darm_bench::{fig9_cases, geomean};
+use darm_kernels::BenchCase;
+use darm_simt::{Gpu, GpuConfig, KernelStats, PreparedKernel};
+use std::time::Instant;
+
+/// Runs `case` on the reference (per-lane, arena-walking) interpreter.
+fn run_reference(case: &BenchCase) -> KernelStats {
+    let mut gpu = Gpu::new(GpuConfig::default());
+    let (kargs, _bufs) = case.alloc_args(&mut gpu);
+    gpu.launch_reference(&case.func, &case.launch, &kargs)
+        .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", case.name))
+}
+
+/// Times `f` over enough repetitions to fill ~100 ms, returning seconds per
+/// call.
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    // Warm up and size the batch.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-6);
+    let reps = ((0.1 / once).ceil() as usize).clamp(3, 200);
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t1.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let test_mode = c.is_test_mode();
+    let cases = fig9_cases();
+
+    // Criterion-style per-case timings.
+    let mut group = c.benchmark_group("interp_throughput");
+    group.sample_size(10);
+    for case in &cases {
+        let pk = PreparedKernel::new(&case.func);
+        group.bench_with_input(BenchmarkId::new("decoded", &case.name), case, |b, case| {
+            b.iter(|| case.execute_prepared(&pk).unwrap().stats)
+        });
+        group.bench_with_input(BenchmarkId::new("reference", &case.name), case, |b, case| {
+            b.iter(|| run_reference(case))
+        });
+    }
+    group.finish();
+
+    // Summary: simulated thread-instructions per second, decoded vs
+    // reference, and the geomean speedup the tentpole is accountable for.
+    let mut speedups = Vec::new();
+    println!();
+    println!("| case | static insts | regs | decoded Minstr/s | reference Minstr/s | speedup |");
+    println!("|---|---|---|---|---|---|");
+    for case in &cases {
+        let pk = PreparedKernel::new(&case.func);
+        let stats = case.execute_prepared(&pk).unwrap().stats;
+        if test_mode {
+            // Smoke mode: one untimed cross-check per engine.
+            assert_eq!(stats, run_reference(case), "{}: engines disagree", case.name);
+            continue;
+        }
+        let insts = stats.thread_instructions as f64;
+        let dec = insts
+            / time_per_call(|| {
+                case.execute_prepared(&pk).unwrap();
+            });
+        let refc = insts
+            / time_per_call(|| {
+                run_reference(case);
+            });
+        println!(
+            "| {} | {} | {} | {:.1} | {:.1} | {:.2}x |",
+            case.name,
+            pk.decoded_inst_count(),
+            pk.register_slots(),
+            dec / 1e6,
+            refc / 1e6,
+            dec / refc
+        );
+        speedups.push(dec / refc);
+    }
+    if test_mode {
+        println!("interp_throughput: smoke mode — engines agree on all fig9 cases");
+        return;
+    }
+    let gm = geomean(speedups.iter().copied());
+    println!("| **GM** | | | | | **{gm:.2}x** |");
+    assert!(
+        gm >= 2.0,
+        "decoded engine geomean speedup {gm:.2}x is below the 2x acceptance target"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

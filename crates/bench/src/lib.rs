@@ -13,7 +13,7 @@
 use darm_kernels::synthetic::SyntheticKind;
 use darm_kernels::{bitonic, dct, lud, mergesort, nqueens, pcm, srad, BenchCase};
 use darm_melding::{meld_function, MeldConfig};
-use darm_simt::KernelStats;
+use darm_simt::{KernelStats, PreparedKernel};
 
 /// Counters for the three variants of one benchmark case.
 #[derive(Debug, Clone)]
@@ -42,6 +42,34 @@ impl VariantStats {
     }
 }
 
+/// The three kernel variants of a case, decoded once each so repeated
+/// launches (criterion samples, threshold sweeps, counter reruns) skip the
+/// per-launch decode and analysis cost.
+#[derive(Debug, Clone)]
+pub struct PreparedVariants {
+    /// Hand-written baseline, pre-decoded.
+    pub baseline: PreparedKernel,
+    /// DARM-melded variant, pre-decoded.
+    pub darm: PreparedKernel,
+    /// Branch-fusion variant, pre-decoded.
+    pub bf: PreparedKernel,
+    /// DARM melding statistics for the `darm` variant.
+    pub meld: darm_melding::MeldStats,
+}
+
+/// Melds and decodes the three variants of `case` once, for reuse across
+/// launches.
+pub fn prepare_variants(case: &BenchCase, config: &MeldConfig) -> PreparedVariants {
+    let baseline = PreparedKernel::new(&case.func);
+    let mut darm_fn = case.func.clone();
+    let meld = meld_function(&mut darm_fn, config);
+    let darm = PreparedKernel::new(&darm_fn);
+    let mut bf_fn = case.func.clone();
+    meld_function(&mut bf_fn, &MeldConfig::branch_fusion());
+    let bf = PreparedKernel::new(&bf_fn);
+    PreparedVariants { baseline, darm, bf, meld }
+}
+
 /// Runs baseline, DARM and BF variants of a case, checking each against the
 /// CPU reference.
 pub fn run_case(case: &BenchCase) -> VariantStats {
@@ -50,14 +78,11 @@ pub fn run_case(case: &BenchCase) -> VariantStats {
 
 /// Same as [`run_case`] with a custom DARM configuration.
 pub fn run_case_with(case: &BenchCase, config: &MeldConfig) -> VariantStats {
-    let baseline = case.run_checked(&case.func).stats;
-    let mut darm_fn = case.func.clone();
-    let meld = meld_function(&mut darm_fn, config);
-    let darm = case.run_checked(&darm_fn).stats;
-    let mut bf_fn = case.func.clone();
-    meld_function(&mut bf_fn, &MeldConfig::branch_fusion());
-    let bf = case.run_checked(&bf_fn).stats;
-    VariantStats { name: case.name.clone(), baseline, darm, bf, meld }
+    let prepared = prepare_variants(case, config);
+    let baseline = case.run_checked_prepared(&prepared.baseline).stats;
+    let darm = case.run_checked_prepared(&prepared.darm).stats;
+    let bf = case.run_checked_prepared(&prepared.bf).stats;
+    VariantStats { name: case.name.clone(), baseline, darm, bf, meld: prepared.meld }
 }
 
 /// Geometric mean.

@@ -33,7 +33,7 @@ pub mod srad;
 pub mod synthetic;
 
 use darm_ir::Function;
-use darm_simt::{Gpu, GpuConfig, KernelArg, KernelStats, LaunchConfig, SimError};
+use darm_simt::{Gpu, GpuConfig, KernelArg, KernelStats, LaunchConfig, PreparedKernel, SimError};
 
 /// One kernel launch argument with its backing data.
 #[derive(Debug, Clone)]
@@ -98,7 +98,45 @@ impl BenchCase {
     ///
     /// Propagates any simulator error.
     pub fn execute_fn(&self, func: &Function) -> Result<RunResult, SimError> {
+        self.execute_prepared(&PreparedKernel::new(func))
+    }
+
+    /// Executes an already-decoded kernel on this case's inputs. Preparing
+    /// once (see [`darm_simt::PreparedKernel::new`]) and re-running via this
+    /// amortizes the decode across repeated launches — the pattern the
+    /// benchmark harness uses for its baseline/DARM/BF variants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulator error.
+    pub fn execute_prepared(&self, kernel: &PreparedKernel) -> Result<RunResult, SimError> {
         let mut gpu = Gpu::new(GpuConfig::default());
+        let (kargs, bufs) = self.alloc_args(&mut gpu);
+        let stats = gpu.launch_prepared(kernel, &self.launch, &kargs)?;
+        let buffers = bufs
+            .into_iter()
+            .map(|b| {
+                b.map(|(id, is_f32)| {
+                    if is_f32 {
+                        BufData::F32(gpu.read_f32(id))
+                    } else {
+                        BufData::I32(gpu.read_i32(id))
+                    }
+                })
+            })
+            .collect();
+        Ok(RunResult { buffers, stats })
+    }
+
+    /// Allocates this case's input buffers on `gpu` and builds the launch
+    /// argument list. Returns the arguments plus, per argument, the buffer
+    /// id and whether it holds `f32` data (`None` for scalars). The single
+    /// source of truth for [`ArgSpec`] → [`KernelArg`] conversion, shared by
+    /// the harness, the differential test and the throughput bench.
+    pub fn alloc_args(
+        &self,
+        gpu: &mut Gpu,
+    ) -> (Vec<KernelArg>, Vec<Option<(darm_simt::BufferId, bool)>>) {
         let mut kargs = Vec::new();
         let mut bufs = Vec::new();
         for arg in &self.args {
@@ -123,20 +161,7 @@ impl BenchCase {
                 }
             }
         }
-        let stats = gpu.launch(func, &self.launch, &kargs)?;
-        let buffers = bufs
-            .into_iter()
-            .map(|b| {
-                b.map(|(id, is_f32)| {
-                    if is_f32 {
-                        BufData::F32(gpu.read_f32(id))
-                    } else {
-                        BufData::I32(gpu.read_i32(id))
-                    }
-                })
-            })
-            .collect();
-        Ok(RunResult { buffers, stats })
+        (kargs, bufs)
     }
 
     /// Checks a run result against the CPU reference.
@@ -180,6 +205,15 @@ impl BenchCase {
     pub fn run_checked(&self, func: &Function) -> RunResult {
         let result = self
             .execute_fn(func)
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", self.name));
+        self.check(&result).unwrap_or_else(|e| panic!("{e}"));
+        result
+    }
+
+    /// [`BenchCase::run_checked`] for an already-decoded kernel.
+    pub fn run_checked_prepared(&self, kernel: &PreparedKernel) -> RunResult {
+        let result = self
+            .execute_prepared(kernel)
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", self.name));
         self.check(&result).unwrap_or_else(|e| panic!("{e}"));
         result

@@ -127,6 +127,7 @@ pub struct MeldStats {
 }
 
 /// How a subgraph pair would be melded, decided during planning.
+#[derive(Clone)]
 enum MatchKind {
     Iso(Vec<(darm_ir::BlockId, darm_ir::BlockId)>),
     ReplicateTrue(darm_ir::BlockId),
@@ -239,16 +240,32 @@ fn plan_region(
         }
     }
 
+    // Score memoization: the alignment DP fill asks for every (i, j) cell,
+    // and the plan construction below asks again for each matched pair —
+    // `score_pair` runs subgraph isomorphism / profit analysis each time, so
+    // cache by the pair's entry blocks (unique per subgraph within a region).
+    let mut score_cache: std::collections::HashMap<
+        (darm_ir::BlockId, darm_ir::BlockId),
+        Option<(f64, MatchKind)>,
+    > = std::collections::HashMap::new();
+
     // Chain alignment: only matches meeting the threshold are allowed.
-    let (_, steps) = global_align(
-        &r.true_chain,
-        &r.false_chain,
-        |st, sf| {
-            let (p, _) = score_pair(func, config, st, sf)?;
-            (p >= config.threshold).then_some((p * 1e6) as i64)
-        },
-        0,
-    );
+    let (_, steps) = {
+        let cache = &mut score_cache;
+        let func = &*func;
+        global_align(
+            &r.true_chain,
+            &r.false_chain,
+            move |st, sf| {
+                let (p, _) = cache
+                    .entry((st.entry, sf.entry))
+                    .or_insert_with(|| score_pair(func, config, st, sf))
+                    .as_ref()?;
+                (*p >= config.threshold).then_some((p * 1e6) as i64)
+            },
+            0,
+        )
+    };
     if !steps.iter().any(|s| matches!(s, AlignStep::Match(..))) {
         return None;
     }
@@ -260,7 +277,11 @@ fn plan_region(
             AlignStep::Match(i, j) => {
                 let st = r.true_chain[i].clone();
                 let sf = r.false_chain[j].clone();
-                let (profit, kind) = score_pair(func, config, &st, &sf).expect("scored during alignment");
+                let (profit, kind) = score_cache
+                    .get(&(st.entry, sf.entry))
+                    .cloned()
+                    .flatten()
+                    .expect("scored during alignment");
                 match kind {
                     MatchKind::Iso(pairs) => {
                         plan.push(PlanElement::Meld { st, sf, pairs, profit });

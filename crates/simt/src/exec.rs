@@ -1,11 +1,27 @@
 //! The SIMT interpreter: lockstep warp execution with IPDOM reconvergence.
+//!
+//! Execution is split into two phases:
+//!
+//! 1. **decode** — [`PreparedKernel::new`] lowers a [`Function`] into flat
+//!    instruction records with pre-resolved operand slots, per-block
+//!    instruction ranges, φ tables keyed by predecessor, and a cached IPDOM
+//!    map (see [`crate::decoded`]);
+//! 2. **execute** — the engine below walks the decoded arrays with a
+//!    per-warp reconvergence stack. Opcode dispatch happens once per *warp*
+//!    instruction; every handler then iterates the active-mask bits, so the
+//!    per-lane work is just operand loads from a flat, lane-major register
+//!    file and the arithmetic itself.
+//!
+//! [`Gpu::launch`] prepares and executes in one call; [`PreparedKernel::new`] +
+//! [`Gpu::launch_prepared`] let callers amortize the decode across many
+//! launches. [`Gpu::launch_reference`] runs the original arena-walking
+//! interpreter ([`crate::reference`]) for differential testing.
 
+use crate::decoded::{DInst, DOperand, PreparedKernel, BLOCK_ENTRY, NO_BLOCK, NO_DST};
 use crate::mem::{decode, encode_global, encode_shared, BufferId, ByteStore, RawVal};
 use crate::stats::KernelStats;
-use crate::{GpuConfig, LaunchConfig};
-use darm_analysis::{Cfg, PostDomTree};
-use darm_ir::cost;
-use darm_ir::{BlockId, Dim, Function, InstData, Opcode, Type, Value};
+use crate::{reference, GpuConfig, LaunchConfig};
+use darm_ir::{cost, Dim, Function, Opcode, Type};
 use std::error::Error;
 use std::fmt;
 
@@ -57,6 +73,45 @@ impl fmt::Display for SimError {
 }
 
 impl Error for SimError {}
+
+/// Validates launch arguments against a kernel signature and converts them
+/// to runtime values. Shared by the decoded and reference engines.
+pub(crate) fn validate_args(
+    kernel_name: &str,
+    params: &[Type],
+    args: &[KernelArg],
+    n_buffers: usize,
+) -> Result<Vec<RawVal>, SimError> {
+    if args.len() != params.len() {
+        return Err(SimError::BadArgs(format!(
+            "kernel {} expects {} arguments, got {}",
+            kernel_name,
+            params.len(),
+            args.len()
+        )));
+    }
+    let mut arg_vals = Vec::with_capacity(args.len());
+    for (k, (&arg, &ty)) in args.iter().zip(params).enumerate() {
+        let v = match (arg, ty) {
+            (KernelArg::Buffer(b), Type::Ptr(_)) => {
+                if b.0 as usize >= n_buffers {
+                    return Err(SimError::BadArgs(format!("argument {k}: unknown buffer")));
+                }
+                RawVal::Ptr(encode_global(b, 0))
+            }
+            (KernelArg::I32(x), Type::I32) => RawVal::I32(x),
+            (KernelArg::I64(x), Type::I64) => RawVal::I64(x),
+            (KernelArg::F32(x), Type::F32) => RawVal::F32(x),
+            _ => {
+                return Err(SimError::BadArgs(format!(
+                    "argument {k}: {arg:?} does not match parameter type {ty}"
+                )))
+            }
+        };
+        arg_vals.push(v);
+    }
+    Ok(arg_vals)
+}
 
 /// The simulated GPU: owns global memory and runs kernel launches.
 #[derive(Debug)]
@@ -114,15 +169,25 @@ impl Gpu {
             .collect()
     }
 
+    /// Reads a buffer back as raw bytes.
+    pub fn read_bytes(&self, buf: BufferId) -> &[u8] {
+        self.buffers[buf.0 as usize].bytes()
+    }
+
     /// Overwrites a buffer with new `i32` contents (same length required).
     pub fn write_i32(&mut self, buf: BufferId, data: &[i32]) {
         let store = &mut self.buffers[buf.0 as usize];
         assert_eq!(store.len(), data.len() * 4, "buffer size mismatch");
-        let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
-        *store = ByteStore::from_bytes(bytes);
+        for (chunk, x) in store.bytes_mut().chunks_exact_mut(4).zip(data) {
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
     }
 
     /// Launches `func` over the given geometry.
+    ///
+    /// Convenience wrapper that decodes on every call; build a
+    /// [`PreparedKernel`] once and use [`Gpu::launch_prepared`] to amortize
+    /// the decode.
     ///
     /// # Errors
     ///
@@ -134,78 +199,79 @@ impl Gpu {
         cfg: &LaunchConfig,
         args: &[KernelArg],
     ) -> Result<KernelStats, SimError> {
-        if args.len() != func.params().len() {
-            return Err(SimError::BadArgs(format!(
-                "kernel {} expects {} arguments, got {}",
-                func.name(),
-                func.params().len(),
-                args.len()
-            )));
-        }
-        let mut arg_vals = Vec::with_capacity(args.len());
-        for (k, (&arg, &ty)) in args.iter().zip(func.params()).enumerate() {
-            let v = match (arg, ty) {
-                (KernelArg::Buffer(b), Type::Ptr(_)) => {
-                    if b.0 as usize >= self.buffers.len() {
-                        return Err(SimError::BadArgs(format!("argument {k}: unknown buffer")));
-                    }
-                    RawVal::Ptr(encode_global(b, 0))
-                }
-                (KernelArg::I32(x), Type::I32) => RawVal::I32(x),
-                (KernelArg::I64(x), Type::I64) => RawVal::I64(x),
-                (KernelArg::F32(x), Type::F32) => RawVal::F32(x),
-                _ => {
-                    return Err(SimError::BadArgs(format!(
-                        "argument {k}: {arg:?} does not match parameter type {ty}"
-                    )))
-                }
-            };
-            arg_vals.push(v);
-        }
+        let pk = PreparedKernel::new(func);
+        self.launch_prepared(&pk, cfg, args)
+    }
 
-        let cfg_snapshot = Cfg::new(func);
-        let pdt = PostDomTree::new(func, &cfg_snapshot);
-
-        // Shared arena layout.
-        let mut shared_offsets = Vec::new();
-        let mut shared_size = 0u64;
-        for arr in func.shared_arrays() {
-            shared_offsets.push(shared_size);
-            shared_size += arr.size_bytes();
-            shared_size = (shared_size + 7) & !7; // 8-byte align
-        }
-
+    /// Launches an already-decoded kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gpu::launch`].
+    pub fn launch_prepared(
+        &mut self,
+        pk: &PreparedKernel,
+        cfg: &LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<KernelStats, SimError> {
+        let arg_vals = validate_args(&pk.name, &pk.params, args, self.buffers.len())?;
         let mut stats = KernelStats { warp_size: self.config.warp_size, ..Default::default() };
         let mut budget = self.config.max_warp_instructions;
+        let threads = cfg.threads_per_block() as usize;
+        // One flat lane-major register file, reused (re-cleared) per block.
+        let mut regs = vec![RawVal::Undef; threads * pk.n_slots as usize];
         for by in 0..cfg.grid.1 {
             for bx in 0..cfg.grid.0 {
-                let mut block_exec = BlockExec {
+                regs.fill(RawVal::Undef);
+                let mut engine = Engine {
                     buffers: &mut self.buffers,
                     warp_size: self.config.warp_size,
-                    func,
-                    pdt: &pdt,
+                    pk,
                     launch: cfg,
                     args: &arg_vals,
                     block_idx: (bx, by),
-                    shared: ByteStore::with_len(shared_size as usize),
-                    shared_offsets: &shared_offsets,
+                    shared: ByteStore::with_len(pk.shared_size as usize),
                     stats: KernelStats { warp_size: self.config.warp_size, ..Default::default() },
                     budget: &mut budget,
+                    n_slots: pk.n_slots as usize,
+                    phi_stage: Vec::new(),
+                    lane_addrs: Vec::new(),
+                    scratch: Vec::new(),
                 };
-                block_exec.run()?;
-                let s = block_exec.stats;
+                engine.run(&mut regs)?;
+                let s = engine.stats;
                 stats.merge(&s);
             }
         }
         Ok(stats)
     }
+
+    /// Launches `func` with the original per-lane reference interpreter
+    /// ([`crate::reference`]) — the semantic baseline the decoded engine is
+    /// differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gpu::launch`].
+    pub fn launch_reference(
+        &mut self,
+        func: &Function,
+        cfg: &LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<KernelStats, SimError> {
+        reference::launch(&mut self.buffers, &self.config, func, cfg, args)
+    }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct StackEntry {
-    block: BlockId,
-    inst_idx: usize,
-    rpc: Option<BlockId>,
+    /// Dense block index.
+    block: u32,
+    /// Absolute index into [`PreparedKernel::insts`], or [`BLOCK_ENTRY`]
+    /// when the block's φ batch has not run yet.
+    inst_idx: u32,
+    /// Reconvergence block (dense), or [`NO_BLOCK`].
+    rpc: u32,
     mask: u64,
 }
 
@@ -218,34 +284,77 @@ enum WarpStatus {
 
 struct WarpState {
     stack: Vec<StackEntry>,
-    /// Last block executed, per lane — resolves φ incoming values.
-    prev: Vec<Option<BlockId>>,
+    /// Last block executed, per lane (dense index) — resolves φ incomings.
+    prev: Vec<u32>,
     status: WarpStatus,
     base_thread: u32,
 }
 
-struct BlockExec<'a> {
+/// Per-thread-block execution state for the decoded engine.
+struct Engine<'a> {
     buffers: &'a mut Vec<ByteStore>,
     warp_size: u32,
-    func: &'a Function,
-    pdt: &'a PostDomTree,
+    pk: &'a PreparedKernel,
     launch: &'a LaunchConfig,
     args: &'a [RawVal],
     block_idx: (u32, u32),
     shared: ByteStore,
-    shared_offsets: &'a [u64],
     stats: KernelStats,
     budget: &'a mut u64,
+    n_slots: usize,
+    /// Scratch for the atomic φ batch: `(thread, slot, value)`.
+    phi_stage: Vec<(u32, u32, RawVal)>,
+    /// Scratch for per-lane memory addresses of the current instruction.
+    lane_addrs: Vec<u64>,
+    /// Scratch for the coalescing / bank-conflict model.
+    scratch: Vec<u64>,
 }
 
-impl<'a> BlockExec<'a> {
+/// Resolves a pre-decoded operand for one lane. `lane_base` is the lane's
+/// offset into the flat register file.
+#[inline(always)]
+fn resolve(op: DOperand, regs: &[RawVal], lane_base: usize, args: &[RawVal]) -> RawVal {
+    match op {
+        DOperand::Reg(s) => regs[lane_base + s as usize],
+        DOperand::Param(i) => args[i as usize],
+        DOperand::Imm(v) => v,
+    }
+}
+
+/// The seed interpreter's integer-binop semantics: well-typed pairs compute,
+/// everything else (type mismatches, undef) yields `Undef`.
+#[inline(always)]
+fn bin_i(a: RawVal, b: RawVal, f: impl Fn(i64, i64) -> i64) -> RawVal {
+    match (a, b) {
+        (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(f(a as i64, b as i64) as i32),
+        (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(f(a, b)),
+        (RawVal::I1(a), RawVal::I1(b)) => RawVal::I1(f(a as i64, b as i64) & 1 != 0),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+fn bin_f(a: RawVal, b: RawVal, f: impl Fn(f32, f32) -> f32) -> RawVal {
+    match (a, b) {
+        (RawVal::F32(a), RawVal::F32(b)) => RawVal::F32(f(a, b)),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+fn un_f(a: RawVal, f: impl Fn(f32) -> f32) -> RawVal {
+    match a {
+        RawVal::F32(a) => RawVal::F32(f(a)),
+        _ => RawVal::Undef,
+    }
+}
+
+impl<'a> Engine<'a> {
     #[allow(clippy::needless_range_loop)] // indexing sidesteps a double &mut borrow
-    fn run(&mut self) -> Result<(), SimError> {
+    fn run(&mut self, regs: &mut [RawVal]) -> Result<(), SimError> {
         let threads = self.launch.threads_per_block();
         let ws = self.warp_size;
         let n_warps = threads.div_ceil(ws);
-        let n_insts = self.func.inst_capacity();
-        let mut regs: Vec<Vec<RawVal>> = (0..threads).map(|_| vec![RawVal::Undef; n_insts]).collect();
 
         let mut warps: Vec<WarpState> = (0..n_warps)
             .map(|w| {
@@ -254,12 +363,12 @@ impl<'a> BlockExec<'a> {
                 let mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
                 WarpState {
                     stack: vec![StackEntry {
-                        block: self.func.entry(),
-                        inst_idx: 0,
-                        rpc: None,
+                        block: self.pk.entry,
+                        inst_idx: BLOCK_ENTRY,
+                        rpc: NO_BLOCK,
                         mask,
                     }],
-                    prev: vec![None; ws as usize],
+                    prev: vec![NO_BLOCK; ws as usize],
                     status: WarpStatus::Running,
                     base_thread: base,
                 }
@@ -271,7 +380,7 @@ impl<'a> BlockExec<'a> {
             for w in 0..warps.len() {
                 if warps[w].status == WarpStatus::Running {
                     any_running = true;
-                    self.run_warp(&mut warps[w], &mut regs)?;
+                    self.run_warp(&mut warps[w], regs)?;
                 }
             }
             let done = warps.iter().filter(|w| w.status == WarpStatus::Done).count();
@@ -296,314 +405,284 @@ impl<'a> BlockExec<'a> {
 
     /// Runs one warp until it finishes, reaches a barrier, or diverges into
     /// a state handled on the next scheduler pass.
-    fn run_warp(
-        &mut self,
-        warp: &mut WarpState,
-        regs: &mut [Vec<RawVal>],
-    ) -> Result<(), SimError> {
+    fn run_warp(&mut self, warp: &mut WarpState, regs: &mut [RawVal]) -> Result<(), SimError> {
+        let pk = self.pk;
+        let args = self.args;
+        let n = self.n_slots;
         'outer: loop {
             // Pop entries that already sit at their reconvergence point.
             while let Some(top) = warp.stack.last() {
-                if Some(top.block) == top.rpc {
+                if top.block == top.rpc {
                     warp.stack.pop();
                 } else {
                     break;
                 }
             }
-            let Some(top) = warp.stack.last().cloned() else {
+            let Some(&top) = warp.stack.last() else {
                 warp.status = WarpStatus::Done;
                 return Ok(());
             };
-            let insts = self.func.insts_of(top.block).to_vec();
+            let blk = pk.blocks[top.block as usize];
             let mut idx = top.inst_idx;
 
             // Atomically evaluate the φ batch on block entry.
-            if idx == 0 {
-                let phis: Vec<_> = insts
-                    .iter()
-                    .copied()
-                    .take_while(|&i| self.func.inst(i).opcode.is_phi())
-                    .collect();
-                if !phis.is_empty() {
-                    let mut staged: Vec<(usize, usize, RawVal)> = Vec::new();
-                    for &phi in &phis {
-                        let data = self.func.inst(phi);
-                        for lane in 0..self.warp_size {
-                            if top.mask & (1 << lane) == 0 {
-                                continue;
-                            }
+            if idx == BLOCK_ENTRY {
+                if blk.phi_end > blk.phi_start {
+                    self.phi_stage.clear();
+                    for phi in &pk.phis[blk.phi_start as usize..blk.phi_end as usize] {
+                        let mut m = top.mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros();
+                            m &= m - 1;
                             let thread = (warp.base_thread + lane) as usize;
-                            let pred = warp.prev[lane as usize].ok_or_else(|| {
-                                SimError::UndefValue(format!(
+                            let pred = warp.prev[lane as usize];
+                            if pred == NO_BLOCK {
+                                return Err(SimError::UndefValue(format!(
                                     "phi in block {} executed with no predecessor",
-                                    self.func.block_name(top.block)
-                                ))
-                            })?;
-                            let val = data.phi_value_for(pred).ok_or_else(|| {
-                                SimError::UndefValue(format!(
+                                    pk.block_name(top.block)
+                                )));
+                            }
+                            let incs =
+                                &pk.phi_incomings[phi.inc_start as usize..phi.inc_end as usize];
+                            let Some(&(_, op)) = incs.iter().find(|&&(p, _)| p == pred) else {
+                                return Err(SimError::UndefValue(format!(
                                     "phi in {} has no incoming for predecessor {}",
-                                    self.func.block_name(top.block),
-                                    self.func.block_name(pred)
-                                ))
-                            })?;
-                            let raw = self.eval(val, regs, thread);
-                            staged.push((thread, phi.index(), raw));
+                                    pk.block_name(top.block),
+                                    pk.block_name(pred)
+                                )));
+                            };
+                            let raw = resolve(op, regs, thread * n, args);
+                            self.phi_stage.push((thread as u32, phi.dst, raw));
                         }
                     }
-                    for (thread, slot, raw) in staged {
-                        regs[thread][slot] = raw;
+                    for &(thread, slot, raw) in &self.phi_stage {
+                        regs[thread as usize * n + slot as usize] = raw;
                     }
-                    idx = phis.len();
                 }
+                idx = blk.first;
             }
 
-            while idx < insts.len() {
-                let id = insts[idx];
-                let data = self.func.inst(id).clone();
-                if data.opcode.is_terminator() {
-                    self.charge(&data, top.mask, &[], regs, warp.base_thread);
-                    // Record per-lane provenance before leaving the block.
-                    for lane in 0..self.warp_size {
-                        if top.mask & (1 << lane) != 0 {
-                            warp.prev[lane as usize] = Some(top.block);
+            while idx < blk.end {
+                let inst = pk.insts[idx as usize];
+                match inst.opcode {
+                    Opcode::Ret | Opcode::Jump | Opcode::Br => {
+                        self.charge(&inst, top.mask);
+                        // Record per-lane provenance before leaving the block.
+                        let mut m = top.mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros();
+                            m &= m - 1;
+                            warp.prev[lane as usize] = top.block;
                         }
-                    }
-                    match data.opcode {
-                        Opcode::Ret => {
-                            warp.stack.pop();
-                            continue 'outer;
-                        }
-                        Opcode::Jump => {
-                            self.transition(warp, data.succs[0]);
-                            continue 'outer;
-                        }
-                        Opcode::Br => {
-                            let mut m_true = 0u64;
-                            let mut m_false = 0u64;
-                            for lane in 0..self.warp_size {
-                                if top.mask & (1 << lane) == 0 {
-                                    continue;
-                                }
-                                let thread = (warp.base_thread + lane) as usize;
-                                match self.eval(data.operands[0], regs, thread) {
-                                    RawVal::I1(true) => m_true |= 1 << lane,
-                                    RawVal::I1(false) => m_false |= 1 << lane,
-                                    _ => {
-                                        return Err(SimError::UndefValue(format!(
-                                            "branch condition in block {}",
-                                            self.func.block_name(top.block)
-                                        )))
+                        match inst.opcode {
+                            Opcode::Ret => {
+                                warp.stack.pop();
+                                continue 'outer;
+                            }
+                            Opcode::Jump => {
+                                transition(warp, inst.succs[0]);
+                                continue 'outer;
+                            }
+                            _ => {
+                                let mut m_true = 0u64;
+                                let mut m_false = 0u64;
+                                let mut m = top.mask;
+                                while m != 0 {
+                                    let lane = m.trailing_zeros();
+                                    m &= m - 1;
+                                    let thread = (warp.base_thread + lane) as usize;
+                                    match resolve(inst.ops[0], regs, thread * n, args) {
+                                        RawVal::I1(true) => m_true |= 1 << lane,
+                                        RawVal::I1(false) => m_false |= 1 << lane,
+                                        _ => {
+                                            return Err(SimError::UndefValue(format!(
+                                                "branch condition in block {}",
+                                                pk.block_name(top.block)
+                                            )))
+                                        }
                                     }
                                 }
+                                let (then_bb, else_bb) = (inst.succs[0], inst.succs[1]);
+                                if m_false == 0 {
+                                    transition(warp, then_bb);
+                                } else if m_true == 0 {
+                                    transition(warp, else_bb);
+                                } else {
+                                    let rpc = blk.ipdom;
+                                    if rpc == NO_BLOCK {
+                                        return Err(SimError::MissingIpdom(
+                                            pk.block_name(top.block).to_string(),
+                                        ));
+                                    }
+                                    let cur = warp.stack.last_mut().expect("entry exists");
+                                    cur.block = rpc;
+                                    cur.inst_idx = BLOCK_ENTRY;
+                                    warp.stack.push(StackEntry {
+                                        block: else_bb,
+                                        inst_idx: BLOCK_ENTRY,
+                                        rpc,
+                                        mask: m_false,
+                                    });
+                                    warp.stack.push(StackEntry {
+                                        block: then_bb,
+                                        inst_idx: BLOCK_ENTRY,
+                                        rpc,
+                                        mask: m_true,
+                                    });
+                                }
+                                continue 'outer;
                             }
-                            let (then_bb, else_bb) = (data.succs[0], data.succs[1]);
-                            if m_false == 0 {
-                                self.transition(warp, then_bb);
-                            } else if m_true == 0 {
-                                self.transition(warp, else_bb);
-                            } else {
-                                let rpc = self.pdt.ipdom(top.block).ok_or_else(|| {
-                                    SimError::MissingIpdom(self.func.block_name(top.block).to_string())
-                                })?;
-                                let cur = warp.stack.last_mut().expect("entry exists");
-                                cur.block = rpc;
-                                cur.inst_idx = 0;
-                                let outer_rpc = Some(rpc);
-                                warp.stack.push(StackEntry {
-                                    block: else_bb,
-                                    inst_idx: 0,
-                                    rpc: outer_rpc,
-                                    mask: m_false,
-                                });
-                                warp.stack.push(StackEntry {
-                                    block: then_bb,
-                                    inst_idx: 0,
-                                    rpc: outer_rpc,
-                                    mask: m_true,
-                                });
-                            }
-                            continue 'outer;
                         }
-                        _ => unreachable!("terminator handled above"),
+                    }
+                    Opcode::Syncthreads => {
+                        self.stats.barriers += 1;
+                        self.stats.cycles += 1;
+                        let cur = warp.stack.last_mut().unwrap();
+                        cur.inst_idx = idx + 1;
+                        warp.status = WarpStatus::AtBarrier;
+                        return Ok(());
+                    }
+                    _ => {
+                        self.lane_addrs.clear();
+                        self.exec_plain(&inst, top.mask, warp.base_thread, regs)?;
+                        self.charge(&inst, top.mask);
+                        if *self.budget == 0 {
+                            return Err(SimError::StepLimit);
+                        }
+                        *self.budget -= 1;
+                        idx += 1;
+                        warp.stack.last_mut().unwrap().inst_idx = idx;
                     }
                 }
-
-                if data.opcode == Opcode::Syncthreads {
-                    self.stats.barriers += 1;
-                    self.stats.cycles += 1;
-                    if top.mask != warp.stack.last().unwrap().mask {
-                        return Err(SimError::BarrierDeadlock("barrier under partial mask".into()));
-                    }
-                    let cur = warp.stack.last_mut().unwrap();
-                    cur.inst_idx = idx + 1;
-                    warp.status = WarpStatus::AtBarrier;
-                    return Ok(());
-                }
-
-                // Plain instruction: execute per active lane. Ballot is the
-                // one warp-wide operation: all active lanes receive the mask
-                // of lanes whose predicate holds.
-                let mut lane_addrs: Vec<u64> = Vec::new();
-                if data.opcode == Opcode::Ballot {
-                    let mut ballot = 0u64;
-                    for lane in 0..self.warp_size {
-                        if top.mask & (1 << lane) == 0 {
-                            continue;
-                        }
-                        let thread = (warp.base_thread + lane) as usize;
-                        if let RawVal::I1(true) = self.eval(data.operands[0], regs, thread) {
-                            ballot |= 1 << lane;
-                        }
-                    }
-                    for lane in 0..self.warp_size {
-                        if top.mask & (1 << lane) != 0 {
-                            let thread = (warp.base_thread + lane) as usize;
-                            regs[thread][id.index()] = RawVal::I64(ballot as i64);
-                        }
-                    }
-                } else {
-                    for lane in 0..self.warp_size {
-                        if top.mask & (1 << lane) == 0 {
-                            continue;
-                        }
-                        let thread = (warp.base_thread + lane) as usize;
-                        let result = self.exec_lane(&data, regs, thread, &mut lane_addrs)?;
-                        if data.ty != Type::Void {
-                            regs[thread][id.index()] = result;
-                        }
-                    }
-                }
-                self.charge(&data, top.mask, &lane_addrs, regs, warp.base_thread);
-                if *self.budget == 0 {
-                    return Err(SimError::StepLimit);
-                }
-                *self.budget -= 1;
-                idx += 1;
-                let cur = warp.stack.last_mut().unwrap();
-                cur.inst_idx = idx;
             }
             // A block must end in a terminator; verify_structure guarantees it.
-            unreachable!("fell off the end of block {}", self.func.block_name(top.block));
+            unreachable!("fell off the end of block {}", pk.block_name(top.block));
         }
     }
 
-    /// Applies a control transfer for the warp's top-of-stack entry,
-    /// popping it if the target is its reconvergence point.
-    fn transition(&mut self, warp: &mut WarpState, target: BlockId) {
-        let top = warp.stack.last_mut().expect("entry exists");
-        if Some(target) == top.rpc {
-            warp.stack.pop();
-        } else {
-            top.block = target;
-            top.inst_idx = 0;
-        }
-    }
-
-    /// Evaluates an SSA value for a thread.
-    fn eval(&self, v: Value, regs: &[Vec<RawVal>], thread: usize) -> RawVal {
-        match v {
-            Value::Inst(id) => regs[thread][id.index()],
-            Value::Param(i) => self.args[i as usize],
-            Value::I1(b) => RawVal::I1(b),
-            Value::I32(x) => RawVal::I32(x),
-            Value::I64(x) => RawVal::I64(x),
-            Value::F32Bits(bits) => RawVal::F32(f32::from_bits(bits)),
-            Value::Undef(_) => RawVal::Undef,
-        }
-    }
-
-    /// Executes one non-terminator instruction for one lane.
-    fn exec_lane(
+    /// Executes one plain (non-control, non-warp-wide) instruction for all
+    /// active lanes: opcode dispatched once, lanes iterated inside.
+    fn exec_plain(
         &mut self,
-        data: &InstData,
-        regs: &mut [Vec<RawVal>],
-        thread: usize,
-        lane_addrs: &mut Vec<u64>,
-    ) -> Result<RawVal, SimError> {
+        inst: &DInst,
+        mask: u64,
+        base_thread: u32,
+        regs: &mut [RawVal],
+    ) -> Result<(), SimError> {
         use Opcode::*;
-        let ops: Vec<RawVal> = data.operands.iter().map(|&v| self.eval(v, regs, thread)).collect();
-        let undef_in = ops.iter().any(|o| matches!(o, RawVal::Undef));
-        let bin_i = |f: fn(i64, i64) -> i64| -> RawVal {
-            match (ops[0], ops[1]) {
-                (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(f(a as i64, b as i64) as i32),
-                (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(f(a, b)),
-                (RawVal::I1(a), RawVal::I1(b)) => RawVal::I1(f(a as i64, b as i64) & 1 != 0),
-                _ => RawVal::Undef,
-            }
-        };
-        let bin_f = |f: fn(f32, f32) -> f32| -> RawVal {
-            match (ops[0], ops[1]) {
-                (RawVal::F32(a), RawVal::F32(b)) => RawVal::F32(f(a, b)),
-                _ => RawVal::Undef,
-            }
-        };
-        Ok(match data.opcode {
-            Add => bin_i(|a, b| a.wrapping_add(b)),
-            Sub => bin_i(|a, b| a.wrapping_sub(b)),
-            Mul => bin_i(|a, b| a.wrapping_mul(b)),
-            SDiv | SRem | UDiv | URem => {
-                if undef_in {
-                    RawVal::Undef
-                } else {
-                    let (a, b) = match (ops[0], ops[1]) {
-                        (RawVal::I32(a), RawVal::I32(b)) => (a as i64, b as i64),
-                        (RawVal::I64(a), RawVal::I64(b)) => (a, b),
-                        _ => return Ok(RawVal::Undef),
-                    };
-                    if b == 0 {
-                        return Err(SimError::DivByZero);
-                    }
-                    let r = match data.opcode {
-                        SDiv => a.wrapping_div(b),
-                        SRem => a.wrapping_rem(b),
-                        UDiv => ((a as u64) / (b as u64)) as i64,
-                        URem => ((a as u64) % (b as u64)) as i64,
-                        _ => unreachable!(),
-                    };
-                    match data.ty {
-                        Type::I32 => RawVal::I32(r as i32),
-                        _ => RawVal::I64(r),
-                    }
+        let n = self.n_slots;
+        let args = self.args;
+        let dst = inst.dst as usize;
+        let [op0, op1, op2] = inst.ops;
+
+        // Iterates the active lanes, binding the lane's register-file base.
+        macro_rules! lanes {
+            (|$lb:ident| $body:expr) => {{
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let $lb = (base_thread + lane) as usize * n;
+                    $body
                 }
+            }};
+            (|$lb:ident, $thread:ident| $body:expr) => {{
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let $thread = (base_thread + lane) as usize;
+                    let $lb = $thread * n;
+                    $body
+                }
+            }};
+        }
+        macro_rules! map2 {
+            ($f:expr) => {
+                lanes!(|lb| {
+                    let a = resolve(op0, regs, lb, args);
+                    let b = resolve(op1, regs, lb, args);
+                    regs[lb + dst] = ($f)(a, b);
+                })
+            };
+        }
+        macro_rules! map1 {
+            ($f:expr) => {
+                lanes!(|lb| {
+                    let a = resolve(op0, regs, lb, args);
+                    regs[lb + dst] = ($f)(a);
+                })
+            };
+        }
+
+        match inst.opcode {
+            Add => map2!(|a, b| bin_i(a, b, |a, b| a.wrapping_add(b))),
+            Sub => map2!(|a, b| bin_i(a, b, |a, b| a.wrapping_sub(b))),
+            Mul => map2!(|a, b| bin_i(a, b, |a, b| a.wrapping_mul(b))),
+            And => map2!(|a, b| bin_i(a, b, |a, b| a & b)),
+            Or => map2!(|a, b| bin_i(a, b, |a, b| a | b)),
+            Xor => map2!(|a, b| bin_i(a, b, |a, b| a ^ b)),
+            SDiv | SRem | UDiv | URem => {
+                let opcode = inst.opcode;
+                let ty = inst.ty;
+                lanes!(|lb| {
+                    let x = resolve(op0, regs, lb, args);
+                    let y = resolve(op1, regs, lb, args);
+                    let undef_in =
+                        matches!(x, RawVal::Undef) || matches!(y, RawVal::Undef);
+                    regs[lb + dst] = if undef_in {
+                        RawVal::Undef
+                    } else {
+                        let pair = match (x, y) {
+                            (RawVal::I32(a), RawVal::I32(b)) => Some((a as i64, b as i64)),
+                            (RawVal::I64(a), RawVal::I64(b)) => Some((a, b)),
+                            _ => None,
+                        };
+                        match pair {
+                            None => RawVal::Undef,
+                            Some((_, 0)) => return Err(SimError::DivByZero),
+                            Some((a, b)) => {
+                                let r = match opcode {
+                                    SDiv => a.wrapping_div(b),
+                                    SRem => a.wrapping_rem(b),
+                                    UDiv => ((a as u64) / (b as u64)) as i64,
+                                    URem => ((a as u64) % (b as u64)) as i64,
+                                    _ => unreachable!(),
+                                };
+                                match ty {
+                                    Type::I32 => RawVal::I32(r as i32),
+                                    _ => RawVal::I64(r),
+                                }
+                            }
+                        }
+                    };
+                });
             }
-            And => bin_i(|a, b| a & b),
-            Or => bin_i(|a, b| a | b),
-            Xor => bin_i(|a, b| a ^ b),
-            Shl => match (ops[0], ops[1]) {
+            Shl => map2!(|a, b| match (a, b) {
                 (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(a.wrapping_shl(b as u32)),
                 (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(a.wrapping_shl(b as u32)),
                 _ => RawVal::Undef,
-            },
-            LShr => match (ops[0], ops[1]) {
-                (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(((a as u32).wrapping_shr(b as u32)) as i32),
-                (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(((a as u64).wrapping_shr(b as u32)) as i64),
+            }),
+            LShr => map2!(|a, b| match (a, b) {
+                (RawVal::I32(a), RawVal::I32(b)) =>
+                    RawVal::I32(((a as u32).wrapping_shr(b as u32)) as i32),
+                (RawVal::I64(a), RawVal::I64(b)) =>
+                    RawVal::I64(((a as u64).wrapping_shr(b as u32)) as i64),
                 _ => RawVal::Undef,
-            },
-            AShr => match (ops[0], ops[1]) {
+            }),
+            AShr => map2!(|a, b| match (a, b) {
                 (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(a.wrapping_shr(b as u32)),
                 (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(a.wrapping_shr(b as u32)),
                 _ => RawVal::Undef,
-            },
-            FAdd => bin_f(|a, b| a + b),
-            FSub => bin_f(|a, b| a - b),
-            FMul => bin_f(|a, b| a * b),
-            FDiv => bin_f(|a, b| a / b),
-            FSqrt => match ops[0] {
-                RawVal::F32(a) => RawVal::F32(a.sqrt()),
-                _ => RawVal::Undef,
-            },
-            FAbs => match ops[0] {
-                RawVal::F32(a) => RawVal::F32(a.abs()),
-                _ => RawVal::Undef,
-            },
-            FNeg => match ops[0] {
-                RawVal::F32(a) => RawVal::F32(-a),
-                _ => RawVal::Undef,
-            },
-            FExp => match ops[0] {
-                RawVal::F32(a) => RawVal::F32(a.exp()),
-                _ => RawVal::Undef,
-            },
+            }),
+            FAdd => map2!(|a, b| bin_f(a, b, |a, b| a + b)),
+            FSub => map2!(|a, b| bin_f(a, b, |a, b| a - b)),
+            FMul => map2!(|a, b| bin_f(a, b, |a, b| a * b)),
+            FDiv => map2!(|a, b| bin_f(a, b, |a, b| a / b)),
+            FSqrt => map1!(|a| un_f(a, f32::sqrt)),
+            FAbs => map1!(|a| un_f(a, f32::abs)),
+            FNeg => map1!(|a| un_f(a, |x| -x)),
+            FExp => map1!(|a| un_f(a, f32::exp)),
             Icmp(pred) => {
                 use darm_ir::IcmpPred::*;
                 let cmp = |a: i64, b: i64, ua: u64, ub: u64| -> bool {
@@ -620,21 +699,19 @@ impl<'a> BlockExec<'a> {
                         Uge => ua >= ub,
                     }
                 };
-                match (ops[0], ops[1]) {
-                    (RawVal::I32(a), RawVal::I32(b)) => {
-                        RawVal::I1(cmp(a as i64, b as i64, a as u32 as u64, b as u32 as u64))
-                    }
+                map2!(|a, b| match (a, b) {
+                    (RawVal::I32(a), RawVal::I32(b)) =>
+                        RawVal::I1(cmp(a as i64, b as i64, a as u32 as u64, b as u32 as u64)),
                     (RawVal::I64(a), RawVal::I64(b)) => RawVal::I1(cmp(a, b, a as u64, b as u64)),
-                    (RawVal::I1(a), RawVal::I1(b)) => {
-                        RawVal::I1(cmp(a as i64, b as i64, a as u64, b as u64))
-                    }
+                    (RawVal::I1(a), RawVal::I1(b)) =>
+                        RawVal::I1(cmp(a as i64, b as i64, a as u64, b as u64)),
                     (RawVal::Ptr(a), RawVal::Ptr(b)) => RawVal::I1(cmp(a as i64, b as i64, a, b)),
                     _ => RawVal::Undef,
-                }
+                });
             }
             Fcmp(pred) => {
                 use darm_ir::FcmpPred::*;
-                match (ops[0], ops[1]) {
+                map2!(|a, b| match (a, b) {
                     (RawVal::F32(a), RawVal::F32(b)) => RawVal::I1(match pred {
                         Oeq => a == b,
                         One => a != b,
@@ -644,94 +721,157 @@ impl<'a> BlockExec<'a> {
                         Oge => a >= b,
                     }),
                     _ => RawVal::Undef,
-                }
+                });
             }
-            Select => match ops[0] {
-                RawVal::I1(true) => ops[1],
-                RawVal::I1(false) => ops[2],
-                _ => RawVal::Undef,
-            },
-            Zext | Sext => match ops[0] {
-                RawVal::I1(b) => {
-                    let x = if data.opcode == Zext { b as i64 } else { -(b as i64) };
-                    match data.ty {
-                        Type::I32 => RawVal::I32(x as i32),
-                        Type::I64 => RawVal::I64(x),
+            Select => {
+                lanes!(|lb| {
+                    let c = resolve(op0, regs, lb, args);
+                    let t = resolve(op1, regs, lb, args);
+                    let e = resolve(op2, regs, lb, args);
+                    regs[lb + dst] = match c {
+                        RawVal::I1(true) => t,
+                        RawVal::I1(false) => e,
                         _ => RawVal::Undef,
+                    };
+                });
+            }
+            Zext | Sext => {
+                let zext = inst.opcode == Zext;
+                let ty = inst.ty;
+                map1!(|a| match a {
+                    RawVal::I1(b) => {
+                        let x = if zext { b as i64 } else { -(b as i64) };
+                        match ty {
+                            Type::I32 => RawVal::I32(x as i32),
+                            Type::I64 => RawVal::I64(x),
+                            _ => RawVal::Undef,
+                        }
                     }
-                }
-                RawVal::I32(v) => {
-                    let x = if data.opcode == Zext { v as u32 as i64 } else { v as i64 };
-                    match data.ty {
-                        Type::I64 => RawVal::I64(x),
-                        Type::I32 => RawVal::I32(v),
+                    RawVal::I32(v) => {
+                        let x = if zext { v as u32 as i64 } else { v as i64 };
+                        match ty {
+                            Type::I64 => RawVal::I64(x),
+                            Type::I32 => RawVal::I32(v),
+                            _ => RawVal::Undef,
+                        }
+                    }
+                    _ => RawVal::Undef,
+                });
+            }
+            Trunc => {
+                let ty = inst.ty;
+                map1!(|a| match a {
+                    RawVal::I64(v) => match ty {
+                        Type::I32 => RawVal::I32(v as i32),
+                        Type::I1 => RawVal::I1(v & 1 != 0),
                         _ => RawVal::Undef,
-                    }
-                }
-                _ => RawVal::Undef,
-            },
-            Trunc => match ops[0] {
-                RawVal::I64(v) => match data.ty {
-                    Type::I32 => RawVal::I32(v as i32),
-                    Type::I1 => RawVal::I1(v & 1 != 0),
+                    },
+                    RawVal::I32(v) => match ty {
+                        Type::I1 => RawVal::I1(v & 1 != 0),
+                        _ => RawVal::Undef,
+                    },
                     _ => RawVal::Undef,
-                },
-                RawVal::I32(v) => match data.ty {
-                    Type::I1 => RawVal::I1(v & 1 != 0),
-                    _ => RawVal::Undef,
-                },
-                _ => RawVal::Undef,
-            },
-            SiToFp => match ops[0] {
+                });
+            }
+            SiToFp => map1!(|a| match a {
                 RawVal::I32(v) => RawVal::F32(v as f32),
                 RawVal::I64(v) => RawVal::F32(v as f32),
                 _ => RawVal::Undef,
-            },
-            FpToSi => match ops[0] {
-                RawVal::F32(v) => match data.ty {
-                    Type::I32 => RawVal::I32(v as i32),
-                    Type::I64 => RawVal::I64(v as i64),
+            }),
+            FpToSi => {
+                let ty = inst.ty;
+                map1!(|a| match a {
+                    RawVal::F32(v) => match ty {
+                        Type::I32 => RawVal::I32(v as i32),
+                        Type::I64 => RawVal::I64(v as i64),
+                        _ => RawVal::Undef,
+                    },
                     _ => RawVal::Undef,
-                },
-                _ => RawVal::Undef,
-            },
-            Gep { elem } => match (ops[0], ops[1].as_i64_index()) {
-                (RawVal::Ptr(base), Some(idx)) => {
-                    RawVal::Ptr(base.wrapping_add((idx as u64).wrapping_mul(elem.size_bytes())))
-                }
-                _ => RawVal::Undef,
-            },
+                });
+            }
+            Gep { .. } => {
+                let elem_size = inst.aux;
+                map2!(|a, b: RawVal| match (a, b.as_i64_index()) {
+                    (RawVal::Ptr(base), Some(idx)) =>
+                        RawVal::Ptr(base.wrapping_add((idx as u64).wrapping_mul(elem_size))),
+                    _ => RawVal::Undef,
+                });
+            }
             Load => {
-                let RawVal::Ptr(addr) = ops[0] else {
-                    return Err(SimError::UndefValue("load address".into()));
-                };
-                lane_addrs.push(addr);
-                self.mem_read(data.ty, addr)?
+                let ty = inst.ty;
+                lanes!(|lb| {
+                    let RawVal::Ptr(addr) = resolve(op0, regs, lb, args) else {
+                        return Err(SimError::UndefValue("load address".into()));
+                    };
+                    self.lane_addrs.push(addr);
+                    regs[lb + dst] = self.mem_read(ty, addr)?;
+                });
             }
             Store => {
-                let RawVal::Ptr(addr) = ops[1] else {
-                    return Err(SimError::UndefValue("store address".into()));
-                };
-                if matches!(ops[0], RawVal::Undef) {
-                    return Err(SimError::UndefValue("stored value".into()));
-                }
-                lane_addrs.push(addr);
-                self.mem_write(addr, ops[0])?;
-                RawVal::Undef
+                lanes!(|lb| {
+                    let v = resolve(op0, regs, lb, args);
+                    let RawVal::Ptr(addr) = resolve(op1, regs, lb, args) else {
+                        return Err(SimError::UndefValue("store address".into()));
+                    };
+                    if matches!(v, RawVal::Undef) {
+                        return Err(SimError::UndefValue("stored value".into()));
+                    }
+                    self.lane_addrs.push(addr);
+                    self.mem_write(addr, v)?;
+                });
             }
             ThreadIdx(d) => {
-                let t = thread as u32;
-                let (tx, ty) = (t % self.launch.block.0, t / self.launch.block.0);
-                RawVal::I32(if d == Dim::X { tx } else { ty } as i32)
+                let bx = self.launch.block.0;
+                lanes!(|lb, thread| {
+                    let t = thread as u32;
+                    let (tx, ty) = (t % bx, t / bx);
+                    regs[lb + dst] = RawVal::I32(if d == Dim::X { tx } else { ty } as i32);
+                });
             }
-            BlockIdx(d) => RawVal::I32(if d == Dim::X { self.block_idx.0 } else { self.block_idx.1 } as i32),
-            BlockDim(d) => RawVal::I32(if d == Dim::X { self.launch.block.0 } else { self.launch.block.1 } as i32),
-            GridDim(d) => RawVal::I32(if d == Dim::X { self.launch.grid.0 } else { self.launch.grid.1 } as i32),
-            SharedBase(k) => RawVal::Ptr(encode_shared(self.shared_offsets[k as usize])),
-            Ballot => unreachable!("ballot is executed warp-wide by the warp loop"),
-            Phi => unreachable!("phis are evaluated in a batch at block entry"),
-            Br | Jump | Ret | Syncthreads => unreachable!("handled by the warp loop"),
-        })
+            BlockIdx(d) => {
+                let v = RawVal::I32(
+                    if d == Dim::X { self.block_idx.0 } else { self.block_idx.1 } as i32,
+                );
+                lanes!(|lb| regs[lb + dst] = v);
+            }
+            BlockDim(d) => {
+                let v = RawVal::I32(
+                    if d == Dim::X { self.launch.block.0 } else { self.launch.block.1 } as i32,
+                );
+                lanes!(|lb| regs[lb + dst] = v);
+            }
+            GridDim(d) => {
+                let v = RawVal::I32(
+                    if d == Dim::X { self.launch.grid.0 } else { self.launch.grid.1 } as i32,
+                );
+                lanes!(|lb| regs[lb + dst] = v);
+            }
+            SharedBase(_) => {
+                let v = RawVal::Ptr(encode_shared(inst.aux));
+                lanes!(|lb| regs[lb + dst] = v);
+            }
+            Ballot => {
+                // The one warp-wide operation: all active lanes receive the
+                // mask of lanes whose predicate holds.
+                let mut ballot = 0u64;
+                {
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let lb = (base_thread + lane) as usize * n;
+                        if let RawVal::I1(true) = resolve(op0, regs, lb, args) {
+                            ballot |= 1 << lane;
+                        }
+                    }
+                }
+                lanes!(|lb| regs[lb + dst] = RawVal::I64(ballot as i64));
+            }
+            Phi | Br | Jump | Ret | Syncthreads => {
+                unreachable!("handled by the warp loop")
+            }
+        }
+        Ok(())
     }
 
     fn mem_read(&self, ty: Type, addr: u64) -> Result<RawVal, SimError> {
@@ -762,15 +902,9 @@ impl<'a> BlockExec<'a> {
         })
     }
 
-    /// Charges cycles and updates counters for one warp-instruction issue.
-    fn charge(
-        &mut self,
-        data: &InstData,
-        mask: u64,
-        lane_addrs: &[u64],
-        _regs: &[Vec<RawVal>],
-        _base_thread: u32,
-    ) {
+    /// Charges cycles and updates counters for one warp-instruction issue,
+    /// reading per-lane memory addresses from `self.lane_addrs`.
+    fn charge(&mut self, inst: &DInst, mask: u64) {
         let active = mask.count_ones() as u64;
         if active == 0 {
             return;
@@ -778,53 +912,80 @@ impl<'a> BlockExec<'a> {
         self.stats.warp_instructions += 1;
         self.stats.thread_instructions += active;
         use Opcode::*;
-        match data.opcode {
+        match inst.opcode {
             Load | Store => {
                 // Infer the address space from the encoded addresses (global
                 // addresses carry a buffer id in the high bits).
-                let is_global = lane_addrs.first().map(|&a| decode(a).0.is_some()).unwrap_or(false);
-                let space =
-                    if is_global { darm_ir::AddrSpace::Global } else { darm_ir::AddrSpace::Shared };
-                match space {
-                    darm_ir::AddrSpace::Global => {
-                        self.stats.global_mem_insts += 1;
-                        let mut segments: Vec<u64> =
-                            lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES).collect();
-                        segments.sort_unstable();
-                        segments.dedup();
-                        let n_seg = segments.len().max(1) as u64;
-                        self.stats.global_transactions += n_seg;
-                        self.stats.cycles +=
-                            cost::GLOBAL_MEM_LATENCY + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
-                    }
-                    darm_ir::AddrSpace::Shared => {
-                        self.stats.shared_mem_insts += 1;
-                        // Bank-conflict model: accesses to distinct words in
-                        // the same bank serialize; broadcasts do not.
-                        let mut per_bank: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
-                            std::collections::HashMap::new();
-                        for &a in lane_addrs {
-                            let word = a / cost::SHARED_BANK_WORD_BYTES;
-                            per_bank.entry(word % cost::SHARED_BANKS).or_default().insert(word);
+                let is_global =
+                    self.lane_addrs.first().map(|&a| decode(a).0.is_some()).unwrap_or(false);
+                if is_global {
+                    self.stats.global_mem_insts += 1;
+                    // Coalescing: one transaction per distinct 128B segment.
+                    self.scratch.clear();
+                    self.scratch
+                        .extend(self.lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES));
+                    self.scratch.sort_unstable();
+                    self.scratch.dedup();
+                    let n_seg = self.scratch.len().max(1) as u64;
+                    self.stats.global_transactions += n_seg;
+                    self.stats.cycles +=
+                        cost::GLOBAL_MEM_LATENCY + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
+                } else {
+                    self.stats.shared_mem_insts += 1;
+                    // Bank-conflict model: accesses to distinct words in the
+                    // same bank serialize; broadcasts do not. Encoded as
+                    // bank << 48 | word so one sort+dedup yields, per bank, a
+                    // run of its distinct words.
+                    self.scratch.clear();
+                    self.scratch.extend(self.lane_addrs.iter().map(|&a| {
+                        let word = a / cost::SHARED_BANK_WORD_BYTES;
+                        ((word % cost::SHARED_BANKS) << 48) | (word & 0xFFFF_FFFF_FFFF)
+                    }));
+                    self.scratch.sort_unstable();
+                    self.scratch.dedup();
+                    let mut degree = 1u64;
+                    let mut run = 0u64;
+                    let mut cur_bank = u64::MAX;
+                    for &enc in &self.scratch {
+                        let bank = enc >> 48;
+                        if bank == cur_bank {
+                            run += 1;
+                        } else {
+                            cur_bank = bank;
+                            run = 1;
                         }
-                        let degree =
-                            per_bank.values().map(|w| w.len() as u64).max().unwrap_or(1).max(1);
-                        self.stats.shared_bank_conflicts += degree - 1;
-                        self.stats.cycles += cost::SHARED_MEM_LATENCY
-                            + (degree - 1) * cost::SHARED_BANK_CONFLICT_PENALTY;
+                        degree = degree.max(run);
                     }
+                    self.stats.shared_bank_conflicts += degree - 1;
+                    self.stats.cycles += cost::SHARED_MEM_LATENCY
+                        + (degree - 1) * cost::SHARED_BANK_CONFLICT_PENALTY;
                 }
             }
-            Phi => {}
-            Syncthreads => {}
+            Phi | Syncthreads => {}
             Br | Jump | Ret => {
-                self.stats.cycles += cost::latency(data.opcode, None);
+                self.stats.cycles += inst.latency;
             }
             _ => {
-                self.stats.cycles += cost::latency(data.opcode, None);
+                self.stats.cycles += inst.latency;
                 self.stats.alu_issues += 1;
                 self.stats.alu_active_lanes += active;
             }
         }
     }
 }
+
+/// Applies a control transfer for the warp's top-of-stack entry, popping it
+/// if the target is its reconvergence point.
+fn transition(warp: &mut WarpState, target: u32) {
+    let top = warp.stack.last_mut().expect("entry exists");
+    if target == top.rpc {
+        warp.stack.pop();
+    } else {
+        top.block = target;
+        top.inst_idx = BLOCK_ENTRY;
+    }
+}
+
+// NO_DST is only ever consumed via `inst.dst as usize` on value-producing
+// opcodes, which the decoder guarantees have a real slot.
+const _: () = assert!(NO_DST == u32::MAX);

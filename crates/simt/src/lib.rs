@@ -21,6 +21,50 @@
 //! * rocprof-style counters are collected: total cycles, ALU utilization,
 //!   and vector/shared memory instruction counts (Figures 9–11).
 //!
+//! ## Decode → execute architecture
+//!
+//! The interpreter runs in two phases. [`PreparedKernel`] (the *decode*
+//! phase) lowers a [`darm_ir::Function`] once into flat arrays: dense
+//! instruction records with operands pre-resolved to register slots /
+//! immediates / parameter indices, per-block instruction ranges, φ tables
+//! keyed by predecessor block, and the cached CFG/post-dominator facts
+//! (the IPDOM of every block) that reconvergence needs. The *execute*
+//! phase ([`Gpu::launch_prepared`]) then walks those arrays with a flat,
+//! lane-major register file per thread block and dispatches each opcode
+//! **once per warp instruction**, iterating the active-mask lanes inside
+//! the handler — instead of re-matching the opcode per lane against the IR
+//! arena the way the original interpreter did.
+//!
+//! A `PreparedKernel` borrows nothing, so the decode (and the dominator
+//! analysis behind it) is paid once per kernel and reused across launches
+//! and launch geometries:
+//!
+//! ```
+//! # use darm_simt::{Gpu, GpuConfig, LaunchConfig, KernelArg};
+//! # use darm_ir::{builder::FunctionBuilder, Function, Type, AddrSpace, Dim};
+//! # let mut f = Function::new("id", vec![Type::Ptr(AddrSpace::Global)], Type::Void);
+//! # let e = f.entry();
+//! # let mut b = FunctionBuilder::new(&mut f, e);
+//! # let tid = b.thread_idx(Dim::X);
+//! # let p = b.gep(Type::I32, b.param(0), tid);
+//! # b.store(tid, p);
+//! # b.ret(None);
+//! let mut gpu = Gpu::new(GpuConfig::default());
+//! let kernel = darm_simt::PreparedKernel::new(&f); // decode once ...
+//! let buf = gpu.alloc_i32(&[0; 64]);
+//! for _ in 0..3 {
+//!     // ... launch many times
+//!     gpu.launch_prepared(&kernel, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(buf)]).unwrap();
+//! }
+//! ```
+//!
+//! The original arena-walking, per-lane interpreter is retained in
+//! [`reference`] behind [`Gpu::launch_reference`]: the
+//! `decoded_vs_reference` differential test proves both engines produce
+//! bit-identical buffer contents and [`KernelStats`] on the full benchmark
+//! kernel suite, and the `interp_throughput` bench measures the decoded
+//! engine's speedup over it.
+//!
 //! ```
 //! use darm_simt::{Gpu, GpuConfig, LaunchConfig, KernelArg};
 //! use darm_ir::{builder::FunctionBuilder, Function, Type, AddrSpace, Dim};
@@ -43,10 +87,13 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+pub mod decoded;
 pub mod exec;
 pub mod mem;
+pub mod reference;
 pub mod stats;
 
+pub use decoded::PreparedKernel;
 pub use exec::{Gpu, KernelArg, SimError};
 pub use mem::BufferId;
 pub use stats::KernelStats;

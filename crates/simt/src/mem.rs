@@ -50,6 +50,10 @@ impl ByteStore {
         &self.bytes
     }
 
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
     pub(crate) fn read(&self, ty: Type, off: u64) -> Option<RawVal> {
         let size = ty.size_bytes() as usize;
         let off = off as usize;

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This crate implements the API subset the
+//! workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `BenchmarkId::new`,
+//! `Bencher::iter` and `black_box`.
+//!
+//! Timing model: each benchmark runs one warm-up call, then `sample_size`
+//! timed samples (each sample is a batch sized so a sample takes ≳1 ms),
+//! and reports the per-iteration median, minimum and maximum. Passing
+//! `--test` (as `cargo bench -- --test` does) runs every benchmark closure
+//! exactly once without timing — the smoke mode CI uses.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from just a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {} // --bench, --nocapture, ...
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Whether the harness runs in `--test` smoke mode (each benchmark
+    /// executed once, untimed).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let full = id.to_string();
+        run_one(self, &full, 10, f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.c, &full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reports are printed eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(c: &Criterion, full_id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(filter) = &c.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.test_mode {
+        let mut b = Bencher { test_mode: true, batch: 1, samples: Vec::new() };
+        f(&mut b);
+        println!("test {full_id} ... ok");
+        return;
+    }
+    let mut b = Bencher { test_mode: false, batch: 1, samples: Vec::with_capacity(sample_size) };
+    // Warm-up + batch sizing: grow the batch until one batch takes ≥1 ms.
+    loop {
+        let t = Instant::now();
+        b.samples.clear();
+        f(&mut b);
+        if b.samples.is_empty() {
+            // Closure never called iter(); nothing to time.
+            println!("{full_id:<40} (no measurement)");
+            return;
+        }
+        if t.elapsed() >= Duration::from_millis(1) || b.batch >= 1 << 20 {
+            break;
+        }
+        b.batch *= 4;
+    }
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let batch = b.batch as f64;
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|d| d.as_secs_f64() * 1e9 / batch).collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{full_id:<40} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(median),
+        format_ns(hi)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    test_mode: bool,
+    batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample of the current batch size.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        let t = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.samples.push(t.elapsed());
+    }
+}
+
+/// Declares a benchmark group function, as the real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
