@@ -32,7 +32,10 @@ impl InstKind {
 /// The [`InstKind`] of an instruction.
 pub fn inst_kind(func: &Function, id: InstId) -> InstKind {
     let data = func.inst(id);
-    InstKind { opcode: data.opcode, space: cost::mem_space_of(func, data) }
+    InstKind {
+        opcode: data.opcode,
+        space: cost::mem_space_of(func, data),
+    }
 }
 
 /// Whether two instructions (possibly from different functions) may be
@@ -80,7 +83,11 @@ mod tests {
 
     /// Builds one block with a mix of instructions; returns (func, inst ids).
     fn sample() -> (Function, Vec<InstId>) {
-        let mut f = Function::new("s", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+        let mut f = Function::new(
+            "s",
+            vec![Type::Ptr(AddrSpace::Global), Type::I32],
+            Type::Void,
+        );
         let sh = f.add_shared_array("t", Type::I32, 32);
         let e = f.entry();
         let mut b = FunctionBuilder::new(&mut f, e);

@@ -60,9 +60,7 @@ pub fn align_block_instructions(func: &Function, bt: BlockId, bf: BlockId) -> Bl
     let (score, steps) = global_align(
         &a,
         &b,
-        |&x, &y| {
-            meldable_insts(func, x, func, y).then(|| cost::latency_of(func, x) as i64)
-        },
+        |&x, &y| meldable_insts(func, x, func, y).then(|| cost::latency_of(func, x) as i64),
         GAP_PENALTY,
     );
     let steps = steps
@@ -106,7 +104,11 @@ mod tests {
         b.ret(None);
 
         let al = align_block_instructions(&f, b1, b2);
-        let matches = al.steps.iter().filter(|s| matches!(s, AlignmentPair::Match(..))).count();
+        let matches = al
+            .steps
+            .iter()
+            .filter(|s| matches!(s, AlignmentPair::Match(..)))
+            .count();
         assert_eq!(matches, 4);
         assert!(al.score > 0);
     }
@@ -137,7 +139,10 @@ mod tests {
         b.ret(None);
 
         let al = align_block_instructions(&f, c_blk, d_blk);
-        assert!(al.steps.iter().all(|s| !matches!(s, AlignmentPair::Match(..))));
+        assert!(al
+            .steps
+            .iter()
+            .all(|s| !matches!(s, AlignmentPair::Match(..))));
         assert_eq!(al.steps.len(), 2);
     }
 

@@ -132,8 +132,14 @@ mod tests {
     #[test]
     fn profit_is_symmetric() {
         let (f, b1, b2, b3) = three_blocks();
-        assert_eq!(block_melding_profit(&f, b1, b2), block_melding_profit(&f, b2, b1));
-        assert_eq!(block_melding_profit(&f, b1, b3), block_melding_profit(&f, b3, b1));
+        assert_eq!(
+            block_melding_profit(&f, b1, b2),
+            block_melding_profit(&f, b2, b1)
+        );
+        assert_eq!(
+            block_melding_profit(&f, b1, b3),
+            block_melding_profit(&f, b3, b1)
+        );
     }
 
     #[test]

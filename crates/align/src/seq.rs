@@ -32,7 +32,10 @@ struct FlatMatrix {
 
 impl FlatMatrix {
     fn new(n: usize, m: usize, fill: i64) -> FlatMatrix {
-        FlatMatrix { cells: vec![fill; (n + 1) * (m + 1)], stride: m + 1 }
+        FlatMatrix {
+            cells: vec![fill; (n + 1) * (m + 1)],
+            stride: m + 1,
+        }
     }
 
     #[inline(always)]
@@ -80,7 +83,11 @@ pub fn global_align<T>(
                 None => NEG,
             };
             diag.set(i, j, d);
-            dp.set(i, j, d.max(dp.get(i - 1, j) + gap).max(dp.get(i, j - 1) + gap));
+            dp.set(
+                i,
+                j,
+                d.max(dp.get(i - 1, j) + gap).max(dp.get(i, j - 1) + gap),
+            );
         }
     }
     // Traceback over the recorded candidates.
@@ -125,7 +132,10 @@ pub fn local_align<T>(
                 None => NEG,
             };
             diag.set(i, j, d);
-            let cell = 0.max(d).max(dp.get(i - 1, j) + gap).max(dp.get(i, j - 1) + gap);
+            let cell = 0
+                .max(d)
+                .max(dp.get(i - 1, j) + gap)
+                .max(dp.get(i, j - 1) + gap);
             dp.set(i, j, cell);
             if cell > best {
                 best = cell;

@@ -57,7 +57,13 @@ impl Cfg {
                 preds[s.index()].push(b);
             }
         }
-        Cfg { entry, preds, succs, rpo: post, rpo_index }
+        Cfg {
+            entry,
+            preds,
+            succs,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     /// The function entry block.

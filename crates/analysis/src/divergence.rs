@@ -92,7 +92,8 @@ impl DivergenceAnalysis {
         while let Some(id) = work.pop() {
             // Propagate data dependence to users.
             for &u in &users[id.index()] {
-                if !div_inst[u.index()] && !matches!(func.inst(u).opcode, Opcode::Br | Opcode::Jump | Opcode::Ret)
+                if !div_inst[u.index()]
+                    && !matches!(func.inst(u).opcode, Opcode::Br | Opcode::Jump | Opcode::Ret)
                 {
                     div_inst[u.index()] = true;
                     work.push(u);
@@ -124,7 +125,10 @@ impl DivergenceAnalysis {
             }
         }
 
-        DivergenceAnalysis { div_inst, div_branch_block }
+        DivergenceAnalysis {
+            div_inst,
+            div_branch_block,
+        }
     }
 
     /// Whether a value may differ across the threads of a warp.
@@ -143,7 +147,10 @@ impl DivergenceAnalysis {
 
     /// Whether `b` ends in a divergent conditional branch.
     pub fn is_divergent_branch(&self, b: BlockId) -> bool {
-        self.div_branch_block.get(b.index()).copied().unwrap_or(false)
+        self.div_branch_block
+            .get(b.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     /// All blocks ending in divergent conditional branches.

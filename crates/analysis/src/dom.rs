@@ -10,12 +10,7 @@ use darm_ir::{BlockId, Function};
 
 /// Core dominator computation over an abstract graph of `n` nodes.
 /// Returns `idom[v]` (None for the root and unreachable nodes).
-fn compute_idoms(
-    n: usize,
-    root: usize,
-    preds: &[Vec<usize>],
-    rpo: &[usize],
-) -> Vec<Option<usize>> {
+fn compute_idoms(n: usize, root: usize, preds: &[Vec<usize>], rpo: &[usize]) -> Vec<Option<usize>> {
     let mut rpo_index = vec![usize::MAX; n];
     for (i, &b) in rpo.iter().enumerate() {
         rpo_index[b] = i;
@@ -146,7 +141,9 @@ impl DomTree {
             if preds.len() < 2 {
                 continue;
             }
-            let Some(idom_b) = self.idom[b.index()] else { continue };
+            let Some(idom_b) = self.idom[b.index()] else {
+                continue;
+            };
             for &p in preds {
                 if !cfg.is_reachable(p) {
                     continue;
@@ -245,7 +242,11 @@ impl PostDomTree {
         post.reverse();
         let idom = compute_idoms(n + 1, virtual_exit, &rev_preds, &post);
         let depth = tree_depths(n + 1, &idom, virtual_exit);
-        PostDomTree { idom, depth, virtual_exit }
+        PostDomTree {
+            idom,
+            depth,
+            virtual_exit,
+        }
     }
 
     /// The immediate post-dominator of `b`; `None` means the virtual exit
@@ -365,7 +366,8 @@ mod tests {
         let (f, ids) = nested();
         let cfg = Cfg::new(&f);
         let pdt = PostDomTree::new(&f, &cfg);
-        let (_entry, a, _b, _c, m, _e, x) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
+        let (_entry, a, _b, _c, m, _e, x) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
         assert_eq!(pdt.ipdom(a), Some(m));
         assert_eq!(pdt.ipdom(m), Some(x));
     }

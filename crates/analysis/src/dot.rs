@@ -24,7 +24,10 @@ pub fn to_dot(func: &Function) -> String {
         } else {
             ""
         };
-        let _ = writeln!(out, "  \"{name}\" [label=\"{name}\\n{insts} insts\"{style}];");
+        let _ = writeln!(
+            out,
+            "  \"{name}\" [label=\"{name}\\n{insts} insts\"{style}];"
+        );
         if let Some(t) = func.terminator(b) {
             let succs = &func.inst(t).succs;
             let cond = func.inst(t).opcode == Opcode::Br;

@@ -14,7 +14,9 @@
 //!   dependence through divergent branches),
 //! * [`regions`] — SESE subgraph chains inside divergent regions
 //!   (Definitions 1–4 of the paper),
-//! * [`verify`] — full SSA verification (structure + dominance).
+//! * [`verify`] — full SSA verification (structure + dominance),
+//! * [`manager`] — a memoizing [`AnalysisManager`] with typed invalidation,
+//!   the cache behind the `darm-pipeline` pass manager.
 
 pub mod cfg;
 pub mod divergence;
@@ -22,14 +24,16 @@ pub mod dom;
 pub mod dot;
 pub mod liveness;
 pub mod loops;
+pub mod manager;
 pub mod regions;
 pub mod verify;
 
 pub use cfg::Cfg;
-pub use dot::to_dot;
-pub use liveness::{max_pressure, Liveness};
 pub use divergence::DivergenceAnalysis;
 pub use dom::{DomTree, PostDomTree};
+pub use dot::to_dot;
+pub use liveness::{max_pressure, InstSet, Liveness};
 pub use loops::LoopInfo;
+pub use manager::{Analysis, AnalysisManager, PreservedAnalyses};
 pub use regions::{sese_chain, SeseSubgraph};
 pub use verify::verify_ssa;

@@ -6,16 +6,131 @@
 //! backward liveness over the SSA function and a per-block pressure
 //! estimate, so the trade-off can be measured (see the
 //! `melding_pressure_tradeoff` integration test).
+//!
+//! Live sets are dense bitsets over instruction ids ([`InstSet`]) rather
+//! than hash sets: iteration order is deterministic (ascending id), set
+//! union in the dataflow fixpoint is word-parallel, and membership queries
+//! are O(1) with no hashing.
 
 use crate::cfg::Cfg;
 use darm_ir::{BlockId, Function, InstId, Opcode, Value};
-use std::collections::HashSet;
+
+/// A set of [`InstId`]s backed by a fixed-capacity bitset.
+///
+/// Iteration yields ids in ascending order, so any consumer that prints or
+/// folds over a live set is deterministic across runs.
+#[derive(Debug, Clone)]
+pub struct InstSet {
+    words: Vec<u64>,
+}
+
+/// Element-wise equality: trailing zero words don't count, so two sets
+/// holding the same ids compare equal even when `insert` auto-grew one of
+/// their backing vectors.
+impl PartialEq for InstSet {
+    fn eq(&self, other: &InstSet) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        short.words.iter().zip(&long.words).all(|(a, b)| a == b)
+            && long.words[short.words.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for InstSet {}
+
+impl InstSet {
+    /// An empty set able to hold ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> InstSet {
+        InstSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: InstId) -> bool {
+        let i = id.index();
+        match self.words.get(i / 64) {
+            Some(w) => w & (1 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Inserts `id`; returns whether it was newly added.
+    pub fn insert(&mut self, id: InstId) -> bool {
+        let i = id.index();
+        if i / 64 >= self.words.len() {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        let w = &mut self.words[i / 64];
+        let bit = 1 << (i % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes `id` if present.
+    pub fn remove(&mut self, id: InstId) {
+        let i = id.index();
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Adds every element of `other`; returns whether the set grew.
+    pub fn union_with(&mut self, other: &InstSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let merged = *w | o;
+            grew |= merged != *w;
+            *w = merged;
+        }
+        grew
+    }
+
+    /// Removes every element of `other`.
+    pub fn subtract(&mut self, other: &InstSet) {
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The elements in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(InstId::new(wi * 64 + bit as usize))
+            })
+        })
+    }
+}
 
 /// Live-in/live-out sets per block, over instruction results.
 #[derive(Debug, Clone)]
 pub struct Liveness {
-    live_in: Vec<HashSet<InstId>>,
-    live_out: Vec<HashSet<InstId>>,
+    live_in: Vec<InstSet>,
+    live_out: Vec<InstSet>,
 }
 
 impl Liveness {
@@ -25,16 +140,23 @@ impl Liveness {
     /// corresponding predecessor (the standard SSA convention), and the φ
     /// result is defined at the top of its block.
     pub fn new(func: &Function) -> Liveness {
-        let cfg = Cfg::new(func);
+        Liveness::with_cfg(func, &Cfg::new(func))
+    }
+
+    /// [`Liveness::new`] against a caller-provided CFG snapshot (e.g. from
+    /// an [`AnalysisManager`](crate::manager::AnalysisManager)).
+    pub fn with_cfg(func: &Function, cfg: &Cfg) -> Liveness {
         let n = func.block_capacity();
-        let mut live_in = vec![HashSet::new(); n];
-        let mut live_out = vec![HashSet::new(); n];
+        let cap = func.inst_capacity();
+        let empty = InstSet::with_capacity(cap);
+        let mut live_in = vec![empty.clone(); n];
+        let mut live_out = vec![empty.clone(); n];
 
         // Upward-exposed uses and defs per block; φ operand uses are
         // attributed to the end of the incoming predecessor.
-        let mut ue_uses = vec![HashSet::new(); n];
-        let mut phi_out_uses = vec![HashSet::new(); n];
-        let mut defs = vec![HashSet::new(); n];
+        let mut ue_uses = vec![empty.clone(); n];
+        let mut phi_out_uses = vec![empty.clone(); n];
+        let mut defs = vec![empty.clone(); n];
         for &b in cfg.rpo() {
             for &id in func.insts_of(b) {
                 let inst = func.inst(id);
@@ -47,7 +169,7 @@ impl Liveness {
                 } else {
                     for &op in &inst.operands {
                         if let Value::Inst(d) = op {
-                            if !defs[b.index()].contains(&d) {
+                            if !defs[b.index()].contains(d) {
                                 ue_uses[b.index()].insert(d);
                             }
                         }
@@ -64,14 +186,14 @@ impl Liveness {
             changed = false;
             for &b in cfg.rpo().iter().rev() {
                 // live-out = φ-attributed uses ∪ union of successors' live-in.
-                let mut out: HashSet<InstId> = phi_out_uses[b.index()].clone();
+                let mut out = phi_out_uses[b.index()].clone();
                 for &s in cfg.succs(b) {
-                    out.extend(live_in[s.index()].iter().copied());
+                    out.union_with(&live_in[s.index()]);
                 }
                 // live-in = (live-out − defs) ∪ upward-exposed uses.
-                let mut inn: HashSet<InstId> =
-                    out.difference(&defs[b.index()]).copied().collect();
-                inn.extend(ue_uses[b.index()].iter().copied());
+                let mut inn = out.clone();
+                inn.subtract(&defs[b.index()]);
+                inn.union_with(&ue_uses[b.index()]);
                 if inn != live_in[b.index()] || out != live_out[b.index()] {
                     live_in[b.index()] = inn;
                     live_out[b.index()] = out;
@@ -83,12 +205,12 @@ impl Liveness {
     }
 
     /// Values live on entry to `b`.
-    pub fn live_in(&self, b: BlockId) -> &HashSet<InstId> {
+    pub fn live_in(&self, b: BlockId) -> &InstSet {
         &self.live_in[b.index()]
     }
 
     /// Values live on exit from `b`.
-    pub fn live_out(&self, b: BlockId) -> &HashSet<InstId> {
+    pub fn live_out(&self, b: BlockId) -> &InstSet {
         &self.live_out[b.index()]
     }
 }
@@ -96,15 +218,15 @@ impl Liveness {
 /// Maximum number of simultaneously-live values across all program points —
 /// a simple register-pressure proxy.
 pub fn max_pressure(func: &Function) -> usize {
-    let live = Liveness::new(func);
     let cfg = Cfg::new(func);
+    let live = Liveness::with_cfg(func, &cfg);
     let mut max = 0;
     for &b in cfg.rpo() {
-        let mut current: HashSet<InstId> = live.live_out(b).clone();
+        let mut current = live.live_out(b).clone();
         max = max.max(current.len());
         // Walk backwards through the block.
         for &id in func.insts_of(b).iter().rev() {
-            current.remove(&id);
+            current.remove(id);
             let inst = func.inst(id);
             if inst.opcode != Opcode::Phi {
                 for &op in &inst.operands {
@@ -124,6 +246,41 @@ mod tests {
     use super::*;
     use darm_ir::builder::FunctionBuilder;
     use darm_ir::{Dim, IcmpPred, Type};
+
+    #[test]
+    fn inst_set_basics() {
+        let mut s = InstSet::with_capacity(4);
+        assert!(s.is_empty());
+        assert!(s.insert(InstId::new(3)));
+        assert!(s.insert(InstId::new(100))); // beyond initial capacity
+        assert!(!s.insert(InstId::new(3)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(InstId::new(3)));
+        assert!(!s.contains(InstId::new(4)));
+        let ids: Vec<usize> = s.iter().map(InstId::index).collect();
+        assert_eq!(
+            ids,
+            vec![3, 100],
+            "iteration is ascending and deterministic"
+        );
+        s.remove(InstId::new(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn inst_set_equality_ignores_capacity() {
+        let mut grown = InstSet::with_capacity(4);
+        grown.insert(InstId::new(100)); // auto-grows the word vector
+        grown.remove(InstId::new(100));
+        grown.insert(InstId::new(2));
+        let mut small = InstSet::with_capacity(4);
+        small.insert(InstId::new(2));
+        assert_eq!(grown, small);
+        assert_eq!(small, grown);
+        small.insert(InstId::new(3));
+        assert_ne!(grown, small);
+        assert_eq!(InstSet::with_capacity(0), InstSet::with_capacity(64));
+    }
 
     #[test]
     fn straightline_liveness() {
@@ -164,12 +321,12 @@ mod tests {
 
         let live = Liveness::new(&f);
         let v_id = v.as_inst().unwrap();
-        assert!(live.live_in(t).contains(&v_id));
-        assert!(live.live_in(e2).contains(&v_id));
-        assert!(!live.live_in(x).contains(&v_id));
+        assert!(live.live_in(t).contains(v_id));
+        assert!(live.live_in(e2).contains(v_id));
+        assert!(!live.live_in(x).contains(v_id));
         // φ operands are live-out of their predecessors
-        assert!(live.live_out(t).contains(&a.as_inst().unwrap()));
-        assert!(live.live_out(e2).contains(&d.as_inst().unwrap()));
+        assert!(live.live_out(t).contains(a.as_inst().unwrap()));
+        assert!(live.live_out(e2).contains(d.as_inst().unwrap()));
     }
 
     #[test]
@@ -196,7 +353,7 @@ mod tests {
 
         let live = Liveness::new(&f);
         // i is live around the loop: live-in of body and exit.
-        assert!(live.live_in(body).contains(&pi));
-        assert!(live.live_in(exit).contains(&pi));
+        assert!(live.live_in(body).contains(pi));
+        assert!(live.live_in(exit).contains(pi));
     }
 }

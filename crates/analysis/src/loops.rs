@@ -26,7 +26,12 @@ pub struct LoopInfo {
 impl LoopInfo {
     /// Detects natural loops using backedges `l -> h` where `h` dominates `l`.
     pub fn new(cfg: &Cfg, dt: &DomTree) -> LoopInfo {
-        let n = cfg.rpo().iter().map(|b| b.index()).max().map_or(0, |m| m + 1);
+        let n = cfg
+            .rpo()
+            .iter()
+            .map(|b| b.index())
+            .max()
+            .map_or(0, |m| m + 1);
         let mut by_header: std::collections::BTreeMap<usize, (Vec<BlockId>, Vec<BlockId>)> =
             std::collections::BTreeMap::new();
         for &b in cfg.rpo() {
@@ -66,7 +71,11 @@ impl LoopInfo {
             for &b in &blocks {
                 depth[b.index()] += 1;
             }
-            loops.push(Loop { header, latches: latches.clone(), blocks });
+            loops.push(Loop {
+                header,
+                latches: latches.clone(),
+                blocks,
+            });
         }
         LoopInfo { loops, depth }
     }

@@ -1,0 +1,375 @@
+//! Cached analysis management with invalidation — the analogue of LLVM's
+//! `FunctionAnalysisManager` for the pass pipeline in `darm-pipeline`.
+//!
+//! Every analysis in this crate is a pure function of the IR: recomputing it
+//! on an unchanged [`Function`] yields an equal value. The
+//! [`AnalysisManager`] exploits that by memoizing results keyed by analysis
+//! *type* and handing out shared [`Rc`] references, so a fixpoint driver
+//! that runs many queries (and many passes) against one CFG state computes
+//! each analysis at most once.
+//!
+//! Invalidation is explicit and two-tiered:
+//!
+//! * **CFG-shape changes** (blocks or edges added/removed) invalidate
+//!   everything — use [`AnalysisManager::invalidate_all`].
+//! * **Instruction-only changes** (φ insertion, peepholes, DCE) preserve
+//!   the block graph, so [`Cfg`], [`DomTree`], [`PostDomTree`] and
+//!   [`LoopInfo`] survive — use
+//!   [`AnalysisManager::invalidate_values`], which drops only the
+//!   instruction-sensitive analyses ([`DivergenceAnalysis`], [`Liveness`]).
+//!
+//! Transform passes report what they preserved through
+//! [`PreservedAnalyses`]; a pass manager applies the report with
+//! [`AnalysisManager::retain`]. The transforms in `darm-transforms` also
+//! invalidate *during* their run (they interleave queries with mutation),
+//! so `retain` acts as a second, coarser filter — it can only drop entries,
+//! never resurrect stale ones.
+
+use crate::cfg::Cfg;
+use crate::divergence::DivergenceAnalysis;
+use crate::dom::{DomTree, PostDomTree};
+use crate::liveness::Liveness;
+use crate::loops::LoopInfo;
+use darm_ir::Function;
+use std::any::Any;
+use std::rc::Rc;
+
+/// Number of cache slots — one per registered [`Analysis`] impl.
+const SLOT_COUNT: usize = 6;
+
+/// A cacheable analysis over a [`Function`].
+///
+/// `compute` receives the manager so dependent analyses come from the same
+/// cache (e.g. [`DomTree`] pulls the cached [`Cfg`]). Implementations must
+/// be pure: equal IR must produce an equal (observationally) result.
+///
+/// The cache is keyed by analysis type through `SLOT`, a dense per-type
+/// index (cheaper than hashing a `TypeId` on the pipeline's hot path);
+/// every implementation must pick a distinct slot below `SLOT_COUNT`.
+pub trait Analysis: Sized + 'static {
+    /// Short stable name, used in reports and error messages.
+    const NAME: &'static str;
+
+    /// Whether the result depends only on the block graph (blocks + edges),
+    /// not on non-terminator instructions. Shape-only analyses survive
+    /// instruction-level invalidation.
+    const SHAPE_ONLY: bool;
+
+    /// Unique dense cache-slot index of this analysis type.
+    const SLOT: usize;
+
+    /// Computes the analysis for the current state of `func`.
+    fn compute(func: &Function, am: &mut AnalysisManager) -> Self;
+}
+
+impl Analysis for Cfg {
+    const NAME: &'static str = "cfg";
+    const SHAPE_ONLY: bool = true;
+    const SLOT: usize = 0;
+
+    fn compute(func: &Function, _am: &mut AnalysisManager) -> Cfg {
+        Cfg::new(func)
+    }
+}
+
+impl Analysis for DomTree {
+    const NAME: &'static str = "domtree";
+    const SHAPE_ONLY: bool = true;
+    const SLOT: usize = 1;
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> DomTree {
+        let cfg = am.get::<Cfg>(func);
+        DomTree::new(func, &cfg)
+    }
+}
+
+impl Analysis for PostDomTree {
+    const NAME: &'static str = "postdomtree";
+    const SHAPE_ONLY: bool = true;
+    const SLOT: usize = 2;
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> PostDomTree {
+        let cfg = am.get::<Cfg>(func);
+        PostDomTree::new(func, &cfg)
+    }
+}
+
+impl Analysis for LoopInfo {
+    const NAME: &'static str = "loops";
+    const SHAPE_ONLY: bool = true;
+    const SLOT: usize = 3;
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> LoopInfo {
+        let cfg = am.get::<Cfg>(func);
+        let dt = am.get::<DomTree>(func);
+        LoopInfo::new(&cfg, &dt)
+    }
+}
+
+impl Analysis for DivergenceAnalysis {
+    const NAME: &'static str = "divergence";
+    const SHAPE_ONLY: bool = false;
+    const SLOT: usize = 4;
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> DivergenceAnalysis {
+        let cfg = am.get::<Cfg>(func);
+        let dt = am.get::<DomTree>(func);
+        DivergenceAnalysis::run(func, &cfg, &dt)
+    }
+}
+
+impl Analysis for Liveness {
+    const NAME: &'static str = "liveness";
+    const SHAPE_ONLY: bool = false;
+    const SLOT: usize = 5;
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> Liveness {
+        let cfg = am.get::<Cfg>(func);
+        Liveness::with_cfg(func, &cfg)
+    }
+}
+
+/// What a transform pass left intact, reported to the pass manager.
+///
+/// Construct with [`PreservedAnalyses::all`] (nothing changed),
+/// [`PreservedAnalyses::none`] (CFG shape changed) or
+/// [`PreservedAnalyses::cfg_shape`] (instructions changed, block graph
+/// intact), then refine with [`preserve`](PreservedAnalyses::preserve).
+#[derive(Debug, Clone, Default)]
+pub struct PreservedAnalyses {
+    all: bool,
+    shape: bool,
+    extra: [bool; SLOT_COUNT],
+}
+
+impl PreservedAnalyses {
+    /// The pass changed nothing analyses care about: keep everything.
+    pub fn all() -> PreservedAnalyses {
+        PreservedAnalyses {
+            all: true,
+            ..PreservedAnalyses::default()
+        }
+    }
+
+    /// The pass changed the block graph: keep nothing.
+    pub fn none() -> PreservedAnalyses {
+        PreservedAnalyses::default()
+    }
+
+    /// The pass changed instructions but not the block graph: keep the
+    /// shape-only analyses (CFG, dominators, post-dominators, loops).
+    pub fn cfg_shape() -> PreservedAnalyses {
+        PreservedAnalyses {
+            all: false,
+            shape: true,
+            ..PreservedAnalyses::default()
+        }
+    }
+
+    /// Additionally preserve analysis `A`.
+    pub fn preserve<A: Analysis>(mut self) -> PreservedAnalyses {
+        self.extra[A::SLOT] = true;
+        self
+    }
+
+    /// Whether everything is preserved.
+    pub fn preserves_all(&self) -> bool {
+        self.all
+    }
+
+    /// Whether the entry in `slot` (with the given shape-only flag)
+    /// survives this report.
+    fn keeps(&self, slot: usize, shape_only: bool) -> bool {
+        self.all || (self.shape && shape_only) || self.extra[slot]
+    }
+}
+
+/// One cache slot: the result plus its shape-only flag and name (captured
+/// at insertion so [`AnalysisManager::retain`] can filter without knowing
+/// the concrete types).
+struct Slot {
+    value: Rc<dyn Any>,
+    shape_only: bool,
+    name: &'static str,
+}
+
+/// Memoizing analysis cache keyed by analysis type (via the dense
+/// [`Analysis::SLOT`] index). See the module docs for the invalidation
+/// contract.
+#[derive(Default)]
+pub struct AnalysisManager {
+    slots: [Option<Slot>; SLOT_COUNT],
+    computed: Vec<(&'static str, usize)>,
+}
+
+impl std::fmt::Debug for AnalysisManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cached: Vec<&str> = self.slots.iter().flatten().map(|s| s.name).collect();
+        f.debug_struct("AnalysisManager")
+            .field("cached", &cached)
+            .field("computed", &self.computed)
+            .finish()
+    }
+}
+
+impl AnalysisManager {
+    /// An empty cache.
+    pub fn new() -> AnalysisManager {
+        AnalysisManager::default()
+    }
+
+    /// Returns analysis `A` for the current state of `func`, computing and
+    /// caching it if absent.
+    pub fn get<A: Analysis>(&mut self, func: &Function) -> Rc<A> {
+        if let Some(slot) = &self.slots[A::SLOT] {
+            return slot
+                .value
+                .clone()
+                .downcast::<A>()
+                .expect("cache slot type matches key");
+        }
+        let value = Rc::new(A::compute(func, self));
+        self.note_computed(A::NAME);
+        self.slots[A::SLOT] = Some(Slot {
+            value: value.clone(),
+            shape_only: A::SHAPE_ONLY,
+            name: A::NAME,
+        });
+        value
+    }
+
+    /// The cached `A`, if present (no computation).
+    pub fn cached<A: Analysis>(&self) -> Option<Rc<A>> {
+        self.slots[A::SLOT].as_ref().map(|slot| {
+            slot.value
+                .clone()
+                .downcast::<A>()
+                .expect("cache slot type matches key")
+        })
+    }
+
+    /// Drops the cached `A`, if present.
+    pub fn invalidate<A: Analysis>(&mut self) {
+        self.slots[A::SLOT] = None;
+    }
+
+    /// Drops everything — required after any block/edge mutation.
+    pub fn invalidate_all(&mut self) {
+        self.slots = Default::default();
+    }
+
+    /// Drops the instruction-sensitive analyses, keeping shape-only ones —
+    /// correct after instruction-level mutation that leaves the block graph
+    /// intact (φ insertion, operand rewrites, instruction removal).
+    pub fn invalidate_values(&mut self) {
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|s| !s.shape_only) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Applies a pass's [`PreservedAnalyses`] report: every cached entry
+    /// not covered by the report is dropped.
+    pub fn retain(&mut self, preserved: &PreservedAnalyses) {
+        if preserved.preserves_all() {
+            return;
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot
+                .as_ref()
+                .is_some_and(|s| !preserved.keeps(i, s.shape_only))
+            {
+                *slot = None;
+            }
+        }
+    }
+
+    /// How many times each analysis was computed (cache misses), in first-
+    /// computed order. Cache hits do not count; the difference between
+    /// queries and computations is the reuse the cache bought.
+    pub fn computations(&self) -> &[(&'static str, usize)] {
+        &self.computed
+    }
+
+    /// Total number of analysis computations (cache misses) so far.
+    pub fn total_computations(&self) -> usize {
+        self.computed.iter().map(|&(_, n)| n).sum()
+    }
+
+    fn note_computed(&mut self, name: &'static str) {
+        match self.computed.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, n)) => *n += 1,
+            None => self.computed.push((name, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{IcmpPred, Type, Value};
+
+    fn diamond() -> Function {
+        let mut f = Function::new("d", vec![Type::I32], Type::Void);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn caches_and_shares_dependencies() {
+        let f = diamond();
+        let mut am = AnalysisManager::new();
+        let dt1 = am.get::<DomTree>(&f);
+        let dt2 = am.get::<DomTree>(&f);
+        assert!(Rc::ptr_eq(&dt1, &dt2));
+        // DomTree computed the Cfg through the cache: exactly one compute of
+        // each despite the repeated query.
+        assert_eq!(am.computations(), &[("cfg", 1), ("domtree", 1)]);
+        am.get::<DivergenceAnalysis>(&f);
+        assert_eq!(am.total_computations(), 3);
+    }
+
+    #[test]
+    fn value_invalidation_keeps_shape_analyses() {
+        let f = diamond();
+        let mut am = AnalysisManager::new();
+        am.get::<DivergenceAnalysis>(&f);
+        am.get::<PostDomTree>(&f);
+        am.invalidate_values();
+        assert!(am.cached::<Cfg>().is_some());
+        assert!(am.cached::<DomTree>().is_some());
+        assert!(am.cached::<PostDomTree>().is_some());
+        assert!(am.cached::<DivergenceAnalysis>().is_none());
+        am.invalidate_all();
+        assert!(am.cached::<Cfg>().is_none());
+    }
+
+    #[test]
+    fn retain_applies_preservation_report() {
+        let f = diamond();
+        let mut am = AnalysisManager::new();
+        am.get::<DivergenceAnalysis>(&f);
+        am.retain(&PreservedAnalyses::all());
+        assert!(am.cached::<DivergenceAnalysis>().is_some());
+        am.retain(&PreservedAnalyses::cfg_shape());
+        assert!(am.cached::<Cfg>().is_some());
+        assert!(am.cached::<DivergenceAnalysis>().is_none());
+        am.retain(&PreservedAnalyses::none().preserve::<Cfg>());
+        assert!(am.cached::<Cfg>().is_some());
+        assert!(am.cached::<DomTree>().is_none());
+    }
+}

@@ -73,7 +73,11 @@ pub fn sese_chain(
             }
         }
         blocks.sort();
-        chain.push(SeseSubgraph { entry: cur, exit_target: next, blocks });
+        chain.push(SeseSubgraph {
+            entry: cur,
+            exit_target: next,
+            blocks,
+        });
         cur = next;
     }
     Some(chain)

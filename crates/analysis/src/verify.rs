@@ -120,7 +120,11 @@ mod tests {
         let def = insts[0];
         let usr = insts[1];
         f.remove_inst(def);
-        let data = InstData::new(darm_ir::Opcode::Add, Type::I32, vec![Value::I32(1), Value::I32(1)]);
+        let data = InstData::new(
+            darm_ir::Opcode::Add,
+            Type::I32,
+            vec![Value::I32(1), Value::I32(1)],
+        );
         use darm_ir::Value;
         let newdef = f.insert_inst_at(e, 1, data);
         // make `usr` refer to the re-inserted def that now comes *after* it

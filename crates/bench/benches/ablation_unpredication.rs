@@ -14,13 +14,23 @@ fn bench(c: &mut Criterion) {
         let mut with_unpred = case.func.clone();
         meld_function(&mut with_unpred, &MeldConfig::default());
         let mut without = case.func.clone();
-        meld_function(&mut without, &MeldConfig { unpredicate: false, ..MeldConfig::default() });
-        group.bench_with_input(BenchmarkId::new("unpredicated", kind.name()), &case, |b, case| {
-            b.iter(|| case.run_checked(&with_unpred))
-        });
-        group.bench_with_input(BenchmarkId::new("predicated", kind.name()), &case, |b, case| {
-            b.iter(|| case.run_checked(&without))
-        });
+        meld_function(
+            &mut without,
+            &MeldConfig {
+                unpredicate: false,
+                ..MeldConfig::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unpredicated", kind.name()),
+            &case,
+            |b, case| b.iter(|| case.run_checked(&with_unpred)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("predicated", kind.name()),
+            &case,
+            |b, case| b.iter(|| case.run_checked(&without)),
+        );
     }
     group.finish();
 }

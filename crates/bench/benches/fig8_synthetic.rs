@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
         meld_function(&mut darm_fn, &MeldConfig::default());
         let mut bf_fn = case.func.clone();
         meld_function(&mut bf_fn, &MeldConfig::branch_fusion());
-        group.bench_with_input(BenchmarkId::new("baseline", kind.name()), &case, |b, case| {
-            b.iter(|| case.run_checked(&case.func))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", kind.name()),
+            &case,
+            |b, case| b.iter(|| case.run_checked(&case.func)),
+        );
         group.bench_with_input(BenchmarkId::new("darm", kind.name()), &case, |b, case| {
             b.iter(|| case.run_checked(&darm_fn))
         });

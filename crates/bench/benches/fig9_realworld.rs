@@ -8,7 +8,11 @@ use darm_melding::{meld_function, MeldConfig};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_realworld");
     group.sample_size(10);
-    let cases = vec![bitonic::build_case(64), pcm::build_case(64), dct::build_case((8, 8))];
+    let cases = vec![
+        bitonic::build_case(64),
+        pcm::build_case(64),
+        dct::build_case((8, 8)),
+    ];
     for case in &cases {
         let mut darm_fn = case.func.clone();
         meld_function(&mut darm_fn, &MeldConfig::default());

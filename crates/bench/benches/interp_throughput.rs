@@ -52,9 +52,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decoded", &case.name), case, |b, case| {
             b.iter(|| case.execute_prepared(&pk).unwrap().stats)
         });
-        group.bench_with_input(BenchmarkId::new("reference", &case.name), case, |b, case| {
-            b.iter(|| run_reference(case))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reference", &case.name),
+            case,
+            |b, case| b.iter(|| run_reference(case)),
+        );
     }
     group.finish();
 
@@ -69,7 +71,12 @@ fn bench(c: &mut Criterion) {
         let stats = case.execute_prepared(&pk).unwrap().stats;
         if test_mode {
             // Smoke mode: one untimed cross-check per engine.
-            assert_eq!(stats, run_reference(case), "{}: engines disagree", case.name);
+            assert_eq!(
+                stats,
+                run_reference(case),
+                "{}: engines disagree",
+                case.name
+            );
             continue;
         }
         let insts = stats.thread_instructions as f64;

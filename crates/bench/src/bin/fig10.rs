@@ -1,5 +1,8 @@
 //! Regenerates Fig. 10: ALU utilization of O3 / DARM / BF.
 fn main() {
-    let rows: Vec<_> = darm_bench::counter_cases().iter().map(darm_bench::run_case).collect();
+    let rows: Vec<_> = darm_bench::counter_cases()
+        .iter()
+        .map(darm_bench::run_case)
+        .collect();
     print!("{}", darm_bench::render_alu_utilization(&rows));
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 12: melding-profitability threshold sensitivity.
 fn main() {
-    print!("{}", darm_bench::render_threshold_sweep(&[0.1, 0.2, 0.3, 0.4, 0.5]));
+    print!(
+        "{}",
+        darm_bench::render_threshold_sweep(&[0.1, 0.2, 0.3, 0.4, 0.5])
+    );
 }

@@ -1,6 +1,12 @@
 //! Regenerates Fig. 8: synthetic benchmark speedups (SB1–SB4 and -R
 //! variants across block sizes), DARM and BF over the baseline.
 fn main() {
-    let rows: Vec<_> = darm_bench::fig8_cases().iter().map(darm_bench::run_case).collect();
-    print!("{}", darm_bench::render_speedups("Figure 8 — synthetic benchmark speedups", &rows));
+    let rows: Vec<_> = darm_bench::fig8_cases()
+        .iter()
+        .map(darm_bench::run_case)
+        .collect();
+    print!(
+        "{}",
+        darm_bench::render_speedups("Figure 8 — synthetic benchmark speedups", &rows)
+    );
 }

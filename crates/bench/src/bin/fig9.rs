@@ -1,5 +1,11 @@
 //! Regenerates Fig. 9: real-world benchmark speedups across block sizes.
 fn main() {
-    let rows: Vec<_> = darm_bench::fig9_cases().iter().map(darm_bench::run_case).collect();
-    print!("{}", darm_bench::render_speedups("Figure 9 — real-world benchmark speedups", &rows));
+    let rows: Vec<_> = darm_bench::fig9_cases()
+        .iter()
+        .map(darm_bench::run_case)
+        .collect();
+    print!(
+        "{}",
+        darm_bench::render_speedups("Figure 9 — real-world benchmark speedups", &rows)
+    );
 }

@@ -12,7 +12,8 @@
 
 use darm_kernels::synthetic::SyntheticKind;
 use darm_kernels::{bitonic, dct, lud, mergesort, nqueens, pcm, srad, BenchCase};
-use darm_melding::{meld_function, MeldConfig};
+use darm_melding::{meld_function, run_meld_pipeline, MeldConfig};
+use darm_pipeline::{PipelineError, PipelineOptions};
 use darm_simt::{KernelStats, PreparedKernel};
 
 /// Counters for the three variants of one benchmark case.
@@ -58,16 +59,38 @@ pub struct PreparedVariants {
 }
 
 /// Melds and decodes the three variants of `case` once, for reuse across
-/// launches.
+/// launches. Variant construction runs through the shared pipeline driver
+/// ([`run_meld_pipeline`]); use [`prepare_variants_checked`] for pipeline
+/// options (e.g. SSA verification between passes).
 pub fn prepare_variants(case: &BenchCase, config: &MeldConfig) -> PreparedVariants {
+    prepare_variants_checked(case, config, PipelineOptions::default())
+        .unwrap_or_else(|e| panic!("{}: meld pipeline failed: {e}", case.name))
+}
+
+/// [`prepare_variants`] with explicit pipeline options.
+///
+/// # Errors
+///
+/// Propagates pipeline failures (with `verify_each`, SSA violations
+/// between passes).
+pub fn prepare_variants_checked(
+    case: &BenchCase,
+    config: &MeldConfig,
+    options: PipelineOptions,
+) -> Result<PreparedVariants, PipelineError> {
     let baseline = PreparedKernel::new(&case.func);
     let mut darm_fn = case.func.clone();
-    let meld = meld_function(&mut darm_fn, config);
+    let meld = run_meld_pipeline(&mut darm_fn, config, options)?.stats;
     let darm = PreparedKernel::new(&darm_fn);
     let mut bf_fn = case.func.clone();
-    meld_function(&mut bf_fn, &MeldConfig::branch_fusion());
+    run_meld_pipeline(&mut bf_fn, &MeldConfig::branch_fusion(), options)?;
     let bf = PreparedKernel::new(&bf_fn);
-    PreparedVariants { baseline, darm, bf, meld }
+    Ok(PreparedVariants {
+        baseline,
+        darm,
+        bf,
+        meld,
+    })
 }
 
 /// Runs baseline, DARM and BF variants of a case, checking each against the
@@ -82,7 +105,13 @@ pub fn run_case_with(case: &BenchCase, config: &MeldConfig) -> VariantStats {
     let baseline = case.run_checked_prepared(&prepared.baseline).stats;
     let darm = case.run_checked_prepared(&prepared.darm).stats;
     let bf = case.run_checked_prepared(&prepared.bf).stats;
-    VariantStats { name: case.name.clone(), baseline, darm, bf, meld: prepared.meld }
+    VariantStats {
+        name: case.name.clone(),
+        baseline,
+        darm,
+        bf,
+        meld: prepared.meld,
+    }
 }
 
 /// Geometric mean.
@@ -195,7 +224,13 @@ pub fn render_alu_utilization(rows: &[VariantStats]) -> String {
 
 /// Fig. 11: memory instruction counters normalized to the baseline.
 pub fn render_memory_counters(rows: &[VariantStats]) -> String {
-    let norm = |v: u64, base: u64| if base == 0 { 1.0 } else { v as f64 / base as f64 };
+    let norm = |v: u64, base: u64| {
+        if base == 0 {
+            1.0
+        } else {
+            v as f64 / base as f64
+        }
+    };
     let mut out = String::new();
     out.push_str("## Figure 11 — normalized memory instruction counters\n\n");
     out.push_str(
@@ -234,7 +269,10 @@ pub fn render_threshold_sweep(thresholds: &[f64]) -> String {
             let mut f = case.func.clone();
             meld_function(&mut f, &MeldConfig::with_threshold(t));
             let stats = case.run_checked(&f).stats;
-            out.push_str(&format!(" {:.3} |", baseline.cycles as f64 / stats.cycles as f64));
+            out.push_str(&format!(
+                " {:.3} |",
+                baseline.cycles as f64 / stats.cycles as f64
+            ));
         }
         out.push('\n');
     }
@@ -263,9 +301,18 @@ pub fn render_capability_matrix() -> String {
     };
     let tick = |b: bool| if b { "yes" } else { "no" };
     let rows: [(&str, BenchCase); 3] = [
-        ("diamond, identical sequences", darm_kernels::synthetic::build_case(SyntheticKind::Sb1, 32)),
-        ("diamond, distinct sequences", darm_kernels::synthetic::build_case(SyntheticKind::Sb1R, 32)),
-        ("complex control flow", darm_kernels::synthetic::build_case(SyntheticKind::Sb2, 32)),
+        (
+            "diamond, identical sequences",
+            darm_kernels::synthetic::build_case(SyntheticKind::Sb1, 32),
+        ),
+        (
+            "diamond, distinct sequences",
+            darm_kernels::synthetic::build_case(SyntheticKind::Sb1R, 32),
+        ),
+        (
+            "complex control flow",
+            darm_kernels::synthetic::build_case(SyntheticKind::Sb2, 32),
+        ),
     ];
     let mut out = String::new();
     out.push_str("## Table I — divergence-reduction capability matrix\n\n");

@@ -27,13 +27,26 @@ fn fig8_grid_is_complete() {
     assert_eq!(cases.len(), 8 * 4, "8 patterns x 4 block sizes");
     // spot-check one case end to end
     let r = run_case(&cases[0]);
-    assert!(r.darm_speedup() > 1.0, "SB1 must improve: {}", r.darm_speedup());
+    assert!(
+        r.darm_speedup() > 1.0,
+        "SB1 must improve: {}",
+        r.darm_speedup()
+    );
 }
 
 #[test]
 fn capability_matrix_matches_the_paper() {
     let m = render_capability_matrix();
-    assert!(m.contains("| diamond, identical sequences | yes | yes | yes |"), "{m}");
-    assert!(m.contains("| diamond, distinct sequences | no | yes | yes |"), "{m}");
-    assert!(m.contains("| complex control flow | no | no | yes |"), "{m}");
+    assert!(
+        m.contains("| diamond, identical sequences | yes | yes | yes |"),
+        "{m}"
+    );
+    assert!(
+        m.contains("| diamond, distinct sequences | no | yes | yes |"),
+        "{m}"
+    );
+    assert!(
+        m.contains("| complex control flow | no | no | yes |"),
+        "{m}"
+    );
 }

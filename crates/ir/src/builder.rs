@@ -301,7 +301,11 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Conditional branch.
     pub fn br(&mut self, cond: Value, then: BlockId, els: BlockId) {
-        self.emit(InstData::terminator(Opcode::Br, vec![cond], vec![then, els]));
+        self.emit(InstData::terminator(
+            Opcode::Br,
+            vec![cond],
+            vec![then, els],
+        ));
     }
 
     /// Unconditional branch.
@@ -311,7 +315,11 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Return.
     pub fn ret(&mut self, v: Option<Value>) {
-        self.emit(InstData::terminator(Opcode::Ret, v.into_iter().collect(), vec![]));
+        self.emit(InstData::terminator(
+            Opcode::Ret,
+            v.into_iter().collect(),
+            vec![],
+        ));
     }
 }
 

@@ -7,11 +7,11 @@
 //! than global-memory accesses (§VI-D), so melding a pair of divergent LDS
 //! instructions saves more thread-cycles than melding a pair of adds.
 
+use crate::function::BlockId;
 use crate::function::Function;
 use crate::opcode::Opcode;
 use crate::types::{AddrSpace, Type};
 use crate::value::Value;
-use crate::function::BlockId;
 
 /// Latency in cycles of a simple ALU operation.
 pub const ALU_LATENCY: u64 = 4;
@@ -108,7 +108,8 @@ mod tests {
     fn ordering_alu_shared_global() {
         assert!(latency(Opcode::Add, None) < latency(Opcode::Load, Some(AddrSpace::Shared)));
         assert!(
-            latency(Opcode::Load, Some(AddrSpace::Shared)) < latency(Opcode::Load, Some(AddrSpace::Global))
+            latency(Opcode::Load, Some(AddrSpace::Shared))
+                < latency(Opcode::Load, Some(AddrSpace::Global))
         );
     }
 

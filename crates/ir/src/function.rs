@@ -117,12 +117,17 @@ impl InstData {
 
     /// Iterates over a φ-node's `(pred, value)` pairs.
     pub fn phi_incoming(&self) -> impl Iterator<Item = (BlockId, Value)> + '_ {
-        self.phi_blocks.iter().copied().zip(self.operands.iter().copied())
+        self.phi_blocks
+            .iter()
+            .copied()
+            .zip(self.operands.iter().copied())
     }
 
     /// The incoming value from `pred`, if this φ has one.
     pub fn phi_value_for(&self, pred: BlockId) -> Option<Value> {
-        self.phi_incoming().find(|&(b, _)| b == pred).map(|(_, v)| v)
+        self.phi_incoming()
+            .find(|&(b, _)| b == pred)
+            .map(|(_, v)| v)
     }
 }
 
@@ -233,7 +238,11 @@ impl Function {
     /// Declares a shared-memory array and returns its index (used with
     /// [`Opcode::SharedBase`]).
     pub fn add_shared_array(&mut self, name: &str, elem: Type, len: u64) -> u32 {
-        self.shared.push(SharedArray { name: name.to_string(), elem, len });
+        self.shared.push(SharedArray {
+            name: name.to_string(),
+            elem,
+            len,
+        });
         (self.shared.len() - 1) as u32
     }
 
@@ -255,7 +264,11 @@ impl Function {
             k += 1;
         }
         let id = BlockId::new(self.blocks.len());
-        self.blocks.push(BlockData2 { name: unique, insts: Vec::new(), alive: true });
+        self.blocks.push(BlockData2 {
+            name: unique,
+            insts: Vec::new(),
+            alive: true,
+        });
         id
     }
 
@@ -278,7 +291,10 @@ impl Function {
 
     /// All live block ids in creation order (entry first).
     pub fn block_ids(&self) -> Vec<BlockId> {
-        (0..self.blocks.len()).map(BlockId::new).filter(|&b| self.blocks[b.index()].alive).collect()
+        (0..self.blocks.len())
+            .map(BlockId::new)
+            .filter(|&b| self.blocks[b.index()].alive)
+            .collect()
     }
 
     /// Upper bound (exclusive) on block arena indices, for dense side tables.
@@ -323,7 +339,9 @@ impl Function {
 
     /// Successor blocks (empty if the block has no terminator yet).
     pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
-        self.terminator(b).map(|t| self.inst(t).succs.clone()).unwrap_or_default()
+        self.terminator(b)
+            .map(|t| self.inst(t).succs.clone())
+            .unwrap_or_default()
     }
 
     /// Predecessor lists for every block, indexed by block arena index.
@@ -348,13 +366,21 @@ impl Function {
     ///
     /// Panics if the instruction was removed.
     pub fn inst(&self, id: InstId) -> &InstData {
-        assert!(!self.dead_insts[id.index()], "use of removed instruction %{}", id.index());
+        assert!(
+            !self.dead_insts[id.index()],
+            "use of removed instruction %{}",
+            id.index()
+        );
         &self.insts[id.index()]
     }
 
     /// Mutable access to an instruction.
     pub fn inst_mut(&mut self, id: InstId) -> &mut InstData {
-        assert!(!self.dead_insts[id.index()], "use of removed instruction %{}", id.index());
+        assert!(
+            !self.dead_insts[id.index()],
+            "use of removed instruction %{}",
+            id.index()
+        );
         &mut self.insts[id.index()]
     }
 
@@ -522,12 +548,16 @@ impl Function {
                 return Err(IrError::BadTerminator(format!("block {name} is empty")));
             };
             if !self.inst(last).opcode.is_terminator() {
-                return Err(IrError::BadTerminator(format!("block {name} does not end in a terminator")));
+                return Err(IrError::BadTerminator(format!(
+                    "block {name} does not end in a terminator"
+                )));
             }
             let mut seen_non_phi = false;
             for (k, &id) in insts.iter().enumerate() {
                 if !self.is_inst_alive(id) {
-                    return Err(IrError::DanglingRef(format!("dead instruction in block {name}")));
+                    return Err(IrError::DanglingRef(format!(
+                        "dead instruction in block {name}"
+                    )));
                 }
                 let inst = self.inst(id);
                 if inst.block != b {
@@ -538,20 +568,27 @@ impl Function {
                     )));
                 }
                 if inst.opcode.is_terminator() && k + 1 != insts.len() {
-                    return Err(IrError::BadTerminator(format!("terminator mid-block in {name}")));
+                    return Err(IrError::BadTerminator(format!(
+                        "terminator mid-block in {name}"
+                    )));
                 }
                 if inst.opcode.is_phi() {
                     if seen_non_phi {
-                        return Err(IrError::PhiNotAtTop(format!("%{} in block {name}", id.index())));
+                        return Err(IrError::PhiNotAtTop(format!(
+                            "%{} in block {name}",
+                            id.index()
+                        )));
                     }
                 } else {
                     seen_non_phi = true;
                 }
                 self.verify_inst(id, &name)?;
                 if inst.opcode.is_phi() {
-                    let mut incoming: Vec<usize> = inst.phi_blocks.iter().map(|p| p.index()).collect();
+                    let mut incoming: Vec<usize> =
+                        inst.phi_blocks.iter().map(|p| p.index()).collect();
                     incoming.sort_unstable();
-                    let mut actual: Vec<usize> = preds[b.index()].iter().map(|p| p.index()).collect();
+                    let mut actual: Vec<usize> =
+                        preds[b.index()].iter().map(|p| p.index()).collect();
                     actual.sort_unstable();
                     actual.dedup();
                     let mut inc_dedup = incoming.clone();
@@ -579,7 +616,11 @@ impl Function {
     fn verify_inst(&self, id: InstId, block_name: &str) -> Result<(), IrError> {
         let inst = self.inst(id);
         let err = |msg: String| {
-            Err(IrError::BadOperands(format!("%{} ({}) in {block_name}: {msg}", id.index(), inst.opcode.mnemonic())))
+            Err(IrError::BadOperands(format!(
+                "%{} ({}) in {block_name}: {msg}",
+                id.index(),
+                inst.opcode.mnemonic()
+            )))
         };
         // Dangling value / successor checks.
         for &op in &inst.operands {
@@ -600,7 +641,9 @@ impl Function {
         }
         for &s in &inst.succs {
             if !self.is_block_alive(s) {
-                return Err(IrError::DanglingRef(format!("branch to removed block from {block_name}")));
+                return Err(IrError::DanglingRef(format!(
+                    "branch to removed block from {block_name}"
+                )));
             }
         }
         let tys: Vec<Type> = inst.operands.iter().map(|&v| self.value_ty(v)).collect();
@@ -609,7 +652,10 @@ impl Function {
         match inst.opcode {
             Add | Sub | Mul | SDiv | SRem | UDiv | URem | And | Or | Xor | Shl | LShr | AShr => {
                 if n != 2 || tys[0] != tys[1] || !tys[0].is_int() || inst.ty != tys[0] {
-                    return err(format!("expected (T, T) -> T int, got {tys:?} -> {}", inst.ty));
+                    return err(format!(
+                        "expected (T, T) -> T int, got {tys:?} -> {}",
+                        inst.ty
+                    ));
                 }
             }
             FAdd | FSub | FMul | FDiv => {
@@ -623,7 +669,11 @@ impl Function {
                 }
             }
             Icmp(_) => {
-                if n != 2 || tys[0] != tys[1] || !(tys[0].is_int() || tys[0].is_ptr()) || inst.ty != Type::I1 {
+                if n != 2
+                    || tys[0] != tys[1]
+                    || !(tys[0].is_int() || tys[0].is_ptr())
+                    || inst.ty != Type::I1
+                {
                     return err(format!("expected (int, int) -> i1, got {tys:?}"));
                 }
             }
@@ -638,12 +688,20 @@ impl Function {
                 }
             }
             Zext | Sext => {
-                if n != 1 || !tys[0].is_int() || !inst.ty.is_int() || tys[0].size_bytes() > inst.ty.size_bytes() {
+                if n != 1
+                    || !tys[0].is_int()
+                    || !inst.ty.is_int()
+                    || tys[0].size_bytes() > inst.ty.size_bytes()
+                {
                     return err(format!("bad extension {tys:?} -> {}", inst.ty));
                 }
             }
             Trunc => {
-                if n != 1 || !tys[0].is_int() || !inst.ty.is_int() || tys[0].size_bytes() < inst.ty.size_bytes() {
+                if n != 1
+                    || !tys[0].is_int()
+                    || !inst.ty.is_int()
+                    || tys[0].size_bytes() < inst.ty.size_bytes()
+                {
                     return err(format!("bad truncation {tys:?} -> {}", inst.ty));
                 }
             }
@@ -730,14 +788,20 @@ impl Function {
 
     /// Count of live instructions (a code-size metric).
     pub fn live_inst_count(&self) -> usize {
-        self.block_ids().iter().map(|&b| self.insts_of(b).len()).sum()
+        self.block_ids()
+            .iter()
+            .map(|&b| self.insts_of(b).len())
+            .sum()
     }
 
     /// Count of conditional branches (a static divergence-surface metric).
     pub fn cond_branch_count(&self) -> usize {
         self.block_ids()
             .iter()
-            .filter(|&&b| self.terminator(b).is_some_and(|t| self.inst(t).opcode == Opcode::Br))
+            .filter(|&&b| {
+                self.terminator(b)
+                    .is_some_and(|t| self.inst(t).opcode == Opcode::Br)
+            })
             .count()
     }
 }
@@ -756,9 +820,16 @@ mod tests {
         let exit = f.add_block("exit");
         let cmp = f.add_inst(
             entry,
-            InstData::new(Opcode::Icmp(IcmpPred::Slt), Type::I1, vec![Value::Param(0), Value::I32(5)]),
+            InstData::new(
+                Opcode::Icmp(IcmpPred::Slt),
+                Type::I1,
+                vec![Value::Param(0), Value::I32(5)],
+            ),
         );
-        f.add_inst(entry, InstData::terminator(Opcode::Br, vec![Value::Inst(cmp)], vec![then, els]));
+        f.add_inst(
+            entry,
+            InstData::terminator(Opcode::Br, vec![Value::Inst(cmp)], vec![then, els]),
+        );
         f.add_inst(then, InstData::terminator(Opcode::Jump, vec![], vec![exit]));
         f.add_inst(els, InstData::terminator(Opcode::Jump, vec![], vec![exit]));
         f.add_inst(exit, InstData::terminator(Opcode::Ret, vec![], vec![]));
@@ -781,7 +852,10 @@ mod tests {
         // phi with only one incoming edge at a 2-pred block must fail.
         let phi = InstData::phi(Type::I32, &[(then, Value::I32(1))]);
         f.insert_inst_at(exit, 0, phi);
-        assert!(matches!(f.verify_structure(), Err(IrError::PhiPredMismatch(_))));
+        assert!(matches!(
+            f.verify_structure(),
+            Err(IrError::PhiPredMismatch(_))
+        ));
         let _ = entry;
     }
 
@@ -804,7 +878,14 @@ mod tests {
     fn type_errors_detected() {
         let mut f = Function::new("bad", vec![], Type::Void);
         let e = f.entry();
-        f.add_inst(e, InstData::new(Opcode::Add, Type::I32, vec![Value::I32(1), Value::const_f32(1.0)]));
+        f.add_inst(
+            e,
+            InstData::new(
+                Opcode::Add,
+                Type::I32,
+                vec![Value::I32(1), Value::const_f32(1.0)],
+            ),
+        );
         f.add_inst(e, InstData::terminator(Opcode::Ret, vec![], vec![]));
         assert!(matches!(f.verify_structure(), Err(IrError::BadOperands(_))));
     }
@@ -866,7 +947,10 @@ mod tests {
         f.insert_inst_at(exit, 0, phi);
         // Introduce a trampoline block between `then` and `exit`.
         let tramp = f.add_block("tramp");
-        f.add_inst(tramp, InstData::terminator(Opcode::Jump, vec![], vec![exit]));
+        f.add_inst(
+            tramp,
+            InstData::terminator(Opcode::Jump, vec![], vec![exit]),
+        );
         f.replace_succ(then, exit, tramp);
         f.phi_retarget_pred(exit, then, tramp);
         f.verify_structure().unwrap();

@@ -236,7 +236,12 @@ impl Opcode {
     pub fn has_side_effects(self) -> bool {
         matches!(
             self,
-            Opcode::Store | Opcode::Syncthreads | Opcode::Ballot | Opcode::Br | Opcode::Jump | Opcode::Ret
+            Opcode::Store
+                | Opcode::Syncthreads
+                | Opcode::Ballot
+                | Opcode::Br
+                | Opcode::Jump
+                | Opcode::Ret
         )
     }
 

@@ -47,7 +47,10 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
@@ -74,7 +77,10 @@ fn parse_value(
         return rest
             .parse::<u32>()
             .map(Value::Param)
-            .map_err(|_| ParseError { line, message: format!("bad parameter `{tok}`") });
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad parameter `{tok}`"),
+            });
     }
     if tok.starts_with('%') {
         return match names.get(tok) {
@@ -189,27 +195,47 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     let mut it = lines.iter().peekable();
 
     // Header: fn @name(params) -> ret {
-    let &(hline, header) = it.next().ok_or(ParseError { line: 0, message: "empty input".into() })?;
-    let header = header
-        .strip_prefix("fn @")
-        .ok_or_else(|| ParseError { line: hline, message: "expected `fn @name(...)`".into() })?;
-    let open = header.find('(').ok_or(ParseError { line: hline, message: "expected `(`".into() })?;
-    let close = header.rfind(')').ok_or(ParseError { line: hline, message: "expected `)`".into() })?;
+    let &(hline, header) = it.next().ok_or(ParseError {
+        line: 0,
+        message: "empty input".into(),
+    })?;
+    let header = header.strip_prefix("fn @").ok_or_else(|| ParseError {
+        line: hline,
+        message: "expected `fn @name(...)`".into(),
+    })?;
+    let open = header.find('(').ok_or(ParseError {
+        line: hline,
+        message: "expected `(`".into(),
+    })?;
+    let close = header.rfind(')').ok_or(ParseError {
+        line: hline,
+        message: "expected `)`".into(),
+    })?;
     let name = &header[..open];
     let params_src = &header[open + 1..close];
     let rest = header[close + 1..].trim();
     let ret_src = rest
         .strip_prefix("->")
         .and_then(|r| r.trim().strip_suffix('{'))
-        .ok_or(ParseError { line: hline, message: "expected `-> TYPE {`".into() })?;
+        .ok_or(ParseError {
+            line: hline,
+            message: "expected `-> TYPE {`".into(),
+        })?;
     let ret = parse_type(ret_src.trim(), hline)?;
     let mut params = Vec::new();
-    for (k, p) in params_src.split(',').filter(|p| !p.trim().is_empty()).enumerate() {
+    for (k, p) in params_src
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .enumerate()
+    {
         let ty_src = p
             .trim()
             .rsplit_once(' ')
             .map(|(t, _)| t)
-            .ok_or_else(|| ParseError { line: hline, message: format!("bad parameter {k}") })?;
+            .ok_or_else(|| ParseError {
+                line: hline,
+                message: format!("bad parameter {k}"),
+            })?;
         params.push(parse_type(ty_src.trim(), hline)?);
     }
     let mut func = Function::new(name, params, ret);
@@ -225,21 +251,26 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         }
         if let Some(decl) = l.strip_prefix("shared ") {
             // shared NAME : [LEN x TYPE]
-            let (name, rest) = decl
-                .split_once(':')
-                .ok_or(ParseError { line, message: "bad shared declaration".into() })?;
+            let (name, rest) = decl.split_once(':').ok_or(ParseError {
+                line,
+                message: "bad shared declaration".into(),
+            })?;
             let inner = rest
                 .trim()
                 .strip_prefix('[')
                 .and_then(|r| r.strip_suffix(']'))
-                .ok_or(ParseError { line, message: "bad shared declaration".into() })?;
-            let (len_src, ty_src) = inner
-                .split_once(" x ")
-                .ok_or(ParseError { line, message: "bad shared declaration".into() })?;
-            let len: u64 = len_src
-                .trim()
-                .parse()
-                .map_err(|_| ParseError { line, message: "bad shared length".into() })?;
+                .ok_or(ParseError {
+                    line,
+                    message: "bad shared declaration".into(),
+                })?;
+            let (len_src, ty_src) = inner.split_once(" x ").ok_or(ParseError {
+                line,
+                message: "bad shared declaration".into(),
+            })?;
+            let len: u64 = len_src.trim().parse().map_err(|_| ParseError {
+                line,
+                message: "bad shared length".into(),
+            })?;
             func.add_shared_array(name.trim(), parse_type(ty_src.trim(), line)?, len);
         } else if let Some(label) = l.strip_suffix(':') {
             let id = if first_label {
@@ -315,10 +346,10 @@ fn parse_inst(
     let (mnemonic, rest) = body.split_once(' ').unwrap_or((body, ""));
     let rest = rest.trim();
     let block_of = |label: &str| -> Result<BlockId, ParseError> {
-        blocks
-            .get(label.trim())
-            .copied()
-            .ok_or_else(|| ParseError { line, message: format!("unknown block `{label}`") })
+        blocks.get(label.trim()).copied().ok_or_else(|| ParseError {
+            line,
+            message: format!("unknown block `{label}`"),
+        })
     };
 
     // Terminators.
@@ -336,23 +367,36 @@ fn parse_inst(
                 return err(line, "br expects `cond, then, else`");
             }
             return Ok((
-                InstData::terminator(Opcode::Br, vec![], vec![block_of(&parts[1])?, block_of(&parts[2])?]),
+                InstData::terminator(
+                    Opcode::Br,
+                    vec![],
+                    vec![block_of(&parts[1])?, block_of(&parts[2])?],
+                ),
                 vec![parts[0].clone()],
                 vec![],
             ));
         }
         "ret" => {
-            let ops = if rest.is_empty() { vec![] } else { vec![rest.to_string()] };
-            return Ok((InstData::terminator(Opcode::Ret, vec![], vec![]), ops, vec![]));
+            let ops = if rest.is_empty() {
+                vec![]
+            } else {
+                vec![rest.to_string()]
+            };
+            return Ok((
+                InstData::terminator(Opcode::Ret, vec![], vec![]),
+                ops,
+                vec![],
+            ));
         }
         _ => {}
     }
 
     // φ-nodes: `phi TYPE [v, blk], [v, blk], ...`
     if mnemonic == "phi" {
-        let (ty_src, list) = rest
-            .split_once(' ')
-            .ok_or(ParseError { line, message: "phi expects a type".into() })?;
+        let (ty_src, list) = rest.split_once(' ').ok_or(ParseError {
+            line,
+            message: "phi expects a type".into(),
+        })?;
         let ty = parse_type(ty_src, line)?;
         let mut ops = Vec::new();
         let mut labels = Vec::new();
@@ -360,10 +404,14 @@ fn parse_inst(
             let inner = ent
                 .strip_prefix('[')
                 .and_then(|e| e.strip_suffix(']'))
-                .ok_or_else(|| ParseError { line, message: format!("bad phi entry `{ent}`") })?;
-            let (v, blk) = inner
-                .split_once(',')
-                .ok_or_else(|| ParseError { line, message: format!("bad phi entry `{ent}`") })?;
+                .ok_or_else(|| ParseError {
+                    line,
+                    message: format!("bad phi entry `{ent}`"),
+                })?;
+            let (v, blk) = inner.split_once(',').ok_or_else(|| ParseError {
+                line,
+                message: format!("bad phi entry `{ent}`"),
+            })?;
             ops.push(v.trim().to_string());
             labels.push(blk.trim().to_string());
         }
@@ -373,13 +421,15 @@ fn parse_inst(
     }
 
     // Typed unary/memory forms: `load TYPE ptr`, `zext TYPE v`, ...
-    let typed = |op: Opcode, rest: &str| -> Result<(InstData, Vec<String>, Vec<String>), ParseError> {
-        let (ty_src, v) = rest
-            .split_once(' ')
-            .ok_or(ParseError { line, message: format!("{} expects a type", op.mnemonic()) })?;
-        let ty = parse_type(ty_src, line)?;
-        Ok((InstData::new(op, ty, vec![]), split_operands(v), vec![]))
-    };
+    let typed =
+        |op: Opcode, rest: &str| -> Result<(InstData, Vec<String>, Vec<String>), ParseError> {
+            let (ty_src, v) = rest.split_once(' ').ok_or(ParseError {
+                line,
+                message: format!("{} expects a type", op.mnemonic()),
+            })?;
+            let ty = parse_type(ty_src, line)?;
+            Ok((InstData::new(op, ty, vec![]), split_operands(v), vec![]))
+        };
     match mnemonic {
         "load" => return typed(Opcode::Load, rest),
         "zext" => return typed(Opcode::Zext, rest),
@@ -387,9 +437,10 @@ fn parse_inst(
         "trunc" => return typed(Opcode::Trunc, rest),
         "fptosi" => return typed(Opcode::FpToSi, rest),
         "gep" => {
-            let (ty_src, v) = rest
-                .split_once(' ')
-                .ok_or(ParseError { line, message: "gep expects an element type".into() })?;
+            let (ty_src, v) = rest.split_once(' ').ok_or(ParseError {
+                line,
+                message: "gep expects an element type".into(),
+            })?;
             let elem = parse_type(ty_src, line)?;
             // result type = pointer operand type; patched after operand
             // resolution is not possible here, so default to global and fix
@@ -430,58 +481,100 @@ fn parse_inst(
         "select" => (Opcode::Select, None, 3),
         "store" => (Opcode::Store, Some(Type::Void), 2),
         "icmp" => {
-            let (p, v) = rest
-                .split_once(' ')
-                .ok_or(ParseError { line, message: "icmp expects a predicate".into() })?;
+            let (p, v) = rest.split_once(' ').ok_or(ParseError {
+                line,
+                message: "icmp expects a predicate".into(),
+            })?;
             let pred = parse_icmp_pred(p, line)?;
-            return Ok((InstData::new(Opcode::Icmp(pred), Type::I1, vec![]), split_operands(v), vec![]));
+            return Ok((
+                InstData::new(Opcode::Icmp(pred), Type::I1, vec![]),
+                split_operands(v),
+                vec![],
+            ));
         }
         "fcmp" => {
-            let (p, v) = rest
-                .split_once(' ')
-                .ok_or(ParseError { line, message: "fcmp expects a predicate".into() })?;
+            let (p, v) = rest.split_once(' ').ok_or(ParseError {
+                line,
+                message: "fcmp expects a predicate".into(),
+            })?;
             let pred = parse_fcmp_pred(p, line)?;
-            return Ok((InstData::new(Opcode::Fcmp(pred), Type::I1, vec![]), split_operands(v), vec![]));
+            return Ok((
+                InstData::new(Opcode::Fcmp(pred), Type::I1, vec![]),
+                split_operands(v),
+                vec![],
+            ));
         }
         "ballot" => (Opcode::Ballot, Some(Type::I64), 1),
         "bar.sync" => (Opcode::Syncthreads, Some(Type::Void), 0),
         m if m.starts_with("tid.") => {
             let d = parse_dim(&m[4..], line)?;
-            return Ok((InstData::new(Opcode::ThreadIdx(d), Type::I32, vec![]), vec![], vec![]));
+            return Ok((
+                InstData::new(Opcode::ThreadIdx(d), Type::I32, vec![]),
+                vec![],
+                vec![],
+            ));
         }
         m if m.starts_with("ctaid.") => {
             let d = parse_dim(&m[6..], line)?;
-            return Ok((InstData::new(Opcode::BlockIdx(d), Type::I32, vec![]), vec![], vec![]));
+            return Ok((
+                InstData::new(Opcode::BlockIdx(d), Type::I32, vec![]),
+                vec![],
+                vec![],
+            ));
         }
         m if m.starts_with("ntid.") => {
             let d = parse_dim(&m[5..], line)?;
-            return Ok((InstData::new(Opcode::BlockDim(d), Type::I32, vec![]), vec![], vec![]));
+            return Ok((
+                InstData::new(Opcode::BlockDim(d), Type::I32, vec![]),
+                vec![],
+                vec![],
+            ));
         }
         m if m.starts_with("nctaid.") => {
             let d = parse_dim(&m[7..], line)?;
-            return Ok((InstData::new(Opcode::GridDim(d), Type::I32, vec![]), vec![], vec![]));
+            return Ok((
+                InstData::new(Opcode::GridDim(d), Type::I32, vec![]),
+                vec![],
+                vec![],
+            ));
         }
         "shared.base" => {
-            let idx: u32 = rest
-                .parse()
-                .map_err(|_| ParseError { line, message: "bad shared.base index".into() })?;
+            let idx: u32 = rest.parse().map_err(|_| ParseError {
+                line,
+                message: "bad shared.base index".into(),
+            })?;
             if idx as usize >= func.shared_arrays().len() {
                 return err(line, format!("shared array {idx} not declared"));
             }
             return Ok((
-                InstData::new(Opcode::SharedBase(idx), Type::Ptr(AddrSpace::Shared), vec![]),
+                InstData::new(
+                    Opcode::SharedBase(idx),
+                    Type::Ptr(AddrSpace::Shared),
+                    vec![],
+                ),
                 vec![],
                 vec![],
             ));
         }
         other => return err(line, format!("unknown instruction `{other}`")),
     };
-    let tokens = if rest.is_empty() { vec![] } else { split_operands(rest) };
+    let tokens = if rest.is_empty() {
+        vec![]
+    } else {
+        split_operands(rest)
+    };
     if tokens.len() != nops {
-        return err(line, format!("{mnemonic} expects {nops} operands, got {}", tokens.len()));
+        return err(
+            line,
+            format!("{mnemonic} expects {nops} operands, got {}", tokens.len()),
+        );
     }
     // Operand-typed ops get a placeholder; fixed later by `fixup_types`.
-    Ok((InstData::new(opcode, ty.unwrap_or(Type::I32), vec![]), tokens, vec![]))
+    Ok((
+        InstData::new(opcode, ty.unwrap_or(Type::I32), vec![]),
+        tokens,
+        vec![],
+    ))
 }
 
 /// Parses and then resolves operand-derived result types (binary ops,
@@ -494,8 +587,10 @@ fn parse_inst(
 pub fn parse_and_verify(text: &str) -> Result<Function, ParseError> {
     let mut func = parse_function(text)?;
     fixup_types(&mut func);
-    func.verify_structure()
-        .map_err(|e| ParseError { line: 0, message: format!("verification failed: {e}") })?;
+    func.verify_structure().map_err(|e| ParseError {
+        line: 0,
+        message: format!("verification failed: {e}"),
+    })?;
     Ok(func)
 }
 
@@ -620,7 +715,11 @@ entry:
     fn round_trips_printer_output() {
         // Build a function with diverse constructs, print it, parse it, and
         // compare the reprints.
-        let mut f = Function::new("rt", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::I32);
+        let mut f = Function::new(
+            "rt",
+            vec![Type::Ptr(AddrSpace::Global), Type::I32],
+            Type::I32,
+        );
         let sh = f.add_shared_array("t", Type::I32, 32);
         let entry = f.entry();
         let t = f.add_block("t");
@@ -653,7 +752,8 @@ entry:
 
     #[test]
     fn errors_carry_line_numbers() {
-        let e = parse_function("fn @x() -> void {\nentry:\n  %0 = bogus 1, 2\n  ret\n}").unwrap_err();
+        let e =
+            parse_function("fn @x() -> void {\nentry:\n  %0 = bogus 1, 2\n  ret\n}").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("bogus"));
     }

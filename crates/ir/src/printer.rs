@@ -31,7 +31,12 @@ impl fmt::Display for Function {
                 // carry an explicit type annotation (keeps text parseable).
                 if matches!(
                     inst.opcode,
-                    Opcode::Load | Opcode::Zext | Opcode::Sext | Opcode::Trunc | Opcode::FpToSi | Opcode::Phi
+                    Opcode::Load
+                        | Opcode::Zext
+                        | Opcode::Sext
+                        | Opcode::Trunc
+                        | Opcode::FpToSi
+                        | Opcode::Phi
                 ) {
                     write!(f, " {}", inst.ty)?;
                 }
@@ -46,7 +51,11 @@ impl fmt::Display for Function {
                         write!(f, "{sep}{op}")?;
                     }
                     for (k, s) in inst.succs.iter().enumerate() {
-                        let sep = if k == 0 && inst.operands.is_empty() { " " } else { ", " };
+                        let sep = if k == 0 && inst.operands.is_empty() {
+                            " "
+                        } else {
+                            ", "
+                        };
                         write!(f, "{sep}{}", self.block_name(*s))?;
                     }
                 }

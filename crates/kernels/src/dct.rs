@@ -43,7 +43,11 @@ pub fn reference(v: i32) -> i32 {
 
 /// Builds the quantization kernel `dct(plane, qp)` (2-D launch).
 pub fn build_kernel() -> Function {
-    let mut f = Function::new("dct_quant", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+    let mut f = Function::new(
+        "dct_quant",
+        vec![Type::Ptr(AddrSpace::Global), Type::I32],
+        Type::Void,
+    );
     let entry = f.entry();
     let neg = f.add_block("neg");
     let pos = f.add_block("pos");

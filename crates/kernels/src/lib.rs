@@ -223,7 +223,10 @@ impl BenchCase {
 /// Deterministic pseudo-random i32 generator used by the workloads
 /// (xorshift; avoids pulling rand into the kernel definitions).
 pub fn pseudo_random_i32(seed: u64, n: usize, modulus: i32) -> Vec<i32> {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) | 1;
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        | 1;
     (0..n)
         .map(|_| {
             state ^= state << 13;

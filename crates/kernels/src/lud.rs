@@ -60,7 +60,11 @@ pub fn reference(mat: &[i32], block_size: u32) -> Vec<i32> {
 
 /// Builds the perimeter kernel `lud(mat, n)`.
 pub fn build_kernel() -> Function {
-    let mut f = Function::new("lud_perimeter", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+    let mut f = Function::new(
+        "lud_perimeter",
+        vec![Type::Ptr(AddrSpace::Global), Type::I32],
+        Type::Void,
+    );
     let entry = f.entry();
     // true side: row reduction
     let r_pre = f.add_block("row.pre");
@@ -136,9 +140,12 @@ pub fn build_kernel() -> Function {
     b.switch_to(exit);
     b.ret(None);
 
-    for (phi, backedge, latch) in
-        [(rc, rc2, r_body), (racc, racc2, r_body), (cc, cc2, c_body), (cacc, cacc2, c_body)]
-    {
+    for (phi, backedge, latch) in [
+        (rc, rc2, r_body),
+        (racc, racc2, r_body),
+        (cc, cc2, c_body),
+        (cacc, cacc2, c_body),
+    ] {
         let id = phi.as_inst().unwrap();
         f.inst_mut(id).operands.push(backedge);
         f.inst_mut(id).phi_blocks.push(latch);

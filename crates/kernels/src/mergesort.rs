@@ -46,7 +46,11 @@ pub fn build_case(block_size: u32) -> BenchCase {
 pub fn build_kernel() -> Function {
     let mut f = Function::new(
         "mergesort_step",
-        vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global), Type::I32],
+        vec![
+            Type::Ptr(AddrSpace::Global),
+            Type::Ptr(AddrSpace::Global),
+            Type::I32,
+        ],
         Type::Void,
     );
     let entry = f.entry();
@@ -125,10 +129,21 @@ pub fn build_kernel() -> Function {
     b.switch_to(join);
     let v = b.phi(
         Type::I32,
-        &[(left_done, vr0), (right_done, vl0), (take_l, vl), (take_r, vr)],
+        &[
+            (left_done, vr0),
+            (right_done, vl0),
+            (take_l, vl),
+            (take_r, vr),
+        ],
     );
-    let i_next = b.phi(Type::I32, &[(left_done, i), (right_done, i0), (take_l, i1), (take_r, i)]);
-    let j_next = b.phi(Type::I32, &[(left_done, j0), (right_done, j), (take_l, j), (take_r, j1)]);
+    let i_next = b.phi(
+        Type::I32,
+        &[(left_done, i), (right_done, i0), (take_l, i1), (take_r, i)],
+    );
+    let j_next = b.phi(
+        Type::I32,
+        &[(left_done, j0), (right_done, j), (take_l, j), (take_r, j1)],
+    );
     let pout = b.gep(Type::I32, b.param(0), kk);
     b.store(v, pout);
     let k_next = b.add(kk, b.const_i32(1));
@@ -156,6 +171,9 @@ mod tests {
         verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
         let result = case.execute().unwrap();
         case.check(&result).unwrap();
-        assert!(result.stats.simd_efficiency() < 1.0, "data-dependent merge must diverge");
+        assert!(
+            result.stats.simd_efficiency() < 1.0,
+            "data-dependent merge must diverge"
+        );
     }
 }

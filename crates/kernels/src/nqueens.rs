@@ -192,9 +192,39 @@ pub fn build_kernel() -> Function {
             f.inst_mut(id).phi_blocks.push(blk);
         }
     };
-    patch(&mut f, row, &[(bt, rm1), (btload, rm1), (sol, row), (desc, row2), (adv, row)]);
-    patch(&mut f, col, &[(bt, col), (btload, ncol), (sol, col_s), (desc, Value::I32(0)), (adv, col2)]);
-    patch(&mut f, count, &[(bt, count), (btload, count), (sol, count2), (desc, count), (adv, count)]);
+    patch(
+        &mut f,
+        row,
+        &[
+            (bt, rm1),
+            (btload, rm1),
+            (sol, row),
+            (desc, row2),
+            (adv, row),
+        ],
+    );
+    patch(
+        &mut f,
+        col,
+        &[
+            (bt, col),
+            (btload, ncol),
+            (sol, col_s),
+            (desc, Value::I32(0)),
+            (adv, col2),
+        ],
+    );
+    patch(
+        &mut f,
+        count,
+        &[
+            (bt, count),
+            (btload, count),
+            (sol, count2),
+            (desc, count),
+            (adv, count),
+        ],
+    );
     // safe loop backedges
     patch(&mut f, r, &[(s_body, r2)]);
     patch(&mut f, ok, &[(s_body, ok2)]);
@@ -219,6 +249,9 @@ mod tests {
         verify_ssa(&case.func).unwrap_or_else(|e| panic!("{e}\n{}", case.func));
         let result = case.execute().unwrap();
         case.check(&result).unwrap();
-        assert!(result.stats.simd_efficiency() < 1.0, "backtracking must diverge");
+        assert!(
+            result.stats.simd_efficiency() < 1.0,
+            "backtracking must diverge"
+        );
     }
 }

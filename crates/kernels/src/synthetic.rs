@@ -178,7 +178,11 @@ fn step(kind: SyntheticKind, v: i32, tid: i32, i: i32) -> i32 {
                     x = if alt { f2(x, i) } else { f1(x, i) };
                 }
                 if x & 1 == 0 {
-                    x = if alt { x.wrapping_sub(i.wrapping_mul(3)) } else { x.wrapping_add(i) };
+                    x = if alt {
+                        x.wrapping_sub(i.wrapping_mul(3))
+                    } else {
+                        x.wrapping_add(i)
+                    };
                 }
             }
             x
@@ -228,7 +232,11 @@ fn emit_if_then(
 pub fn build_kernel(kind: SyntheticKind, block_size: u32) -> Function {
     use SyntheticKind::*;
     let mut f = Function::new(
-        &format!("{}_{}", kind.name().to_lowercase().replace('-', "_"), block_size),
+        &format!(
+            "{}_{}",
+            kind.name().to_lowercase().replace('-', "_"),
+            block_size
+        ),
         vec![Type::Ptr(AddrSpace::Global), Type::Ptr(AddrSpace::Global)],
         Type::Void,
     );
@@ -284,7 +292,11 @@ pub fn build_kernel(kind: SyntheticKind, block_size: u32) -> Function {
             b.jump(i_latch);
             b.switch_to(e);
             let v = b.load(Type::I32, sp);
-            let r = if kind == Sb1 { emit_f1(&mut b, v, i) } else { emit_f2(&mut b, v, i) };
+            let r = if kind == Sb1 {
+                emit_f1(&mut b, v, i)
+            } else {
+                emit_f2(&mut b, v, i)
+            };
             b.store(r, sp);
             b.jump(i_latch);
         }
@@ -308,7 +320,13 @@ pub fn build_kernel(kind: SyntheticKind, block_size: u32) -> Function {
                 i,
                 i_latch,
                 |b, v| b.icmp(IcmpPred::Slt, v, b.const_i32(0)),
-                move |b, v, i| if alt { emit_f2(b, v, i) } else { emit_f1(b, v, i) },
+                move |b, v, i| {
+                    if alt {
+                        emit_f2(b, v, i)
+                    } else {
+                        emit_f1(b, v, i)
+                    }
+                },
             );
             b.switch_to(cur);
             b.br(c, lt, le);
@@ -369,7 +387,13 @@ pub fn build_kernel(kind: SyntheticKind, block_size: u32) -> Function {
                 i,
                 e2,
                 |b, v| b.icmp(IcmpPred::Slt, v, b.const_i32(0)),
-                move |b, v, i| if alt { emit_f2(b, v, i) } else { emit_f1(b, v, i) },
+                move |b, v, i| {
+                    if alt {
+                        emit_f2(b, v, i)
+                    } else {
+                        emit_f1(b, v, i)
+                    }
+                },
             );
             b.switch_to(cur);
             b.br(c, t1, e1);
@@ -394,7 +418,11 @@ pub fn build_kernel(kind: SyntheticKind, block_size: u32) -> Function {
             b.br(c1, d4, d5);
             b.switch_to(d4);
             let v = b.load(Type::I32, sp);
-            let r = if kind == Sb4 { emit_f1(&mut b, v, i) } else { emit_f2(&mut b, v, i) };
+            let r = if kind == Sb4 {
+                emit_f1(&mut b, v, i)
+            } else {
+                emit_f2(&mut b, v, i)
+            };
             b.store(r, sp);
             b.jump(j45);
             b.switch_to(d5);
@@ -450,9 +478,10 @@ mod tests {
     fn all_kinds_verify_and_match_reference() {
         for kind in SyntheticKind::all() {
             let case = build_case(kind, 32);
-            verify_ssa(&case.func)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{}", case.name, case.func));
-            let result = case.execute().unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            verify_ssa(&case.func).unwrap_or_else(|e| panic!("{}: {e}\n{}", case.name, case.func));
+            let result = case
+                .execute()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
             case.check(&result).unwrap();
         }
     }

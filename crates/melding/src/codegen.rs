@@ -106,7 +106,9 @@ pub fn meld_region(
     let mut pending_entry_phis: HashMap<BlockId, Vec<InstId>> = HashMap::new();
 
     for el in plan {
-        let PlanElement::Meld { st, sf, pairs, .. } = el else { continue };
+        let PlanElement::Meld { st, sf, pairs, .. } = el else {
+            continue;
+        };
         for &(bt, bf) in pairs {
             let m = block_map[&bt];
             // φs are copied, never melded (§IV-D "Melding φ Nodes").
@@ -143,7 +145,12 @@ pub fn meld_region(
                     operand_map.insert(if_, Value::Inst(new_id));
                 }
                 origins.entry(m).or_default().push((new_id, origin));
-                records.push(CloneRecord { new_id, src_t, src_f, origin });
+                records.push(CloneRecord {
+                    new_id,
+                    src_t,
+                    src_f,
+                    origin,
+                });
             }
             // Terminator: by isomorphism both sides have the same kind.
             let tt = func.terminator(bt).expect("terminator");
@@ -188,7 +195,9 @@ pub fn meld_region(
     // `cursor` is the block whose forward edge must be pointed at the next
     // chain element; `placeholder` is the successor to rewrite (None while
     // the cursor has no terminator yet).
-    let branch = func.terminator(region.branch_block).expect("divergent branch");
+    let branch = func
+        .terminator(region.branch_block)
+        .expect("divergent branch");
     func.remove_inst(branch);
     let mut cursor = region.branch_block;
     let mut placeholder: Option<BlockId> = None;
@@ -199,7 +208,10 @@ pub fn meld_region(
     fn link(func: &mut Function, cursor: BlockId, placeholder: Option<BlockId>, target: BlockId) {
         match placeholder {
             None => {
-                func.add_inst(cursor, InstData::terminator(Opcode::Jump, vec![], vec![target]));
+                func.add_inst(
+                    cursor,
+                    InstData::terminator(Opcode::Jump, vec![], vec![target]),
+                );
             }
             Some(ph) => func.replace_succ(cursor, ph, target),
         }
@@ -220,8 +232,15 @@ pub fn meld_region(
                 let join = func.add_block(&format!("guard.join.{guard_n}"));
                 guard_n += 1;
                 link(func, cursor, placeholder, guard);
-                let (s0, s1) = if is_true { (sg.entry, join) } else { (join, sg.entry) };
-                func.add_inst(guard, InstData::terminator(Opcode::Br, vec![cond], vec![s0, s1]));
+                let (s0, s1) = if is_true {
+                    (sg.entry, join)
+                } else {
+                    (join, sg.entry)
+                };
+                func.add_inst(
+                    guard,
+                    InstData::terminator(Opcode::Br, vec![cond], vec![s0, s1]),
+                );
                 // The gap subgraph keeps its blocks; re-point its entry φs
                 // and exit edge.
                 retarget_outside_phi_preds(func, sg, guard);
@@ -295,7 +314,11 @@ pub fn meld_region(
     // The original region preds of X are the exit blocks of the last
     // subgraph on each path.
     let t_exit = region.true_chain.last().expect("nonempty chain").exit_block;
-    let f_exit = region.false_chain.last().expect("nonempty chain").exit_block;
+    let f_exit = region
+        .false_chain
+        .last()
+        .expect("nonempty chain")
+        .exit_block;
     let new_t_exit = block_map.get(&t_exit).copied();
     let new_f_exit = block_map.get(&f_exit).copied();
     // Compute every φ's merged value first: phi_remove_incoming strips the
@@ -305,7 +328,9 @@ pub fn meld_region(
     for phi in func.phis_of(region.exit) {
         let vt = func.inst(phi).phi_value_for(t_exit);
         let vf = func.inst(phi).phi_value_for(f_exit);
-        let (Some(vt), Some(vf)) = (vt, vf) else { continue };
+        let (Some(vt), Some(vf)) = (vt, vf) else {
+            continue;
+        };
         let vt = resolve(&operand_map, vt);
         let vf = resolve(&operand_map, vf);
         let merged = if vt == vf {
@@ -358,10 +383,16 @@ pub fn meld_region(
 
     // ---- Phase G: unpredication / store predication ----
     for el in plan {
-        let PlanElement::Meld { st, .. } = el else { continue };
+        let PlanElement::Meld { st, .. } = el else {
+            continue;
+        };
         for &bt in st.blocks.iter() {
-            let Some(&m) = block_map.get(&bt) else { continue };
-            let Some(runs) = origins.get(&m) else { continue };
+            let Some(&m) = block_map.get(&bt) else {
+                continue;
+            };
+            let Some(runs) = origins.get(&m) else {
+                continue;
+            };
             let gap_runs: Vec<GapRun> = collect_gap_runs(runs);
             if gap_runs.is_empty() {
                 continue;
@@ -416,7 +447,10 @@ fn collect_gap_runs(origins: &[(InstId, Origin)]) -> Vec<GapRun> {
                         if let Some(r) = cur.take() {
                             runs.push(r);
                         }
-                        cur = Some(GapRun { insts: vec![id], true_side });
+                        cur = Some(GapRun {
+                            insts: vec![id],
+                            true_side,
+                        });
                     }
                 }
             }

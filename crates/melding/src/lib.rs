@@ -50,18 +50,22 @@
 
 pub mod codegen;
 pub mod isomorphism;
+pub mod pass;
+pub mod reference;
 pub mod region;
 pub mod replicate;
 pub mod tail_merge;
 pub mod unpredicate;
 
 pub use codegen::{PlanElement, RegionMeldStats};
+pub use pass::{MeldPass, MeldStatsSink, TailMergePass};
+pub use reference::meld_function_reference;
 pub use region::{Analyses, MeldableRegion, Subgraph};
 pub use tail_merge::tail_merge;
 
 use darm_align::{global_align, subgraph_melding_profit, AlignStep};
 use darm_ir::Function;
-use darm_transforms::{repair_ssa, run_dce, run_instcombine, simplify_cfg};
+use darm_pipeline::{PassManager, PassRegistry, PipelineError, PipelineOptions, PipelineReport};
 
 /// Which melding technique to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,19 +95,30 @@ pub struct MeldConfig {
 
 impl Default for MeldConfig {
     fn default() -> MeldConfig {
-        MeldConfig { mode: MeldMode::Darm, threshold: 0.2, unpredicate: true, max_iterations: 32 }
+        MeldConfig {
+            mode: MeldMode::Darm,
+            threshold: 0.2,
+            unpredicate: true,
+            max_iterations: 32,
+        }
     }
 }
 
 impl MeldConfig {
     /// The paper's branch-fusion baseline configuration.
     pub fn branch_fusion() -> MeldConfig {
-        MeldConfig { mode: MeldMode::BranchFusion, ..MeldConfig::default() }
+        MeldConfig {
+            mode: MeldMode::BranchFusion,
+            ..MeldConfig::default()
+        }
     }
 
     /// A DARM configuration with a custom profitability threshold.
     pub fn with_threshold(threshold: f64) -> MeldConfig {
-        MeldConfig { threshold, ..MeldConfig::default() }
+        MeldConfig {
+            threshold,
+            ..MeldConfig::default()
+        }
     }
 }
 
@@ -134,63 +149,80 @@ enum MatchKind {
     ReplicateFalse(darm_ir::BlockId),
 }
 
+/// Result of a [`run_meld_pipeline`] call: the melding statistics plus the
+/// pipeline's per-pass timing/stat report.
+#[derive(Debug, Clone)]
+pub struct MeldOutcome {
+    /// Cumulative melding statistics.
+    pub stats: MeldStats,
+    /// Per-pass records (runs, changed, units, wall time) and analysis
+    /// computation counts.
+    pub report: PipelineReport,
+}
+
+/// The one melding driver shared by the CLI, the benchmark harness and
+/// [`meld_function`]: builds a [`PassManager`] holding the [`MeldPass`] for
+/// `config` and runs it over `func` with a shared analysis cache.
+///
+/// # Errors
+///
+/// Propagates pipeline failures — with [`PipelineOptions::verify_each`]
+/// that includes SSA violations between passes.
+pub fn run_meld_pipeline(
+    func: &mut Function,
+    config: &MeldConfig,
+    options: PipelineOptions,
+) -> Result<MeldOutcome, PipelineError> {
+    let sink = MeldStatsSink::default();
+    let mut pm = PassManager::new(options);
+    pm.add(Box::new(
+        MeldPass::with_sink(*config, sink.clone()).with_verify_each(options.verify_each),
+    ));
+    let report = pm.run(func)?;
+    Ok(MeldOutcome {
+        stats: sink.take(),
+        report,
+    })
+}
+
+/// A pass registry holding the generic cleanup passes plus the melding
+/// family: `meld` (melding exactly as configured — mode, threshold,
+/// unpredication — so a CLI `--mode bf` carries into specs), `meld-bf`
+/// (the branch-fusion restriction regardless of `config.mode`) and
+/// `tail-merge`. The base names come from
+/// [`PassRegistry::with_transforms`].
+pub fn registry(config: &MeldConfig) -> PassRegistry {
+    let mut r = PassRegistry::with_transforms();
+    let configured = *config;
+    let bf = MeldConfig {
+        mode: MeldMode::BranchFusion,
+        ..*config
+    };
+    r.register("meld", move || Box::new(MeldPass::new(configured)));
+    r.register("meld-bf", move || Box::new(MeldPass::new(bf)));
+    r.register("tail-merge", || Box::new(TailMergePass::default()));
+    r
+}
+
 /// Runs the melding pass on `func` until no profitable melds remain
 /// (Algorithm 1). Returns cumulative statistics. The function is left in
 /// valid SSA form.
+///
+/// This is a thin wrapper over [`run_meld_pipeline`] with default options;
+/// see [`MeldPass`] for how the fixpoint shares cached analyses.
 pub fn meld_function(func: &mut Function, config: &MeldConfig) -> MeldStats {
-    let mut stats = MeldStats::default();
-    'outer: for _ in 0..config.max_iterations {
-        stats.iterations += 1;
-        let a = Analyses::new(func);
-        // Candidate regions, innermost (smallest) first: melding an inner
-        // diamond before its enclosing region avoids unnecessary region
-        // replication (the SB4 situation, §VI-B).
-        let mut candidates: Vec<(usize, darm_ir::BlockId)> = a
-            .cfg
-            .rpo()
-            .iter()
-            .copied()
-            .filter(|&b| a.da.is_divergent_branch(b))
-            .map(|b| {
-                let size = region::detect_region(func, &a, b)
-                    .map(|r| {
-                        r.true_chain.iter().chain(&r.false_chain).map(|s| s.blocks.len()).sum()
-                    })
-                    .unwrap_or(usize::MAX / 2);
-                (size, b)
-            })
-            .collect();
-        candidates.sort_by_key(|&(size, b)| (size, std::cmp::Reverse(a.cfg.rpo_index(b))));
-        for (_, b) in candidates {
-            // Region simplification (Definition 3/4) may change the CFG;
-            // restart with fresh analyses when it does.
-            if region::simplify_region_entry(func, &a, b) {
-                continue 'outer;
-            }
-            let Some(r) = region::detect_region(func, &a, b) else { continue };
-            let Some((plan, n_repl)) = plan_region(func, &r, config) else { continue };
-            let rstats = codegen::meld_region(func, &r, &plan, config.unpredicate);
-            stats.melded_regions += 1;
-            stats.melded_subgraphs += rstats.melded_subgraphs;
-            stats.selects_inserted += rstats.selects_inserted;
-            stats.unpredicated_groups += rstats.unpredicated_groups;
-            stats.replications += n_repl;
-            stats.ssa_repairs += repair_ssa(func);
-            run_instcombine(func);
-            simplify_cfg(func);
-            run_dce(func);
-            continue 'outer;
-        }
-        break;
-    }
-    stats
+    run_meld_pipeline(func, config, PipelineOptions::default())
+        .expect("melding without verify-each cannot fail")
+        .stats
 }
 
 /// Computes the melding plan for a region: aligns the two subgraph chains
 /// with `MP_S` scoring (Definition 7) and keeps matches at or above the
 /// profitability threshold. Returns `None` when nothing profitable exists.
 /// The second component counts region replications the plan will perform.
-fn plan_region(
+/// Shared by the pipeline driver ([`MeldPass`]) and the pre-refactor
+/// oracle ([`meld_function_reference`]).
+pub(crate) fn plan_region(
     func: &mut Function,
     r: &MeldableRegion,
     config: &MeldConfig,
@@ -284,7 +316,12 @@ fn plan_region(
                     .expect("scored during alignment");
                 match kind {
                     MatchKind::Iso(pairs) => {
-                        plan.push(PlanElement::Meld { st, sf, pairs, profit });
+                        plan.push(PlanElement::Meld {
+                            st,
+                            sf,
+                            pairs,
+                            profit,
+                        });
                     }
                     MatchKind::ReplicateTrue(pos) => {
                         match replicate::replicate(func, &st, &sf, pos) {
@@ -292,7 +329,12 @@ fn plan_region(
                                 let pairs = isomorphism::isomorphic_pairs(func, &lprime, &sf)
                                     .expect("replication is isomorphic by construction");
                                 replications += 1;
-                                plan.push(PlanElement::Meld { st: lprime, sf, pairs, profit });
+                                plan.push(PlanElement::Meld {
+                                    st: lprime,
+                                    sf,
+                                    pairs,
+                                    profit,
+                                });
                             }
                             None => {
                                 plan.push(PlanElement::GapTrue(st));
@@ -306,7 +348,12 @@ fn plan_region(
                                 let pairs = isomorphism::isomorphic_pairs(func, &st, &lprime)
                                     .expect("replication is isomorphic by construction");
                                 replications += 1;
-                                plan.push(PlanElement::Meld { st, sf: lprime, pairs, profit });
+                                plan.push(PlanElement::Meld {
+                                    st,
+                                    sf: lprime,
+                                    pairs,
+                                    profit,
+                                });
                             }
                             None => {
                                 plan.push(PlanElement::GapTrue(st));

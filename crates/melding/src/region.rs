@@ -1,8 +1,9 @@
 //! Meldable divergent region detection (Definition 5) and SESE chain
 //! construction with region simplification (Definitions 3–4).
 
-use darm_analysis::{Cfg, DivergenceAnalysis, DomTree, PostDomTree};
+use darm_analysis::{AnalysisManager, Cfg, DivergenceAnalysis, DomTree, PostDomTree};
 use darm_ir::{BlockId, Function, InstData, Opcode, Value};
+use std::rc::Rc;
 
 /// A divergent region `(E, X)` whose true/false paths decompose into SESE
 /// subgraph chains (the unit Algorithm 1 operates on).
@@ -61,27 +62,37 @@ impl Subgraph {
     }
 }
 
-/// Bundle of CFG analyses used throughout the pass.
+/// Bundle of CFG analyses used throughout the pass. The components are
+/// shared [`Rc`] handles so a snapshot can be drawn from (and returned to)
+/// an [`AnalysisManager`] cache without copying.
 #[derive(Debug)]
 pub struct Analyses {
     /// CFG snapshot.
-    pub cfg: Cfg,
+    pub cfg: Rc<Cfg>,
     /// Dominator tree.
-    pub dt: DomTree,
+    pub dt: Rc<DomTree>,
     /// Post-dominator tree.
-    pub pdt: PostDomTree,
+    pub pdt: Rc<PostDomTree>,
     /// Divergence analysis.
-    pub da: DivergenceAnalysis,
+    pub da: Rc<DivergenceAnalysis>,
 }
 
 impl Analyses {
     /// Computes all analyses for the current state of `func`.
     pub fn new(func: &Function) -> Analyses {
-        let cfg = Cfg::new(func);
-        let dt = DomTree::new(func, &cfg);
-        let pdt = PostDomTree::new(func, &cfg);
-        let da = DivergenceAnalysis::run(func, &cfg, &dt);
-        Analyses { cfg, dt, pdt, da }
+        Analyses::from_manager(func, &mut AnalysisManager::new())
+    }
+
+    /// Draws the bundle from a shared analysis cache: components that are
+    /// still valid from earlier pipeline work are reused, the rest are
+    /// computed (and left cached for whoever asks next).
+    pub fn from_manager(func: &Function, am: &mut AnalysisManager) -> Analyses {
+        Analyses {
+            cfg: am.get::<Cfg>(func),
+            dt: am.get::<DomTree>(func),
+            pdt: am.get::<PostDomTree>(func),
+            da: am.get::<DivergenceAnalysis>(func),
+        }
     }
 }
 
@@ -112,7 +123,13 @@ pub fn detect_region(func: &Function, a: &Analyses, b: BlockId) -> Option<Meldab
     if true_chain.is_empty() || false_chain.is_empty() {
         return None;
     }
-    Some(MeldableRegion { branch_block: b, cond, exit, true_chain, false_chain })
+    Some(MeldableRegion {
+        branch_block: b,
+        cond,
+        exit,
+        true_chain,
+        false_chain,
+    })
 }
 
 /// Decomposes the path `start → stop` into SESE subgraphs, absorbing join
@@ -149,8 +166,7 @@ pub fn compute_chain(
                 .iter()
                 .map(|&blk| a.cfg.succs(blk).iter().filter(|&&s| s == next).count())
                 .sum();
-            let preds_inside =
-                a.cfg.preds(next).iter().all(|p| blocks.contains(p));
+            let preds_inside = a.cfg.preds(next).iter().all(|p| blocks.contains(p));
             if exit_edges > 1 && preds_inside {
                 next = a.pdt.ipdom(next)?;
                 continue;
@@ -176,7 +192,12 @@ pub fn compute_chain(
             // simplification must insert a landing pad first.
             _ => return None,
         };
-        chain.push(Subgraph { entry: cur, blocks, exit_block, exit_target: next });
+        chain.push(Subgraph {
+            entry: cur,
+            blocks,
+            exit_block,
+            exit_target: next,
+        });
         cur = next;
     }
     Some(chain)
@@ -188,13 +209,17 @@ pub fn compute_chain(
 /// removes trivial φs at subgraph entries. Returns `true` if the CFG
 /// changed (callers must recompute analyses and re-detect).
 pub fn simplify_region_entry(func: &mut Function, a: &Analyses, b: BlockId) -> bool {
-    let Some(term) = func.terminator(b) else { return false };
+    let Some(term) = func.terminator(b) else {
+        return false;
+    };
     if func.inst(term).opcode != Opcode::Br {
         return false;
     }
     let succs = func.inst(term).succs.clone();
     let (bt, bf) = (succs[0], succs[1]);
-    let Some(exit) = a.pdt.ipdom(b) else { return false };
+    let Some(exit) = a.pdt.ipdom(b) else {
+        return false;
+    };
     let mut changed = false;
     for start in [bt, bf] {
         if start == exit {
@@ -293,7 +318,10 @@ pub fn insert_landing_pad(func: &mut Function, sources: &[BlockId], target: Bloc
         inst.phi_blocks.push(pad);
         inst.operands.push(Value::Inst(pad_phi));
     }
-    func.add_inst(pad, InstData::terminator(Opcode::Jump, vec![], vec![target]));
+    func.add_inst(
+        pad,
+        InstData::terminator(Opcode::Jump, vec![], vec![target]),
+    );
     for &s in sources {
         func.replace_succ(s, target, pad);
     }

@@ -28,8 +28,10 @@ pub fn has_cycle(func: &Function, sg: &Subgraph) -> bool {
             }
         }
     }
-    let mut ready: Vec<BlockId> =
-        indeg.iter().filter_map(|(&b, &d)| (d == 0).then_some(b)).collect();
+    let mut ready: Vec<BlockId> = indeg
+        .iter()
+        .filter_map(|(&b, &d)| (d == 0).then_some(b))
+        .collect();
     let mut consumed = 0;
     while let Some(b) = ready.pop() {
         consumed += 1;
@@ -67,7 +69,11 @@ pub fn best_position(func: &Function, single: &Subgraph, multi: &Subgraph) -> (B
     let mut best = (multi.entry, f64::MIN);
     for &b in &multi.blocks {
         let mp = block_melding_profit(func, a, b);
-        let profit = if total == 0.0 { 0.0 } else { mp * (lat_a + lat(b)) / total };
+        let profit = if total == 0.0 {
+            0.0
+        } else {
+            mp * (lat_a + lat(b)) / total
+        };
         if profit > best.1 {
             best = (b, profit);
         }
@@ -112,8 +118,7 @@ pub fn replicate(
         p.extend(q.into_iter().skip(1));
         p
     };
-    let path_next: HashMap<BlockId, BlockId> =
-        path.windows(2).map(|w| (w[0], w[1])).collect();
+    let path_next: HashMap<BlockId, BlockId> = path.windows(2).map(|w| (w[0], w[1])).collect();
 
     // Terminators: mirror `multi`, steering constants along the path.
     for &m in &multi.blocks {
@@ -135,7 +140,10 @@ pub fn replicate(
         match data.opcode {
             Opcode::Jump => {
                 let target = map_succ(data.succs[0]);
-                func.add_inst(replica, InstData::terminator(Opcode::Jump, vec![], vec![target]));
+                func.add_inst(
+                    replica,
+                    InstData::terminator(Opcode::Jump, vec![], vec![target]),
+                );
             }
             Opcode::Br => {
                 let (s0, s1) = (data.succs[0], data.succs[1]);

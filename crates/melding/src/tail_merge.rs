@@ -96,7 +96,11 @@ mod tests {
     /// Diamond with *identical* arms: tail merging applies (Table I row 1).
     #[test]
     fn merges_identical_diamond_arms() {
-        let mut f = Function::new("tm", vec![Type::Ptr(darm_ir::AddrSpace::Global)], Type::Void);
+        let mut f = Function::new(
+            "tm",
+            vec![Type::Ptr(darm_ir::AddrSpace::Global)],
+            Type::Void,
+        );
         let entry = f.entry();
         let t = f.add_block("t");
         let e = f.add_block("e");
@@ -124,7 +128,11 @@ mod tests {
     /// Distinct arms (the -R variants): tail merging cannot apply.
     #[test]
     fn distinct_arms_not_merged() {
-        let mut f = Function::new("tm2", vec![Type::Ptr(darm_ir::AddrSpace::Global)], Type::Void);
+        let mut f = Function::new(
+            "tm2",
+            vec![Type::Ptr(darm_ir::AddrSpace::Global)],
+            Type::Void,
+        );
         let entry = f.entry();
         let t = f.add_block("t");
         let e = f.add_block("e");

@@ -20,11 +20,18 @@ pub struct GapRun {
 /// entered only when the divergent condition matches its side, and values
 /// defined in the run reach later uses through φs whose other arm is
 /// `undef` (exactly Fig. 3c). Returns the number of runs split out.
-pub fn unpredicate_block(func: &mut Function, block: BlockId, cond: Value, runs: &[GapRun]) -> usize {
+pub fn unpredicate_block(
+    func: &mut Function,
+    block: BlockId,
+    cond: Value,
+    runs: &[GapRun],
+) -> usize {
     let mut cur = block;
     let mut count = 0;
     for (n, run) in runs.iter().enumerate() {
-        let Some(first) = run.insts.first() else { continue };
+        let Some(first) = run.insts.first() else {
+            continue;
+        };
         let pos = func
             .insts_of(cur)
             .iter()
@@ -32,11 +39,26 @@ pub fn unpredicate_block(func: &mut Function, block: BlockId, cond: Value, runs:
             .expect("gap run must live in the current block");
         // Split off everything from the run start; the run block keeps the
         // run, the continuation gets the rest (incl. the terminator).
-        let run_block = func.split_block_at(cur, pos, &format!("{}.split.{n}", func.block_name(block)));
-        let cont = func.split_block_at(run_block, run.insts.len(), &format!("{}.tail.{n}", func.block_name(block)));
-        func.add_inst(run_block, InstData::terminator(Opcode::Jump, vec![], vec![cont]));
-        let (s_true, s_false) = if run.true_side { (run_block, cont) } else { (cont, run_block) };
-        func.add_inst(cur, InstData::terminator(Opcode::Br, vec![cond], vec![s_true, s_false]));
+        let run_block =
+            func.split_block_at(cur, pos, &format!("{}.split.{n}", func.block_name(block)));
+        let cont = func.split_block_at(
+            run_block,
+            run.insts.len(),
+            &format!("{}.tail.{n}", func.block_name(block)),
+        );
+        func.add_inst(
+            run_block,
+            InstData::terminator(Opcode::Jump, vec![], vec![cont]),
+        );
+        let (s_true, s_false) = if run.true_side {
+            (run_block, cont)
+        } else {
+            (cont, run_block)
+        };
+        func.add_inst(
+            cur,
+            InstData::terminator(Opcode::Br, vec![cond], vec![s_true, s_false]),
+        );
         // Def-use repair: values defined in the run but used later flow
         // through a φ with undef on the skipping arm.
         for &d in &run.insts {
@@ -94,7 +116,8 @@ pub fn predicate_stores(func: &mut Function, block: BlockId, cond: Value, runs: 
             } else {
                 (Value::Inst(old), val)
             };
-            let sel = func.insert_inst_before(d, InstData::new(Opcode::Select, ty, vec![cond, a, b]));
+            let sel =
+                func.insert_inst_before(d, InstData::new(Opcode::Select, ty, vec![cond, a, b]));
             func.inst_mut(d).operands[0] = Value::Inst(sel);
         }
         let _ = block;
@@ -111,7 +134,11 @@ mod tests {
     /// A single block with [both, gapT, gapT, both] structure, hand-built.
     #[test]
     fn splits_run_and_patches_uses() {
-        let mut f = Function::new("up", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+        let mut f = Function::new(
+            "up",
+            vec![Type::Ptr(AddrSpace::Global), Type::I32],
+            Type::Void,
+        );
         let e = f.entry();
         let mut b = FunctionBuilder::new(&mut f, e);
         let tid = b.thread_idx(Dim::X);
@@ -123,13 +150,31 @@ mod tests {
         b.store(y, p);
         b.ret(None);
         let ids = f.insts_of(e).to_vec();
-        let cond_src = f.add_inst(e, InstData::new(Opcode::Icmp(darm_ir::IcmpPred::Slt), Type::I1, vec![Value::Param(1), Value::I32(0)]));
+        let cond_src = f.add_inst(
+            e,
+            InstData::new(
+                Opcode::Icmp(darm_ir::IcmpPred::Slt),
+                Type::I1,
+                vec![Value::Param(1), Value::I32(0)],
+            ),
+        );
         // icmp appended after ret; move it before everything for dominance:
         f.remove_inst(cond_src);
-        let cond_id = f.insert_inst_at(e, 0, InstData::new(Opcode::Icmp(darm_ir::IcmpPred::Slt), Type::I1, vec![Value::Param(1), Value::I32(0)]));
+        let cond_id = f.insert_inst_at(
+            e,
+            0,
+            InstData::new(
+                Opcode::Icmp(darm_ir::IcmpPred::Slt),
+                Type::I1,
+                vec![Value::Param(1), Value::I32(0)],
+            ),
+        );
         let cond = Value::Inst(cond_id);
 
-        let runs = vec![GapRun { insts: vec![ids[2], ids[3]], true_side: true }];
+        let runs = vec![GapRun {
+            insts: vec![ids[2], ids[3]],
+            true_side: true,
+        }];
         let n = unpredicate_block(&mut f, e, cond, &runs);
         assert_eq!(n, 1);
         verify_ssa(&f).unwrap();
@@ -145,7 +190,11 @@ mod tests {
 
     #[test]
     fn predicated_store_reads_old_value() {
-        let mut f = Function::new("ps", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+        let mut f = Function::new(
+            "ps",
+            vec![Type::Ptr(AddrSpace::Global), Type::I32],
+            Type::Void,
+        );
         let e = f.entry();
         let mut b = FunctionBuilder::new(&mut f, e);
         let c = b.icmp(darm_ir::IcmpPred::Slt, b.param(1), b.const_i32(0));
@@ -157,7 +206,10 @@ mod tests {
         };
         let mut b = FunctionBuilder::new(&mut f, e);
         b.ret(None);
-        let runs = vec![GapRun { insts: vec![st], true_side: true }];
+        let runs = vec![GapRun {
+            insts: vec![st],
+            true_side: true,
+        }];
         predicate_stores(&mut f, e, c, &runs);
         verify_ssa(&f).unwrap();
         // store operand is now a select over a load of the old value

@@ -49,7 +49,12 @@ fn check_meld(
     verify_ssa(&melded)
         .unwrap_or_else(|e| panic!("melded {} fails verification: {e}\n{melded}", func.name()));
     let (meld_out, meld_stats) = runner(&melded);
-    assert_eq!(base_out, meld_out, "melding changed semantics of {}\n{melded}", func.name());
+    assert_eq!(
+        base_out,
+        meld_out,
+        "melding changed semantics of {}\n{melded}",
+        func.name()
+    );
     (base_stats, meld_stats, mstats)
 }
 
@@ -232,7 +237,10 @@ fn diamond_melds_and_preserves_semantics() {
     let f = diamond_kernel();
     let (base, meld, stats) = check_meld(&f, &MeldConfig::default(), |f| run(f, 64, &[]));
     assert_eq!(stats.melded_subgraphs, 1);
-    assert!(meld.cycles < base.cycles, "melding must reduce cycles: {meld:?} vs {base:?}");
+    assert!(
+        meld.cycles < base.cycles,
+        "melding must reduce cycles: {meld:?} vs {base:?}"
+    );
     assert!(meld.alu_utilization() > base.alu_utilization());
 }
 
@@ -249,9 +257,11 @@ fn diamond_branch_fusion_equals_darm() {
 fn bitonic_region_melds_under_darm_not_bf() {
     let f = bitonic_step_kernel();
     let input: Vec<i32> = (0..64).map(|i| (i * 37) % 101 - 50).collect();
-    let (base, meld, stats) =
-        check_meld(&f, &MeldConfig::default(), |f| run_io(f, &input, 64));
-    assert!(stats.melded_subgraphs >= 1, "DARM must meld the region: {stats:?}");
+    let (base, meld, stats) = check_meld(&f, &MeldConfig::default(), |f| run_io(f, &input, 64));
+    assert!(
+        stats.melded_subgraphs >= 1,
+        "DARM must meld the region: {stats:?}"
+    );
     assert!(
         meld.shared_mem_insts < base.shared_mem_insts,
         "melding must reduce issued LDS instructions ({} vs {})",
@@ -263,16 +273,27 @@ fn bitonic_region_melds_under_darm_not_bf() {
     // Branch fusion cannot handle the multi-block sides (Table I row 3).
     let mut bf = f.clone();
     let bf_stats = meld_function(&mut bf, &MeldConfig::branch_fusion());
-    assert_eq!(bf_stats.melded_subgraphs, 0, "BF must not meld complex control flow");
+    assert_eq!(
+        bf_stats.melded_subgraphs, 0,
+        "BF must not meld complex control flow"
+    );
 }
 
 #[test]
 fn bb_region_replication_melds() {
     let f = bb_region_kernel();
     let (base, meld, stats) = check_meld(&f, &MeldConfig::default(), |f| run(f, 64, &[]));
-    assert!(stats.replications >= 1, "expected region replication: {stats:?}");
+    assert!(
+        stats.replications >= 1,
+        "expected region replication: {stats:?}"
+    );
     assert!(stats.melded_subgraphs >= 1);
-    assert!(meld.cycles < base.cycles, "{} !< {}", meld.cycles, base.cycles);
+    assert!(
+        meld.cycles < base.cycles,
+        "{} !< {}",
+        meld.cycles,
+        base.cycles
+    );
 }
 
 #[test]
@@ -285,7 +306,10 @@ fn unmatched_subgraphs_stay_guarded() {
 #[test]
 fn unpredication_off_predicates_stores() {
     let f = diamond_kernel();
-    let cfg = MeldConfig { unpredicate: false, ..MeldConfig::default() };
+    let cfg = MeldConfig {
+        unpredicate: false,
+        ..MeldConfig::default()
+    };
     let (_, _, stats) = check_meld(&f, &cfg, |f| run(f, 64, &[]));
     assert_eq!(stats.melded_subgraphs, 1);
     assert_eq!(stats.unpredicated_groups, 0);
@@ -595,7 +619,11 @@ fn y_dimension_divergence_melds() {
     let mut gpu = Gpu::new(GpuConfig::default());
     let buf = gpu.alloc_i32(&[0; 64]);
     let base = gpu
-        .launch(&f, &LaunchConfig::grid2d((1, 1), (8, 8)), &[darm_simt::KernelArg::Buffer(buf)])
+        .launch(
+            &f,
+            &LaunchConfig::grid2d((1, 1), (8, 8)),
+            &[darm_simt::KernelArg::Buffer(buf)],
+        )
         .unwrap();
     let base_out = gpu.read_i32(buf);
 
@@ -605,7 +633,11 @@ fn y_dimension_divergence_melds() {
     verify_ssa(&melded).unwrap();
     let buf2 = gpu.alloc_i32(&[0; 64]);
     let after = gpu
-        .launch(&melded, &LaunchConfig::grid2d((1, 1), (8, 8)), &[darm_simt::KernelArg::Buffer(buf2)])
+        .launch(
+            &melded,
+            &LaunchConfig::grid2d((1, 1), (8, 8)),
+            &[darm_simt::KernelArg::Buffer(buf2)],
+        )
         .unwrap();
     assert_eq!(gpu.read_i32(buf2), base_out);
     // With an 8-wide x dimension, consecutive warps mix y parities: the

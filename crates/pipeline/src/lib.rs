@@ -1,0 +1,504 @@
+#![warn(missing_docs)]
+
+//! # darm-pipeline
+//!
+//! An LLVM-style pass pipeline for `darm-ir` functions: one [`PassManager`]
+//! owns the transformation sequence, one
+//! [`AnalysisManager`](darm_analysis::AnalysisManager) caches the analyses,
+//! and every transform — the cleanups in `darm-transforms` as much as the
+//! melding pass in `darm-melding` — runs as a [`Pass`] trait object. The
+//! CLI (`darm meld --passes …`), the benchmark harness
+//! (`prepare_variants`) and `meld_function` itself all drive their
+//! transformations through this one crate.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   "simplify,meld,instcombine,dce"        textual pipeline spec
+//!            │ PassRegistry::build
+//!            ▼
+//!   PassManager ── run ──► Pass 1 ─► Pass 2 ─► … ─► PipelineReport
+//!        │                   │  ▲
+//!        │ retain(preserved) │  │ get::<A>() (cache hit or compute)
+//!        ▼                   ▼  │
+//!   AnalysisManager { Cfg, DomTree, PostDomTree, Divergence, Liveness, LoopInfo }
+//! ```
+//!
+//! ### The pass contract
+//!
+//! A [`Pass`] receives the function and the shared analysis cache. It must
+//! uphold two obligations:
+//!
+//! 1. **Cache consistency during the run.** If the pass mutates the IR and
+//!    then queries an analysis, it must first invalidate what the mutation
+//!    broke (the `*_with` transforms in `darm-transforms` do this
+//!    internally). A pass may freely *read* cached analyses computed for
+//!    the unmodified function.
+//! 2. **Preservation report.** The returned [`PassOutcome`] declares what
+//!    survived the whole run via
+//!    [`PreservedAnalyses`](darm_analysis::PreservedAnalyses). The manager
+//!    applies it with `AnalysisManager::retain`, which can only *drop*
+//!    entries — so an over-conservative report costs recomputation, never
+//!    correctness, and a pass that forgot an internal invalidation is still
+//!    caught by its (coarser) report.
+//!
+//! ### Invalidation rules
+//!
+//! Analyses split into two tiers (see `darm_analysis::manager`):
+//!
+//! | mutation                        | report                              |
+//! |---------------------------------|-------------------------------------|
+//! | none                            | `PreservedAnalyses::all()`          |
+//! | instructions only (φs, rauw,    | `PreservedAnalyses::cfg_shape()` —  |
+//! | peepholes, DCE)                 | keeps CFG/dom/post-dom/loops        |
+//! | blocks or edges                 | `PreservedAnalyses::none()`         |
+//!
+//! The payoff: a fixpoint driver such as melding interleaves CFG surgery
+//! with instruction-level cleanup, and only the surgery forces dominator
+//! and divergence recomputation — instruction-level iterations ride the
+//! cache. `PipelineReport::analysis_computations` makes the reuse visible.
+
+pub mod passes;
+pub mod registry;
+
+pub use passes::{DcePass, FnPass, InstCombinePass, SimplifyCfgPass, SsaRepairPass, VerifyPass};
+pub use registry::PassRegistry;
+
+use darm_analysis::{AnalysisManager, PreservedAnalyses};
+use darm_ir::Function;
+use std::time::Instant;
+
+/// What one [`Pass::run`] did, reported back to the [`PassManager`].
+#[derive(Debug, Clone)]
+pub struct PassOutcome {
+    /// Which analyses survived the run (see crate docs for the rules).
+    pub preserved: PreservedAnalyses,
+    /// Whether the pass changed the function at all.
+    pub changed: bool,
+    /// Pass-defined count of rewrites/changes, summed into the report.
+    pub units: u64,
+}
+
+impl PassOutcome {
+    /// The pass changed nothing.
+    pub fn unchanged() -> PassOutcome {
+        PassOutcome {
+            preserved: PreservedAnalyses::all(),
+            changed: false,
+            units: 0,
+        }
+    }
+
+    /// The pass performed `units` instruction-level rewrites without
+    /// touching the block graph.
+    pub fn insts_changed(units: u64) -> PassOutcome {
+        PassOutcome {
+            preserved: PreservedAnalyses::cfg_shape(),
+            changed: true,
+            units,
+        }
+    }
+
+    /// The pass performed `units` rewrites including block/edge surgery.
+    pub fn cfg_changed(units: u64) -> PassOutcome {
+        PassOutcome {
+            preserved: PreservedAnalyses::none(),
+            changed: true,
+            units,
+        }
+    }
+}
+
+/// A unit of transformation runnable under the [`PassManager`].
+pub trait Pass {
+    /// Short stable name (also the spelling used in pipeline specs).
+    fn name(&self) -> &str;
+
+    /// Runs the pass over `func`, reading analyses through `am`.
+    ///
+    /// # Errors
+    ///
+    /// A pass fails only for internal errors (e.g. the verifier finding
+    /// broken SSA); the pipeline stops at the first failure.
+    fn run(&mut self, func: &mut Function, am: &mut AnalysisManager)
+        -> Result<PassOutcome, String>;
+
+    /// Named counters accumulated across runs, for the report table.
+    fn stat_entries(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// Why a pipeline run stopped early.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// A pipeline spec named a pass the registry does not know.
+    UnknownPass {
+        /// The unknown name.
+        name: String,
+        /// Every registered name, for the error message.
+        known: Vec<String>,
+    },
+    /// The spec contained no pass names.
+    EmptySpec,
+    /// A pass reported an internal failure.
+    PassFailed {
+        /// Which pass failed.
+        pass: String,
+        /// The pass's error message.
+        message: String,
+    },
+    /// `verify_each` found invalid SSA after a pass.
+    VerifyFailed {
+        /// The pass after which verification failed.
+        pass: String,
+        /// The verifier's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnknownPass { name, known } => {
+                write!(f, "unknown pass '{name}' (known: {})", known.join(", "))
+            }
+            PipelineError::EmptySpec => write!(f, "empty pipeline spec"),
+            PipelineError::PassFailed { pass, message } => {
+                write!(f, "pass '{pass}' failed: {message}")
+            }
+            PipelineError::VerifyFailed { pass, message } => {
+                write!(f, "SSA verification failed after pass '{pass}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Knobs of a [`PassManager`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineOptions {
+    /// Verify SSA after every pass; the run fails at the first violation.
+    pub verify_each: bool,
+    /// Whether consumers intend to print the per-pass table (timings are
+    /// collected either way; this flag just travels with the options so
+    /// drivers know to render the report).
+    pub time_passes: bool,
+}
+
+/// Timing/stat record of one pipeline slot.
+#[derive(Debug, Clone, Default)]
+pub struct PassRecord {
+    /// Pass name.
+    pub name: String,
+    /// How often the pass ran (a fixpoint driver may re-run its pipeline).
+    pub runs: usize,
+    /// Runs that reported a change.
+    pub changed_runs: usize,
+    /// Total rewrite units across runs.
+    pub units: u64,
+    /// Total wall-clock seconds across runs.
+    pub seconds: f64,
+    /// Pass-specific named counters.
+    pub stats: Vec<(&'static str, u64)>,
+}
+
+/// Everything a pipeline run measured.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-pass records, in pipeline order.
+    pub passes: Vec<PassRecord>,
+    /// How often each analysis was (re)computed — cache misses only.
+    pub analysis_computations: Vec<(&'static str, usize)>,
+    /// Total wall-clock seconds across every run of this pipeline
+    /// (consistent with the accumulated per-pass records).
+    pub total_seconds: f64,
+}
+
+impl PipelineReport {
+    /// Renders the `--time-passes` style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| pass | runs | changed | units | time (ms) |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.passes {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3} |\n",
+                r.name,
+                r.runs,
+                r.changed_runs,
+                r.units,
+                r.seconds * 1e3
+            ));
+            for (k, v) in &r.stats {
+                out.push_str(&format!("|   · {k} | | | {v} | |\n"));
+            }
+        }
+        out.push_str(&format!(
+            "| **total** | | | | **{:.3}** |\n",
+            self.total_seconds * 1e3
+        ));
+        let computed: Vec<String> = self
+            .analysis_computations
+            .iter()
+            .map(|(n, c)| format!("{n}×{c}"))
+            .collect();
+        out.push_str(&format!("analyses computed: {}\n", computed.join(", ")));
+        out
+    }
+}
+
+/// Owns a pass sequence plus run options; executes it over a function with
+/// a shared [`AnalysisManager`].
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<(Box<dyn Pass>, PassRecord)>,
+    total_seconds: f64,
+    /// Run options (verification, report rendering).
+    pub options: PipelineOptions,
+}
+
+impl PassManager {
+    /// An empty pipeline with the given options.
+    pub fn new(options: PipelineOptions) -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            total_seconds: 0.0,
+            options,
+        }
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut PassManager {
+        let record = PassRecord {
+            name: pass.name().to_string(),
+            ..PassRecord::default()
+        };
+        self.passes.push((pass, record));
+        self
+    }
+
+    /// Names of the passes, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|(p, _)| p.name()).collect()
+    }
+
+    /// Cumulative rewrite units of the pass named `name` across every run
+    /// so far (0 when absent). Lets a fixpoint driver that re-runs its
+    /// pipeline read per-round deltas.
+    pub fn units_of(&self, name: &str) -> u64 {
+        self.passes
+            .iter()
+            .find(|(p, _)| p.name() == name)
+            .map(|(_, r)| r.units)
+            .unwrap_or(0)
+    }
+
+    /// Runs the pipeline once over `func` with a fresh analysis cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PipelineError`] (pass failure or, with
+    /// `verify_each`, an SSA violation).
+    pub fn run(&mut self, func: &mut Function) -> Result<PipelineReport, PipelineError> {
+        let mut am = AnalysisManager::new();
+        self.run_with(func, &mut am)
+    }
+
+    /// [`PassManager::run`] against a caller-provided cache, so warm
+    /// analyses survive into (or arrive from) surrounding driver code.
+    ///
+    /// # Errors
+    ///
+    /// See [`PassManager::run`].
+    pub fn run_with(
+        &mut self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+    ) -> Result<PipelineReport, PipelineError> {
+        self.run_quiet(func, am)?;
+        Ok(self.report(am))
+    }
+
+    /// [`PassManager::run_with`] without building the report — the
+    /// allocation-free variant for inner fixpoint loops that re-run their
+    /// pipeline many times (records still accumulate; call
+    /// [`PassManager::run_with`] or read [`PassManager::units_of`] when the
+    /// numbers are needed).
+    ///
+    /// # Errors
+    ///
+    /// See [`PassManager::run`].
+    pub fn run_quiet(
+        &mut self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+    ) -> Result<(), PipelineError> {
+        let t_total = Instant::now();
+        let verify_each = self.options.verify_each;
+        for (pass, record) in &mut self.passes {
+            let t = Instant::now();
+            let outcome = pass
+                .run(func, am)
+                .map_err(|message| PipelineError::PassFailed {
+                    pass: pass.name().to_string(),
+                    message,
+                })?;
+            am.retain(&outcome.preserved);
+            record.runs += 1;
+            record.changed_runs += usize::from(outcome.changed);
+            record.units += outcome.units;
+            record.seconds += t.elapsed().as_secs_f64();
+            if verify_each {
+                darm_analysis::verify_ssa(func).map_err(|e| PipelineError::VerifyFailed {
+                    pass: pass.name().to_string(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        self.total_seconds += t_total.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Builds the cumulative report. Records — including the total time —
+    /// survive across multiple `run*` calls, so a driver that re-runs the
+    /// pipeline gets totals whose per-pass rows are consistent with the
+    /// total row.
+    fn report(&self, am: &AnalysisManager) -> PipelineReport {
+        PipelineReport {
+            passes: self
+                .passes
+                .iter()
+                .map(|(pass, record)| {
+                    let mut r = record.clone();
+                    r.stats = pass.stat_entries();
+                    r
+                })
+                .collect(),
+            analysis_computations: am.computations().to_vec(),
+            total_seconds: self.total_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{IcmpPred, Type, Value};
+
+    fn const_diamond() -> Function {
+        // br true, t, e — simplify collapses it to one block.
+        let mut f = Function::new("cd", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        b.br(Value::I1(true), t, e);
+        b.switch_to(t);
+        let v = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, v), (e, Value::I32(0))]);
+        let dead = b.mul(p, b.const_i32(0));
+        let _ = b.icmp(IcmpPred::Eq, dead, dead);
+        b.ret(Some(p));
+        f
+    }
+
+    #[test]
+    fn pipeline_runs_and_reports() {
+        let mut f = const_diamond();
+        let mut pm = PassManager::new(PipelineOptions {
+            verify_each: true,
+            time_passes: true,
+        });
+        pm.add(Box::new(SimplifyCfgPass::default()))
+            .add(Box::new(InstCombinePass::default()))
+            .add(Box::new(DcePass::default()));
+        let report = pm.run(&mut f).expect("pipeline runs");
+        assert_eq!(f.block_ids().len(), 1, "constant branch collapsed");
+        assert_eq!(report.passes.len(), 3);
+        assert_eq!(report.passes[0].name, "simplify");
+        assert!(report.passes[0].changed_runs == 1);
+        let table = report.render();
+        assert!(table.contains("| simplify |"), "{table}");
+    }
+
+    #[test]
+    fn unchanged_passes_keep_the_cache_warm() {
+        let mut f = const_diamond();
+        darm_transforms::simplify_cfg(&mut f);
+        darm_transforms::run_dce(&mut f);
+        let mut am = AnalysisManager::new();
+        // Warm the cache, then run a pipeline that changes nothing.
+        am.get::<darm_analysis::Cfg>(&f);
+        let before = am.total_computations();
+        let mut pm = PassManager::new(PipelineOptions::default());
+        pm.add(Box::new(SimplifyCfgPass::default()))
+            .add(Box::new(DcePass::default()));
+        pm.run_with(&mut f, &mut am).unwrap();
+        assert!(
+            am.cached::<darm_analysis::Cfg>().is_some(),
+            "no-op pipeline preserved the CFG"
+        );
+        assert_eq!(am.total_computations(), before, "nothing was recomputed");
+    }
+
+    #[test]
+    fn verify_each_catches_broken_ssa() {
+        // A pass that breaks SSA on purpose: moves a def after its use by
+        // rewriting an operand to a not-yet-defined instruction.
+        struct Breaker;
+        impl Pass for Breaker {
+            fn name(&self) -> &str {
+                "breaker"
+            }
+            fn run(
+                &mut self,
+                func: &mut Function,
+                _am: &mut AnalysisManager,
+            ) -> Result<PassOutcome, String> {
+                // Point the ret at an instruction from an unrelated block
+                // that does not dominate it (the true arm's add).
+                let blocks = func.block_ids();
+                let t_inst = func.insts_of(blocks[1])[0];
+                let x = *blocks.last().unwrap();
+                let term = func.terminator(x).unwrap();
+                func.inst_mut(term).operands[0] = Value::Inst(t_inst);
+                Ok(PassOutcome::insts_changed(1))
+            }
+        }
+        // Build a diamond where the branch is NOT constant so both arms stay.
+        let mut f = Function::new("v", vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        let c = b.icmp(IcmpPred::Slt, b.param(0), b.const_i32(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        let v = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, v), (e, Value::I32(0))]);
+        b.ret(Some(p));
+
+        let mut pm = PassManager::new(PipelineOptions {
+            verify_each: true,
+            time_passes: false,
+        });
+        pm.add(Box::new(Breaker));
+        match pm.run(&mut f) {
+            Err(PipelineError::VerifyFailed { pass, .. }) => assert_eq!(pass, "breaker"),
+            other => panic!("expected VerifyFailed, got {other:?}"),
+        }
+    }
+}

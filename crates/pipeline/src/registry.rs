@@ -1,0 +1,132 @@
+//! Pass registry and textual pipeline-spec parsing.
+//!
+//! A spec is a comma-separated list of registered pass names, e.g.
+//! `"simplify,meld,instcombine,dce"`. The registry maps names to
+//! factories; downstream crates (notably `darm-melding`) extend the
+//! transform set with their own passes before parsing.
+
+use crate::{Pass, PassManager, PipelineError, PipelineOptions};
+use std::collections::BTreeMap;
+
+/// Factory producing a fresh pass instance per pipeline.
+pub type PassFactory = Box<dyn Fn() -> Box<dyn Pass>>;
+
+/// Name → factory table used to build pipelines from textual specs.
+#[derive(Default)]
+pub struct PassRegistry {
+    factories: BTreeMap<String, PassFactory>,
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn empty() -> PassRegistry {
+        PassRegistry::default()
+    }
+
+    /// A registry holding the generic cleanup passes: `simplify`, `dce`,
+    /// `instcombine`, `ssa-repair` and `verify`.
+    pub fn with_transforms() -> PassRegistry {
+        let mut r = PassRegistry::empty();
+        r.register("simplify", || Box::new(crate::SimplifyCfgPass::default()));
+        r.register("dce", || Box::new(crate::DcePass::default()));
+        r.register(
+            "instcombine",
+            || Box::new(crate::InstCombinePass::default()),
+        );
+        r.register("ssa-repair", || Box::new(crate::SsaRepairPass::default()));
+        r.register("verify", || Box::new(crate::VerifyPass));
+        r
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        factory: impl Fn() -> Box<dyn Pass> + 'static,
+    ) -> &mut PassRegistry {
+        self.factories.insert(name.to_string(), Box::new(factory));
+        self
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Instantiates the pass registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownPass`] when nothing is registered.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Pass>, PipelineError> {
+        match self.factories.get(name) {
+            Some(factory) => Ok(factory()),
+            None => Err(PipelineError::UnknownPass {
+                name: name.to_string(),
+                known: self.names(),
+            }),
+        }
+    }
+
+    /// Parses a comma-separated pipeline spec into a ready-to-run
+    /// [`PassManager`]. Whitespace around names is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptySpec`] for a blank spec,
+    /// [`PipelineError::UnknownPass`] for an unregistered name.
+    pub fn build(
+        &self,
+        spec: &str,
+        options: PipelineOptions,
+    ) -> Result<PassManager, PipelineError> {
+        let names: Vec<&str> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            return Err(PipelineError::EmptySpec);
+        }
+        let mut pm = PassManager::new(options);
+        for name in names {
+            pm.add(self.create(name)?);
+        }
+        Ok(pm)
+    }
+}
+
+impl std::fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_spec() {
+        let r = PassRegistry::with_transforms();
+        let pm = r
+            .build(" simplify, dce ,instcombine ", PipelineOptions::default())
+            .unwrap();
+        assert_eq!(pm.pass_names(), vec!["simplify", "dce", "instcombine"]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_empty() {
+        let r = PassRegistry::with_transforms();
+        assert!(matches!(
+            r.build("simplify,frobnicate", PipelineOptions::default()),
+            Err(PipelineError::UnknownPass { name, .. }) if name == "frobnicate"
+        ));
+        assert!(matches!(
+            r.build(" , ", PipelineOptions::default()),
+            Err(PipelineError::EmptySpec)
+        ));
+    }
+}

@@ -235,7 +235,13 @@ impl PreparedKernel {
                 .ipdom(b)
                 .map(|p| dense_of[p.index()])
                 .unwrap_or(NO_BLOCK);
-            pk.blocks.push(DBlock { first, end, phi_start, phi_end, ipdom });
+            pk.blocks.push(DBlock {
+                first,
+                end,
+                phi_start,
+                phi_end,
+                ipdom,
+            });
         }
         pk
     }

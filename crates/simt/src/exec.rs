@@ -65,9 +65,13 @@ impl fmt::Display for SimError {
             SimError::OutOfBounds(m) => write!(f, "memory access out of bounds: {m}"),
             SimError::UndefValue(m) => write!(f, "undefined value used: {m}"),
             SimError::DivByZero => write!(f, "integer division by zero"),
-            SimError::StepLimit => write!(f, "instruction budget exceeded (possible infinite loop)"),
+            SimError::StepLimit => {
+                write!(f, "instruction budget exceeded (possible infinite loop)")
+            }
             SimError::BarrierDeadlock(m) => write!(f, "barrier deadlock: {m}"),
-            SimError::MissingIpdom(m) => write!(f, "divergent branch without reconvergence point: {m}"),
+            SimError::MissingIpdom(m) => {
+                write!(f, "divergent branch without reconvergence point: {m}")
+            }
         }
     }
 }
@@ -123,7 +127,10 @@ pub struct Gpu {
 impl Gpu {
     /// Creates a GPU with the given configuration.
     pub fn new(config: GpuConfig) -> Gpu {
-        Gpu { config, buffers: Vec::new() }
+        Gpu {
+            config,
+            buffers: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -215,7 +222,10 @@ impl Gpu {
         args: &[KernelArg],
     ) -> Result<KernelStats, SimError> {
         let arg_vals = validate_args(&pk.name, &pk.params, args, self.buffers.len())?;
-        let mut stats = KernelStats { warp_size: self.config.warp_size, ..Default::default() };
+        let mut stats = KernelStats {
+            warp_size: self.config.warp_size,
+            ..Default::default()
+        };
         let mut budget = self.config.max_warp_instructions;
         let threads = cfg.threads_per_block() as usize;
         // One flat lane-major register file, reused (re-cleared) per block.
@@ -231,7 +241,10 @@ impl Gpu {
                     args: &arg_vals,
                     block_idx: (bx, by),
                     shared: ByteStore::with_len(pk.shared_size as usize),
-                    stats: KernelStats { warp_size: self.config.warp_size, ..Default::default() },
+                    stats: KernelStats {
+                        warp_size: self.config.warp_size,
+                        ..Default::default()
+                    },
                     budget: &mut budget,
                     n_slots: pk.n_slots as usize,
                     phi_stage: Vec::new(),
@@ -360,7 +373,11 @@ impl<'a> Engine<'a> {
             .map(|w| {
                 let base = w * ws;
                 let lanes = ws.min(threads - base);
-                let mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+                let mask = if lanes == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << lanes) - 1
+                };
                 WarpState {
                     stack: vec![StackEntry {
                         block: self.pk.entry,
@@ -383,8 +400,14 @@ impl<'a> Engine<'a> {
                     self.run_warp(&mut warps[w], regs)?;
                 }
             }
-            let done = warps.iter().filter(|w| w.status == WarpStatus::Done).count();
-            let waiting = warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
+            let done = warps
+                .iter()
+                .filter(|w| w.status == WarpStatus::Done)
+                .count();
+            let waiting = warps
+                .iter()
+                .filter(|w| w.status == WarpStatus::AtBarrier)
+                .count();
             if done == warps.len() {
                 return Ok(());
             }
@@ -628,8 +651,7 @@ impl<'a> Engine<'a> {
                 lanes!(|lb| {
                     let x = resolve(op0, regs, lb, args);
                     let y = resolve(op1, regs, lb, args);
-                    let undef_in =
-                        matches!(x, RawVal::Undef) || matches!(y, RawVal::Undef);
+                    let undef_in = matches!(x, RawVal::Undef) || matches!(y, RawVal::Undef);
                     regs[lb + dst] = if undef_in {
                         RawVal::Undef
                     } else {
@@ -829,21 +851,27 @@ impl<'a> Engine<'a> {
                 });
             }
             BlockIdx(d) => {
-                let v = RawVal::I32(
-                    if d == Dim::X { self.block_idx.0 } else { self.block_idx.1 } as i32,
-                );
+                let v = RawVal::I32(if d == Dim::X {
+                    self.block_idx.0
+                } else {
+                    self.block_idx.1
+                } as i32);
                 lanes!(|lb| regs[lb + dst] = v);
             }
             BlockDim(d) => {
-                let v = RawVal::I32(
-                    if d == Dim::X { self.launch.block.0 } else { self.launch.block.1 } as i32,
-                );
+                let v = RawVal::I32(if d == Dim::X {
+                    self.launch.block.0
+                } else {
+                    self.launch.block.1
+                } as i32);
                 lanes!(|lb| regs[lb + dst] = v);
             }
             GridDim(d) => {
-                let v = RawVal::I32(
-                    if d == Dim::X { self.launch.grid.0 } else { self.launch.grid.1 } as i32,
-                );
+                let v = RawVal::I32(if d == Dim::X {
+                    self.launch.grid.0
+                } else {
+                    self.launch.grid.1
+                } as i32);
                 lanes!(|lb| regs[lb + dst] = v);
             }
             SharedBase(_) => {
@@ -877,24 +905,25 @@ impl<'a> Engine<'a> {
     fn mem_read(&self, ty: Type, addr: u64) -> Result<RawVal, SimError> {
         let (buf, off) = decode(addr);
         let store = match buf {
-            Some(b) => self
-                .buffers
-                .get(b.0 as usize)
-                .ok_or_else(|| SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}")))?,
+            Some(b) => self.buffers.get(b.0 as usize).ok_or_else(|| {
+                SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}"))
+            })?,
             None => &self.shared,
         };
         store.read(ty, off).ok_or_else(|| {
-            SimError::OutOfBounds(format!("read of {ty} at offset {off} (len {})", store.len()))
+            SimError::OutOfBounds(format!(
+                "read of {ty} at offset {off} (len {})",
+                store.len()
+            ))
         })
     }
 
     fn mem_write(&mut self, addr: u64, v: RawVal) -> Result<(), SimError> {
         let (buf, off) = decode(addr);
         let store = match buf {
-            Some(b) => self
-                .buffers
-                .get_mut(b.0 as usize)
-                .ok_or_else(|| SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}")))?,
+            Some(b) => self.buffers.get_mut(b.0 as usize).ok_or_else(|| {
+                SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}"))
+            })?,
             None => &mut self.shared,
         };
         store.write(off, v).ok_or_else(|| {
@@ -916,14 +945,20 @@ impl<'a> Engine<'a> {
             Load | Store => {
                 // Infer the address space from the encoded addresses (global
                 // addresses carry a buffer id in the high bits).
-                let is_global =
-                    self.lane_addrs.first().map(|&a| decode(a).0.is_some()).unwrap_or(false);
+                let is_global = self
+                    .lane_addrs
+                    .first()
+                    .map(|&a| decode(a).0.is_some())
+                    .unwrap_or(false);
                 if is_global {
                     self.stats.global_mem_insts += 1;
                     // Coalescing: one transaction per distinct 128B segment.
                     self.scratch.clear();
-                    self.scratch
-                        .extend(self.lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES));
+                    self.scratch.extend(
+                        self.lane_addrs
+                            .iter()
+                            .map(|a| a / cost::COALESCE_SEGMENT_BYTES),
+                    );
                     self.scratch.sort_unstable();
                     self.scratch.dedup();
                     let n_seg = self.scratch.len().max(1) as u64;

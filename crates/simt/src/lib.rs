@@ -110,7 +110,10 @@ pub struct GpuConfig {
 
 impl Default for GpuConfig {
     fn default() -> GpuConfig {
-        GpuConfig { warp_size: 32, max_warp_instructions: 1 << 32 }
+        GpuConfig {
+            warp_size: 32,
+            max_warp_instructions: 1 << 32,
+        }
     }
 }
 
@@ -126,7 +129,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// A 1-D launch: `grid_x` blocks of `block_x` threads.
     pub fn linear(grid_x: u32, block_x: u32) -> LaunchConfig {
-        LaunchConfig { grid: (grid_x, 1), block: (block_x, 1) }
+        LaunchConfig {
+            grid: (grid_x, 1),
+            block: (block_x, 1),
+        }
     }
 
     /// A 2-D launch.

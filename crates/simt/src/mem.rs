@@ -35,7 +35,9 @@ pub struct ByteStore {
 
 impl ByteStore {
     pub(crate) fn with_len(len: usize) -> ByteStore {
-        ByteStore { bytes: vec![0; len] }
+        ByteStore {
+            bytes: vec![0; len],
+        }
     }
 
     pub(crate) fn from_bytes(bytes: Vec<u8>) -> ByteStore {
@@ -72,10 +74,22 @@ impl ByteStore {
         let off = off as usize;
         match v {
             RawVal::I1(x) => *self.bytes.get_mut(off)? = x as u8,
-            RawVal::I32(x) => self.bytes.get_mut(off..off + 4)?.copy_from_slice(&x.to_le_bytes()),
-            RawVal::F32(x) => self.bytes.get_mut(off..off + 4)?.copy_from_slice(&x.to_le_bytes()),
-            RawVal::I64(x) => self.bytes.get_mut(off..off + 8)?.copy_from_slice(&x.to_le_bytes()),
-            RawVal::Ptr(x) => self.bytes.get_mut(off..off + 8)?.copy_from_slice(&x.to_le_bytes()),
+            RawVal::I32(x) => self
+                .bytes
+                .get_mut(off..off + 4)?
+                .copy_from_slice(&x.to_le_bytes()),
+            RawVal::F32(x) => self
+                .bytes
+                .get_mut(off..off + 4)?
+                .copy_from_slice(&x.to_le_bytes()),
+            RawVal::I64(x) => self
+                .bytes
+                .get_mut(off..off + 8)?
+                .copy_from_slice(&x.to_le_bytes()),
+            RawVal::Ptr(x) => self
+                .bytes
+                .get_mut(off..off + 8)?
+                .copy_from_slice(&x.to_le_bytes()),
             RawVal::Undef => return None,
         }
         Some(())

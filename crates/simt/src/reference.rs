@@ -43,7 +43,10 @@ pub(crate) fn launch(
         shared_size = (shared_size + 7) & !7; // 8-byte align
     }
 
-    let mut stats = KernelStats { warp_size: config.warp_size, ..Default::default() };
+    let mut stats = KernelStats {
+        warp_size: config.warp_size,
+        ..Default::default()
+    };
     let mut budget = config.max_warp_instructions;
     for by in 0..cfg.grid.1 {
         for bx in 0..cfg.grid.0 {
@@ -57,7 +60,10 @@ pub(crate) fn launch(
                 block_idx: (bx, by),
                 shared: ByteStore::with_len(shared_size as usize),
                 shared_offsets: &shared_offsets,
-                stats: KernelStats { warp_size: config.warp_size, ..Default::default() },
+                stats: KernelStats {
+                    warp_size: config.warp_size,
+                    ..Default::default()
+                },
                 budget: &mut budget,
             };
             block_exec.run()?;
@@ -112,13 +118,18 @@ impl<'a> BlockExec<'a> {
         let ws = self.warp_size;
         let n_warps = threads.div_ceil(ws);
         let n_insts = self.func.inst_capacity();
-        let mut regs: Vec<Vec<RawVal>> = (0..threads).map(|_| vec![RawVal::Undef; n_insts]).collect();
+        let mut regs: Vec<Vec<RawVal>> =
+            (0..threads).map(|_| vec![RawVal::Undef; n_insts]).collect();
 
         let mut warps: Vec<WarpState> = (0..n_warps)
             .map(|w| {
                 let base = w * ws;
                 let lanes = ws.min(threads - base);
-                let mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+                let mask = if lanes == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << lanes) - 1
+                };
                 WarpState {
                     stack: vec![StackEntry {
                         block: self.func.entry(),
@@ -141,8 +152,14 @@ impl<'a> BlockExec<'a> {
                     self.run_warp(&mut warps[w], &mut regs)?;
                 }
             }
-            let done = warps.iter().filter(|w| w.status == WarpStatus::Done).count();
-            let waiting = warps.iter().filter(|w| w.status == WarpStatus::AtBarrier).count();
+            let done = warps
+                .iter()
+                .filter(|w| w.status == WarpStatus::Done)
+                .count();
+            let waiting = warps
+                .iter()
+                .filter(|w| w.status == WarpStatus::AtBarrier)
+                .count();
             if done == warps.len() {
                 return Ok(());
             }
@@ -163,11 +180,7 @@ impl<'a> BlockExec<'a> {
 
     /// Runs one warp until it finishes, reaches a barrier, or diverges into
     /// a state handled on the next scheduler pass.
-    fn run_warp(
-        &mut self,
-        warp: &mut WarpState,
-        regs: &mut [Vec<RawVal>],
-    ) -> Result<(), SimError> {
+    fn run_warp(&mut self, warp: &mut WarpState, regs: &mut [Vec<RawVal>]) -> Result<(), SimError> {
         'outer: loop {
             // Pop entries that already sit at their reconvergence point.
             while let Some(top) = warp.stack.last() {
@@ -270,7 +283,9 @@ impl<'a> BlockExec<'a> {
                                 self.transition(warp, else_bb);
                             } else {
                                 let rpc = self.pdt.ipdom(top.block).ok_or_else(|| {
-                                    SimError::MissingIpdom(self.func.block_name(top.block).to_string())
+                                    SimError::MissingIpdom(
+                                        self.func.block_name(top.block).to_string(),
+                                    )
                                 })?;
                                 let cur = warp.stack.last_mut().expect("entry exists");
                                 cur.block = rpc;
@@ -299,7 +314,9 @@ impl<'a> BlockExec<'a> {
                     self.stats.barriers += 1;
                     self.stats.cycles += 1;
                     if top.mask != warp.stack.last().unwrap().mask {
-                        return Err(SimError::BarrierDeadlock("barrier under partial mask".into()));
+                        return Err(SimError::BarrierDeadlock(
+                            "barrier under partial mask".into(),
+                        ));
                     }
                     let cur = warp.stack.last_mut().unwrap();
                     cur.inst_idx = idx + 1;
@@ -350,7 +367,10 @@ impl<'a> BlockExec<'a> {
                 cur.inst_idx = idx;
             }
             // A block must end in a terminator; verify_structure guarantees it.
-            unreachable!("fell off the end of block {}", self.func.block_name(top.block));
+            unreachable!(
+                "fell off the end of block {}",
+                self.func.block_name(top.block)
+            );
         }
     }
 
@@ -388,7 +408,11 @@ impl<'a> BlockExec<'a> {
         lane_addrs: &mut Vec<u64>,
     ) -> Result<RawVal, SimError> {
         use Opcode::*;
-        let ops: Vec<RawVal> = data.operands.iter().map(|&v| self.eval(v, regs, thread)).collect();
+        let ops: Vec<RawVal> = data
+            .operands
+            .iter()
+            .map(|&v| self.eval(v, regs, thread))
+            .collect();
         let undef_in = ops.iter().any(|o| matches!(o, RawVal::Undef));
         let bin_i = |f: fn(i64, i64) -> i64| -> RawVal {
             match (ops[0], ops[1]) {
@@ -442,8 +466,12 @@ impl<'a> BlockExec<'a> {
                 _ => RawVal::Undef,
             },
             LShr => match (ops[0], ops[1]) {
-                (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(((a as u32).wrapping_shr(b as u32)) as i32),
-                (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(((a as u64).wrapping_shr(b as u32)) as i64),
+                (RawVal::I32(a), RawVal::I32(b)) => {
+                    RawVal::I32(((a as u32).wrapping_shr(b as u32)) as i32)
+                }
+                (RawVal::I64(a), RawVal::I64(b)) => {
+                    RawVal::I64(((a as u64).wrapping_shr(b as u32)) as i64)
+                }
                 _ => RawVal::Undef,
             },
             AShr => match (ops[0], ops[1]) {
@@ -520,7 +548,11 @@ impl<'a> BlockExec<'a> {
             },
             Zext | Sext => match ops[0] {
                 RawVal::I1(b) => {
-                    let x = if data.opcode == Zext { b as i64 } else { -(b as i64) };
+                    let x = if data.opcode == Zext {
+                        b as i64
+                    } else {
+                        -(b as i64)
+                    };
                     match data.ty {
                         Type::I32 => RawVal::I32(x as i32),
                         Type::I64 => RawVal::I64(x),
@@ -528,7 +560,11 @@ impl<'a> BlockExec<'a> {
                     }
                 }
                 RawVal::I32(v) => {
-                    let x = if data.opcode == Zext { v as u32 as i64 } else { v as i64 };
+                    let x = if data.opcode == Zext {
+                        v as u32 as i64
+                    } else {
+                        v as i64
+                    };
                     match data.ty {
                         Type::I64 => RawVal::I64(x),
                         Type::I32 => RawVal::I32(v),
@@ -591,9 +627,21 @@ impl<'a> BlockExec<'a> {
                 let (tx, ty) = (t % self.launch.block.0, t / self.launch.block.0);
                 RawVal::I32(if d == Dim::X { tx } else { ty } as i32)
             }
-            BlockIdx(d) => RawVal::I32(if d == Dim::X { self.block_idx.0 } else { self.block_idx.1 } as i32),
-            BlockDim(d) => RawVal::I32(if d == Dim::X { self.launch.block.0 } else { self.launch.block.1 } as i32),
-            GridDim(d) => RawVal::I32(if d == Dim::X { self.launch.grid.0 } else { self.launch.grid.1 } as i32),
+            BlockIdx(d) => RawVal::I32(if d == Dim::X {
+                self.block_idx.0
+            } else {
+                self.block_idx.1
+            } as i32),
+            BlockDim(d) => RawVal::I32(if d == Dim::X {
+                self.launch.block.0
+            } else {
+                self.launch.block.1
+            } as i32),
+            GridDim(d) => RawVal::I32(if d == Dim::X {
+                self.launch.grid.0
+            } else {
+                self.launch.grid.1
+            } as i32),
             SharedBase(k) => RawVal::Ptr(encode_shared(self.shared_offsets[k as usize])),
             Ballot => unreachable!("ballot is executed warp-wide by the warp loop"),
             Phi => unreachable!("phis are evaluated in a batch at block entry"),
@@ -604,24 +652,25 @@ impl<'a> BlockExec<'a> {
     fn mem_read(&self, ty: Type, addr: u64) -> Result<RawVal, SimError> {
         let (buf, off) = decode(addr);
         let store = match buf {
-            Some(b) => self
-                .buffers
-                .get(b.0 as usize)
-                .ok_or_else(|| SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}")))?,
+            Some(b) => self.buffers.get(b.0 as usize).ok_or_else(|| {
+                SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}"))
+            })?,
             None => &self.shared,
         };
         store.read(ty, off).ok_or_else(|| {
-            SimError::OutOfBounds(format!("read of {ty} at offset {off} (len {})", store.len()))
+            SimError::OutOfBounds(format!(
+                "read of {ty} at offset {off} (len {})",
+                store.len()
+            ))
         })
     }
 
     fn mem_write(&mut self, addr: u64, v: RawVal) -> Result<(), SimError> {
         let (buf, off) = decode(addr);
         let store = match buf {
-            Some(b) => self
-                .buffers
-                .get_mut(b.0 as usize)
-                .ok_or_else(|| SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}")))?,
+            Some(b) => self.buffers.get_mut(b.0 as usize).ok_or_else(|| {
+                SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}"))
+            })?,
             None => &mut self.shared,
         };
         store.write(off, v).ok_or_else(|| {
@@ -642,33 +691,50 @@ impl<'a> BlockExec<'a> {
             Load | Store => {
                 // Infer the address space from the encoded addresses (global
                 // addresses carry a buffer id in the high bits).
-                let is_global = lane_addrs.first().map(|&a| decode(a).0.is_some()).unwrap_or(false);
-                let space =
-                    if is_global { darm_ir::AddrSpace::Global } else { darm_ir::AddrSpace::Shared };
+                let is_global = lane_addrs
+                    .first()
+                    .map(|&a| decode(a).0.is_some())
+                    .unwrap_or(false);
+                let space = if is_global {
+                    darm_ir::AddrSpace::Global
+                } else {
+                    darm_ir::AddrSpace::Shared
+                };
                 match space {
                     darm_ir::AddrSpace::Global => {
                         self.stats.global_mem_insts += 1;
-                        let mut segments: Vec<u64> =
-                            lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES).collect();
+                        let mut segments: Vec<u64> = lane_addrs
+                            .iter()
+                            .map(|a| a / cost::COALESCE_SEGMENT_BYTES)
+                            .collect();
                         segments.sort_unstable();
                         segments.dedup();
                         let n_seg = segments.len().max(1) as u64;
                         self.stats.global_transactions += n_seg;
-                        self.stats.cycles +=
-                            cost::GLOBAL_MEM_LATENCY + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
+                        self.stats.cycles += cost::GLOBAL_MEM_LATENCY
+                            + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
                     }
                     darm_ir::AddrSpace::Shared => {
                         self.stats.shared_mem_insts += 1;
                         // Bank-conflict model: accesses to distinct words in
                         // the same bank serialize; broadcasts do not.
-                        let mut per_bank: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
-                            std::collections::HashMap::new();
+                        let mut per_bank: std::collections::HashMap<
+                            u64,
+                            std::collections::HashSet<u64>,
+                        > = std::collections::HashMap::new();
                         for &a in lane_addrs {
                             let word = a / cost::SHARED_BANK_WORD_BYTES;
-                            per_bank.entry(word % cost::SHARED_BANKS).or_default().insert(word);
+                            per_bank
+                                .entry(word % cost::SHARED_BANKS)
+                                .or_default()
+                                .insert(word);
                         }
-                        let degree =
-                            per_bank.values().map(|w| w.len() as u64).max().unwrap_or(1).max(1);
+                        let degree = per_bank
+                            .values()
+                            .map(|w| w.len() as u64)
+                            .max()
+                            .unwrap_or(1)
+                            .max(1);
                         self.stats.shared_bank_conflicts += degree - 1;
                         self.stats.cycles += cost::SHARED_MEM_LATENCY
                             + (degree - 1) * cost::SHARED_BANK_CONFLICT_PENALTY;

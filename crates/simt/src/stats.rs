@@ -88,8 +88,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = KernelStats { cycles: 10, warp_size: 32, ..Default::default() };
-        let b = KernelStats { cycles: 5, barriers: 2, warp_size: 32, ..Default::default() };
+        let mut a = KernelStats {
+            cycles: 10,
+            warp_size: 32,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            cycles: 5,
+            barriers: 2,
+            warp_size: 32,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.barriers, 2);

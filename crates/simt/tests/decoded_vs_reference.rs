@@ -66,7 +66,9 @@ fn assert_engines_agree(case: &BenchCase, func: &Function, variant: &str) {
         case.name
     );
     for (db, rb) in dec_bufs.iter().zip(&ref_bufs) {
-        let (Some(db), Some(rb)) = (db, rb) else { continue };
+        let (Some(db), Some(rb)) = (db, rb) else {
+            continue;
+        };
         assert_eq!(
             dec_gpu.read_bytes(*db),
             ref_gpu.read_bytes(*rb),

@@ -41,7 +41,9 @@ fn divergent_branch_reconverges_with_correct_values() {
     let f = divergent_kernel();
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 64]);
-    let stats = g.launch(&f, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(buf)]).unwrap();
+    let stats = g
+        .launch(&f, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(buf)])
+        .unwrap();
     let out = g.read_i32(buf);
     for tid in 0..64 {
         let expect = if tid % 2 == 0 { tid * 3 } else { tid + 100 };
@@ -55,7 +57,11 @@ fn divergent_branch_reconverges_with_correct_values() {
 #[test]
 fn uniform_branch_keeps_full_efficiency() {
     // All threads take the same side: no divergence penalty.
-    let mut f = Function::new("uni", vec![Type::Ptr(AddrSpace::Global), Type::I32], Type::Void);
+    let mut f = Function::new(
+        "uni",
+        vec![Type::Ptr(AddrSpace::Global), Type::I32],
+        Type::Void,
+    );
     let entry = f.entry();
     let t = f.add_block("t");
     let e = f.add_block("e");
@@ -79,7 +85,11 @@ fn uniform_branch_keeps_full_efficiency() {
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 32]);
     let stats = g
-        .launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf), KernelArg::I32(1)])
+        .launch(
+            &f,
+            &LaunchConfig::linear(1, 32),
+            &[KernelArg::Buffer(buf), KernelArg::I32(1)],
+        )
         .unwrap();
     assert_eq!(g.read_i32(buf)[5], 10);
     assert!((stats.simd_efficiency() - 1.0).abs() < 1e-9);
@@ -103,8 +113,12 @@ fn divergence_costs_cycles_vs_uniform_equivalent() {
     let mut g = gpu();
     let b1 = g.alloc_i32(&[0; 64]);
     let b2 = g.alloc_i32(&[0; 64]);
-    let sd = g.launch(&div, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(b1)]).unwrap();
-    let su = g.launch(&uni, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(b2)]).unwrap();
+    let sd = g
+        .launch(&div, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(b1)])
+        .unwrap();
+    let su = g
+        .launch(&uni, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(b2)])
+        .unwrap();
     assert!(sd.cycles > su.cycles);
     assert!(sd.warp_instructions > su.warp_instructions);
 }
@@ -141,7 +155,8 @@ fn loop_with_phi_executes() {
 
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 32]);
-    g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf)]).unwrap();
+    g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf)])
+        .unwrap();
     let out = g.read_i32(buf);
     for tid in 0..32i32 {
         assert_eq!(out[tid as usize], tid * (tid + 1) / 2, "tid {tid}");
@@ -185,7 +200,8 @@ fn nested_divergence_reconverges() {
 
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 32]);
-    g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf)]).unwrap();
+    g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf)])
+        .unwrap();
     let out = g.read_i32(buf);
     for tid in 0..32 {
         let expect = if tid & 1 != 0 {
@@ -235,7 +251,11 @@ fn shared_memory_and_barrier_reverse_across_warps() {
     let bin = g.alloc_i32(&input);
     let bout = g.alloc_i32(&vec![0; n as usize]);
     let stats = g
-        .launch(&f, &LaunchConfig::linear(1, n), &[KernelArg::Buffer(bin), KernelArg::Buffer(bout)])
+        .launch(
+            &f,
+            &LaunchConfig::linear(1, n),
+            &[KernelArg::Buffer(bin), KernelArg::Buffer(bout)],
+        )
         .unwrap();
     let out = g.read_i32(bout);
     for i in 0..n as usize {
@@ -263,7 +283,8 @@ fn multi_block_grid_covers_all_threads() {
 
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 256]);
-    g.launch(&f, &LaunchConfig::linear(4, 64), &[KernelArg::Buffer(buf)]).unwrap();
+    g.launch(&f, &LaunchConfig::linear(4, 64), &[KernelArg::Buffer(buf)])
+        .unwrap();
     let out = g.read_i32(buf);
     for i in 0..256 {
         assert_eq!(out[i], (i / 64) as i32);
@@ -291,7 +312,12 @@ fn two_dimensional_launch() {
 
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 64]);
-    g.launch(&f, &LaunchConfig::grid2d((1, 1), (8, 8)), &[KernelArg::Buffer(buf)]).unwrap();
+    g.launch(
+        &f,
+        &LaunchConfig::grid2d((1, 1), (8, 8)),
+        &[KernelArg::Buffer(buf)],
+    )
+    .unwrap();
     let out = g.read_i32(buf);
     for y in 0..8 {
         for x in 0..8 {
@@ -324,10 +350,20 @@ fn coalescing_counts_transactions() {
     let mut g = gpu();
     let big = g.alloc_i32(&vec![1; 64 * 32]);
     let out = g.alloc_i32(&[0; 32]);
-    let coalesced =
-        g.launch(&build(1), &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(big), KernelArg::Buffer(out)]).unwrap();
-    let scattered =
-        g.launch(&build(64), &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(big), KernelArg::Buffer(out)]).unwrap();
+    let coalesced = g
+        .launch(
+            &build(1),
+            &LaunchConfig::linear(1, 32),
+            &[KernelArg::Buffer(big), KernelArg::Buffer(out)],
+        )
+        .unwrap();
+    let scattered = g
+        .launch(
+            &build(64),
+            &LaunchConfig::linear(1, 32),
+            &[KernelArg::Buffer(big), KernelArg::Buffer(out)],
+        )
+        .unwrap();
     assert!(scattered.global_transactions > coalesced.global_transactions);
     assert!(scattered.cycles > coalesced.cycles);
 }
@@ -350,7 +386,8 @@ fn ballot_returns_warp_mask() {
 
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 32]);
-    g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf)]).unwrap();
+    g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(buf)])
+        .unwrap();
     let out = g.read_i32(buf);
     for i in 0..32 {
         assert_eq!(out[i], 0b1111, "lane {i}");
@@ -369,7 +406,9 @@ fn out_of_bounds_is_an_error() {
     b.ret(None);
     let mut g = gpu();
     let buf = g.alloc_i32(&[0; 8]);
-    let err = g.launch(&f, &LaunchConfig::linear(1, 8), &[KernelArg::Buffer(buf)]).unwrap_err();
+    let err = g
+        .launch(&f, &LaunchConfig::linear(1, 8), &[KernelArg::Buffer(buf)])
+        .unwrap_err();
     assert!(matches!(err, SimError::OutOfBounds(_)));
 }
 
@@ -379,7 +418,9 @@ fn bad_args_are_rejected() {
     let mut g = gpu();
     let err = g.launch(&f, &LaunchConfig::linear(1, 8), &[]).unwrap_err();
     assert!(matches!(err, SimError::BadArgs(_)));
-    let err2 = g.launch(&f, &LaunchConfig::linear(1, 8), &[KernelArg::I32(3)]).unwrap_err();
+    let err2 = g
+        .launch(&f, &LaunchConfig::linear(1, 8), &[KernelArg::I32(3)])
+        .unwrap_err();
     assert!(matches!(err2, SimError::BadArgs(_)));
 }
 
@@ -394,7 +435,10 @@ fn infinite_loop_hits_step_limit() {
     let x = b.add(b.const_i32(1), b.const_i32(1));
     let _y = b.mul(x, x);
     b.jump(spin);
-    let mut g = Gpu::new(GpuConfig { warp_size: 32, max_warp_instructions: 10_000 });
+    let mut g = Gpu::new(GpuConfig {
+        warp_size: 32,
+        max_warp_instructions: 10_000,
+    });
     let err = g.launch(&f, &LaunchConfig::linear(1, 32), &[]).unwrap_err();
     assert!(matches!(err, SimError::StepLimit));
 }
@@ -404,11 +448,13 @@ fn stats_accumulate_across_blocks() {
     let f = divergent_kernel();
     let mut g = gpu();
     let buf1 = g.alloc_i32(&[0; 64]);
-    let one: KernelStats =
-        g.launch(&f, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(buf1)]).unwrap();
+    let one: KernelStats = g
+        .launch(&f, &LaunchConfig::linear(1, 64), &[KernelArg::Buffer(buf1)])
+        .unwrap();
     let buf2 = g.alloc_i32(&[0; 256]);
-    let four: KernelStats =
-        g.launch(&f, &LaunchConfig::linear(4, 64), &[KernelArg::Buffer(buf2)]).unwrap();
+    let four: KernelStats = g
+        .launch(&f, &LaunchConfig::linear(4, 64), &[KernelArg::Buffer(buf2)])
+        .unwrap();
     assert_eq!(four.warp_instructions, 4 * one.warp_instructions);
     assert_eq!(four.cycles, 4 * one.cycles);
 }
@@ -436,9 +482,20 @@ fn shared_memory_bank_conflicts_cost_cycles() {
     };
     let mut g = gpu();
     let out = g.alloc_i32(&[0; 32]);
-    let clean = g.launch(&build(1), &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(out)]).unwrap();
-    let conflicted =
-        g.launch(&build(8), &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(out)]).unwrap();
+    let clean = g
+        .launch(
+            &build(1),
+            &LaunchConfig::linear(1, 32),
+            &[KernelArg::Buffer(out)],
+        )
+        .unwrap();
+    let conflicted = g
+        .launch(
+            &build(8),
+            &LaunchConfig::linear(1, 32),
+            &[KernelArg::Buffer(out)],
+        )
+        .unwrap();
     assert_eq!(clean.shared_bank_conflicts, 0);
     assert!(conflicted.shared_bank_conflicts > 0);
     assert!(conflicted.cycles > clean.cycles);
@@ -464,7 +521,9 @@ fn broadcast_shared_access_is_conflict_free() {
     b.ret(None);
     let mut g = gpu();
     let out = g.alloc_i32(&[0; 32]);
-    let stats = g.launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(out)]).unwrap();
+    let stats = g
+        .launch(&f, &LaunchConfig::linear(1, 32), &[KernelArg::Buffer(out)])
+        .unwrap();
     assert_eq!(stats.shared_bank_conflicts, 0);
     assert_eq!(g.read_i32(out), vec![7; 32]);
 }

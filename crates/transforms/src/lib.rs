@@ -27,5 +27,5 @@ pub mod ssa_repair;
 pub use dce::run_dce;
 pub use edges::split_edge;
 pub use instcombine::run_instcombine;
-pub use simplify::simplify_cfg;
-pub use ssa_repair::repair_ssa;
+pub use simplify::{simplify_cfg, simplify_cfg_with};
+pub use ssa_repair::{repair_ssa, repair_ssa_with};

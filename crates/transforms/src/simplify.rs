@@ -1,6 +1,6 @@
 //! CFG simplification, the analogue of LLVM's `simplifycfg`.
 
-use darm_analysis::Cfg;
+use darm_analysis::{AnalysisManager, Cfg};
 use darm_ir::{BlockId, Function, InstData, Opcode, Value};
 
 /// Statistics of one [`simplify_cfg`] run.
@@ -41,15 +41,25 @@ impl SimplifyStats {
 /// between melding iterations. The function is left structurally valid;
 /// callers that care about SSA dominance should run the verifier in tests.
 pub fn simplify_cfg(func: &mut Function) -> SimplifyStats {
+    simplify_cfg_with(func, &mut AnalysisManager::new())
+}
+
+/// [`simplify_cfg`] against a shared [`AnalysisManager`]: CFG snapshots are
+/// pulled from the cache instead of recomputed per sub-transform, and every
+/// mutation invalidates exactly the analyses it breaks (block/edge edits
+/// drop everything; φ-only rewrites keep the shape analyses). The rewrite
+/// sequence — and therefore the resulting IR — is identical to the uncached
+/// version.
+pub fn simplify_cfg_with(func: &mut Function, am: &mut AnalysisManager) -> SimplifyStats {
     let mut stats = SimplifyStats::default();
     loop {
         let mut changed = false;
-        changed |= remove_unreachable(func, &mut stats);
-        changed |= fold_branches(func, &mut stats);
-        changed |= remove_trivial_phis(func, &mut stats);
-        changed |= dedup_phis(func, &mut stats);
-        changed |= merge_straightline(func, &mut stats);
-        changed |= elide_empty_blocks(func, &mut stats);
+        changed |= remove_unreachable(func, am, &mut stats);
+        changed |= fold_branches(func, am, &mut stats);
+        changed |= remove_trivial_phis(func, am, &mut stats);
+        changed |= dedup_phis(func, am, &mut stats);
+        changed |= merge_straightline(func, am, &mut stats);
+        changed |= elide_empty_blocks(func, am, &mut stats);
         if !changed {
             break;
         }
@@ -57,11 +67,18 @@ pub fn simplify_cfg(func: &mut Function) -> SimplifyStats {
     stats
 }
 
-fn remove_unreachable(func: &mut Function, stats: &mut SimplifyStats) -> bool {
-    let cfg = Cfg::new(func);
+fn remove_unreachable(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    stats: &mut SimplifyStats,
+) -> bool {
+    let cfg = am.get::<Cfg>(func);
     let mut changed = false;
-    let dead: Vec<BlockId> =
-        func.block_ids().into_iter().filter(|&b| !cfg.is_reachable(b)).collect();
+    let dead: Vec<BlockId> = func
+        .block_ids()
+        .into_iter()
+        .filter(|&b| !cfg.is_reachable(b))
+        .collect();
     if dead.is_empty() {
         return false;
     }
@@ -78,13 +95,18 @@ fn remove_unreachable(func: &mut Function, stats: &mut SimplifyStats) -> bool {
         stats.removed_unreachable += 1;
         changed = true;
     }
+    if changed {
+        am.invalidate_all();
+    }
     changed
 }
 
-fn fold_branches(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+fn fold_branches(func: &mut Function, am: &mut AnalysisManager, stats: &mut SimplifyStats) -> bool {
     let mut changed = false;
     for b in func.block_ids() {
-        let Some(t) = func.terminator(b) else { continue };
+        let Some(t) = func.terminator(b) else {
+            continue;
+        };
         if func.inst(t).opcode != Opcode::Br {
             continue;
         }
@@ -92,11 +114,18 @@ fn fold_branches(func: &mut Function, stats: &mut SimplifyStats) -> bool {
         let cond = func.inst(t).operands[0];
         if succs[0] == succs[1] {
             func.remove_inst(t);
-            func.add_inst(b, InstData::terminator(Opcode::Jump, vec![], vec![succs[0]]));
+            func.add_inst(
+                b,
+                InstData::terminator(Opcode::Jump, vec![], vec![succs[0]]),
+            );
             stats.folded_same_target_branches += 1;
             changed = true;
         } else if let Value::I1(c) = cond {
-            let (taken, dead) = if c { (succs[0], succs[1]) } else { (succs[1], succs[0]) };
+            let (taken, dead) = if c {
+                (succs[0], succs[1])
+            } else {
+                (succs[1], succs[0])
+            };
             func.remove_inst(t);
             func.add_inst(b, InstData::terminator(Opcode::Jump, vec![], vec![taken]));
             func.phi_remove_incoming(dead, b);
@@ -104,10 +133,17 @@ fn fold_branches(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             changed = true;
         }
     }
+    if changed {
+        am.invalidate_all();
+    }
     changed
 }
 
-fn remove_trivial_phis(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+fn remove_trivial_phis(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    stats: &mut SimplifyStats,
+) -> bool {
     let mut changed = false;
     loop {
         let mut local = false;
@@ -145,10 +181,13 @@ fn remove_trivial_phis(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             break;
         }
     }
+    if changed {
+        am.invalidate_values();
+    }
     changed
 }
 
-fn dedup_phis(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+fn dedup_phis(func: &mut Function, am: &mut AnalysisManager, stats: &mut SimplifyStats) -> bool {
     let mut changed = false;
     for b in func.block_ids() {
         let phis = func.phis_of(b);
@@ -171,15 +210,22 @@ fn dedup_phis(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             }
         }
     }
+    if changed {
+        am.invalidate_values();
+    }
     changed
 }
 
 /// Merges `B` into its unique predecessor `P` when `P` unconditionally jumps
 /// to `B` and `B` has no other predecessors.
-fn merge_straightline(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+fn merge_straightline(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    stats: &mut SimplifyStats,
+) -> bool {
     let mut changed = false;
     loop {
-        let cfg = Cfg::new(func);
+        let cfg = am.get::<Cfg>(func);
         let mut merged = false;
         for b in func.block_ids() {
             if b == func.entry() {
@@ -193,7 +239,9 @@ fn merge_straightline(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             if !func.is_block_alive(p) || func.succs(p).len() != 1 {
                 continue;
             }
-            let Some(pt) = func.terminator(p) else { continue };
+            let Some(pt) = func.terminator(p) else {
+                continue;
+            };
             if func.inst(pt).opcode != Opcode::Jump {
                 continue;
             }
@@ -217,6 +265,7 @@ fn merge_straightline(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             }
             func.remove_block(b);
             stats.merged_blocks += 1;
+            am.invalidate_all();
             merged = true;
             changed = true;
             break; // CFG changed; recompute
@@ -231,10 +280,14 @@ fn merge_straightline(func: &mut Function, stats: &mut SimplifyStats) -> bool {
 /// Removes blocks that contain only an unconditional jump, redirecting their
 /// predecessors straight to the target (LLVM's
 /// `TryToSimplifyUncondBranchFromEmptyBlock`).
-fn elide_empty_blocks(func: &mut Function, stats: &mut SimplifyStats) -> bool {
+fn elide_empty_blocks(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    stats: &mut SimplifyStats,
+) -> bool {
     let mut changed = false;
     loop {
-        let cfg = Cfg::new(func);
+        let cfg = am.get::<Cfg>(func);
         let mut elided = false;
         'outer: for b in func.block_ids() {
             if b == func.entry() {
@@ -263,7 +316,9 @@ fn elide_empty_blocks(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             unique_preds.dedup();
             for phi in func.phis_of(target) {
                 let inst = func.inst(phi);
-                let Some(v_b) = inst.phi_value_for(b) else { continue 'outer };
+                let Some(v_b) = inst.phi_value_for(b) else {
+                    continue 'outer;
+                };
                 for &p in &unique_preds {
                     if let Some(v_p) = inst.phi_value_for(p) {
                         if v_p != v_b {
@@ -301,6 +356,7 @@ fn elide_empty_blocks(func: &mut Function, stats: &mut SimplifyStats) -> bool {
             }
             func.remove_block(b);
             stats.elided_empty_blocks += 1;
+            am.invalidate_all();
             elided = true;
             changed = true;
             break;

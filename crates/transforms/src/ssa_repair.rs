@@ -8,21 +8,33 @@
 //! frontier and rewrite uses to the nearest reaching definition, with
 //! `undef` on paths that never execute the definition.
 
-use darm_analysis::{Cfg, DomTree};
+use darm_analysis::{AnalysisManager, Cfg, DomTree};
 use darm_ir::{BlockId, Function, InstData, InstId, Opcode, Value};
 use std::collections::HashMap;
 
 /// Repairs every definition whose uses are no longer dominated. Returns the
 /// number of definitions repaired.
 pub fn repair_ssa(func: &mut Function) -> usize {
+    repair_ssa_with(func, &mut AnalysisManager::new())
+}
+
+/// [`repair_ssa`] against a shared [`AnalysisManager`]. Reconstruction only
+/// inserts φs and rewrites operands — the block graph is untouched — so one
+/// CFG + dominator-tree computation serves every repaired definition (the
+/// uncached version recomputes both per definition), and both stay valid in
+/// the cache for the caller. Instruction-sensitive analyses are dropped.
+pub fn repair_ssa_with(func: &mut Function, am: &mut AnalysisManager) -> usize {
     let mut repaired = 0;
     // Each reconstruction inserts φs, which can themselves need inspection;
     // loop until clean.
     loop {
-        let cfg = Cfg::new(func);
-        let dt = DomTree::new(func, &cfg);
-        let Some(def) = find_broken_def(func, &cfg, &dt) else { break };
+        let cfg = am.get::<Cfg>(func);
+        let dt = am.get::<DomTree>(func);
+        let Some(def) = find_broken_def(func, &cfg, &dt) else {
+            break;
+        };
         reconstruct(func, &cfg, &dt, def);
+        am.invalidate_values();
         repaired += 1;
     }
     repaired
@@ -146,7 +158,9 @@ fn reconstruct(func: &mut Function, cfg: &Cfg, dt: &DomTree, def: InstId) {
             if ublock == def_block {
                 continue;
             }
-            if dt.dominates(def_block, ublock) && !dominated_through_phi(dt, &phi_at, def_block, ublock) {
+            if dt.dominates(def_block, ublock)
+                && !dominated_through_phi(dt, &phi_at, def_block, ublock)
+            {
                 continue;
             }
             // Reaching definition at the start of the use's block: value at

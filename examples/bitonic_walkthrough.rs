@@ -13,7 +13,10 @@ use darm::simt::KernelArg;
 fn main() {
     let block_size = 64;
     let case = bitonic::build_case(block_size);
-    println!("=== bitonic sort kernel (block size {block_size}) ===\n{}", case.func);
+    println!(
+        "=== bitonic sort kernel (block size {block_size}) ===\n{}",
+        case.func
+    );
 
     // Analysis phase: which branches diverge?
     let da = DivergenceAnalysis::new(&case.func);
@@ -31,17 +34,30 @@ fn main() {
     // Run both; verify the sort and compare counters.
     let base = case.run_checked(&case.func);
     let darm_run = case.run_checked(&melded);
-    println!("baseline: cycles={} sharedmem={} aluutil={:.1}%",
-        base.stats.cycles, base.stats.shared_mem_insts, base.stats.alu_utilization());
-    println!("DARM:     cycles={} sharedmem={} aluutil={:.1}%",
-        darm_run.stats.cycles, darm_run.stats.shared_mem_insts, darm_run.stats.alu_utilization());
-    println!("speedup:  {:.3}x", base.stats.cycles as f64 / darm_run.stats.cycles as f64);
+    println!(
+        "baseline: cycles={} sharedmem={} aluutil={:.1}%",
+        base.stats.cycles,
+        base.stats.shared_mem_insts,
+        base.stats.alu_utilization()
+    );
+    println!(
+        "DARM:     cycles={} sharedmem={} aluutil={:.1}%",
+        darm_run.stats.cycles,
+        darm_run.stats.shared_mem_insts,
+        darm_run.stats.alu_utilization()
+    );
+    println!(
+        "speedup:  {:.3}x",
+        base.stats.cycles as f64 / darm_run.stats.cycles as f64
+    );
 
     // And show that branch fusion cannot meld this control flow (Table I).
     let mut bf = case.func.clone();
     let bf_stats = darm::melding::meld_function(&mut bf, &MeldConfig::branch_fusion());
-    println!("branch fusion melded subgraphs: {} (cannot handle if-then regions)",
-        bf_stats.melded_subgraphs);
+    println!(
+        "branch fusion melded subgraphs: {} (cannot handle if-then regions)",
+        bf_stats.melded_subgraphs
+    );
 
     let _ = KernelArg::I32(0); // silence unused-import lint paths in docs
 }

@@ -11,10 +11,8 @@ use darm::melding::{Analyses, MeldableRegion};
 use darm::prelude::*;
 
 fn main() {
-    let case = darm::kernels::synthetic::build_case(
-        darm::kernels::synthetic::SyntheticKind::Sb2,
-        64,
-    );
+    let case =
+        darm::kernels::synthetic::build_case(darm::kernels::synthetic::SyntheticKind::Sb2, 64);
     let func = &case.func;
     println!("kernel:\n{func}");
 
@@ -28,8 +26,12 @@ fn main() {
         println!(
             "  {:14} idom={:<12} ipdom={:<12} divergent-branch={}",
             func.block_name(b),
-            dt.idom(b).map(|d| func.block_name(d).to_string()).unwrap_or_else(|| "-".into()),
-            pdt.ipdom(b).map(|d| func.block_name(d).to_string()).unwrap_or_else(|| "-".into()),
+            dt.idom(b)
+                .map(|d| func.block_name(d).to_string())
+                .unwrap_or_else(|| "-".into()),
+            pdt.ipdom(b)
+                .map(|d| func.block_name(d).to_string())
+                .unwrap_or_else(|| "-".into()),
             da.is_divergent_branch(b),
         );
     }

@@ -40,27 +40,47 @@ fn main() {
 
     let mut melded = f.clone();
     let stats = darm::melding::meld_function(&mut melded, &MeldConfig::default());
-    println!("=== after DARM ({} subgraph melds, {} selects) ===\n{melded}",
-        stats.melded_subgraphs, stats.selects_inserted);
+    println!(
+        "=== after DARM ({} subgraph melds, {} selects) ===\n{melded}",
+        stats.melded_subgraphs, stats.selects_inserted
+    );
 
     // Run both on the simulator and compare.
     let mut gpu = Gpu::new(GpuConfig::default());
     let b1 = gpu.alloc_i32(&[0; 64]);
     let b2 = gpu.alloc_i32(&[0; 64]);
     let before = gpu
-        .launch(&f, &LaunchConfig::linear(1, 64), &[darm::simt::KernelArg::Buffer(b1)])
+        .launch(
+            &f,
+            &LaunchConfig::linear(1, 64),
+            &[darm::simt::KernelArg::Buffer(b1)],
+        )
         .expect("baseline run");
     let after = gpu
-        .launch(&melded, &LaunchConfig::linear(1, 64), &[darm::simt::KernelArg::Buffer(b2)])
+        .launch(
+            &melded,
+            &LaunchConfig::linear(1, 64),
+            &[darm::simt::KernelArg::Buffer(b2)],
+        )
         .expect("melded run");
-    assert_eq!(gpu.read_i32(b1), gpu.read_i32(b2), "melding must preserve semantics");
+    assert_eq!(
+        gpu.read_i32(b1),
+        gpu.read_i32(b2),
+        "melding must preserve semantics"
+    );
 
     println!("cycles:          {} -> {}", before.cycles, after.cycles);
-    println!("warp issues:     {} -> {}", before.warp_instructions, after.warp_instructions);
+    println!(
+        "warp issues:     {} -> {}",
+        before.warp_instructions, after.warp_instructions
+    );
     println!(
         "ALU utilization: {:.1}% -> {:.1}%",
         before.alu_utilization(),
         after.alu_utilization()
     );
-    println!("speedup:         {:.2}x", before.cycles as f64 / after.cycles as f64);
+    println!(
+        "speedup:         {:.2}x",
+        before.cycles as f64 / after.cycles as f64
+    );
 }

@@ -3,26 +3,32 @@
 //! ```text
 //! darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T]
 //!           [--no-unpredicate] [--dot out.dot] [--stats]
+//!           [--passes SPEC] [--time-passes] [--verify-each]
 //! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
 //! darm analyze <input.ir>
 //! ```
 //!
 //! `meld` parses a textual IR kernel, runs DARM (or the branch-fusion
-//! baseline), and prints or writes the transformed kernel. `run` executes a
-//! kernel on the SIMT simulator with zero-initialized `i32` buffers and
-//! prints the counters. `analyze` reports divergence analysis and meldable
-//! regions without transforming.
+//! baseline), and prints or writes the transformed kernel. With `--passes`
+//! the transform chain is built from a comma-separated pipeline spec (e.g.
+//! `simplify,meld,instcombine,dce`; see `darm_melding::registry` for the
+//! names) instead of the default single melding pass; `--time-passes`
+//! prints the per-pass timing/stat table and `--verify-each` checks SSA
+//! between passes. `run` executes a kernel on the SIMT simulator with
+//! zero-initialized `i32` buffers and prints the counters. `analyze`
+//! reports divergence analysis and meldable regions without transforming.
 
 use darm::analysis::{to_dot, verify_ssa, DivergenceAnalysis};
 use darm::ir::parser::{fixup_types, parse_function};
-use darm::melding::{meld_function, region, Analyses, MeldConfig, MeldMode};
+use darm::melding::{region, run_meld_pipeline, Analyses, MeldConfig, MeldMode};
+use darm::pipeline::PipelineOptions;
 use darm::prelude::*;
 use darm::simt::KernelArg;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--passes SPEC] [--time-passes] [--verify-each]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
     );
     std::process::exit(2);
 }
@@ -61,6 +67,8 @@ fn cmd_meld(args: &[String]) -> ExitCode {
     let mut dot = None;
     let mut config = MeldConfig::default();
     let mut show_stats = false;
+    let mut passes_spec: Option<String> = None;
+    let mut options = PipelineOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,13 +76,19 @@ fn cmd_meld(args: &[String]) -> ExitCode {
             "--dot" => dot = it.next().cloned(),
             "--stats" => show_stats = true,
             "--no-unpredicate" => config.unpredicate = false,
+            "--passes" => passes_spec = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--time-passes" => options.time_passes = true,
+            "--verify-each" => options.verify_each = true,
             "--mode" => match it.next().map(String::as_str) {
                 Some("darm") => config.mode = MeldMode::Darm,
                 Some("bf") => config.mode = MeldMode::BranchFusion,
                 _ => usage(),
             },
             "--threshold" => {
-                config.threshold = it.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| usage())
+                config.threshold = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -82,20 +96,60 @@ fn cmd_meld(args: &[String]) -> ExitCode {
     }
     let Some(input) = input else { usage() };
     let mut func = load(&input);
-    let stats = meld_function(&mut func, &config);
+    // One driver for both paths: the default chain is the single melding
+    // pass; --passes builds an arbitrary pipeline from the registry.
+    let report = match &passes_spec {
+        Some(spec) => {
+            let registry = darm::melding::registry(&config);
+            let mut pm = match registry.build(spec, options) {
+                Ok(pm) => pm,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match pm.run(&mut func) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match run_meld_pipeline(&mut func, &config, options) {
+            Ok(outcome) => {
+                if show_stats {
+                    let stats = outcome.stats;
+                    eprintln!(
+                        "melded {} region(s), {} subgraph(s), {} replication(s), {} select(s), {} unpredicated group(s)",
+                        stats.melded_regions,
+                        stats.melded_subgraphs,
+                        stats.replications,
+                        stats.selects_inserted,
+                        stats.unpredicated_groups
+                    );
+                }
+                outcome.report
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if show_stats && passes_spec.is_some() {
+        for pass in &report.passes {
+            for (k, v) in &pass.stats {
+                eprintln!("{}: {k} = {v}", pass.name);
+            }
+        }
+    }
+    if options.time_passes {
+        eprint!("{}", report.render());
+    }
     if let Err(e) = verify_ssa(&func) {
         eprintln!("internal error: melded function fails verification: {e}");
         return ExitCode::FAILURE;
-    }
-    if show_stats {
-        eprintln!(
-            "melded {} region(s), {} subgraph(s), {} replication(s), {} select(s), {} unpredicated group(s)",
-            stats.melded_regions,
-            stats.melded_subgraphs,
-            stats.replications,
-            stats.selects_inserted,
-            stats.unpredicated_groups
-        );
     }
     if let Some(p) = dot {
         if let Err(e) = std::fs::write(&p, to_dot(&func)) {
@@ -124,12 +178,30 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--block" => block = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--grid" => grid = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--buf" => arg_specs
-                .push((true, it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))),
-            "--i32" => arg_specs
-                .push((false, it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))),
+            "--block" => {
+                block = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--grid" => {
+                grid = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--buf" => arg_specs.push((
+                true,
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            )),
+            "--i32" => arg_specs.push((
+                false,
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            )),
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             _ => usage(),
         }
@@ -160,7 +232,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
             for (k, b) in buffers.iter().enumerate() {
                 let data = gpu.read_i32(*b);
                 let head: Vec<i32> = data.iter().copied().take(8).collect();
-                println!("buffer {k}: {head:?}{}", if data.len() > 8 { " ..." } else { "" });
+                println!(
+                    "buffer {k}: {head:?}{}",
+                    if data.len() > 8 { " ..." } else { "" }
+                );
             }
             ExitCode::SUCCESS
         }
@@ -175,7 +250,12 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let Some(input) = args.first() else { usage() };
     let func = load(input);
     let da = DivergenceAnalysis::new(&func);
-    println!("kernel {} — {} blocks, {} instructions", func.name(), func.block_ids().len(), func.live_inst_count());
+    println!(
+        "kernel {} — {} blocks, {} instructions",
+        func.name(),
+        func.block_ids().len(),
+        func.live_inst_count()
+    );
     let divergent = da.divergent_branch_blocks();
     println!("divergent branches: {}", divergent.len());
     for b in &divergent {

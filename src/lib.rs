@@ -7,7 +7,10 @@
 //!
 //! * [`ir`] — SSA intermediate representation and builder,
 //! * [`analysis`] — dominators, regions, SESE chains, divergence analysis,
+//!   and the memoizing analysis manager,
 //! * [`transforms`] — simplifycfg, DCE, SSA repair,
+//! * [`pipeline`] — the pass manager: cached analyses with invalidation,
+//!   composable pass pipelines, textual pipeline specs,
 //! * [`align`] — sequence alignment and melding profitability,
 //! * [`melding`] — the DARM pass plus tail-merging / branch-fusion baselines,
 //! * [`simt`] — SIMT GPU simulator with IPDOM reconvergence and counters,
@@ -31,14 +34,20 @@ pub use darm_analysis as analysis;
 pub use darm_ir as ir;
 pub use darm_kernels as kernels;
 pub use darm_melding as melding;
+pub use darm_pipeline as pipeline;
 pub use darm_simt as simt;
 pub use darm_transforms as transforms;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use darm_analysis::divergence::DivergenceAnalysis;
+    pub use darm_analysis::AnalysisManager;
     pub use darm_ir::builder::FunctionBuilder;
-    pub use darm_ir::{AddrSpace, BlockId, Dim, FcmpPred, Function, IcmpPred, InstData, InstId, Opcode, Type, Value};
-    pub use darm_melding::{meld_function, MeldConfig, MeldMode, MeldStats};
+    pub use darm_ir::{
+        AddrSpace, BlockId, Dim, FcmpPred, Function, IcmpPred, InstData, InstId, Opcode, Type,
+        Value,
+    };
+    pub use darm_melding::{meld_function, run_meld_pipeline, MeldConfig, MeldMode, MeldStats};
+    pub use darm_pipeline::{PassManager, PassRegistry, PipelineOptions};
     pub use darm_simt::{Gpu, GpuConfig, LaunchConfig};
 }

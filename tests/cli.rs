@@ -40,8 +40,15 @@ fn write_kernel(name: &str) -> std::path::PathBuf {
 #[test]
 fn meld_subcommand_transforms_and_reports() {
     let input = write_kernel("darm_cli_meld.ir");
-    let out = bin().args(["meld", input.to_str().unwrap(), "--stats"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["meld", input.to_str().unwrap(), "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stdout.contains("fn @cli_demo"), "{stdout}");
@@ -55,15 +62,31 @@ fn meld_output_is_reparseable_and_runnable() {
     let input = write_kernel("darm_cli_meld2.ir");
     let melded = std::env::temp_dir().join("darm_cli_meld2.out.ir");
     let ok = bin()
-        .args(["meld", input.to_str().unwrap(), "-o", melded.to_str().unwrap()])
+        .args([
+            "meld",
+            input.to_str().unwrap(),
+            "-o",
+            melded.to_str().unwrap(),
+        ])
         .status()
         .unwrap();
     assert!(ok.success());
     let out = bin()
-        .args(["run", melded.to_str().unwrap(), "--block", "32", "--buf", "32"])
+        .args([
+            "run",
+            melded.to_str().unwrap(),
+            "--block",
+            "32",
+            "--buf",
+            "32",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("cycles:"), "{stdout}");
     // tid 0: even → 0*3+10 = 10; tid 1: odd → 1*5+77 = 82
@@ -74,7 +97,14 @@ fn meld_output_is_reparseable_and_runnable() {
 fn run_subcommand_executes_baseline() {
     let input = write_kernel("darm_cli_run.ir");
     let out = bin()
-        .args(["run", input.to_str().unwrap(), "--block", "32", "--buf", "32"])
+        .args([
+            "run",
+            input.to_str().unwrap(),
+            "--block",
+            "32",
+            "--buf",
+            "32",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -86,11 +116,17 @@ fn run_subcommand_executes_baseline() {
 #[test]
 fn analyze_subcommand_reports_regions() {
     let input = write_kernel("darm_cli_analyze.ir");
-    let out = bin().args(["analyze", input.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["analyze", input.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("divergent branches: 1"), "{stdout}");
-    assert!(stdout.contains("meldable divergent region at entry"), "{stdout}");
+    assert!(
+        stdout.contains("meldable divergent region at entry"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -98,7 +134,14 @@ fn dot_export_writes_a_digraph() {
     let input = write_kernel("darm_cli_dot.ir");
     let dot = std::env::temp_dir().join("darm_cli.dot");
     let ok = bin()
-        .args(["meld", input.to_str().unwrap(), "--dot", dot.to_str().unwrap(), "-o", "/dev/null"])
+        .args([
+            "meld",
+            input.to_str().unwrap(),
+            "--dot",
+            dot.to_str().unwrap(),
+            "-o",
+            "/dev/null",
+        ])
         .status()
         .unwrap();
     assert!(ok.success());
@@ -110,7 +153,10 @@ fn dot_export_writes_a_digraph() {
 fn bad_input_fails_with_diagnostic() {
     let path = std::env::temp_dir().join("darm_cli_bad.ir");
     std::fs::write(&path, "fn @x() -> void {\nentry:\n  %0 = bogus\n  ret\n}").unwrap();
-    let out = bin().args(["meld", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["meld", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("line 3"), "{stderr}");

@@ -6,16 +6,28 @@
 use darm::analysis::verify_ssa;
 use darm::kernels::synthetic::SyntheticKind;
 use darm::kernels::{bitonic, dct, lud, mergesort, nqueens, pcm, srad, BenchCase};
-use darm::melding::{meld_function, MeldConfig, MeldStats};
+use darm::melding::{run_meld_pipeline, MeldConfig, MeldStats};
+use darm::pipeline::PipelineOptions;
 
-/// Melds the case's kernel, verifies it, re-runs it on the same inputs and
-/// checks the CPU-reference outputs. Returns meld statistics.
+/// Melds the case's kernel through the shared pipeline driver with SSA
+/// verification between passes, re-runs it on the same inputs and checks
+/// the CPU-reference outputs. Returns meld statistics.
 fn meld_and_check(case: &BenchCase, config: &MeldConfig) -> MeldStats {
     case.run_checked(&case.func); // baseline sanity
     let mut melded = case.func.clone();
-    let stats = meld_function(&mut melded, config);
-    verify_ssa(&melded)
-        .unwrap_or_else(|e| panic!("{}: melded kernel fails verification: {e}\n{melded}", case.name));
+    let options = PipelineOptions {
+        verify_each: true,
+        time_passes: false,
+    };
+    let stats = run_meld_pipeline(&mut melded, config, options)
+        .unwrap_or_else(|e| panic!("{}: meld pipeline failed: {e}\n{melded}", case.name))
+        .stats;
+    verify_ssa(&melded).unwrap_or_else(|e| {
+        panic!(
+            "{}: melded kernel fails verification: {e}\n{melded}",
+            case.name
+        )
+    });
     case.run_checked(&melded);
     stats
 }
@@ -43,7 +55,11 @@ fn synthetic_kernels_meld_correctly_under_branch_fusion() {
         // BF only handles the diamond patterns (SB1, SB4's inner diamond);
         // it must never mis-compile the rest (checked by meld_and_check).
         if matches!(kind, SyntheticKind::Sb1 | SyntheticKind::Sb1R) {
-            assert!(stats.melded_subgraphs >= 1, "{}: BF handles diamonds", case.name);
+            assert!(
+                stats.melded_subgraphs >= 1,
+                "{}: BF handles diamonds",
+                case.name
+            );
         }
         if matches!(kind, SyntheticKind::Sb2 | SyntheticKind::Sb3) {
             assert_eq!(
@@ -62,7 +78,10 @@ fn bitonic_melds_and_stays_a_sort() {
         let stats = meld_and_check(&case, &MeldConfig::default());
         assert!(stats.melded_subgraphs >= 1, "BIT{bs} must meld: {stats:?}");
         let bf = meld_and_check(&case, &MeldConfig::branch_fusion());
-        assert_eq!(bf.melded_subgraphs, 0, "BIT{bs}: BF cannot meld the if-then regions");
+        assert_eq!(
+            bf.melded_subgraphs, 0,
+            "BIT{bs}: BF cannot meld the if-then regions"
+        );
     }
 }
 
@@ -120,13 +139,19 @@ fn dct_melds_the_quantization_diamond() {
         let stats = meld_and_check(&case, &MeldConfig::default());
         assert!(stats.melded_subgraphs >= 1, "DCT must meld: {stats:?}");
         let bf = meld_and_check(&case, &MeldConfig::branch_fusion());
-        assert!(bf.melded_subgraphs >= 1, "DCT's diamond is BF territory too");
+        assert!(
+            bf.melded_subgraphs >= 1,
+            "DCT's diamond is BF territory too"
+        );
     }
 }
 
 #[test]
 fn ablation_no_unpredication_still_correct() {
-    let cfg = MeldConfig { unpredicate: false, ..MeldConfig::default() };
+    let cfg = MeldConfig {
+        unpredicate: false,
+        ..MeldConfig::default()
+    };
     for kind in [SyntheticKind::Sb1R, SyntheticKind::Sb2R] {
         let case = darm::kernels::synthetic::build_case(kind, 32);
         meld_and_check(&case, &cfg);

@@ -119,8 +119,12 @@ fn build_kernel(t_side: &Side, f_side: &Side) -> Function {
 fn run(func: &Function, input: &[i32]) -> Vec<i32> {
     let mut gpu = Gpu::new(GpuConfig::default());
     let buf = gpu.alloc_i32(input);
-    gpu.launch(func, &LaunchConfig::linear(1, input.len() as u32), &[KernelArg::Buffer(buf)])
-        .unwrap_or_else(|e| panic!("simulation failed: {e}\n{func}"));
+    gpu.launch(
+        func,
+        &LaunchConfig::linear(1, input.len() as u32),
+        &[KernelArg::Buffer(buf)],
+    )
+    .unwrap_or_else(|e| panic!("simulation failed: {e}\n{func}"));
     gpu.read_i32(buf)
 }
 

@@ -75,7 +75,10 @@ fn loop_branches_are_uniform() {
     for &b in a.cfg.rpo() {
         let name = f.block_name(b).to_string();
         if name.contains("hdr") {
-            assert!(!a.da.is_divergent_branch(b), "loop header {name} must be uniform");
+            assert!(
+                !a.da.is_divergent_branch(b),
+                "loop header {name} must be uniform"
+            );
         }
     }
 }
@@ -84,7 +87,12 @@ fn loop_branches_are_uniform() {
 /// optimization" — the melded kernel has fewer static instructions.
 #[test]
 fn melding_reduces_static_code_size_on_identical_paths() {
-    for kind in [SyntheticKind::Sb1, SyntheticKind::Sb2, SyntheticKind::Sb3, SyntheticKind::Sb4] {
+    for kind in [
+        SyntheticKind::Sb1,
+        SyntheticKind::Sb2,
+        SyntheticKind::Sb3,
+        SyntheticKind::Sb4,
+    ] {
         let f = build_kernel(kind, 32);
         let before = f.live_inst_count();
         let mut melded = f.clone();

@@ -27,12 +27,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a parameter rendering.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Builds an id from just a parameter rendering.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into(), sample_size: 10 }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 10,
+        }
     }
 
     /// Benchmarks a single function outside any group.
@@ -130,12 +138,20 @@ fn run_one(c: &Criterion, full_id: &str, sample_size: usize, mut f: impl FnMut(&
         }
     }
     if c.test_mode {
-        let mut b = Bencher { test_mode: true, batch: 1, samples: Vec::new() };
+        let mut b = Bencher {
+            test_mode: true,
+            batch: 1,
+            samples: Vec::new(),
+        };
         f(&mut b);
         println!("test {full_id} ... ok");
         return;
     }
-    let mut b = Bencher { test_mode: false, batch: 1, samples: Vec::with_capacity(sample_size) };
+    let mut b = Bencher {
+        test_mode: false,
+        batch: 1,
+        samples: Vec::with_capacity(sample_size),
+    };
     // Warm-up + batch sizing: grow the batch until one batch takes ≥1 ms.
     loop {
         let t = Instant::now();
@@ -156,8 +172,11 @@ fn run_one(c: &Criterion, full_id: &str, sample_size: usize, mut f: impl FnMut(&
         f(&mut b);
     }
     let batch = b.batch as f64;
-    let mut per_iter: Vec<f64> =
-        b.samples.iter().map(|d| d.as_secs_f64() * 1e9 / batch).collect();
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / batch)
+        .collect();
     per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
     let lo = per_iter[0];
