@@ -37,17 +37,15 @@ impl DivergenceAnalysis {
 
     /// Join points of a divergent branch at `bb`: the IDF of its successors
     /// restricted to blocks the paths can reach before (or at) the branch's
-    /// IPDOM.
+    /// IPDOM. `df` is the precomputed dominance-frontier table, shared
+    /// across every divergent branch of one analysis run.
     fn branch_joins(
-        func: &Function,
-        cfg: &Cfg,
-        dt: &DomTree,
+        df: &[Vec<BlockId>],
         pdt: &PostDomTree,
         bb: BlockId,
         succs: &[BlockId],
     ) -> Vec<BlockId> {
-        let idf = dt.iterated_dominance_frontier(cfg, succs);
-        let _ = func;
+        let idf = DomTree::iterated_frontier_from(df, succs);
         match pdt.ipdom(bb) {
             Some(x) => idf
                 .into_iter()
@@ -57,8 +55,20 @@ impl DivergenceAnalysis {
         }
     }
 
-    /// Runs the analysis with caller-provided CFG and dominator tree.
+    /// Runs the analysis with caller-provided CFG and dominator tree,
+    /// computing the post-dominator tree privately. Prefer
+    /// [`DivergenceAnalysis::run_with_pdt`] when a cached tree exists.
     pub fn run(func: &Function, cfg: &Cfg, dt: &DomTree) -> DivergenceAnalysis {
+        let pdt = PostDomTree::new(func, cfg);
+        DivergenceAnalysis::run_with_pdt(func, cfg, dt, &pdt)
+    }
+
+    /// The pass-manager-refactor-era implementation, kept verbatim as the
+    /// differential baseline for compile-time benchmarks: recomputes the
+    /// post-dominator tree privately and builds the use map as
+    /// per-definition `Vec`s instead of compressed sparse rows. Produces a
+    /// result identical to [`DivergenceAnalysis::run_with_pdt`].
+    pub fn run_pr2_baseline(func: &Function, cfg: &Cfg, dt: &DomTree) -> DivergenceAnalysis {
         let pdt = PostDomTree::new(func, cfg);
         let mut div_inst = vec![false; func.inst_capacity()];
         let mut div_branch_block = vec![false; func.block_capacity()];
@@ -111,8 +121,16 @@ impl DivergenceAnalysis {
                 }
                 div_branch_block[bb.index()] = true;
                 let joins = joins_cache.entry(bb.index()).or_insert_with(|| {
+                    // Frontiers recomputed per branch, as the era did.
                     let succs: Vec<BlockId> = inst.succs.clone();
-                    DivergenceAnalysis::branch_joins(func, cfg, dt, &pdt, bb, &succs)
+                    let idf = dt.iterated_dominance_frontier(cfg, &succs);
+                    match pdt.ipdom(bb) {
+                        Some(x) => idf
+                            .into_iter()
+                            .filter(|&j| j == x || pdt.post_dominates(x, j))
+                            .collect(),
+                        None => idf,
+                    }
                 });
                 for &j in joins.iter() {
                     for phi in func.phis_of(j) {
@@ -125,6 +143,90 @@ impl DivergenceAnalysis {
             }
         }
 
+        DivergenceAnalysis {
+            div_inst,
+            div_branch_block,
+        }
+    }
+
+    /// Runs the analysis with every control-flow analysis caller-provided
+    /// (the form the [`AnalysisManager`](crate::AnalysisManager) uses, so
+    /// one cached post-dominator tree serves detection *and* divergence).
+    ///
+    /// The engine is a forward-sweep fixpoint over the instruction stream:
+    /// each sweep marks an instruction divergent when a root or a
+    /// divergent operand reaches it and folds sync dependence in as
+    /// branches turn divergent (joins via a dominance-frontier table
+    /// computed at most once per run). SSA definitions mostly precede
+    /// their uses in the sweep order, so the fixpoint lands in two or
+    /// three sweeps without materializing a def→users map — the same least
+    /// fixpoint the use-map worklist reaches, allocation-free.
+    pub fn run_with_pdt(
+        func: &Function,
+        cfg: &Cfg,
+        dt: &DomTree,
+        pdt: &PostDomTree,
+    ) -> DivergenceAnalysis {
+        let mut div_inst = vec![false; func.inst_capacity()];
+        let mut div_branch_block = vec![false; func.block_capacity()];
+        let blocks = func.block_ids();
+        let mut frontiers: Option<Vec<Vec<BlockId>>> = None;
+        loop {
+            let mut changed = false;
+            for &b in &blocks {
+                for &id in func.insts_of(b) {
+                    if div_inst[id.index()] {
+                        continue;
+                    }
+                    let inst = func.inst(id);
+                    let divergent = match inst.opcode {
+                        Opcode::ThreadIdx(_) => true,
+                        Opcode::Br | Opcode::Jump | Opcode::Ret => false,
+                        _ => inst
+                            .operands
+                            .iter()
+                            .any(|&op| matches!(op, Value::Inst(dep) if div_inst[dep.index()])),
+                    };
+                    if divergent {
+                        div_inst[id.index()] = true;
+                        changed = true;
+                    }
+                }
+                // Sync dependence: a branch on a divergent value diverges,
+                // making the φs at its join points divergent too.
+                if div_branch_block[b.index()] {
+                    continue;
+                }
+                let Some(t) = func.terminator(b) else {
+                    continue;
+                };
+                let inst = func.inst(t);
+                if inst.opcode != Opcode::Br {
+                    continue;
+                }
+                let Value::Inst(cond) = inst.operands[0] else {
+                    continue;
+                };
+                if !div_inst[cond.index()] {
+                    continue;
+                }
+                div_branch_block[b.index()] = true;
+                changed = true;
+                let df = frontiers.get_or_insert_with(|| dt.dominance_frontiers(cfg));
+                let joins = DivergenceAnalysis::branch_joins(df, pdt, b, &inst.succs);
+                for &j in joins.iter() {
+                    for phi in func.phis_of(j) {
+                        if !div_inst[phi.index()] {
+                            div_inst[phi.index()] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
         DivergenceAnalysis {
             div_inst,
             div_branch_block,

@@ -1,21 +1,75 @@
 //! Dominator and post-dominator trees, dominance frontiers, and iterated
-//! dominance frontiers.
+//! dominance frontiers — plus *incremental maintenance* for the local CFG
+//! edits control-flow melding performs.
 //!
 //! Implements the Cooper–Harvey–Kennedy "engineered" dominance algorithm on
 //! reverse post-order. The post-dominator tree runs the same core on the
 //! reversed CFG with a virtual exit node collecting all `ret` blocks.
+//!
+//! ## Incremental updates
+//!
+//! [`DomTree::try_update`] / [`PostDomTree::try_update`] accept the
+//! normalized [`EditSummary`] of a mutation window (derived from the
+//! `darm-ir` journal) and update the existing tree without a from-scratch
+//! recompute when the edit batch matches a supported shape:
+//!
+//! * **No graph change** (blocks added/removed off the reachable region):
+//!   arrays extend/clear in place.
+//! * **Edge subdivision** (the landing pads of region simplification —
+//!   "split edge" generalized to many sources): an exact O(depth) local
+//!   rule on the dominator tree, in the spirit of Ramalingam–Reps.
+//! * **Insertion-only batches** ("redirect branch" toward a new target,
+//!   newly attached blocks): re-converge the CHK fixpoint *seeded from the
+//!   old tree*. For pure insertions the old tree is a pre-fixpoint above
+//!   the true solution, so the descending iteration provably lands on the
+//!   exact new tree — typically in one sweep over the affected region.
+//!
+//! Anything else (deletions, wholesale region rewrites) returns `None` and
+//! the caller recomputes. Either way the result is *bit-identical* to a
+//! fresh computation — `prop_incremental.rs` holds `try_update` to that
+//! under randomized edit sequences. [`DomTree::changed_from`] then reports
+//! which blocks' dominator chains differ between two trees, which is what
+//! lets SSA repair rescan only the region whose dominance actually moved.
 
 use crate::cfg::Cfg;
-use darm_ir::{BlockId, Function};
+use darm_ir::{BlockId, CfgEdit, Function};
 
 /// Core dominator computation over an abstract graph of `n` nodes.
 /// Returns `idom[v]` (None for the root and unreachable nodes).
 fn compute_idoms(n: usize, root: usize, preds: &[Vec<usize>], rpo: &[usize]) -> Vec<Option<usize>> {
+    compute_idoms_seeded(n, root, preds, rpo, None)
+}
+
+/// [`compute_idoms`] with an optional seed tree. Seeding is only sound when
+/// the seed is a pre-fixpoint of the new graph's dominator equations —
+/// i.e. the previous tree after *edge insertions only* (constraints only
+/// tighten, so the descending iteration still converges to the unique
+/// greatest fixpoint, the true dominator tree).
+fn compute_idoms_seeded(
+    n: usize,
+    root: usize,
+    preds: &[Vec<usize>],
+    rpo: &[usize],
+    seed: Option<&[Option<usize>]>,
+) -> Vec<Option<usize>> {
     let mut rpo_index = vec![usize::MAX; n];
     for (i, &b) in rpo.iter().enumerate() {
         rpo_index[b] = i;
     }
     let mut idom: Vec<Option<usize>> = vec![None; n];
+    if let Some(seed) = seed {
+        for &b in rpo {
+            // Seed only nodes the old tree knew as reachable; freshly
+            // reachable nodes start unconstrained (⊤).
+            if b != root {
+                if let Some(Some(old)) = seed.get(b) {
+                    if rpo_index[*old] != usize::MAX {
+                        idom[b] = Some(*old);
+                    }
+                }
+            }
+        }
+    }
     idom[root] = Some(root);
     let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| {
         while a != b {
@@ -170,7 +224,15 @@ impl DomTree {
     /// repair.
     pub fn iterated_dominance_frontier(&self, cfg: &Cfg, seeds: &[BlockId]) -> Vec<BlockId> {
         let df = self.dominance_frontiers(cfg);
-        let n = self.idom.len();
+        DomTree::iterated_frontier_from(&df, seeds)
+    }
+
+    /// [`DomTree::iterated_dominance_frontier`] over precomputed frontiers,
+    /// so callers that query many seed sets against one CFG state (sync
+    /// dependence per divergent branch, SSA repair per broken definition)
+    /// compute the frontiers once and iterate many times.
+    pub fn iterated_frontier_from(df: &[Vec<BlockId>], seeds: &[BlockId]) -> Vec<BlockId> {
+        let n = df.len();
         let mut in_set = vec![false; n];
         let mut work: Vec<BlockId> = seeds.to_vec();
         let mut out = Vec::new();
@@ -186,6 +248,296 @@ impl DomTree {
         out.sort();
         out
     }
+
+    /// Nearest common ancestor of a non-empty set of reachable blocks.
+    fn nca_many(&self, blocks: &[BlockId]) -> Option<BlockId> {
+        let mut acc = blocks[0].index();
+        if self.depth[acc] == u32::MAX {
+            return None;
+        }
+        for &b in &blocks[1..] {
+            let mut other = b.index();
+            if self.depth[other] == u32::MAX {
+                return None;
+            }
+            while acc != other {
+                if self.depth[acc] >= self.depth[other] {
+                    acc = self.idom[acc]?;
+                } else {
+                    other = self.idom[other].expect("depth > 0 implies idom");
+                }
+            }
+        }
+        Some(BlockId::new(acc))
+    }
+
+    /// Incrementally updates the tree for the mutation window summarized in
+    /// `summary`, where `cfg` is a snapshot of the *post-edit* CFG. Returns
+    /// `None` when the batch shape is unsupported (the caller recomputes);
+    /// a returned tree is exactly equal to `DomTree::new(func, cfg)`.
+    pub fn try_update(&self, func: &Function, cfg: &Cfg, summary: &EditSummary) -> Option<DomTree> {
+        let n = func.block_capacity();
+        // Structurally clean: reachable subgraph untouched, only extend or
+        // clear arena slots.
+        if summary.is_structurally_clean() {
+            if summary
+                .removed_blocks
+                .iter()
+                .any(|&b| self.depth.get(b.index()).copied() != Some(u32::MAX))
+            {
+                return None; // a reachable block vanished without edge edits?
+            }
+            let mut idom = self.idom.clone();
+            let mut depth = self.depth.clone();
+            idom.resize(n, None);
+            depth.resize(n, u32::MAX);
+            for &b in &summary.removed_blocks {
+                idom[b.index()] = None;
+                depth[b.index()] = u32::MAX;
+            }
+            return Some(DomTree {
+                idom,
+                depth,
+                entry: self.entry,
+            });
+        }
+        // Edge subdivision (landing pad): exact local rule.
+        if let Some((m, t, sources)) = summary.as_subdivision(func) {
+            if t.index() >= self.depth.len() || self.depth[t.index()] == u32::MAX {
+                return None;
+            }
+            if sources
+                .iter()
+                .any(|&s| s.index() >= self.depth.len() || self.depth[s.index()] == u32::MAX)
+            {
+                return None;
+            }
+            let mut idom = self.idom.clone();
+            idom.resize(n, None);
+            // `m` captures `t` ⇔ every entry path to `t` crosses a
+            // redirected edge ⇔ every current in-edge of `t` comes from
+            // `m` or from a block `t` itself dominated (a back edge,
+            // which contributes no entry path).
+            let covered = cfg
+                .preds(t)
+                .iter()
+                .all(|&p| p == m || (p.index() < self.depth.len() && self.dominates(t, p)));
+            if covered {
+                let old_idom_t = self.idom[t.index()]?;
+                idom[m.index()] = Some(old_idom_t);
+                idom[t.index()] = Some(m.index());
+            } else {
+                let nca = self.nca_many(&sources)?;
+                idom[m.index()] = Some(nca.index());
+            }
+            let depth = depths_in_order(&idom, self.entry, cfg.rpo().iter().map(|b| b.index()), n);
+            return Some(DomTree {
+                idom,
+                depth,
+                entry: self.entry,
+            });
+        }
+        // Insertion-only batch: re-converge the fixpoint seeded from the
+        // old tree (sound because constraints only tighten).
+        if summary.removed_edges.is_empty() && summary.removed_blocks.is_empty() {
+            let mut preds = vec![Vec::new(); n];
+            for &b in cfg.rpo() {
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) {
+                        preds[b.index()].push(p.index());
+                    }
+                }
+            }
+            let rpo: Vec<usize> = cfg.rpo().iter().map(|b| b.index()).collect();
+            let idom = compute_idoms_seeded(n, self.entry, &preds, &rpo, Some(&self.idom));
+            let depth = depths_in_order(&idom, self.entry, rpo.iter().copied(), n);
+            return Some(DomTree {
+                idom,
+                depth,
+                entry: self.entry,
+            });
+        }
+        None
+    }
+
+    /// Which blocks' dominator *chains* differ between `old` and `new` —
+    /// i.e. the blocks for which any `dominates(_, b)` answer may have
+    /// changed. Indexed by block arena index of `new`'s function state;
+    /// blocks unreachable in the new tree are reported unchanged (no
+    /// analysis walks them).
+    pub fn changed_from(old: &DomTree, new: &DomTree, cfg: &Cfg) -> Vec<bool> {
+        let n = new.idom.len();
+        let mut changed = vec![false; n];
+        for &b in cfg.rpo() {
+            let i = b.index();
+            let old_covers = i < old.idom.len() && old.depth[i] != u32::MAX;
+            let idom_differs = !old_covers || old.idom[i] != new.idom[i];
+            changed[i] = idom_differs
+                || new.idom[i].is_some_and(|p| changed[p])
+                || old.depth[i] != new.depth[i];
+        }
+        changed
+    }
+}
+
+/// Rebuilds the depth array from an idom array, visiting nodes in an order
+/// where every node's idom precedes it (reverse post-order has this
+/// property for dominator trees).
+fn depths_in_order(
+    idom: &[Option<usize>],
+    root: usize,
+    order: impl Iterator<Item = usize>,
+    n: usize,
+) -> Vec<u32> {
+    let mut depth = vec![u32::MAX; n];
+    depth[root] = 0;
+    for b in order {
+        if b == root {
+            continue;
+        }
+        if let Some(p) = idom[b] {
+            if depth[p] != u32::MAX {
+                depth[b] = depth[p] + 1;
+            }
+        }
+    }
+    depth
+}
+
+/// Net block-graph change of a journal window, normalized against the
+/// *post-edit* function: an edge (or block) appears here only if its
+/// existence actually flipped across the window — transient add/remove
+/// pairs and conservative same-edge delete/insert records cancel out.
+#[derive(Debug, Clone, Default)]
+pub struct EditSummary {
+    /// Blocks that are alive now but were not before the window.
+    pub added_blocks: Vec<BlockId>,
+    /// Blocks that were alive before the window and are tombstoned now.
+    pub removed_blocks: Vec<BlockId>,
+    /// Edges that exist now but did not before.
+    pub added_edges: Vec<(BlockId, BlockId)>,
+    /// Edges that existed before but do not now.
+    pub removed_edges: Vec<(BlockId, BlockId)>,
+}
+
+impl EditSummary {
+    /// Normalizes an ordered [`CfgEdit`] log against the current state of
+    /// `func`. Edge existence *before* the window is reconstructed
+    /// arithmetically: `count_before = count_now - inserts + deletes` per
+    /// (from, to) pair, so duplicate edges (`br c, X, X`) and cancelling
+    /// event pairs are handled exactly.
+    pub fn normalize(func: &Function, edits: &[CfgEdit]) -> EditSummary {
+        use std::collections::HashMap;
+        let mut blocks_added: Vec<BlockId> = Vec::new();
+        let mut blocks_removed: Vec<BlockId> = Vec::new();
+        let mut net: HashMap<(BlockId, BlockId), (i64, i64)> = HashMap::new();
+        for &e in edits {
+            match e {
+                CfgEdit::BlockAdded(b) => blocks_added.push(b),
+                CfgEdit::BlockRemoved(b) => blocks_removed.push(b),
+                CfgEdit::EdgeInserted(u, v) => net.entry((u, v)).or_default().0 += 1,
+                CfgEdit::EdgeDeleted(u, v) => net.entry((u, v)).or_default().1 += 1,
+            }
+        }
+        let mut summary = EditSummary::default();
+        blocks_added.sort_unstable();
+        blocks_added.dedup();
+        for b in blocks_added {
+            // Added and later removed in the same window → net nothing.
+            if func.is_block_alive(b) {
+                summary.added_blocks.push(b);
+            }
+        }
+        blocks_removed.sort_unstable();
+        blocks_removed.dedup();
+        for b in blocks_removed {
+            // A block can only be added once (fresh arena slot), so a
+            // removed block that was also added nets out entirely.
+            if !func.is_block_alive(b) && !edits.contains(&CfgEdit::BlockAdded(b)) {
+                summary.removed_blocks.push(b);
+            }
+        }
+        let mut pairs: Vec<((BlockId, BlockId), (i64, i64))> = net.into_iter().collect();
+        pairs.sort_unstable();
+        for ((u, v), (ins, del)) in pairs {
+            let now = if func.is_block_alive(u) {
+                func.succs(u).iter().filter(|&&s| s == v).count() as i64
+            } else {
+                0
+            };
+            let before = now - ins + del;
+            match (before > 0, now > 0) {
+                (false, true) => summary.added_edges.push((u, v)),
+                (true, false) => summary.removed_edges.push((u, v)),
+                _ => {}
+            }
+        }
+        summary
+    }
+
+    /// Whether the reachable block graph is untouched: no edge flipped and
+    /// every removed block is gone without ever having carried edges.
+    pub fn is_structurally_clean(&self) -> bool {
+        self.added_edges.is_empty() && self.removed_edges.is_empty()
+    }
+
+    /// Whether `u` had any out-edge before the window. Existence-level, not
+    /// multiset arithmetic (a duplicate-target branch has two successor
+    /// entries but one edge): an edge existed before iff it exists now and
+    /// was not added in the window, or was removed in the window.
+    fn had_out_edge_before(&self, func: &Function, u: BlockId) -> bool {
+        if func.is_block_alive(u)
+            && func
+                .succs(u)
+                .iter()
+                .any(|&v| !self.added_edges.contains(&(u, v)))
+        {
+            return true;
+        }
+        self.removed_edges.iter().any(|&(a, _)| a == u)
+    }
+
+    /// Recognizes the *edge subdivision* shape: all edges `s → t` from a
+    /// source set `S` redirected through one fresh block `m` (`s → m → t`).
+    /// Returns `(m, t, S)`.
+    fn as_subdivision(&self, func: &Function) -> Option<(BlockId, BlockId, Vec<BlockId>)> {
+        if !self.removed_blocks.is_empty() || self.added_blocks.len() != 1 {
+            return None;
+        }
+        let m = self.added_blocks[0];
+        if !func.is_block_alive(m) || func.succs(m).len() != 1 {
+            return None;
+        }
+        let t = func.succs(m)[0];
+        // Expected additions: (m, t) plus (s, m) for each source.
+        let mut sources = Vec::new();
+        let mut saw_exit_edge = false;
+        for &(u, v) in &self.added_edges {
+            if (u, v) == (m, t) {
+                saw_exit_edge = true;
+            } else if v == m {
+                sources.push(u);
+            } else {
+                return None;
+            }
+        }
+        if !saw_exit_edge || sources.is_empty() {
+            return None;
+        }
+        sources.sort_unstable();
+        sources.dedup();
+        let mut removed: Vec<BlockId> = self
+            .removed_edges
+            .iter()
+            .map(|&(u, v)| if v == t { Some(u) } else { None })
+            .collect::<Option<Vec<_>>>()?;
+        removed.sort_unstable();
+        removed.dedup();
+        if removed != sources {
+            return None;
+        }
+        Some((m, t, sources))
+    }
 }
 
 /// The post-dominator tree of a function, computed over the reversed CFG
@@ -198,48 +550,56 @@ pub struct PostDomTree {
     virtual_exit: usize,
 }
 
+/// Builds the reversed graph (with a virtual exit collecting terminator-
+/// less blocks) and its reverse post-order from the virtual exit.
+fn build_reverse_graph(n: usize, cfg: &Cfg) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let virtual_exit = n;
+    // Reversed graph: rev_preds[v] = successors of v in the original CFG,
+    // plus edges ret-block -> virtual exit.
+    let mut rev_preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for &b in cfg.rpo() {
+        for &s in cfg.succs(b) {
+            rev_preds[b.index()].push(s.index());
+        }
+        if cfg.succs(b).is_empty() {
+            rev_preds[b.index()].push(virtual_exit);
+        }
+    }
+    // RPO of the reversed graph = reverse of a post-order DFS from the
+    // virtual exit following reversed edges (original succ -> pred).
+    let mut rev_succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (v, ps) in rev_preds.iter().enumerate() {
+        for &p in ps {
+            rev_succs[p].push(v);
+        }
+    }
+    let mut visited = vec![false; n + 1];
+    let mut post = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(virtual_exit, 0)];
+    visited[virtual_exit] = true;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if *i < rev_succs[v].len() {
+            let s = rev_succs[v][*i];
+            *i += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(v);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    (rev_preds, post)
+}
+
 impl PostDomTree {
     /// Computes the post-dominator tree from a CFG snapshot.
     pub fn new(func: &Function, cfg: &Cfg) -> PostDomTree {
         let n = func.block_capacity();
         let virtual_exit = n;
-        // Reversed graph: rev_preds[v] = successors of v in the original CFG,
-        // plus edges ret-block -> virtual exit.
-        let mut rev_preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-        for &b in cfg.rpo() {
-            for &s in cfg.succs(b) {
-                rev_preds[b.index()].push(s.index());
-            }
-            if cfg.succs(b).is_empty() {
-                rev_preds[b.index()].push(virtual_exit);
-            }
-        }
-        // RPO of the reversed graph = reverse of a post-order DFS from the
-        // virtual exit following reversed edges (original succ -> pred).
-        let mut rev_succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-        for (v, ps) in rev_preds.iter().enumerate() {
-            for &p in ps {
-                rev_succs[p].push(v);
-            }
-        }
-        let mut visited = vec![false; n + 1];
-        let mut post = Vec::new();
-        let mut stack: Vec<(usize, usize)> = vec![(virtual_exit, 0)];
-        visited[virtual_exit] = true;
-        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
-            if *i < rev_succs[v].len() {
-                let s = rev_succs[v][*i];
-                *i += 1;
-                if !visited[s] {
-                    visited[s] = true;
-                    stack.push((s, 0));
-                }
-            } else {
-                post.push(v);
-                stack.pop();
-            }
-        }
-        post.reverse();
+        let (rev_preds, post) = build_reverse_graph(n, cfg);
         let idom = compute_idoms(n + 1, virtual_exit, &rev_preds, &post);
         let depth = tree_depths(n + 1, &idom, virtual_exit);
         PostDomTree {
@@ -247,6 +607,78 @@ impl PostDomTree {
             depth,
             virtual_exit,
         }
+    }
+
+    /// Incremental analogue of [`DomTree::try_update`] on the reversed
+    /// graph. Supports structurally-clean windows and insertion-only
+    /// batches whose sources already had a successor (so no block loses its
+    /// virtual-exit edge — that would be a *deletion* in the reversed
+    /// graph). Returns `None` otherwise; a returned tree equals
+    /// `PostDomTree::new(func, cfg)` exactly.
+    pub fn try_update(
+        &self,
+        func: &Function,
+        cfg: &Cfg,
+        summary: &EditSummary,
+    ) -> Option<PostDomTree> {
+        let n = func.block_capacity();
+        let remap = |v: usize| if v == self.virtual_exit { n } else { v };
+        if summary.is_structurally_clean() {
+            if summary
+                .removed_blocks
+                .iter()
+                .any(|&b| self.depth.get(b.index()).copied() != Some(u32::MAX))
+            {
+                return None;
+            }
+            // Extend to the new capacity, moving the virtual exit from the
+            // old arena bound to the new one.
+            let mut idom = vec![None; n + 1];
+            let mut depth = vec![u32::MAX; n + 1];
+            for v in 0..self.idom.len() {
+                let tv = remap(v);
+                idom[tv] = self.idom[v].map(remap);
+                depth[tv] = self.depth[v];
+            }
+            for &b in &summary.removed_blocks {
+                idom[b.index()] = None;
+                depth[b.index()] = u32::MAX;
+            }
+            return Some(PostDomTree {
+                idom,
+                depth,
+                virtual_exit: n,
+            });
+        }
+        if summary.removed_edges.is_empty() && summary.removed_blocks.is_empty() {
+            // A forward insertion is a reverse insertion too — unless the
+            // source previously had no successors, in which case it loses
+            // its virtual-exit edge (a reverse deletion): fall back.
+            let mut sources: Vec<BlockId> = summary.added_edges.iter().map(|&(u, _)| u).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            for &u in &sources {
+                let newly_added = summary.added_blocks.contains(&u);
+                let was_unreachable =
+                    u.index() >= self.depth.len() || self.depth[u.index()] == u32::MAX;
+                if !newly_added && !was_unreachable && !summary.had_out_edge_before(func, u) {
+                    return None;
+                }
+            }
+            let (rev_preds, post) = build_reverse_graph(n, cfg);
+            let mut seed = vec![None; n + 1];
+            for v in 0..self.idom.len() {
+                seed[remap(v)] = self.idom[v].map(remap);
+            }
+            let idom = compute_idoms_seeded(n + 1, n, &rev_preds, &post, Some(&seed));
+            let depth = depths_in_order(&idom, n, post.iter().copied(), n + 1);
+            return Some(PostDomTree {
+                idom,
+                depth,
+                virtual_exit: n,
+            });
+        }
+        None
     }
 
     /// The immediate post-dominator of `b`; `None` means the virtual exit

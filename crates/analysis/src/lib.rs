@@ -30,10 +30,10 @@ pub mod verify;
 
 pub use cfg::Cfg;
 pub use divergence::DivergenceAnalysis;
-pub use dom::{DomTree, PostDomTree};
+pub use dom::{DomTree, EditSummary, PostDomTree};
 pub use dot::to_dot;
 pub use liveness::{max_pressure, InstSet, Liveness};
 pub use loops::LoopInfo;
-pub use manager::{Analysis, AnalysisManager, PreservedAnalyses};
+pub use manager::{Analysis, AnalysisCounters, AnalysisManager, PreservedAnalyses};
 pub use regions::{sese_chain, SeseSubgraph};
 pub use verify::verify_ssa;

@@ -4,35 +4,55 @@
 //! Every analysis in this crate is a pure function of the IR: recomputing it
 //! on an unchanged [`Function`] yields an equal value. The
 //! [`AnalysisManager`] exploits that by memoizing results keyed by analysis
-//! *type* and handing out shared [`Rc`] references, so a fixpoint driver
-//! that runs many queries (and many passes) against one CFG state computes
-//! each analysis at most once.
+//! *type* and handing out shared [`Arc`] references (so results are also
+//! `Send + Sync`, ready for the parallel per-function pipelines on the
+//! roadmap), and a fixpoint driver that runs many queries against one CFG
+//! state computes each analysis at most once.
 //!
-//! Invalidation is explicit and two-tiered:
+//! # The three invalidation tiers
 //!
-//! * **CFG-shape changes** (blocks or edges added/removed) invalidate
-//!   everything — use [`AnalysisManager::invalidate_all`].
-//! * **Instruction-only changes** (φ insertion, peepholes, DCE) preserve
-//!   the block graph, so [`Cfg`], [`DomTree`], [`PostDomTree`] and
-//!   [`LoopInfo`] survive — use
-//!   [`AnalysisManager::invalidate_values`], which drops only the
-//!   instruction-sensitive analyses ([`DivergenceAnalysis`], [`Liveness`]).
+//! | tier | trigger | effect |
+//! |---|---|---|
+//! | **all** | block/edge surgery, provenance unknown | [`AnalysisManager::invalidate_all`] drops every entry |
+//! | **values** | instruction-only changes (φ insertion, peepholes, DCE) | [`AnalysisManager::invalidate_values`] drops only the instruction-sensitive analyses; [`Cfg`], [`DomTree`], [`PostDomTree`], [`LoopInfo`] survive |
+//! | **dirty-set** | any changes, *tracked by the `darm-ir` mutation journal* | [`AnalysisManager::update_after`] replays exactly what changed and keeps, updates-in-place, or drops each entry accordingly |
 //!
-//! Transform passes report what they preserved through
-//! [`PreservedAnalyses`]; a pass manager applies the report with
-//! [`AnalysisManager::retain`]. The transforms in `darm-transforms` also
-//! invalidate *during* their run (they interleave queries with mutation),
-//! so `retain` acts as a second, coarser filter — it can only drop entries,
-//! never resurrect stale ones.
+//! The first two tiers are driven by what a pass *reports* (a
+//! [`PreservedAnalyses`] summary applied via [`AnalysisManager::retain`],
+//! or direct invalidation during a run). The third tier inverts the burden
+//! of proof: instead of trusting a pass's summary, the manager replays the
+//! journal window since it last looked ([`AnalysisManager::update_after`])
+//! and decides per analysis —
+//!
+//! * a clean window keeps everything;
+//! * an instruction-only window keeps the shape analyses, re-seeds
+//!   [`Liveness`] from the dirty blocks only, and drops
+//!   [`DivergenceAnalysis`] (divergence may *shrink* under rewrites, which
+//!   a monotone incremental update cannot express);
+//! * a window whose block-graph edits match a supported local pattern
+//!   (edge subdivision, insertion-only batches — see
+//!   [`DomTree::try_update`]) updates the dominator and post-dominator
+//!   trees in place, bit-identical to a fresh recompute;
+//! * anything else drops what it must, never more.
+//!
+//! A pass should report `PreservedAnalyses::all()` and let `update_after`
+//! arbitrate when it runs under a dirty-tracking driver; report the
+//! coarser tiers when it manages invalidation by hand. Reports can only
+//! *drop* entries, never resurrect stale ones, so an over-conservative
+//! report costs recomputation, never correctness.
+//!
+//! [`AnalysisManager::counters`] exposes how many computations, cache hits
+//! and in-place updates occurred — `darm meld --time-passes` prints the
+//! per-pass split.
 
 use crate::cfg::Cfg;
 use crate::divergence::DivergenceAnalysis;
-use crate::dom::{DomTree, PostDomTree};
+use crate::dom::{DomTree, EditSummary, PostDomTree};
 use crate::liveness::Liveness;
 use crate::loops::LoopInfo;
-use darm_ir::Function;
+use darm_ir::{Function, JournalCursor, WindowProbe};
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Number of cache slots — one per registered [`Analysis`] impl.
 const SLOT_COUNT: usize = 6;
@@ -46,7 +66,9 @@ const SLOT_COUNT: usize = 6;
 /// The cache is keyed by analysis type through `SLOT`, a dense per-type
 /// index (cheaper than hashing a `TypeId` on the pipeline's hot path);
 /// every implementation must pick a distinct slot below `SLOT_COUNT`.
-pub trait Analysis: Sized + 'static {
+/// Results must be `Send + Sync` so cached handles can cross threads once
+/// function pipelines run in parallel.
+pub trait Analysis: Sized + Send + Sync + 'static {
     /// Short stable name, used in reports and error messages.
     const NAME: &'static str;
 
@@ -114,7 +136,10 @@ impl Analysis for DivergenceAnalysis {
     fn compute(func: &Function, am: &mut AnalysisManager) -> DivergenceAnalysis {
         let cfg = am.get::<Cfg>(func);
         let dt = am.get::<DomTree>(func);
-        DivergenceAnalysis::run(func, &cfg, &dt)
+        // The post-dominator tree comes from the shared cache: the paper's
+        // driver recomputed it privately inside every divergence run.
+        let pdt = am.get::<PostDomTree>(func);
+        DivergenceAnalysis::run_with_pdt(func, &cfg, &dt, &pdt)
     }
 }
 
@@ -188,9 +213,33 @@ impl PreservedAnalyses {
 /// at insertion so [`AnalysisManager::retain`] can filter without knowing
 /// the concrete types).
 struct Slot {
-    value: Rc<dyn Any>,
+    value: Arc<dyn Any + Send + Sync>,
     shape_only: bool,
     name: &'static str,
+}
+
+/// Totals of the manager's bookkeeping, for per-pass attribution in
+/// pipeline reports: full computations (cache misses), cache hits, and
+/// incremental in-place updates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisCounters {
+    /// Full recomputations (cache misses).
+    pub computes: usize,
+    /// Queries served from the cache.
+    pub hits: usize,
+    /// Entries refreshed in place by [`AnalysisManager::update_after`].
+    pub updates: usize,
+}
+
+impl AnalysisCounters {
+    /// Component-wise difference (`self - earlier`), for per-pass deltas.
+    pub fn since(&self, earlier: &AnalysisCounters) -> AnalysisCounters {
+        AnalysisCounters {
+            computes: self.computes - earlier.computes,
+            hits: self.hits - earlier.hits,
+            updates: self.updates - earlier.updates,
+        }
+    }
 }
 
 /// Memoizing analysis cache keyed by analysis type (via the dense
@@ -200,6 +249,9 @@ struct Slot {
 pub struct AnalysisManager {
     slots: [Option<Slot>; SLOT_COUNT],
     computed: Vec<(&'static str, usize)>,
+    counters: AnalysisCounters,
+    cursor: Option<JournalCursor>,
+    dom_checkpoint: Option<(JournalCursor, Arc<DomTree>)>,
 }
 
 impl std::fmt::Debug for AnalysisManager {
@@ -208,6 +260,7 @@ impl std::fmt::Debug for AnalysisManager {
         f.debug_struct("AnalysisManager")
             .field("cached", &cached)
             .field("computed", &self.computed)
+            .field("counters", &self.counters)
             .finish()
     }
 }
@@ -220,15 +273,16 @@ impl AnalysisManager {
 
     /// Returns analysis `A` for the current state of `func`, computing and
     /// caching it if absent.
-    pub fn get<A: Analysis>(&mut self, func: &Function) -> Rc<A> {
+    pub fn get<A: Analysis>(&mut self, func: &Function) -> Arc<A> {
         if let Some(slot) = &self.slots[A::SLOT] {
+            self.counters.hits += 1;
             return slot
                 .value
                 .clone()
                 .downcast::<A>()
                 .expect("cache slot type matches key");
         }
-        let value = Rc::new(A::compute(func, self));
+        let value = Arc::new(A::compute(func, self));
         self.note_computed(A::NAME);
         self.slots[A::SLOT] = Some(Slot {
             value: value.clone(),
@@ -238,8 +292,8 @@ impl AnalysisManager {
         value
     }
 
-    /// The cached `A`, if present (no computation).
-    pub fn cached<A: Analysis>(&self) -> Option<Rc<A>> {
+    /// The cached `A`, if present (no computation, not counted as a hit).
+    pub fn cached<A: Analysis>(&self) -> Option<Arc<A>> {
         self.slots[A::SLOT].as_ref().map(|slot| {
             slot.value
                 .clone()
@@ -248,25 +302,133 @@ impl AnalysisManager {
         })
     }
 
+    fn put<A: Analysis>(&mut self, value: Arc<A>) {
+        self.slots[A::SLOT] = Some(Slot {
+            value,
+            shape_only: A::SHAPE_ONLY,
+            name: A::NAME,
+        });
+    }
+
     /// Drops the cached `A`, if present.
     pub fn invalidate<A: Analysis>(&mut self) {
         self.slots[A::SLOT] = None;
     }
 
-    /// Drops everything — required after any block/edge mutation.
+    /// Drops everything — required after any block/edge mutation whose
+    /// provenance is unknown (tier 1; prefer
+    /// [`AnalysisManager::update_after`] when the mutation journal covers
+    /// the window).
     pub fn invalidate_all(&mut self) {
         self.slots = Default::default();
     }
 
     /// Drops the instruction-sensitive analyses, keeping shape-only ones —
     /// correct after instruction-level mutation that leaves the block graph
-    /// intact (φ insertion, operand rewrites, instruction removal).
+    /// intact (φ insertion, operand rewrites, instruction removal; tier 2).
     pub fn invalidate_values(&mut self) {
         for slot in &mut self.slots {
             if slot.as_ref().is_some_and(|s| !s.shape_only) {
                 *slot = None;
             }
         }
+    }
+
+    /// Anchors the manager's journal cursor at the function's current
+    /// state, asserting that every cached entry is valid for it (the
+    /// standing cache contract). Call once before a dirty-tracked driver
+    /// starts interleaving mutations with [`AnalysisManager::update_after`].
+    pub fn observe(&mut self, func: &Function) {
+        self.cursor = Some(func.journal_head());
+    }
+
+    /// Publishes a *repair checkpoint*: the dominator tree of the
+    /// function's current state together with the journal cursor marking
+    /// it. By storing one, the driver asserts the function is in valid,
+    /// fully repaired SSA form right now — which lets the next SSA-repair
+    /// run scope its very first broken-definition scan to the mutations
+    /// and dominance changes since this point instead of sweeping the
+    /// whole function.
+    pub fn set_dom_checkpoint(&mut self, func: &Function, tree: Arc<DomTree>) {
+        self.dom_checkpoint = Some((func.journal_head(), tree));
+    }
+
+    /// Consumes the pending repair checkpoint, if any.
+    pub fn take_dom_checkpoint(&mut self) -> Option<(JournalCursor, Arc<DomTree>)> {
+        self.dom_checkpoint.take()
+    }
+
+    /// Tier-3 invalidation: classifies the mutation window since the last
+    /// [`observe`](AnalysisManager::observe)/`update_after` (an O(1) probe
+    /// on the journal) and reconciles every cached entry with what
+    /// actually changed — keeping entries untouched windows cannot have
+    /// broken, updating dominator trees in place for supported local edit
+    /// patterns, re-seeding liveness from the dirty blocks, and dropping
+    /// the rest. The full event replay is paid only when a cached entry
+    /// can actually profit from it; wide windows (wholesale region
+    /// rewrites) degrade straight to
+    /// [`invalidate_all`](AnalysisManager::invalidate_all), as does a
+    /// missing cursor or a saturated journal.
+    ///
+    /// Returns the window classification.
+    pub fn update_after(&mut self, func: &Function) -> WindowProbe {
+        /// Block-graph windows wider than this skip the incremental
+        /// dominator attempt outright — they fall back to recompute
+        /// anyway, and normalizing hundreds of edge events costs more
+        /// than the recompute.
+        const EDIT_BATCH_CAP: usize = 48;
+        let probe = match self.cursor {
+            Some(cursor) => func.probe_since(cursor),
+            None => WindowProbe::Saturated,
+        };
+        let cursor = self.cursor.replace(func.journal_head());
+        match probe {
+            WindowProbe::Clean => {}
+            WindowProbe::Saturated => self.invalidate_all(),
+            WindowProbe::InstsOnly { .. } => {
+                // Shape analyses stay; liveness can be re-seeded from the
+                // dirty blocks (the only consumer of the replay here);
+                // divergence may shrink under rewrites, so it recomputes
+                // (against the warm CFG/dom/postdom).
+                self.invalidate::<DivergenceAnalysis>();
+                match (self.cached::<Liveness>(), self.cached::<Cfg>()) {
+                    (Some(live), Some(cfg)) => {
+                        let delta = func.dirty_since(cursor.expect("probed via cursor"));
+                        let updated = live.updated(func, &cfg, &delta.blocks);
+                        self.put(Arc::new(updated));
+                        self.note_updated(Liveness::NAME);
+                    }
+                    _ => self.invalidate::<Liveness>(),
+                }
+            }
+            WindowProbe::Shape { shape_events, .. } => {
+                let had_dom = self.cached::<DomTree>();
+                let had_pdt = self.cached::<PostDomTree>();
+                let try_incremental =
+                    (had_dom.is_some() || had_pdt.is_some()) && shape_events <= EDIT_BATCH_CAP;
+                self.invalidate_all();
+                if try_incremental {
+                    let delta = func.dirty_since(cursor.expect("probed via cursor"));
+                    if !delta.is_saturated() {
+                        let summary = EditSummary::normalize(func, &delta.edits);
+                        let cfg = self.get::<Cfg>(func);
+                        if let Some(old) = had_dom {
+                            if let Some(updated) = old.try_update(func, &cfg, &summary) {
+                                self.put(Arc::new(updated));
+                                self.note_updated(DomTree::NAME);
+                            }
+                        }
+                        if let Some(old) = had_pdt {
+                            if let Some(updated) = old.try_update(func, &cfg, &summary) {
+                                self.put(Arc::new(updated));
+                                self.note_updated(PostDomTree::NAME);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        probe
     }
 
     /// Applies a pass's [`PreservedAnalyses`] report: every cached entry
@@ -294,14 +456,24 @@ impl AnalysisManager {
 
     /// Total number of analysis computations (cache misses) so far.
     pub fn total_computations(&self) -> usize {
-        self.computed.iter().map(|&(_, n)| n).sum()
+        self.counters.computes
+    }
+
+    /// Snapshot of the compute/hit/update totals.
+    pub fn counters(&self) -> AnalysisCounters {
+        self.counters
     }
 
     fn note_computed(&mut self, name: &'static str) {
+        self.counters.computes += 1;
         match self.computed.iter_mut().find(|(n, _)| *n == name) {
             Some((_, n)) => *n += 1,
             None => self.computed.push((name, 1)),
         }
+    }
+
+    fn note_updated(&mut self, _name: &'static str) {
+        self.counters.updates += 1;
     }
 }
 
@@ -309,7 +481,7 @@ impl AnalysisManager {
 mod tests {
     use super::*;
     use darm_ir::builder::FunctionBuilder;
-    use darm_ir::{IcmpPred, Type, Value};
+    use darm_ir::{IcmpPred, InstData, Opcode, Type, Value};
 
     fn diamond() -> Function {
         let mut f = Function::new("d", vec![Type::I32], Type::Void);
@@ -335,12 +507,14 @@ mod tests {
         let mut am = AnalysisManager::new();
         let dt1 = am.get::<DomTree>(&f);
         let dt2 = am.get::<DomTree>(&f);
-        assert!(Rc::ptr_eq(&dt1, &dt2));
+        assert!(Arc::ptr_eq(&dt1, &dt2));
         // DomTree computed the Cfg through the cache: exactly one compute of
         // each despite the repeated query.
         assert_eq!(am.computations(), &[("cfg", 1), ("domtree", 1)]);
         am.get::<DivergenceAnalysis>(&f);
-        assert_eq!(am.total_computations(), 3);
+        // Divergence pulls the post-dominator tree through the cache too.
+        assert_eq!(am.total_computations(), 4);
+        assert!(am.counters().hits >= 3);
     }
 
     #[test]
@@ -371,5 +545,66 @@ mod tests {
         am.retain(&PreservedAnalyses::none().preserve::<Cfg>());
         assert!(am.cached::<Cfg>().is_some());
         assert!(am.cached::<DomTree>().is_none());
+    }
+
+    #[test]
+    fn update_after_keeps_everything_on_clean_window() {
+        let f = diamond();
+        let mut am = AnalysisManager::new();
+        am.observe(&f);
+        am.get::<DivergenceAnalysis>(&f);
+        am.get::<Liveness>(&f);
+        let before = am.total_computations();
+        let probe = am.update_after(&f);
+        assert_eq!(probe, WindowProbe::Clean);
+        assert!(am.cached::<DivergenceAnalysis>().is_some());
+        assert!(am.cached::<Liveness>().is_some());
+        assert_eq!(am.total_computations(), before);
+    }
+
+    #[test]
+    fn update_after_inst_only_window_keeps_shape() {
+        let mut f = diamond();
+        let mut am = AnalysisManager::new();
+        am.observe(&f);
+        let dt = am.get::<DomTree>(&f);
+        am.get::<DivergenceAnalysis>(&f);
+        am.get::<Liveness>(&f);
+        // Instruction-only mutation: insert a dead add in `t`.
+        let t = f.block_ids()[1];
+        f.insert_inst_at(
+            t,
+            0,
+            InstData::new(Opcode::Add, Type::I32, vec![Value::I32(1), Value::I32(2)]),
+        );
+        let probe = am.update_after(&f);
+        assert!(matches!(probe, WindowProbe::InstsOnly { .. }));
+        assert!(
+            Arc::ptr_eq(&dt, &am.cached::<DomTree>().unwrap()),
+            "shape analyses survive an instruction-only window"
+        );
+        assert!(am.cached::<DivergenceAnalysis>().is_none());
+        // Liveness was refreshed in place, and matches a fresh compute.
+        let live = am.cached::<Liveness>().expect("liveness updated in place");
+        let fresh = Liveness::new(&f);
+        for b in f.block_ids() {
+            assert_eq!(live.live_in(b), fresh.live_in(b));
+            assert_eq!(live.live_out(b), fresh.live_out(b));
+        }
+        assert_eq!(am.counters().updates, 1);
+    }
+
+    #[test]
+    fn update_after_without_observe_degrades_to_full_invalidation() {
+        let mut f = diamond();
+        let mut am = AnalysisManager::new();
+        am.get::<DomTree>(&f);
+        let t = f.block_ids()[1];
+        let term = f.terminator(t).unwrap();
+        f.remove_inst(term);
+        let probe = am.update_after(&f);
+        assert_eq!(probe, WindowProbe::Saturated);
+        assert!(am.cached::<DomTree>().is_none());
+        assert!(am.cached::<Cfg>().is_none());
     }
 }

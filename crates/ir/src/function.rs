@@ -1,5 +1,6 @@
 //! Functions, basic blocks and instructions.
 
+use crate::dirty::{DirtyDelta, DirtyEvent, JournalCursor, MutationJournal, WindowProbe};
 use crate::opcode::Opcode;
 use crate::types::Type;
 use crate::value::Value;
@@ -184,7 +185,12 @@ pub struct BlockData {
 /// Owns arenas of blocks and instructions. Removing a block or instruction
 /// tombstones it: handles stay stable, and `block_ids()` / per-block
 /// instruction lists skip dead entries.
-#[derive(Debug, Clone)]
+///
+/// Every mutation API records what it touched in a [`MutationJournal`], so
+/// incremental consumers (analysis caches, dirty-scoped cleanup passes) can
+/// replay exactly what changed since a [`JournalCursor`] they remember —
+/// see [`Function::journal_head`] and [`Function::dirty_since`].
+#[derive(Debug)]
 pub struct Function {
     name: String,
     params: Vec<Type>,
@@ -194,6 +200,26 @@ pub struct Function {
     dead_insts: Vec<bool>,
     entry: BlockId,
     shared: Vec<SharedArray>,
+    journal: MutationJournal,
+}
+
+/// Cloning starts a fresh, empty journal under a new identity: cursors
+/// taken on the original replay as saturated against the clone instead of
+/// silently aliasing into an unrelated edit history.
+impl Clone for Function {
+    fn clone(&self) -> Function {
+        Function {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            ret: self.ret,
+            blocks: self.blocks.clone(),
+            insts: self.insts.clone(),
+            dead_insts: self.dead_insts.clone(),
+            entry: self.entry,
+            shared: self.shared.clone(),
+            journal: MutationJournal::new(),
+        }
+    }
 }
 
 impl Function {
@@ -209,10 +235,87 @@ impl Function {
             dead_insts: Vec::new(),
             entry: BlockId::new(0),
             shared: Vec::new(),
+            journal: MutationJournal::new(),
         };
         let entry = f.add_block("entry");
         f.entry = entry;
         f
+    }
+
+    // ---- mutation journal ----
+
+    /// The cursor marking "now" in the mutation journal; replaying from it
+    /// with [`Function::dirty_since`] yields everything mutated afterwards.
+    pub fn journal_head(&self) -> JournalCursor {
+        self.journal.head()
+    }
+
+    /// Replays every mutation recorded after `cursor` into a
+    /// [`DirtyDelta`]. A cursor from another function instance (including a
+    /// clone source) or from before a [truncation](Function::truncate_journal)
+    /// replays as saturated — "anything may have changed".
+    pub fn dirty_since(&self, cursor: JournalCursor) -> DirtyDelta {
+        self.journal.replay_since(cursor)
+    }
+
+    /// Zero-allocation replay of just the instruction-touch events after
+    /// `cursor` (worklist transforms use this to re-enqueue the users a
+    /// substitution reached without building a full [`DirtyDelta`]).
+    /// Returns `false` when the cursor saturated (caller must assume
+    /// anything changed).
+    pub fn insts_touched_since(&self, cursor: JournalCursor, f: impl FnMut(InstId)) -> bool {
+        self.journal.visit_insts_since(cursor, f)
+    }
+
+    /// O(1) classification of the journal window after `cursor`: clean,
+    /// instruction-only, shape-changing (with event counts), or saturated.
+    /// The cheap "is this window worth replaying" probe — a window with
+    /// more events than the function has live instructions is better
+    /// served by a whole-function pass than by replay-and-scope.
+    pub fn probe_since(&self, cursor: JournalCursor) -> WindowProbe {
+        self.journal.probe(cursor)
+    }
+
+    /// Drops the buffered journal events (e.g. after a driver has fully
+    /// consumed them). Cursors taken earlier saturate afterwards, which is
+    /// always safe for consumers (they fall back to whole-function work).
+    pub fn truncate_journal(&mut self) {
+        self.journal.truncate();
+    }
+
+    /// Number of journal events currently buffered.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Records that an untracked mutation happened: every open cursor
+    /// window replays as saturated from here on. Escape hatch for callers
+    /// mutating IR outside the journaled APIs.
+    pub fn saturate_journal(&mut self) {
+        self.journal.record(DirtyEvent::Saturate);
+    }
+
+    /// Journal size guard: past this many buffered events the journal
+    /// self-truncates (old cursors degrade to saturation instead of the
+    /// buffer growing without bound).
+    const JOURNAL_CAP: usize = 1 << 20;
+
+    #[inline]
+    fn record(&mut self, ev: DirtyEvent) {
+        if self.journal.len() >= Self::JOURNAL_CAP {
+            self.journal.truncate();
+        }
+        self.journal.record(ev);
+    }
+
+    /// Records the use-count change of every definition the instruction's
+    /// operands reference (they lose or gain a user).
+    fn record_operand_defs_of(&mut self, id: InstId) {
+        for k in 0..self.insts[id.index()].operands.len() {
+            if let Value::Inst(def) = self.insts[id.index()].operands[k] {
+                self.record(DirtyEvent::Inst(def));
+            }
+        }
     }
 
     /// The function's name.
@@ -269,6 +372,7 @@ impl Function {
             insts: Vec::new(),
             alive: true,
         });
+        self.record(DirtyEvent::BlockAdded(id));
         id
     }
 
@@ -277,11 +381,19 @@ impl Function {
     /// Callers are responsible for first removing every edge into the block
     /// (terminator successors and φ incoming entries elsewhere).
     pub fn remove_block(&mut self, b: BlockId) {
+        // The block's own terminator edges vanish with it, and every
+        // definition its instructions referenced loses a user.
+        for s in self.succs(b) {
+            self.record(DirtyEvent::EdgeDeleted(b, s));
+        }
         let insts = std::mem::take(&mut self.blocks[b.index()].insts);
         for id in insts {
+            self.record(DirtyEvent::Inst(id));
+            self.record_operand_defs_of(id);
             self.dead_insts[id.index()] = true;
         }
         self.blocks[b.index()].alive = false;
+        self.record(DirtyEvent::BlockRemoved(b));
     }
 
     /// Whether the block is still part of the function.
@@ -375,12 +487,30 @@ impl Function {
     }
 
     /// Mutable access to an instruction.
+    ///
+    /// Journal contract: the instruction, its block and its pre-mutation
+    /// operand definitions are recorded as touched. For a terminator its
+    /// current successor edges are conservatively recorded as possibly
+    /// changed; callers must not *retarget* successors through this escape
+    /// hatch (the new target would go unrecorded) — use
+    /// [`Function::replace_succ`] or remove/re-add the terminator instead.
     pub fn inst_mut(&mut self, id: InstId) -> &mut InstData {
         assert!(
             !self.dead_insts[id.index()],
             "use of removed instruction %{}",
             id.index()
         );
+        self.record(DirtyEvent::Inst(id));
+        let block = self.insts[id.index()].block;
+        self.record(DirtyEvent::Block(block));
+        self.record_operand_defs_of(id);
+        if !self.insts[id.index()].succs.is_empty() {
+            for k in 0..self.insts[id.index()].succs.len() {
+                let s = self.insts[id.index()].succs[k];
+                self.record(DirtyEvent::EdgeDeleted(block, s));
+                self.record(DirtyEvent::EdgeInserted(block, s));
+            }
+        }
         &mut self.insts[id.index()]
     }
 
@@ -396,6 +526,7 @@ impl Function {
         self.insts.push(data);
         self.dead_insts.push(false);
         self.blocks[block.index()].insts.push(id);
+        self.record_inst_added(block, id);
         id
     }
 
@@ -406,7 +537,17 @@ impl Function {
         self.insts.push(data);
         self.dead_insts.push(false);
         self.blocks[block.index()].insts.insert(pos, id);
+        self.record_inst_added(block, id);
         id
+    }
+
+    fn record_inst_added(&mut self, block: BlockId, id: InstId) {
+        self.record(DirtyEvent::Block(block));
+        self.record(DirtyEvent::Inst(id));
+        for k in 0..self.insts[id.index()].succs.len() {
+            let s = self.insts[id.index()].succs[k];
+            self.record(DirtyEvent::EdgeInserted(block, s));
+        }
     }
 
     /// Inserts an instruction immediately before an existing one.
@@ -423,7 +564,14 @@ impl Function {
     /// Detaches and tombstones an instruction. Uses are not rewritten.
     pub fn remove_inst(&mut self, id: InstId) {
         let block = self.insts[id.index()].block;
+        self.record(DirtyEvent::Inst(id));
+        self.record_operand_defs_of(id);
         if self.is_block_alive(block) {
+            self.record(DirtyEvent::Block(block));
+            for k in 0..self.insts[id.index()].succs.len() {
+                let s = self.insts[id.index()].succs[k];
+                self.record(DirtyEvent::EdgeDeleted(block, s));
+            }
             self.blocks[block.index()].insts.retain(|&i| i != id);
         }
         self.dead_insts[id.index()] = true;
@@ -445,15 +593,33 @@ impl Function {
     // ---- use rewriting ----
 
     /// Replaces every operand use of `from` with `to` across the function.
+    ///
+    /// Every rewritten user (and its block) is journaled as touched, along
+    /// with `from`'s definition if it is an instruction (its use count
+    /// dropped to zero).
     pub fn rauw(&mut self, from: Value, to: Value) {
-        for (idx, inst) in self.insts.iter_mut().enumerate() {
+        let mut reached = false;
+        for idx in 0..self.insts.len() {
             if self.dead_insts[idx] {
                 continue;
             }
-            for op in &mut inst.operands {
+            let mut hit = false;
+            for op in &mut self.insts[idx].operands {
                 if *op == from {
                     *op = to;
+                    hit = true;
                 }
+            }
+            if hit {
+                reached = true;
+                let block = self.insts[idx].block;
+                self.record(DirtyEvent::Inst(InstId::new(idx)));
+                self.record(DirtyEvent::Block(block));
+            }
+        }
+        if reached {
+            if let Value::Inst(def) = from {
+                self.record(DirtyEvent::Inst(def));
             }
         }
     }
@@ -476,10 +642,18 @@ impl Function {
     /// terminator. φ-nodes in `from`/`to` are *not* updated.
     pub fn replace_succ(&mut self, b: BlockId, from: BlockId, to: BlockId) {
         if let Some(t) = self.terminator(b) {
-            for s in &mut self.inst_mut(t).succs {
+            let mut hit = false;
+            for s in &mut self.insts[t.index()].succs {
                 if *s == from {
                     *s = to;
+                    hit = true;
                 }
+            }
+            if hit {
+                self.record(DirtyEvent::Inst(t));
+                self.record(DirtyEvent::Block(b));
+                self.record(DirtyEvent::EdgeDeleted(b, from));
+                self.record(DirtyEvent::EdgeInserted(b, to));
             }
         }
     }
@@ -521,9 +695,15 @@ impl Function {
         let moved: Vec<InstId> = self.blocks[block.index()].insts.split_off(at);
         for &id in &moved {
             self.insts[id.index()].block = new_block;
+            self.record(DirtyEvent::Inst(id));
         }
         self.blocks[new_block.index()].insts = moved;
+        self.record(DirtyEvent::Block(block));
+        self.record(DirtyEvent::Block(new_block));
         for succ in self.succs(new_block) {
+            // The moved terminator's out-edges change source block.
+            self.record(DirtyEvent::EdgeDeleted(block, succ));
+            self.record(DirtyEvent::EdgeInserted(new_block, succ));
             self.phi_retarget_pred(succ, block, new_block);
         }
         new_block

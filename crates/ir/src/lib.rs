@@ -49,6 +49,7 @@
 
 pub mod builder;
 pub mod cost;
+pub mod dirty;
 pub mod function;
 pub mod opcode;
 pub mod parser;
@@ -56,6 +57,7 @@ pub mod printer;
 pub mod types;
 pub mod value;
 
+pub use dirty::{BlockSet, CfgEdit, DirtyDelta, DirtyInstSet, JournalCursor, WindowProbe};
 pub use function::{BlockData, BlockId, Function, InstData, InstId, IrError, SharedArray};
 pub use opcode::{Dim, FcmpPred, IcmpPred, Opcode};
 pub use types::{AddrSpace, Type};

@@ -59,7 +59,7 @@ pub mod unpredicate;
 
 pub use codegen::{PlanElement, RegionMeldStats};
 pub use pass::{MeldPass, MeldStatsSink, TailMergePass};
-pub use reference::meld_function_reference;
+pub use reference::{meld_function_pr2, meld_function_reference};
 pub use region::{Analyses, MeldableRegion, Subgraph};
 pub use tail_merge::tail_merge;
 
@@ -91,6 +91,12 @@ pub struct MeldConfig {
     pub unpredicate: bool,
     /// Fixpoint iteration cap for Algorithm 1's outer loop.
     pub max_iterations: usize,
+    /// Whether the fixpoint maintains analyses incrementally and scopes
+    /// cleanup to the dirty region (default). Off reproduces the
+    /// invalidate-everything driver of the pass-manager refactor — the
+    /// differential baseline of the `meld_pipeline` bench; both settings
+    /// produce bit-identical IR and statistics.
+    pub incremental: bool,
 }
 
 impl Default for MeldConfig {
@@ -100,6 +106,7 @@ impl Default for MeldConfig {
             threshold: 0.2,
             unpredicate: true,
             max_iterations: 32,
+            incremental: true,
         }
     }
 }
@@ -117,6 +124,16 @@ impl MeldConfig {
     pub fn with_threshold(threshold: f64) -> MeldConfig {
         MeldConfig {
             threshold,
+            ..MeldConfig::default()
+        }
+    }
+
+    /// The invalidate-everything fixpoint (the pre-incremental driver):
+    /// every meld drops every analysis and cleanup rescans the whole
+    /// function. Kept as the differential baseline for benchmarks.
+    pub fn non_incremental() -> MeldConfig {
+        MeldConfig {
+            incremental: false,
             ..MeldConfig::default()
         }
     }
@@ -208,12 +225,17 @@ pub fn registry(config: &MeldConfig) -> PassRegistry {
 /// (Algorithm 1). Returns cumulative statistics. The function is left in
 /// valid SSA form.
 ///
-/// This is a thin wrapper over [`run_meld_pipeline`] with default options;
-/// see [`MeldPass`] for how the fixpoint shares cached analyses.
+/// Equivalent to [`run_meld_pipeline`] with default options, minus the
+/// [`PipelineReport`] construction nobody reads on this path; see
+/// [`MeldPass`] for how the fixpoint shares cached analyses.
 pub fn meld_function(func: &mut Function, config: &MeldConfig) -> MeldStats {
-    run_meld_pipeline(func, config, PipelineOptions::default())
-        .expect("melding without verify-each cannot fail")
-        .stats
+    let sink = MeldStatsSink::default();
+    let mut pm = PassManager::new(PipelineOptions::default());
+    pm.add(Box::new(MeldPass::with_sink(*config, sink.clone())));
+    let mut am = darm_analysis::AnalysisManager::new();
+    pm.run_quiet(func, &mut am)
+        .expect("melding without verify-each cannot fail");
+    sink.take()
 }
 
 /// Computes the melding plan for a region: aligns the two subgraph chains

@@ -21,8 +21,8 @@ use crate::{plan_region, Analyses, MeldConfig, MeldMode, MeldStats};
 use darm_analysis::AnalysisManager;
 use darm_ir::{BlockId, Function};
 use darm_pipeline::{
-    DcePass, InstCombinePass, Pass, PassManager, PassOutcome, PipelineOptions, SimplifyCfgPass,
-    SsaRepairPass,
+    DcePass, InstCombinePass, Pass, PassManager, PassOutcome, PipelineOptions, ScopedPass,
+    SimplifyCfgPass, SsaRepairPass,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -51,17 +51,32 @@ impl MeldPass {
     /// manager has consumed the pass.
     pub fn with_sink(config: MeldConfig, stats: MeldStatsSink) -> MeldPass {
         // Algorithm 1's RunPostOptimizations, as an inner pipeline in the
-        // pre-pipeline driver's exact order.
+        // pre-pipeline driver's exact order. In incremental mode each
+        // cleanup pass restricts its rescan to the journal window since
+        // its own previous run (per-meld cost); otherwise every run scans
+        // the whole function, as the pre-incremental driver did.
+        let scoped = config.incremental;
         let mut cleanup = PassManager::new(PipelineOptions::default());
         cleanup
-            .add(Box::new(SsaRepairPass::default()))
-            .add(Box::new(InstCombinePass::default()))
-            .add(Box::new(SimplifyCfgPass::default()))
-            .add(Box::new(DcePass::default()));
+            .add(Box::new(SsaRepairPass::default().with_scoping(scoped)))
+            .add(Box::new(InstCombinePass::default().with_scoping(scoped)))
+            .add(Box::new(SimplifyCfgPass::default().with_scoping(scoped)))
+            .add(Box::new(DcePass::default().with_scoping(scoped)));
         MeldPass {
             config,
             stats,
             cleanup,
+        }
+    }
+
+    /// Reconciles the analysis cache with the mutations just performed:
+    /// journal-replay (keep / update-in-place / drop per analysis) in
+    /// incremental mode, drop-everything otherwise.
+    fn sync_analyses(&self, func: &Function, am: &mut AnalysisManager) {
+        if self.config.incremental {
+            am.update_after(func);
+        } else {
+            am.invalidate_all();
         }
     }
 
@@ -132,9 +147,22 @@ impl Pass for MeldPass {
         let config = self.config;
         let mut stats = MeldStats::default();
         let mut mutated = false;
+        if config.incremental {
+            // Anchor the journal cursor so every later sync replays
+            // exactly the window the fixpoint actually mutated.
+            am.observe(func);
+        }
         'outer: for _ in 0..config.max_iterations {
             stats.iterations += 1;
             let a = Analyses::from_manager(func, am);
+            if config.incremental {
+                // The function is in valid, fully repaired SSA form at
+                // every scan top (pipeline contract on entry; the cleanup
+                // fixpoint afterwards): publishing the checkpoint lets the
+                // post-meld SSA repair scope even its first scan to the
+                // meld window.
+                am.set_dom_checkpoint(func, a.dt.clone());
+            }
             for (_, b, r) in self.candidates(func, &a) {
                 // Region simplification (Definition 3/4) may change the
                 // CFG; restart with fresh analyses when it does. A
@@ -144,7 +172,7 @@ impl Pass for MeldPass {
                 // pre-pipeline driver paid for it unconditionally).
                 if r.is_none() && region::simplify_region_entry(func, &a, b) {
                     mutated = true;
-                    am.invalidate_all();
+                    self.sync_analyses(func, am);
                     continue 'outer;
                 }
                 let Some(r) = r else { continue };
@@ -158,14 +186,15 @@ impl Pass for MeldPass {
                     // block-indexed tables would be undersized).
                     if (func.block_capacity(), func.inst_capacity()) != arenas_before {
                         mutated = true;
-                        am.invalidate_all();
+                        self.sync_analyses(func, am);
                     }
                     continue;
                 };
                 let rstats = crate::codegen::meld_region(func, &r, &plan, config.unpredicate);
-                // Melding rewrote blocks and edges: nothing survives.
+                // Melding rewrote blocks and edges: reconcile the cache
+                // with exactly what the surgery touched.
                 mutated = true;
-                am.invalidate_all();
+                self.sync_analyses(func, am);
                 stats.melded_regions += 1;
                 stats.melded_subgraphs += rstats.melded_subgraphs;
                 stats.selects_inserted += rstats.selects_inserted;
@@ -175,6 +204,7 @@ impl Pass for MeldPass {
                 self.cleanup
                     .run_quiet(func, am)
                     .map_err(|e| format!("post-meld cleanup failed: {e}"))?;
+
                 stats.ssa_repairs +=
                     (self.cleanup.units_of("ssa-repair") - repairs_before) as usize;
                 continue 'outer;

@@ -3,7 +3,7 @@
 
 use darm_analysis::{AnalysisManager, Cfg, DivergenceAnalysis, DomTree, PostDomTree};
 use darm_ir::{BlockId, Function, InstData, Opcode, Value};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A divergent region `(E, X)` whose true/false paths decompose into SESE
 /// subgraph chains (the unit Algorithm 1 operates on).
@@ -63,18 +63,19 @@ impl Subgraph {
 }
 
 /// Bundle of CFG analyses used throughout the pass. The components are
-/// shared [`Rc`] handles so a snapshot can be drawn from (and returned to)
-/// an [`AnalysisManager`] cache without copying.
+/// shared [`Arc`] handles so a snapshot can be drawn from (and returned to)
+/// an [`AnalysisManager`] cache without copying, and can cross threads once
+/// kernels meld on a pool.
 #[derive(Debug)]
 pub struct Analyses {
     /// CFG snapshot.
-    pub cfg: Rc<Cfg>,
+    pub cfg: Arc<Cfg>,
     /// Dominator tree.
-    pub dt: Rc<DomTree>,
+    pub dt: Arc<DomTree>,
     /// Post-dominator tree.
-    pub pdt: Rc<PostDomTree>,
+    pub pdt: Arc<PostDomTree>,
     /// Divergence analysis.
-    pub da: Rc<DivergenceAnalysis>,
+    pub da: Arc<DivergenceAnalysis>,
 }
 
 impl Analyses {

@@ -42,29 +42,41 @@
 //!    correctness, and a pass that forgot an internal invalidation is still
 //!    caught by its (coarser) report.
 //!
-//! ### Invalidation rules
+//! ### Invalidation tiers
 //!
-//! Analyses split into two tiers (see `darm_analysis::manager`):
+//! Analyses invalidate at three granularities (see
+//! `darm_analysis::manager` for the authoritative contract):
 //!
-//! | mutation                        | report                              |
-//! |---------------------------------|-------------------------------------|
-//! | none                            | `PreservedAnalyses::all()`          |
-//! | instructions only (φs, rauw,    | `PreservedAnalyses::cfg_shape()` —  |
-//! | peepholes, DCE)                 | keeps CFG/dom/post-dom/loops        |
-//! | blocks or edges                 | `PreservedAnalyses::none()`         |
+//! | tier | mutation | report / mechanism |
+//! |---|---|---|
+//! | — | none | `PreservedAnalyses::all()` |
+//! | **CFG shape** | instructions only (φs, rauw, peepholes, DCE) | `PreservedAnalyses::cfg_shape()` — keeps CFG/dom/post-dom/loops; DCE additionally `.preserve::<DivergenceAnalysis>()` |
+//! | **none** | blocks or edges, provenance unknown | `PreservedAnalyses::none()` |
+//! | **dirty-set** | anything *tracked by the `darm-ir` mutation journal* | `AnalysisManager::update_after` replays the window: keeps what the window cannot have broken, updates dominator/post-dominator trees in place for supported local edit patterns, re-seeds liveness from dirty blocks, drops the rest |
 //!
-//! The payoff: a fixpoint driver such as melding interleaves CFG surgery
-//! with instruction-level cleanup, and only the surgery forces dominator
-//! and divergence recomputation — instruction-level iterations ride the
-//! cache. `PipelineReport::analysis_computations` makes the reuse visible.
+//! A pass should report the finest tier it can *prove*: `all()` when it
+//! changed nothing, `cfg_shape()` (plus any analysis it can argue
+//! preserved) for instruction-only rewrites, `none()` for untracked
+//! block-graph surgery. A driver that interleaves mutation with queries —
+//! the melding fixpoint — should anchor the manager with
+//! `AnalysisManager::observe` and call `update_after` instead of
+//! `invalidate_all`, so the dirty-set tier decides.
+//!
+//! The cleanup passes themselves are dirty-scoped (see [`passes`]): each
+//! restricts its rescan to the journal window since its own previous run,
+//! so a fixpoint driver pays per-region cleanup cost, not per-function.
+//! `PipelineReport` splits per-pass analysis *computations* from cache
+//! *hits* and incremental *updates*, which `--time-passes` prints.
 
 pub mod passes;
 pub mod registry;
 
-pub use passes::{DcePass, FnPass, InstCombinePass, SimplifyCfgPass, SsaRepairPass, VerifyPass};
+pub use passes::{
+    DcePass, FnPass, InstCombinePass, ScopedPass, SimplifyCfgPass, SsaRepairPass, VerifyPass,
+};
 pub use registry::PassRegistry;
 
-use darm_analysis::{AnalysisManager, PreservedAnalyses};
+use darm_analysis::{AnalysisCounters, AnalysisManager, PreservedAnalyses};
 use darm_ir::Function;
 use std::time::Instant;
 
@@ -181,9 +193,9 @@ impl std::error::Error for PipelineError {}
 pub struct PipelineOptions {
     /// Verify SSA after every pass; the run fails at the first violation.
     pub verify_each: bool,
-    /// Whether consumers intend to print the per-pass table (timings are
-    /// collected either way; this flag just travels with the options so
-    /// drivers know to render the report).
+    /// Collect per-pass wall-clock and analysis-counter attribution and
+    /// render the table. Off (the default), pass runs skip the clock reads
+    /// entirely — run/change/unit counts are still recorded.
     pub time_passes: bool,
 }
 
@@ -202,6 +214,9 @@ pub struct PassRecord {
     pub seconds: f64,
     /// Pass-specific named counters.
     pub stats: Vec<(&'static str, u64)>,
+    /// Analysis work attributed to this pass's runs: full computations vs
+    /// cache hits vs incremental in-place updates.
+    pub analysis: AnalysisCounters,
 }
 
 /// Everything a pipeline run measured.
@@ -220,24 +235,34 @@ impl PipelineReport {
     /// Renders the `--time-passes` style table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("| pass | runs | changed | units | time (ms) |\n");
-        out.push_str("|---|---|---|---|---|\n");
+        out.push_str("| pass | runs | changed | units | time (ms) | analyses (comp/hit/upd) |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        let mut totals = AnalysisCounters::default();
         for r in &self.passes {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.3} |\n",
+                "| {} | {} | {} | {} | {:.3} | {}/{}/{} |\n",
                 r.name,
                 r.runs,
                 r.changed_runs,
                 r.units,
-                r.seconds * 1e3
+                r.seconds * 1e3,
+                r.analysis.computes,
+                r.analysis.hits,
+                r.analysis.updates,
             ));
+            totals.computes += r.analysis.computes;
+            totals.hits += r.analysis.hits;
+            totals.updates += r.analysis.updates;
             for (k, v) in &r.stats {
-                out.push_str(&format!("|   · {k} | | | {v} | |\n"));
+                out.push_str(&format!("|   · {k} | | | {v} | | |\n"));
             }
         }
         out.push_str(&format!(
-            "| **total** | | | | **{:.3}** |\n",
-            self.total_seconds * 1e3
+            "| **total** | | | | **{:.3}** | **{}/{}/{}** |\n",
+            self.total_seconds * 1e3,
+            totals.computes,
+            totals.hits,
+            totals.updates,
         ));
         let computed: Vec<String> = self
             .analysis_computations
@@ -271,11 +296,10 @@ impl PassManager {
 
     /// Appends a pass.
     pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut PassManager {
-        let record = PassRecord {
-            name: pass.name().to_string(),
-            ..PassRecord::default()
-        };
-        self.passes.push((pass, record));
+        // Record names are filled at report time — a fixpoint driver
+        // constructing pipelines per function shouldn't allocate strings
+        // nobody may read.
+        self.passes.push((pass, PassRecord::default()));
         self
     }
 
@@ -335,10 +359,16 @@ impl PassManager {
         func: &mut Function,
         am: &mut AnalysisManager,
     ) -> Result<(), PipelineError> {
-        let t_total = Instant::now();
+        // Wall-clock and analysis-counter attribution only runs when a
+        // consumer will render it: a fixpoint driver re-running its inner
+        // pipeline thousands of times shouldn't pay clock reads for a
+        // table nobody prints.
+        let timing = self.options.time_passes;
+        let t_total = timing.then(Instant::now);
         let verify_each = self.options.verify_each;
         for (pass, record) in &mut self.passes {
-            let t = Instant::now();
+            let t = timing.then(Instant::now);
+            let counters_before = timing.then(|| am.counters());
             let outcome = pass
                 .run(func, am)
                 .map_err(|message| PipelineError::PassFailed {
@@ -346,10 +376,18 @@ impl PassManager {
                     message,
                 })?;
             am.retain(&outcome.preserved);
+            if let Some(before) = counters_before {
+                let delta = am.counters().since(&before);
+                record.analysis.computes += delta.computes;
+                record.analysis.hits += delta.hits;
+                record.analysis.updates += delta.updates;
+            }
             record.runs += 1;
             record.changed_runs += usize::from(outcome.changed);
             record.units += outcome.units;
-            record.seconds += t.elapsed().as_secs_f64();
+            if let Some(t) = t {
+                record.seconds += t.elapsed().as_secs_f64();
+            }
             if verify_each {
                 darm_analysis::verify_ssa(func).map_err(|e| PipelineError::VerifyFailed {
                     pass: pass.name().to_string(),
@@ -357,7 +395,9 @@ impl PassManager {
                 })?;
             }
         }
-        self.total_seconds += t_total.elapsed().as_secs_f64();
+        if let Some(t_total) = t_total {
+            self.total_seconds += t_total.elapsed().as_secs_f64();
+        }
         Ok(())
     }
 
@@ -372,6 +412,7 @@ impl PassManager {
                 .iter()
                 .map(|(pass, record)| {
                     let mut r = record.clone();
+                    r.name = pass.name().to_string();
                     r.stats = pass.stat_entries();
                     r
                 })

@@ -5,36 +5,92 @@
 //! `select c, x, x` (operands that turned out equal after resolution), and
 //! algebraic identities. The driver runs this as part of Algorithm 2's
 //! `RunPostOptimizations`.
+//!
+//! The engine is a worklist: whether an instruction reduces depends only on
+//! its own opcode and operands, and operands change only through RAUW — so
+//! after each rewrite the `darm-ir` journal names exactly the users whose
+//! operands moved, and only those re-enter the queue. The rewrite system is
+//! confluent (rewrites only remove instructions and substitute values), so
+//! the fixpoint reached equals the seed implementation's repeated
+//! whole-function sweeps. [`run_instcombine_scoped`] seeds the queue from a
+//! mutation window's dirty region instead of every instruction.
 
-use darm_ir::{Function, InstId, Opcode, Value};
+use darm_ir::{DirtyDelta, Function, InstId, Opcode, Value};
 
 /// Applies local rewrites to a fixpoint. Returns the number of
 /// simplifications performed.
 pub fn run_instcombine(func: &mut Function) -> usize {
-    let mut total = 0;
-    loop {
-        let mut changed = 0;
-        for b in func.block_ids() {
-            for id in func.insts_of(b).to_vec() {
-                if !func.is_inst_alive(id) {
+    run_instcombine_scoped(func, None)
+}
+
+/// [`run_instcombine`] with the initial worklist restricted to `scope`'s
+/// dirty region (`None`, or a saturated delta, means every instruction).
+/// On a function whose untouched remainder is already at the rewrite
+/// fixpoint, the result is identical to the whole-function run.
+pub fn run_instcombine_scoped(func: &mut Function, scope: Option<&DirtyDelta>) -> usize {
+    if scope.is_some_and(|d| d.is_clean()) {
+        return 0; // nothing mutated since the last run: no new redexes
+    }
+    let mut work: Vec<InstId> = Vec::new();
+    match scope {
+        Some(delta) if !delta.is_saturated() => {
+            let mut seen = vec![false; func.inst_capacity()];
+            for b in delta.blocks.iter() {
+                if !func.is_block_alive(b) {
                     continue;
                 }
-                if let Some(v) = simplify_inst(func, id) {
-                    func.rauw(Value::Inst(id), v);
-                    func.remove_inst(id);
-                    changed += 1;
+                for &id in func.insts_of(b) {
+                    if !seen[id.index()] {
+                        seen[id.index()] = true;
+                        work.push(id);
+                    }
+                }
+            }
+            for id in delta.insts.iter() {
+                if func.is_inst_alive(id) && !seen[id.index()] {
+                    seen[id.index()] = true;
+                    work.push(id);
                 }
             }
         }
-        if changed == 0 {
-            return total;
+        _ => {
+            // Sequential arena sweep: a live instruction is exactly one
+            // that sits in a live block's list, and the rewrite system is
+            // confluent, so seeding order only affects intermediate steps.
+            let cap = func.inst_capacity();
+            work.extend(
+                (0..cap)
+                    .map(InstId::new)
+                    .filter(|&id| func.is_inst_alive(id)),
+            );
         }
-        total += changed;
     }
+    let mut total = 0;
+    while let Some(id) = work.pop() {
+        if !func.is_inst_alive(id) {
+            continue;
+        }
+        let Some(v) = simplify_inst(func, id) else {
+            continue;
+        };
+        // The journal window of the substitution names every rewritten
+        // user — exactly the instructions whose foldability may have
+        // changed.
+        let cursor = func.journal_head();
+        func.rauw(Value::Inst(id), v);
+        func.remove_inst(id);
+        total += 1;
+        func.insts_touched_since(cursor, |t| {
+            if t != id {
+                work.push(t);
+            }
+        });
+    }
+    total
 }
 
 /// Returns the simplified replacement value, if the instruction reduces.
-fn simplify_inst(func: &Function, id: InstId) -> Option<Value> {
+pub(crate) fn simplify_inst(func: &Function, id: InstId) -> Option<Value> {
     // Full constant folding first; identities afterwards.
     if let Some(v) = fold_constants(func, id) {
         return Some(v);

@@ -1,7 +1,19 @@
 //! CFG simplification, the analogue of LLVM's `simplifycfg`.
+//!
+//! [`simplify_cfg_scoped`] restricts every sub-transform's scan to a
+//! mutation window's dirty blocks plus their one-hop CFG neighborhood
+//! (every rewrite's enabling condition reads at most a block and its
+//! direct neighbors, and any edge change dirties both endpoints), skipping
+//! the whole-function rescan the seed implementation performed per meld
+//! iteration. Iteration order over the filtered blocks is unchanged, so on
+//! a function whose untouched remainder holds no simplification redexes —
+//! the invariant a fixpoint driver maintains by running whole-function
+//! once up front — the rewrite *sequence*, and therefore every allocated
+//! block/instruction id and the printed IR, is identical to the
+//! whole-function run.
 
 use darm_analysis::{AnalysisManager, Cfg};
-use darm_ir::{BlockId, Function, InstData, Opcode, Value};
+use darm_ir::{BlockId, DirtyDelta, Function, InstData, JournalCursor, Opcode, Value};
 
 /// Statistics of one [`simplify_cfg`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,15 +63,157 @@ pub fn simplify_cfg(func: &mut Function) -> SimplifyStats {
 /// sequence — and therefore the resulting IR — is identical to the uncached
 /// version.
 pub fn simplify_cfg_with(func: &mut Function, am: &mut AnalysisManager) -> SimplifyStats {
+    simplify_cfg_scoped(func, am, None)
+}
+
+/// The live rewrite window of a scoped run: the accumulated dirty region
+/// (initial window plus everything this run has mutated so far) and the
+/// candidate blocks derived from it. Whole-function runs carry no window
+/// and allow everything.
+///
+/// Every sub-transform [`refresh`](ScopeState::refresh)es the state at the
+/// top of each of its sweeps, so a rewrite performed by an earlier
+/// sub-transform (or an earlier sweep) immediately extends the candidate
+/// set — this is what keeps the scoped rewrite *sequence*, not just the
+/// fixpoint, identical to the whole-function run.
+struct ScopeState {
+    /// False after saturation: every query answers "whole-function".
+    alive: bool,
+    /// While set, every block is allowed regardless of the window — the
+    /// *warmup round*. A run that starts without a caller window sweeps
+    /// its first round whole-function; every redex a later round could
+    /// see either lies in the warmup round's own mutation closure (the
+    /// window accumulates it) or would already have been consumed when
+    /// its sub-transform swept the whole function. Rounds after warmup
+    /// therefore scope exactly, with no assumptions about the input.
+    warmup: bool,
+    /// Journal position up to which the window has been drained.
+    cursor: JournalCursor,
+    /// Whether the accumulated window touched the block graph — gates
+    /// unreachable-code removal, whose enabling condition is global.
+    shape_seen: bool,
+    /// Dirty blocks drained from the journal but not yet folded into the
+    /// candidate set.
+    pending: Vec<BlockId>,
+    /// Dirty blocks plus one-hop neighborhood. Grows monotonically: a
+    /// neighborhood is expanded against the CFG at marking time, and any
+    /// later edge change re-marks both endpoints itself, so the union
+    /// over time covers the current neighborhood of every dirty block.
+    candidates: Vec<bool>,
+}
+
+impl ScopeState {
+    /// Whole-function first round, exact self-scoping afterwards.
+    fn warmup(func: &Function) -> ScopeState {
+        ScopeState {
+            alive: true,
+            warmup: true,
+            cursor: func.journal_head(),
+            shape_seen: false,
+            pending: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    fn scoped(func: &Function, delta: &DirtyDelta) -> ScopeState {
+        ScopeState {
+            alive: true,
+            warmup: false,
+            cursor: func.journal_head(),
+            shape_seen: delta.shape_changed(),
+            pending: delta.blocks.iter().collect(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Ends the warmup round (no-op afterwards).
+    fn end_warmup(&mut self) {
+        self.warmup = false;
+    }
+
+    fn allows(&self, b: BlockId) -> bool {
+        if self.warmup || !self.alive {
+            return true;
+        }
+        self.candidates.get(b.index()).copied().unwrap_or(true)
+    }
+
+    fn shape_changed(&self) -> bool {
+        self.warmup || !self.alive || self.shape_seen
+    }
+
+    /// Drains the journal into the window and folds newly dirty blocks
+    /// (plus their one-hop neighborhood under the current CFG) into the
+    /// candidate set. Degrades to whole-function on saturation. O(new
+    /// events), not O(window).
+    fn refresh(&mut self, func: &Function, am: &mut AnalysisManager) {
+        if !self.alive {
+            return;
+        }
+        let fresh = func.dirty_since(self.cursor);
+        self.cursor = func.journal_head();
+        if fresh.is_saturated() {
+            self.alive = false;
+            return;
+        }
+        self.shape_seen |= fresh.shape_changed();
+        self.pending.extend(fresh.blocks.iter());
+        if self.warmup || self.pending.is_empty() {
+            return; // candidates unused until the warmup round ends
+        }
+        let cfg = am.get::<Cfg>(func);
+        if self.candidates.len() < func.block_capacity() {
+            self.candidates.resize(func.block_capacity(), false);
+        }
+        for b in std::mem::take(&mut self.pending) {
+            if b.index() >= self.candidates.len() {
+                continue;
+            }
+            self.candidates[b.index()] = true;
+            if !func.is_block_alive(b) {
+                continue;
+            }
+            for &s in func.succs(b).iter() {
+                self.candidates[s.index()] = true;
+            }
+            if cfg.is_reachable(b) {
+                for &p in cfg.preds(b) {
+                    self.candidates[p.index()] = true;
+                }
+            }
+        }
+    }
+}
+
+/// [`simplify_cfg_with`] restricted to a mutation window (see the module
+/// docs for the equivalence argument). `None` — and any saturated window —
+/// falls back to the whole-function scan. Mutations performed by the run
+/// itself extend the window as it goes.
+pub fn simplify_cfg_scoped(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    scope: Option<&DirtyDelta>,
+) -> SimplifyStats {
     let mut stats = SimplifyStats::default();
+    if scope.is_some_and(|d| d.is_clean()) {
+        return stats; // nothing mutated since the last run: no new redexes
+    }
+    let mut scope = match scope {
+        Some(delta) if !delta.is_saturated() => ScopeState::scoped(func, delta),
+        _ => ScopeState::warmup(func),
+    };
     loop {
         let mut changed = false;
-        changed |= remove_unreachable(func, am, &mut stats);
-        changed |= fold_branches(func, am, &mut stats);
-        changed |= remove_trivial_phis(func, am, &mut stats);
-        changed |= dedup_phis(func, am, &mut stats);
-        changed |= merge_straightline(func, am, &mut stats);
-        changed |= elide_empty_blocks(func, am, &mut stats);
+        scope.refresh(func, am);
+        if scope.shape_changed() {
+            changed |= remove_unreachable(func, am, &mut stats);
+        }
+        changed |= fold_branches(func, am, &mut stats, &mut scope);
+        changed |= remove_trivial_phis(func, am, &mut stats, &mut scope);
+        changed |= dedup_phis(func, am, &mut stats, &mut scope);
+        changed |= merge_straightline(func, am, &mut stats, &mut scope);
+        changed |= elide_empty_blocks(func, am, &mut stats, &mut scope);
+        scope.end_warmup();
         if !changed {
             break;
         }
@@ -101,9 +255,18 @@ fn remove_unreachable(
     changed
 }
 
-fn fold_branches(func: &mut Function, am: &mut AnalysisManager, stats: &mut SimplifyStats) -> bool {
+fn fold_branches(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    stats: &mut SimplifyStats,
+    scope: &mut ScopeState,
+) -> bool {
+    scope.refresh(func, am);
     let mut changed = false;
     for b in func.block_ids() {
+        if !scope.allows(b) {
+            continue;
+        }
         let Some(t) = func.terminator(b) else {
             continue;
         };
@@ -143,11 +306,16 @@ fn remove_trivial_phis(
     func: &mut Function,
     am: &mut AnalysisManager,
     stats: &mut SimplifyStats,
+    scope: &mut ScopeState,
 ) -> bool {
     let mut changed = false;
     loop {
+        scope.refresh(func, am);
         let mut local = false;
         for b in func.block_ids() {
+            if !scope.allows(b) {
+                continue;
+            }
             for phi in func.phis_of(b) {
                 let inst = func.inst(phi);
                 // A φ is trivial if all incomings are the same value or the φ
@@ -187,9 +355,18 @@ fn remove_trivial_phis(
     changed
 }
 
-fn dedup_phis(func: &mut Function, am: &mut AnalysisManager, stats: &mut SimplifyStats) -> bool {
+fn dedup_phis(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    stats: &mut SimplifyStats,
+    scope: &mut ScopeState,
+) -> bool {
+    scope.refresh(func, am);
     let mut changed = false;
     for b in func.block_ids() {
+        if !scope.allows(b) {
+            continue;
+        }
         let phis = func.phis_of(b);
         for i in 0..phis.len() {
             if !func.is_inst_alive(phis[i]) {
@@ -222,20 +399,39 @@ fn merge_straightline(
     func: &mut Function,
     am: &mut AnalysisManager,
     stats: &mut SimplifyStats,
+    scope: &mut ScopeState,
 ) -> bool {
     let mut changed = false;
+    // Reachable-predecessor lists (one entry per edge), maintained locally
+    // across merges: merging preserves reachability and only moves a
+    // block's out-edges to its predecessor, so updating the two affected
+    // rows keeps this exactly equal to a freshly recomputed `Cfg`'s view —
+    // without the per-merge invalidate + whole-CFG recompute. The table is
+    // materialized lazily from the cached CFG snapshot at the *first*
+    // merge; sweeps that merge nothing (the common confirming case) just
+    // borrow the snapshot.
+    let cfg = am.get::<Cfg>(func);
+    let mut local: Option<Vec<Vec<BlockId>>> = None;
     loop {
-        let cfg = am.get::<Cfg>(func);
+        scope.refresh(func, am);
         let mut merged = false;
         for b in func.block_ids() {
             if b == func.entry() {
                 continue;
             }
-            let preds = cfg.preds(b);
-            if preds.len() != 1 {
+            let row: &[BlockId] = match &local {
+                Some(t) => &t[b.index()],
+                None => cfg.preds(b),
+            };
+            if row.len() != 1 {
                 continue;
             }
-            let p = preds[0];
+            let p = row[0];
+            // The enabling condition reads only `b` and its unique
+            // predecessor — a change at either makes both candidates.
+            if !scope.allows(b) && !scope.allows(p) {
+                continue;
+            }
             if !func.is_block_alive(p) || func.succs(p).len() != 1 {
                 continue;
             }
@@ -245,6 +441,13 @@ fn merge_straightline(
             if func.inst(pt).opcode != Opcode::Jump {
                 continue;
             }
+            // The snapshot goes stale at the first mutation: materialize
+            // the local table from it before rewriting.
+            let preds = local.get_or_insert_with(|| {
+                (0..func.block_capacity())
+                    .map(|i| cfg.preds(BlockId::new(i)).to_vec())
+                    .collect()
+            });
             // Single-incoming φs in `b` fold to their value.
             for phi in func.phis_of(b) {
                 let v = func.inst(phi).operands[0];
@@ -262,17 +465,25 @@ fn merge_straightline(
             }
             for s in func.succs(p) {
                 func.phi_retarget_pred(s, b, p);
+                for e in &mut preds[s.index()] {
+                    if *e == b {
+                        *e = p;
+                    }
+                }
             }
             func.remove_block(b);
+            preds[b.index()].clear();
             stats.merged_blocks += 1;
-            am.invalidate_all();
             merged = true;
             changed = true;
-            break; // CFG changed; recompute
+            break; // rescan from the top with the updated rows
         }
         if !merged {
             break;
         }
+    }
+    if changed {
+        am.invalidate_all();
     }
     changed
 }
@@ -284,10 +495,19 @@ fn elide_empty_blocks(
     func: &mut Function,
     am: &mut AnalysisManager,
     stats: &mut SimplifyStats,
+    scope: &mut ScopeState,
 ) -> bool {
     let mut changed = false;
+    // Reachable-predecessor lists maintained locally across elisions, the
+    // same way `merge_straightline` does: rerouting `preds(b) → b → target`
+    // to direct edges preserves reachability, so updating the two affected
+    // rows keeps this equal to a fresh `Cfg`'s view without per-elision
+    // recomputes. Materialized lazily at the first elision; no-op sweeps
+    // borrow the cached snapshot.
+    let cfg = am.get::<Cfg>(func);
+    let mut local: Option<Vec<Vec<BlockId>>> = None;
     loop {
-        let cfg = am.get::<Cfg>(func);
+        scope.refresh(func, am);
         let mut elided = false;
         'outer: for b in func.block_ids() {
             if b == func.entry() {
@@ -305,7 +525,15 @@ fn elide_empty_blocks(
             if target == b {
                 continue; // self-loop
             }
-            let preds: Vec<BlockId> = cfg.preds(b).to_vec();
+            // Feasibility reads `b`, its predecessors' edges and the φs of
+            // `target`; any enabling change dirties `b` or `target`.
+            if !scope.allows(b) && !scope.allows(target) {
+                continue;
+            }
+            let preds: Vec<BlockId> = match &local {
+                Some(t) => t[b.index()].clone(),
+                None => cfg.preds(b).to_vec(),
+            };
             if preds.is_empty() {
                 continue;
             }
@@ -351,12 +579,20 @@ fn elide_empty_blocks(
                     }
                 }
             }
+            let pred_rows = local.get_or_insert_with(|| {
+                (0..func.block_capacity())
+                    .map(|i| cfg.preds(BlockId::new(i)).to_vec())
+                    .collect()
+            });
             for &p in &unique_preds {
                 func.replace_succ(p, b, target);
             }
             func.remove_block(b);
+            // Local row maintenance: every edge `p → b` is now `p → target`.
+            let moved = std::mem::take(&mut pred_rows[b.index()]);
+            pred_rows[target.index()].retain(|&e| e != b);
+            pred_rows[target.index()].extend(moved);
             stats.elided_empty_blocks += 1;
-            am.invalidate_all();
             elided = true;
             changed = true;
             break;
@@ -364,6 +600,9 @@ fn elide_empty_blocks(
         if !elided {
             break;
         }
+    }
+    if changed {
+        am.invalidate_all();
     }
     changed
 }
