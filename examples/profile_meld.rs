@@ -1,0 +1,110 @@
+//! Throwaway profiling harness (not shipped): apportions meld compile time
+//! across analyses vs transforms on the fig8 sweep.
+
+use darm_analysis::{Cfg, DivergenceAnalysis, DomTree, PostDomTree};
+use darm_melding::{meld_function, MeldConfig};
+use std::time::Instant;
+
+fn time_n(n: usize, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    t.elapsed().as_secs_f64() / n as f64
+}
+
+fn main() {
+    let mut cases = Vec::new();
+    for kind in darm_kernels::synthetic::SyntheticKind::all() {
+        for bs in [32, 64, 128, 256] {
+            cases.push(darm_kernels::synthetic::build_case(kind, bs));
+        }
+    }
+    let config = MeldConfig::default();
+    const N: usize = 300;
+    let (mut t_meld, mut t_cfg, mut t_dom, mut t_pdt, mut t_div) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut t_cleanup = 0.0;
+    for case in &cases {
+        let f = &case.func;
+        t_cfg += time_n(N, || {
+            std::hint::black_box(Cfg::new(f));
+        });
+        let cfg = Cfg::new(f);
+        t_dom += time_n(N, || {
+            std::hint::black_box(DomTree::new(f, &cfg));
+        });
+        let dt = DomTree::new(f, &cfg);
+        t_pdt += time_n(N, || {
+            std::hint::black_box(PostDomTree::new(f, &cfg));
+        });
+        t_div += time_n(N, || {
+            std::hint::black_box(DivergenceAnalysis::run(f, &cfg, &dt));
+        });
+        t_meld += time_n(N, || {
+            let mut g = f.clone();
+            std::hint::black_box(meld_function(&mut g, &config));
+        });
+        // Cleanup transforms on the *melded* function (fixpoint no-op cost).
+        let mut melded = f.clone();
+        meld_function(&mut melded, &config);
+        t_cleanup += time_n(N, || {
+            let mut g = melded.clone();
+            darm_transforms::run_instcombine(&mut g);
+            darm_transforms::simplify_cfg(&mut g);
+            darm_transforms::run_dce(&mut g);
+            std::hint::black_box(g);
+        });
+    }
+    // Cost of a pure no-op meld scan (= iteration 2): analyses + candidate
+    // detection with nothing to do.
+    let mut t_noop_scan = 0.0;
+    let mut t_repair = 0.0;
+    for case in &cases {
+        let mut melded = case.func.clone();
+        meld_function(&mut melded, &config);
+        t_noop_scan += time_n(N, || {
+            let mut g = melded.clone();
+            std::hint::black_box(meld_function(&mut g, &config));
+        });
+        t_repair += time_n(N, || {
+            let mut g = melded.clone();
+            std::hint::black_box(darm_transforms::repair_ssa(&mut g));
+        });
+    }
+    let mut t_clone = 0.0;
+    for case in &cases {
+        let f = &case.func;
+        t_clone += time_n(N, || {
+            std::hint::black_box(f.clone());
+        });
+    }
+    // Analyses + detection on the melded function (the iter-2 scan parts).
+    let (mut t_analyses2, mut t_detect2) = (0.0, 0.0);
+    for case in &cases {
+        let mut melded = case.func.clone();
+        meld_function(&mut melded, &config);
+        t_analyses2 += time_n(N, || {
+            std::hint::black_box(darm_melding::Analyses::new(&melded));
+        });
+        let a = darm_melding::Analyses::new(&melded);
+        t_detect2 += time_n(N, || {
+            for &b in a.cfg.rpo() {
+                if a.da.is_divergent_branch(b) {
+                    std::hint::black_box(darm_melding::region::detect_region(&melded, &a, b));
+                }
+            }
+        });
+    }
+    println!("sum over 32 cases, per-call averages:");
+    println!("iter2 analyses      : {:9.1} us", t_analyses2 * 1e6);
+    println!("iter2 detect        : {:9.1} us", t_detect2 * 1e6);
+    println!("noop meld scan      : {:9.1} us", t_noop_scan * 1e6);
+    println!("noop ssa repair     : {:9.1} us", t_repair * 1e6);
+    println!("function clone      : {:9.1} us", t_clone * 1e6);
+    println!("meld_function total : {:9.1} us", t_meld * 1e6);
+    println!("cfg                 : {:9.1} us", t_cfg * 1e6);
+    println!("domtree             : {:9.1} us", t_dom * 1e6);
+    println!("postdomtree         : {:9.1} us", t_pdt * 1e6);
+    println!("divergence          : {:9.1} us", t_div * 1e6);
+    println!("cleanup no-op pass  : {:9.1} us", t_cleanup * 1e6);
+}
