@@ -1,8 +1,5 @@
 //! Regenerates Fig. 10: ALU utilization of O3 / DARM / BF.
 fn main() {
-    let rows: Vec<_> = darm_bench::counter_cases()
-        .iter()
-        .map(darm_bench::run_case)
-        .collect();
+    let rows = darm_bench::run_cases(&darm_bench::counter_cases(), 0);
     print!("{}", darm_bench::render_alu_utilization(&rows));
 }

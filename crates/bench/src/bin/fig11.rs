@@ -1,8 +1,5 @@
 //! Regenerates Fig. 11: normalized global/shared memory instruction counts.
 fn main() {
-    let rows: Vec<_> = darm_bench::counter_cases()
-        .iter()
-        .map(darm_bench::run_case)
-        .collect();
+    let rows = darm_bench::run_cases(&darm_bench::counter_cases(), 0);
     print!("{}", darm_bench::render_memory_counters(&rows));
 }

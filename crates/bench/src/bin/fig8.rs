@@ -1,10 +1,8 @@
 //! Regenerates Fig. 8: synthetic benchmark speedups (SB1–SB4 and -R
-//! variants across block sizes), DARM and BF over the baseline.
+//! variants across block sizes), DARM and BF over the baseline. All
+//! kernels are melded in one module batch on all cores.
 fn main() {
-    let rows: Vec<_> = darm_bench::fig8_cases()
-        .iter()
-        .map(darm_bench::run_case)
-        .collect();
+    let rows = darm_bench::run_cases(&darm_bench::fig8_cases(), 0);
     print!(
         "{}",
         darm_bench::render_speedups("Figure 8 — synthetic benchmark speedups", &rows)

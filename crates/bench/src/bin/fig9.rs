@@ -1,9 +1,7 @@
 //! Regenerates Fig. 9: real-world benchmark speedups across block sizes.
+//! All kernels are melded in one module batch on all cores.
 fn main() {
-    let rows: Vec<_> = darm_bench::fig9_cases()
-        .iter()
-        .map(darm_bench::run_case)
-        .collect();
+    let rows = darm_bench::run_cases(&darm_bench::fig9_cases(), 0);
     print!(
         "{}",
         darm_bench::render_speedups("Figure 9 — real-world benchmark speedups", &rows)

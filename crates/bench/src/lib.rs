@@ -10,10 +10,11 @@
 //! Correctness is enforced throughout: every transformed kernel variant is
 //! checked against the CPU reference before its numbers are reported.
 
+use darm_ir::Module;
 use darm_kernels::synthetic::SyntheticKind;
 use darm_kernels::{bitonic, dct, lud, mergesort, nqueens, pcm, srad, BenchCase};
-use darm_melding::{meld_function, run_meld_pipeline, MeldConfig};
-use darm_pipeline::{PipelineError, PipelineOptions};
+use darm_melding::{meld_function, MeldConfig, MeldStats};
+use darm_pipeline::{ModuleOptions, ModulePassManager, PipelineError, PipelineOptions};
 use darm_simt::{KernelStats, PreparedKernel};
 
 /// Counters for the three variants of one benchmark case.
@@ -59,9 +60,10 @@ pub struct PreparedVariants {
 }
 
 /// Melds and decodes the three variants of `case` once, for reuse across
-/// launches. Variant construction runs through the shared pipeline driver
-/// ([`run_meld_pipeline`]); use [`prepare_variants_checked`] for pipeline
-/// options (e.g. SSA verification between passes).
+/// launches. Variant construction runs through the module driver
+/// ([`prepare_suite`] with a one-kernel suite); use
+/// [`prepare_variants_checked`] for pipeline options (e.g. SSA
+/// verification between passes).
 pub fn prepare_variants(case: &BenchCase, config: &MeldConfig) -> PreparedVariants {
     prepare_variants_checked(case, config, PipelineOptions::default())
         .unwrap_or_else(|e| panic!("{}: meld pipeline failed: {e}", case.name))
@@ -78,19 +80,71 @@ pub fn prepare_variants_checked(
     config: &MeldConfig,
     options: PipelineOptions,
 ) -> Result<PreparedVariants, PipelineError> {
-    let baseline = PreparedKernel::new(&case.func);
-    let mut darm_fn = case.func.clone();
-    let meld = run_meld_pipeline(&mut darm_fn, config, options)?.stats;
-    let darm = PreparedKernel::new(&darm_fn);
-    let mut bf_fn = case.func.clone();
-    run_meld_pipeline(&mut bf_fn, &MeldConfig::branch_fusion(), options)?;
-    let bf = PreparedKernel::new(&bf_fn);
-    Ok(PreparedVariants {
-        baseline,
-        darm,
-        bf,
-        meld,
-    })
+    let mut variants = prepare_suite(std::slice::from_ref(case), config, options, 1)?;
+    Ok(variants.pop().expect("one case in, one variant set out"))
+}
+
+/// Collects every case's kernel into one [`Module`], with names
+/// uniquified by case index (block-size sweeps reuse kernel names). The
+/// one module-construction path shared by [`prepare_suite`], the
+/// threshold sweep and the `module_batch` bench.
+pub fn suite_module(name: &str, cases: &[BenchCase]) -> Module {
+    let mut m = Module::new(name);
+    for (i, case) in cases.iter().enumerate() {
+        let mut f = case.func.clone();
+        f.set_name(&format!("{}.{i}", f.name()));
+        m.add_function(f)
+            .expect("index-suffixed kernel names are unique");
+    }
+    m
+}
+
+/// Melds a whole suite in two module batches — all DARM variants, then all
+/// BF variants — through one [`ModulePassManager`] each, and decodes every
+/// variant. `jobs` is the worker count per batch (`0` = all cores, `1` =
+/// serial); the result is bit-identical regardless.
+///
+/// # Errors
+///
+/// Propagates the first (in suite order) pipeline failure.
+pub fn prepare_suite(
+    cases: &[BenchCase],
+    config: &MeldConfig,
+    options: PipelineOptions,
+    jobs: usize,
+) -> Result<Vec<PreparedVariants>, PipelineError> {
+    let module_options = ModuleOptions {
+        pipeline: options,
+        jobs,
+    };
+    let registry = darm_melding::registry(config);
+    let mpm = ModulePassManager::new(&registry, "meld", module_options)?;
+    let mut darm_module = suite_module("suite-darm", cases);
+    let darm_report = mpm.run(&mut darm_module)?;
+    // The BF baseline always runs the paper's branch-fusion configuration,
+    // independent of the DARM config under study.
+    let bf_registry = darm_melding::registry(&MeldConfig::branch_fusion());
+    let bf_mpm = ModulePassManager::new(&bf_registry, "meld", module_options)?;
+    let mut bf_module = suite_module("suite-bf", cases);
+    bf_mpm.run(&mut bf_module)?;
+
+    let darm_fns = darm_module.into_functions();
+    let bf_fns = bf_module.into_functions();
+    Ok(cases
+        .iter()
+        .enumerate()
+        .map(|(i, case)| {
+            // Per-function melding statistics come back through the meld
+            // pass's named stat entries in the module report.
+            let meld = MeldStats::from_report(&darm_report.functions[i].report);
+            PreparedVariants {
+                baseline: PreparedKernel::new(&case.func),
+                darm: PreparedKernel::new(&darm_fns[i]),
+                bf: PreparedKernel::new(&bf_fns[i]),
+                meld,
+            }
+        })
+        .collect())
 }
 
 /// Runs baseline, DARM and BF variants of a case, checking each against the
@@ -101,20 +155,42 @@ pub fn run_case(case: &BenchCase) -> VariantStats {
 
 /// Same as [`run_case`] with a custom DARM configuration.
 pub fn run_case_with(case: &BenchCase, config: &MeldConfig) -> VariantStats {
-    let prepared = prepare_variants(case, config);
-    let baseline = case.run_checked_prepared(&prepared.baseline).stats;
-    let darm = case.run_checked_prepared(&prepared.darm).stats;
-    let bf = case.run_checked_prepared(&prepared.bf).stats;
-    VariantStats {
-        name: case.name.clone(),
-        baseline,
-        darm,
-        bf,
-        meld: prepared.meld,
-    }
+    let mut rows = run_cases_with(std::slice::from_ref(case), config, 1);
+    rows.pop().expect("one case in, one row out")
 }
 
-/// Geometric mean.
+/// Runs a whole suite: melds every kernel in one module batch (see
+/// [`prepare_suite`]; `jobs` workers), then executes and checks the three
+/// variants of each case against the CPU reference, in suite order.
+pub fn run_cases(cases: &[BenchCase], jobs: usize) -> Vec<VariantStats> {
+    run_cases_with(cases, &MeldConfig::default(), jobs)
+}
+
+/// [`run_cases`] with a custom DARM configuration.
+pub fn run_cases_with(cases: &[BenchCase], config: &MeldConfig, jobs: usize) -> Vec<VariantStats> {
+    let prepared = prepare_suite(cases, config, PipelineOptions::default(), jobs)
+        .unwrap_or_else(|e| panic!("suite meld pipeline failed: {e}"));
+    cases
+        .iter()
+        .zip(prepared)
+        .map(|(case, p)| {
+            let baseline = case.run_checked_prepared(&p.baseline).stats;
+            let darm = case.run_checked_prepared(&p.darm).stats;
+            let bf = case.run_checked_prepared(&p.bf).stats;
+            VariantStats {
+                name: case.name.clone(),
+                baseline,
+                darm,
+                bf,
+                meld: p.meld,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean. Empty input yields `1.0` (the empty product), so a
+/// geomean over a filtered-out row set renders as "no change" rather than
+/// `NaN`.
 pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);
     for x in xs {
@@ -250,7 +326,35 @@ pub fn render_memory_counters(rows: &[VariantStats]) -> String {
 }
 
 /// Fig. 12: DARM speedup across melding-profitability thresholds.
+///
+/// Each sweep point is a plain pipeline spec — `meld(threshold=T)` — run
+/// over all counter kernels in one module batch, so the ablation needs no
+/// Rust-level configuration at all.
 pub fn render_threshold_sweep(thresholds: &[f64]) -> String {
+    let cases = counter_cases();
+    let registry = darm_melding::registry(&MeldConfig::default());
+    let baselines: Vec<KernelStats> = cases
+        .iter()
+        .map(|case| case.run_checked(&case.func).stats)
+        .collect();
+    // speedups[case][threshold]
+    let mut speedups = vec![Vec::with_capacity(thresholds.len()); cases.len()];
+    for &t in thresholds {
+        let spec = format!("meld(threshold={t})");
+        let mpm = ModulePassManager::new(
+            &registry,
+            &spec,
+            ModuleOptions::serial(PipelineOptions::default()),
+        )
+        .unwrap_or_else(|e| panic!("sweep spec `{spec}`: {e}"));
+        let mut module = suite_module("threshold-sweep", &cases);
+        mpm.run(&mut module)
+            .unwrap_or_else(|e| panic!("sweep spec `{spec}`: {e}"));
+        for (i, case) in cases.iter().enumerate() {
+            let stats = case.run_checked(&module.functions()[i]).stats;
+            speedups[i].push(baselines[i].cycles as f64 / stats.cycles as f64);
+        }
+    }
     let mut out = String::new();
     out.push_str("## Figure 12 — profitability-threshold sensitivity\n\n");
     out.push_str("| benchmark |");
@@ -262,17 +366,10 @@ pub fn render_threshold_sweep(thresholds: &[f64]) -> String {
         out.push_str("---|");
     }
     out.push('\n');
-    for case in counter_cases() {
+    for (case, row) in cases.iter().zip(&speedups) {
         out.push_str(&format!("| {} |", case.name));
-        let baseline = case.run_checked(&case.func).stats;
-        for &t in thresholds {
-            let mut f = case.func.clone();
-            meld_function(&mut f, &MeldConfig::with_threshold(t));
-            let stats = case.run_checked(&f).stats;
-            out.push_str(&format!(
-                " {:.3} |",
-                baseline.cycles as f64 / stats.cycles as f64
-            ));
+        for s in row {
+            out.push_str(&format!(" {s:.3} |"));
         }
         out.push('\n');
     }

@@ -2,13 +2,56 @@
 //! figure grid must execute and validate, and the renderers must produce
 //! well-formed tables.
 
-use darm_bench::{counter_cases, fig8_cases, geomean, render_capability_matrix, run_case};
+use darm_bench::{
+    counter_cases, fig8_cases, geomean, render_capability_matrix, run_case, run_case_with,
+    run_cases,
+};
+use darm_melding::MeldConfig;
 
 #[test]
 fn geomean_basics() {
     assert!((geomean([1.0, 1.0]) - 1.0).abs() < 1e-12);
     assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+    assert_eq!(geomean([7.25]), 7.25);
+    // Empty input is the empty product — 1.0, never NaN.
     assert_eq!(geomean(std::iter::empty()), 1.0);
+}
+
+/// Melding statistics survive the module-report round trip in *both*
+/// modes: a branch-fusion config's pass self-names `meld-bf`, and its
+/// stats must still be recovered (regression test for the stats lookup).
+#[test]
+fn bf_mode_configs_still_report_meld_stats() {
+    let case = darm_kernels::synthetic::build_case(darm_kernels::synthetic::SyntheticKind::Sb1, 32);
+    let darm = run_case_with(&case, &MeldConfig::default());
+    assert!(darm.meld.melded_subgraphs > 0, "DARM stats lost");
+    let bf = run_case_with(&case, &MeldConfig::branch_fusion());
+    assert!(
+        bf.meld.melded_subgraphs > 0,
+        "branch-fusion stats lost (pass is named meld-bf)"
+    );
+}
+
+/// The batch path agrees with the per-case path: same checked counters,
+/// same melding statistics, row order = input order.
+#[test]
+fn batched_suite_matches_per_case_runs() {
+    let cases = fig8_cases();
+    let subset = &cases[..6];
+    let batched = run_cases(subset, 2);
+    for (case, row) in subset.iter().zip(&batched) {
+        let single = run_case(case);
+        assert_eq!(row.name, single.name);
+        assert_eq!(row.baseline.cycles, single.baseline.cycles, "{}", row.name);
+        assert_eq!(row.darm.cycles, single.darm.cycles, "{}", row.name);
+        assert_eq!(row.bf.cycles, single.bf.cycles, "{}", row.name);
+        assert_eq!(
+            format!("{:?}", row.meld),
+            format!("{:?}", single.meld),
+            "{}",
+            row.name
+        );
+    }
 }
 
 #[test]

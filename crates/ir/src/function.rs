@@ -323,6 +323,14 @@ impl Function {
         &self.name
     }
 
+    /// Renames the function (names are unique within a
+    /// [`Module`](crate::Module); batch harnesses rename clones before
+    /// collecting them into one). Not a journaled mutation — the name is
+    /// not IR.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
     /// Parameter types.
     pub fn params(&self) -> &[Type] {
         &self.params

@@ -16,7 +16,11 @@
 //!   simulator.
 //!
 //! Functions are arena-based: [`Function`] owns all blocks and instructions,
-//! and [`BlockId`]/[`InstId`]/[`Value`] are small `Copy` handles.
+//! and [`BlockId`]/[`InstId`]/[`Value`] are small `Copy` handles. A
+//! [`Module`] collects named functions for batch compilation — each keeps
+//! its own mutation journal, so module-level drivers run incremental
+//! per-function pipelines unchanged (and, functions being independent, in
+//! parallel).
 //!
 //! ```
 //! use darm_ir::{builder::FunctionBuilder, Function, Type, AddrSpace, IcmpPred, Dim};
@@ -51,6 +55,7 @@ pub mod builder;
 pub mod cost;
 pub mod dirty;
 pub mod function;
+pub mod module;
 pub mod opcode;
 pub mod parser;
 pub mod printer;
@@ -59,6 +64,7 @@ pub mod value;
 
 pub use dirty::{BlockSet, CfgEdit, DirtyDelta, DirtyInstSet, JournalCursor, WindowProbe};
 pub use function::{BlockData, BlockId, Function, InstData, InstId, IrError, SharedArray};
+pub use module::{DuplicateFunction, Module};
 pub use opcode::{Dim, FcmpPred, IcmpPred, Opcode};
 pub use types::{AddrSpace, Type};
 pub use value::Value;

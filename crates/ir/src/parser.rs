@@ -22,6 +22,7 @@
 //! ```
 
 use crate::function::{BlockId, Function, InstData, InstId};
+use crate::module::Module;
 use crate::opcode::{Dim, FcmpPred, IcmpPred, Opcode};
 use crate::types::{AddrSpace, Type};
 use crate::value::Value;
@@ -577,6 +578,80 @@ fn parse_inst(
     ))
 }
 
+/// Parses the textual form of a module: one or more `fn @name(...)` bodies
+/// (see [`parse_function`] for the per-function syntax), in file order.
+/// Line numbers in errors refer to the whole input.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, input containing no
+/// function, or duplicate function names.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    // Chunk the input at `fn @` headers; each function body ends at the
+    // first bare `}` line. Blank/comment lines between functions are
+    // ignored, anything else outside a function is an error.
+    let mut module = Module::new("module");
+    let mut chunk: Option<(usize, Vec<&str>)> = None; // (0-based start line, lines)
+    for (i, raw) in text.lines().enumerate() {
+        let l = raw.trim();
+        match &mut chunk {
+            None => {
+                if l.is_empty() || l.starts_with("//") {
+                    continue;
+                }
+                if !l.starts_with("fn @") {
+                    return err(i + 1, format!("expected `fn @name(...)`, found `{l}`"));
+                }
+                chunk = Some((i, vec![raw]));
+            }
+            Some((start, body)) => {
+                body.push(raw);
+                if l != "}" {
+                    continue;
+                }
+                let (start, body) = (*start, body.join("\n"));
+                chunk = None;
+                let func = parse_function(&body).map_err(|mut e| {
+                    e.line += start;
+                    e
+                })?;
+                let fname = func.name().to_string();
+                module.add_function(func).map_err(|_| ParseError {
+                    line: start + 1,
+                    message: format!("duplicate function `@{fname}`"),
+                })?;
+            }
+        }
+    }
+    if let Some((start, _)) = chunk {
+        return err(start + 1, "unterminated function (missing `}`)");
+    }
+    if module.is_empty() {
+        return err(0, "empty input");
+    }
+    Ok(module)
+}
+
+/// [`parse_module`] followed by per-function type fixup
+/// ([`fixup_types`]) and structural verification — the module analogue of
+/// [`parse_and_verify`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax; structural errors surface
+/// with line 0 and the offending function's name.
+pub fn parse_and_verify_module(text: &str) -> Result<Module, ParseError> {
+    let mut module = parse_module(text)?;
+    for func in module.functions_mut() {
+        fixup_types(func);
+        func.verify_structure().map_err(|e| ParseError {
+            line: 0,
+            message: format!("@{}: verification failed: {e}", func.name()),
+        })?;
+    }
+    Ok(module)
+}
+
 /// Parses and then resolves operand-derived result types (binary ops,
 /// `select`, `gep`) and verifies the result.
 ///
@@ -768,5 +843,60 @@ entry:
     fn unknown_block_is_an_error() {
         let e = parse_function("fn @x() -> void {\nentry:\n  jump nowhere\n}").unwrap_err();
         assert!(e.message.contains("unknown block"));
+    }
+
+    const TWO_FUNCS: &str = r#"
+// a module of two kernels
+fn @a(i32 %arg0) -> i32 {
+entry:
+  %0 = add %arg0, 1
+  ret %0
+}
+
+fn @b() -> void {
+entry:
+  ret
+}
+"#;
+
+    #[test]
+    fn parses_modules_and_round_trips() {
+        let m = parse_and_verify_module(TWO_FUNCS).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.functions()[0].name(), "a");
+        assert_eq!(m.functions()[1].name(), "b");
+        let printed = m.to_string();
+        let reparsed = parse_and_verify_module(&printed).unwrap();
+        assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn single_function_file_is_a_module_of_one() {
+        let m = parse_module("fn @solo() -> void {\nentry:\n  ret\n}").unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.functions()[0].name(), "solo");
+    }
+
+    #[test]
+    fn module_errors_carry_absolute_line_numbers() {
+        // The bad instruction sits on line 8 of the whole file, inside the
+        // second function.
+        let text = "fn @a() -> void {\nentry:\n  ret\n}\n\nfn @b() -> void {\nentry:\n  %0 = bogus 1\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 8, "{e}");
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn module_rejects_duplicates_and_stray_text() {
+        let dup = "fn @a() -> void {\nentry:\n  ret\n}\nfn @a() -> void {\nentry:\n  ret\n}\n";
+        let e = parse_module(dup).unwrap_err();
+        assert!(e.message.contains("duplicate function `@a`"), "{e}");
+        let stray = "wat\nfn @a() -> void {\nentry:\n  ret\n}\n";
+        let e = parse_module(stray).unwrap_err();
+        assert_eq!(e.line, 1);
+        let unterminated = "fn @a() -> void {\nentry:\n  ret\n";
+        let e = parse_module(unterminated).unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
     }
 }

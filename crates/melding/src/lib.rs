@@ -158,6 +158,46 @@ pub struct MeldStats {
     pub iterations: usize,
 }
 
+impl MeldStats {
+    /// Reconstructs the statistics from a [`MeldPass`]'s named stat
+    /// entries (the per-pass `stats` column of a
+    /// [`PipelineReport`]) — how a module
+    /// batch recovers per-function melding statistics after the pass
+    /// instances have been consumed by their pipelines. Unknown keys are
+    /// ignored; missing keys stay zero.
+    pub fn from_stat_entries(entries: &[(&str, u64)]) -> MeldStats {
+        let mut s = MeldStats::default();
+        for &(key, v) in entries {
+            let v = v as usize;
+            match key {
+                "melded regions" => s.melded_regions = v,
+                "melded subgraphs" => s.melded_subgraphs = v,
+                "replications" => s.replications = v,
+                "selects inserted" => s.selects_inserted = v,
+                "unpredicated groups" => s.unpredicated_groups = v,
+                "ssa repairs" => s.ssa_repairs = v,
+                "fixpoint iterations" => s.iterations = v,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Recovers the statistics of the first melding pass in a pipeline
+    /// report — the pass self-names `meld` or `meld-bf` depending on its
+    /// mode, so both spellings are matched. Zeroes when no melding pass
+    /// ran. The one recovery path shared by the CLI and the benchmark
+    /// batch harness.
+    pub fn from_report(report: &PipelineReport) -> MeldStats {
+        report
+            .passes
+            .iter()
+            .find(|p| p.name == "meld" || p.name == "meld-bf")
+            .map(|p| MeldStats::from_stat_entries(&p.stats))
+            .unwrap_or_default()
+    }
+}
+
 /// How a subgraph pair would be melded, decided during planning.
 #[derive(Clone)]
 enum MatchKind {
@@ -202,12 +242,53 @@ pub fn run_meld_pipeline(
     })
 }
 
+/// Applies the spec parameters the melding family understands on top of a
+/// base configuration: `threshold=F`, `mode=darm|bf`, `unpredicate=BOOL`,
+/// `max-iters=N`, `incremental=BOOL`.
+fn apply_meld_params(
+    mut config: MeldConfig,
+    params: &mut darm_pipeline::PassParams,
+) -> Result<MeldConfig, String> {
+    if let Some(t) = params.take_parsed::<f64>("threshold")? {
+        config.threshold = t;
+    }
+    if let Some(m) = params.take("mode") {
+        config.mode = match m.as_str() {
+            "darm" => MeldMode::Darm,
+            "bf" => MeldMode::BranchFusion,
+            other => {
+                return Err(format!(
+                    "parameter `mode`: unknown mode `{other}` (darm|bf)"
+                ))
+            }
+        };
+    }
+    if let Some(u) = params.take_parsed::<bool>("unpredicate")? {
+        config.unpredicate = u;
+    }
+    if let Some(n) = params.take_parsed::<usize>("max-iters")? {
+        config.max_iterations = n;
+    }
+    if let Some(i) = params.take_parsed::<bool>("incremental")? {
+        config.incremental = i;
+    }
+    Ok(config)
+}
+
 /// A pass registry holding the generic cleanup passes plus the melding
 /// family: `meld` (melding exactly as configured — mode, threshold,
 /// unpredication — so a CLI `--mode bf` carries into specs), `meld-bf`
 /// (the branch-fusion restriction regardless of `config.mode`) and
 /// `tail-merge`. The base names come from
 /// [`PassRegistry::with_transforms`].
+///
+/// `meld` and `meld-bf` accept spec parameters overriding the base
+/// configuration — `meld(threshold=0.3)`, `meld(unpredicate=false)`,
+/// `meld(mode=bf)`, `meld(max-iters=4)`, `meld(incremental=false)` — so
+/// the paper's ablations (threshold sweep, unpredication off) are
+/// expressible as specs with no code changes. Both propagate the
+/// pipeline's `verify_each` into their inner cleanup pipeline, exactly as
+/// [`run_meld_pipeline`] does.
 pub fn registry(config: &MeldConfig) -> PassRegistry {
     let mut r = PassRegistry::with_transforms();
     let configured = *config;
@@ -215,8 +296,21 @@ pub fn registry(config: &MeldConfig) -> PassRegistry {
         mode: MeldMode::BranchFusion,
         ..*config
     };
-    r.register("meld", move || Box::new(MeldPass::new(configured)));
-    r.register("meld-bf", move || Box::new(MeldPass::new(bf)));
+    r.register_configurable("meld", move |params, options| {
+        let c = apply_meld_params(configured, params)?;
+        Ok(Box::new(
+            MeldPass::new(c).with_verify_each(options.verify_each),
+        ))
+    });
+    r.register_configurable("meld-bf", move |params, options| {
+        let c = apply_meld_params(bf, params)?;
+        if c.mode != MeldMode::BranchFusion {
+            return Err("parameter `mode`: meld-bf is fixed to branch fusion".into());
+        }
+        Ok(Box::new(
+            MeldPass::new(c).with_verify_each(options.verify_each),
+        ))
+    });
     r.register("tail-merge", || Box::new(TailMergePass::default()));
     r
 }

@@ -83,7 +83,8 @@ pub fn meld_function_reference(func: &mut Function, config: &MeldConfig) -> Meld
 /// The pass-manager-refactor-era driver ("PR 2"), kept as the differential
 /// baseline the `meld_pipeline` bench measures the incremental rework
 /// against. Architecture exactly as the era shipped it — the meld fixpoint
-/// as a pass under a real [`PassManager`] with an inner cleanup pipeline,
+/// as a pass under a real [`PassManager`](darm_pipeline::PassManager)
+/// with an inner cleanup pipeline,
 /// per-pass wall-clock bookkeeping unconditionally on (as `run_quiet` was
 /// then), preservation reports applied after every pass, and the pipeline
 /// report built at the end — but with the era's *frozen internals*:

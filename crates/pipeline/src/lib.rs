@@ -2,27 +2,60 @@
 
 //! # darm-pipeline
 //!
-//! An LLVM-style pass pipeline for `darm-ir` functions: one [`PassManager`]
-//! owns the transformation sequence, one
-//! [`AnalysisManager`](darm_analysis::AnalysisManager) caches the analyses,
-//! and every transform — the cleanups in `darm-transforms` as much as the
-//! melding pass in `darm-melding` — runs as a [`Pass`] trait object. The
-//! CLI (`darm meld --passes …`), the benchmark harness
-//! (`prepare_variants`) and `meld_function` itself all drive their
-//! transformations through this one crate.
+//! An LLVM-style pass pipeline for `darm-ir`, at two levels:
+//!
+//! * **Function level** — one [`PassManager`] owns the transformation
+//!   sequence, one [`AnalysisManager`]
+//!   caches the analyses, and every transform — the cleanups in
+//!   `darm-transforms` as much as the melding pass in `darm-melding` —
+//!   runs as a [`Pass`] trait object.
+//! * **Module level** — a [`ModulePassManager`] parses a pipeline spec
+//!   once and runs a fresh per-function pipeline instance over every
+//!   function of a [`Module`](darm_ir::Module), serially or on a
+//!   `std::thread::scope` worker pool (functions are independent and all
+//!   analysis results are `Send + Sync`). Per-function
+//!   [`PipelineReport`]s aggregate into a [`ModuleReport`] with per-pass
+//!   rollups; report and output assembly is input-ordered, so a parallel
+//!   run is bit-identical to the serial one.
+//!
+//! The CLI (`darm meld --passes … --jobs …`), the benchmark harness
+//! (`prepare_variants` and the batch suites) and `meld_function` itself
+//! all drive their transformations through this one crate.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!   "simplify,meld,instcombine,dce"        textual pipeline spec
-//!            │ PassRegistry::build
-//!            ▼
+//!   "meld(threshold=0.3),fixpoint(simplify,dce)"   pipeline spec (see [`spec`])
+//!            │ PassSpec::parse          ┌────────────────────────────────┐
+//!            ▼                          │ ModulePassManager              │
+//!        PassSpec ──────────────────────► one pipeline instance per fn,  │
+//!            │ PassRegistry::build_parsed │ N workers ──► ModuleReport   │
+//!            ▼                          └────────────────────────────────┘
 //!   PassManager ── run ──► Pass 1 ─► Pass 2 ─► … ─► PipelineReport
 //!        │                   │  ▲
 //!        │ retain(preserved) │  │ get::<A>() (cache hit or compute)
 //!        ▼                   ▼  │
 //!   AnalysisManager { Cfg, DomTree, PostDomTree, Divergence, Liveness, LoopInfo }
 //! ```
+//!
+//! ## The spec grammar
+//!
+//! Specs grew from flat name lists (`"simplify,meld,dce"`, still valid)
+//! to a small grammar with `key=value` parameters and nested
+//! `fixpoint(...)` groups — see [`spec`] for the full grammar and
+//! [`PassRegistry`] for how parameters reach pass factories. This makes
+//! the paper's ablations plain spec strings, no code changes:
+//!
+//! ```text
+//! meld(threshold=0.5)                        Fig. 12 threshold sweep point
+//! meld(unpredicate=false)                    §VI-E unpredication ablation
+//! meld-bf,fixpoint(simplify,dce)             branch-fusion baseline + cleanup fixpoint
+//! fixpoint(simplify,instcombine,dce,max=4)   capped cleanup fixpoint
+//! ```
+//!
+//! Parse errors are positioned (byte span + expected token); unknown pass
+//! names list every registered pass, and unknown parameter keys name the
+//! pass that rejected them.
 //!
 //! ### The pass contract
 //!
@@ -36,7 +69,7 @@
 //!    the unmodified function.
 //! 2. **Preservation report.** The returned [`PassOutcome`] declares what
 //!    survived the whole run via
-//!    [`PreservedAnalyses`](darm_analysis::PreservedAnalyses). The manager
+//!    [`PreservedAnalyses`]. The manager
 //!    applies it with `AnalysisManager::retain`, which can only *drop*
 //!    entries — so an over-conservative report costs recomputation, never
 //!    correctness, and a pass that forgot an internal invalidation is still
@@ -68,13 +101,18 @@
 //! `PipelineReport` splits per-pass analysis *computations* from cache
 //! *hits* and incremental *updates*, which `--time-passes` prints.
 
+pub mod module;
 pub mod passes;
 pub mod registry;
+pub mod spec;
 
+pub use module::{FunctionReport, ModuleOptions, ModulePassManager, ModuleReport};
 pub use passes::{
-    DcePass, FnPass, InstCombinePass, ScopedPass, SimplifyCfgPass, SsaRepairPass, VerifyPass,
+    DcePass, FixpointPass, FnPass, InstCombinePass, ScopedPass, SimplifyCfgPass, SsaRepairPass,
+    VerifyPass,
 };
-pub use registry::PassRegistry;
+pub use registry::{PassParams, PassRegistry};
+pub use spec::{PassSpec, SpecElem, SpecError};
 
 use darm_analysis::{AnalysisCounters, AnalysisManager, PreservedAnalyses};
 use darm_ir::Function;
@@ -144,12 +182,22 @@ pub trait Pass {
 /// Why a pipeline run stopped early.
 #[derive(Debug, Clone)]
 pub enum PipelineError {
+    /// The pipeline spec violated the grammar (see [`spec`]).
+    Spec(SpecError),
     /// A pipeline spec named a pass the registry does not know.
     UnknownPass {
         /// The unknown name.
         name: String,
-        /// Every registered name, for the error message.
+        /// Every registered name (sorted), for the error message.
         known: Vec<String>,
+    },
+    /// A pass factory rejected a spec parameter (bad value or a key the
+    /// pass does not understand).
+    BadParameter {
+        /// Which pass the parameter was for.
+        pass: String,
+        /// The factory's message (or the unknown key).
+        message: String,
     },
     /// The spec contained no pass names.
     EmptySpec,
@@ -167,13 +215,26 @@ pub enum PipelineError {
         /// The verifier's message.
         message: String,
     },
+    /// A module run failed inside one function; carries the underlying
+    /// error. When several functions fail in a parallel run, the one
+    /// earliest in module order is reported (deterministically).
+    InFunction {
+        /// The failing function's name.
+        function: String,
+        /// What went wrong there.
+        error: Box<PipelineError>,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PipelineError::Spec(e) => write!(f, "invalid pipeline spec: {e}"),
             PipelineError::UnknownPass { name, known } => {
                 write!(f, "unknown pass '{name}' (known: {})", known.join(", "))
+            }
+            PipelineError::BadParameter { pass, message } => {
+                write!(f, "pass '{pass}': {message}")
             }
             PipelineError::EmptySpec => write!(f, "empty pipeline spec"),
             PipelineError::PassFailed { pass, message } => {
@@ -181,6 +242,9 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::VerifyFailed { pass, message } => {
                 write!(f, "SSA verification failed after pass '{pass}': {message}")
+            }
+            PipelineError::InFunction { function, error } => {
+                write!(f, "in function @{function}: {error}")
             }
         }
     }
@@ -284,6 +348,15 @@ pub struct PassManager {
     pub options: PipelineOptions,
 }
 
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
 impl PassManager {
     /// An empty pipeline with the given options.
     pub fn new(options: PipelineOptions) -> PassManager {
@@ -359,6 +432,22 @@ impl PassManager {
         func: &mut Function,
         am: &mut AnalysisManager,
     ) -> Result<(), PipelineError> {
+        self.run_once(func, am).map(|_| ())
+    }
+
+    /// [`PassManager::run_quiet`] reporting whether any pass changed the
+    /// function — the signal a fixpoint driver ([`FixpointPass`]) iterates
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// See [`PassManager::run`].
+    pub fn run_once(
+        &mut self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+    ) -> Result<bool, PipelineError> {
+        let mut changed_any = false;
         // Wall-clock and analysis-counter attribution only runs when a
         // consumer will render it: a fixpoint driver re-running its inner
         // pipeline thousands of times shouldn't pay clock reads for a
@@ -385,6 +474,7 @@ impl PassManager {
             record.runs += 1;
             record.changed_runs += usize::from(outcome.changed);
             record.units += outcome.units;
+            changed_any |= outcome.changed;
             if let Some(t) = t {
                 record.seconds += t.elapsed().as_secs_f64();
             }
@@ -398,7 +488,12 @@ impl PassManager {
         if let Some(t_total) = t_total {
             self.total_seconds += t_total.elapsed().as_secs_f64();
         }
-        Ok(())
+        Ok(changed_any)
+    }
+
+    /// Total rewrite units across every pass and run so far.
+    pub fn total_units(&self) -> u64 {
+        self.passes.iter().map(|(_, r)| r.units).sum()
     }
 
     /// Builds the cumulative report. Records — including the total time —

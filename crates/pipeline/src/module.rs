@@ -1,0 +1,461 @@
+//! Module-level compilation: one [`ModulePassManager`] runs a per-function
+//! pipeline (built from one parsed spec) over every function of a
+//! [`Module`], serially or on a scoped worker pool.
+//!
+//! Functions are independent — they share no arenas, and every analysis
+//! result is `Send + Sync` — so the parallel path needs no coordination
+//! beyond a work queue: workers pop function indices from an atomic
+//! counter, build a private pipeline instance from the shared parsed spec,
+//! and run it against their function. Results land in per-function slots,
+//! so reports and transformed functions are assembled in *input order*
+//! regardless of completion order: a parallel run is bit-identical to the
+//! serial one (`jobs = 1`, which takes a plain loop with no thread or lock
+//! overhead).
+//!
+//! Pass *instances* are deliberately per-function: passes carry
+//! per-function state (journal cursors, dominator baselines, stat sinks),
+//! so the spec — not the pass objects — is what the module manager builds
+//! once and reuses.
+
+use crate::registry::PassRegistry;
+use crate::spec::PassSpec;
+use crate::{PassRecord, PipelineError, PipelineOptions, PipelineReport};
+use darm_analysis::AnalysisCounters;
+use darm_ir::{Function, Module};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Knobs of a [`ModulePassManager`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModuleOptions {
+    /// Per-function pipeline options (verification, timing).
+    pub pipeline: PipelineOptions,
+    /// Worker threads; `0` (the default) means
+    /// [`std::thread::available_parallelism`], `1` the serial path.
+    pub jobs: usize,
+}
+
+impl ModuleOptions {
+    /// Serial module compilation with the given pipeline options.
+    pub fn serial(pipeline: PipelineOptions) -> ModuleOptions {
+        ModuleOptions { pipeline, jobs: 1 }
+    }
+
+    /// The worker count a run will actually use for `n_functions`
+    /// functions: `jobs` resolved against available parallelism and capped
+    /// at the function count.
+    pub fn effective_jobs(&self, n_functions: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, n_functions.max(1))
+    }
+}
+
+/// One function's share of a [`ModuleReport`].
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub function: String,
+    /// The function's pipeline report (per-pass records, analysis
+    /// computations).
+    pub report: PipelineReport,
+}
+
+/// Everything a module run measured: per-function reports in module order
+/// plus module-level wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleReport {
+    /// Per-function reports, in module (input) order.
+    pub functions: Vec<FunctionReport>,
+    /// Wall-clock seconds of the whole module run — under a parallel run
+    /// this is smaller than the summed per-function pipeline time.
+    pub wall_seconds: f64,
+    /// Worker threads the run used.
+    pub jobs: usize,
+}
+
+impl ModuleReport {
+    /// Per-pass rollup across every function: pipeline slots are merged by
+    /// position (every function ran the same spec), summing runs, units,
+    /// time, analysis counters and named stats. `total_seconds` of the
+    /// result is summed per-function pipeline (CPU) time, not wall time.
+    pub fn rollup(&self) -> PipelineReport {
+        let mut passes: Vec<PassRecord> = Vec::new();
+        let mut computations: Vec<(&'static str, usize)> = Vec::new();
+        let mut total = 0.0;
+        for fr in &self.functions {
+            total += fr.report.total_seconds;
+            for (slot, r) in fr.report.passes.iter().enumerate() {
+                if passes.len() <= slot {
+                    passes.push(PassRecord {
+                        name: r.name.clone(),
+                        ..PassRecord::default()
+                    });
+                }
+                let acc = &mut passes[slot];
+                acc.runs += r.runs;
+                acc.changed_runs += r.changed_runs;
+                acc.units += r.units;
+                acc.seconds += r.seconds;
+                acc.analysis = AnalysisCounters {
+                    computes: acc.analysis.computes + r.analysis.computes,
+                    hits: acc.analysis.hits + r.analysis.hits,
+                    updates: acc.analysis.updates + r.analysis.updates,
+                };
+                for &(k, v) in &r.stats {
+                    match acc.stats.iter_mut().find(|(ak, _)| *ak == k) {
+                        Some((_, av)) => *av += v,
+                        None => acc.stats.push((k, v)),
+                    }
+                }
+            }
+            for &(name, count) in &fr.report.analysis_computations {
+                match computations.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, c)) => *c += count,
+                    None => computations.push((name, count)),
+                }
+            }
+        }
+        PipelineReport {
+            passes,
+            analysis_computations: computations,
+            total_seconds: total,
+        }
+    }
+
+    /// Renders the module-level `--time-passes` tables: the per-pass
+    /// rollup, then per-function totals, then the wall-clock line.
+    pub fn render(&self) -> String {
+        let rollup = self.rollup();
+        let mut out = format!(
+            "== module pipeline: {} function(s), {} job(s) ==\n",
+            self.functions.len(),
+            self.jobs
+        );
+        out.push_str(&rollup.render());
+        out.push_str("| function | time (ms) | units |\n|---|---|---|\n");
+        for fr in &self.functions {
+            out.push_str(&format!(
+                "| @{} | {:.3} | {} |\n",
+                fr.function,
+                fr.report.total_seconds * 1e3,
+                fr.report.passes.iter().map(|p| p.units).sum::<u64>(),
+            ));
+        }
+        out.push_str(&format!(
+            "wall: {:.3} ms (summed per-function pipeline time: {:.3} ms)\n",
+            self.wall_seconds * 1e3,
+            rollup.total_seconds * 1e3,
+        ));
+        out
+    }
+}
+
+/// Work slot of the parallel path: exclusive access to one function and a
+/// place for its result.
+struct Slot<'f> {
+    func: &'f mut Function,
+    result: Option<Result<PipelineReport, PipelineError>>,
+}
+
+/// Runs one pipeline spec over every function of a [`Module`].
+///
+/// The spec is parsed and validated once at construction (a probe pipeline
+/// is built so unknown passes and bad parameters fail before any function
+/// is touched); each function then gets a fresh pipeline instance built
+/// from the parsed AST. See the [module docs](self) for the concurrency
+/// story.
+pub struct ModulePassManager<'r> {
+    registry: &'r PassRegistry,
+    spec: PassSpec,
+    /// Run options (worker count, per-function pipeline options).
+    pub options: ModuleOptions,
+}
+
+impl<'r> ModulePassManager<'r> {
+    /// Parses `spec` and validates it against `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Grammar violations ([`PipelineError::Spec`]), unknown passes, bad
+    /// parameters, or an empty spec — all before any function runs.
+    pub fn new(
+        registry: &'r PassRegistry,
+        spec: &str,
+        options: ModuleOptions,
+    ) -> Result<ModulePassManager<'r>, PipelineError> {
+        let parsed = PassSpec::parse(spec).map_err(PipelineError::Spec)?;
+        ModulePassManager::with_spec(registry, parsed, options)
+    }
+
+    /// [`ModulePassManager::new`] over an already-parsed spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModulePassManager::new`] (minus the grammar errors).
+    pub fn with_spec(
+        registry: &'r PassRegistry,
+        spec: PassSpec,
+        options: ModuleOptions,
+    ) -> Result<ModulePassManager<'r>, PipelineError> {
+        // Probe build: surface registry errors at construction time.
+        registry.build_parsed(&spec, options.pipeline)?;
+        Ok(ModulePassManager {
+            registry,
+            spec,
+            options,
+        })
+    }
+
+    /// The parsed spec the manager instantiates per function.
+    pub fn spec(&self) -> &PassSpec {
+        &self.spec
+    }
+
+    /// Runs the pipeline over every function of `module`, in parallel when
+    /// `options.jobs` resolves to more than one worker.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InFunction`] wrapping the first (in module order)
+    /// function failure. The run fails fast: the serial path stops at the
+    /// failing function, the parallel pool stops claiming new functions
+    /// once any worker fails (in-flight functions finish). Functions after
+    /// a failing one may or may not have been transformed — treat the
+    /// module as poisoned on error.
+    pub fn run(&self, module: &mut Module) -> Result<ModuleReport, PipelineError> {
+        let t0 = Instant::now();
+        let names: Vec<String> = module
+            .functions()
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect();
+        let funcs = module.functions_mut();
+        let jobs = self.options.effective_jobs(funcs.len());
+        let in_function = |function: &String, error: PipelineError| PipelineError::InFunction {
+            function: function.clone(),
+            error: Box::new(error),
+        };
+        let mut functions = Vec::with_capacity(funcs.len());
+        if jobs <= 1 {
+            // Serial: any failure is by construction the earliest one.
+            for (name, func) in names.iter().zip(funcs.iter_mut()) {
+                match self.run_function(func) {
+                    Ok(report) => functions.push(FunctionReport {
+                        function: name.clone(),
+                        report,
+                    }),
+                    Err(e) => return Err(in_function(name, e)),
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let slots: Vec<Mutex<Slot>> = funcs
+                .iter_mut()
+                .map(|func| Mutex::new(Slot { func, result: None }))
+                .collect();
+            std::thread::scope(|s| {
+                for _ in 0..jobs {
+                    s.spawn(|| {
+                        while !stop.load(Ordering::Relaxed) {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = slots.get(i) else { break };
+                            let mut slot = slot.lock().expect("no worker panicked holding a slot");
+                            let result = self.run_function(slot.func);
+                            if result.is_err() {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            slot.result = Some(result);
+                        }
+                    });
+                }
+            });
+            // Deterministic, input-ordered assembly (workers finish in any
+            // order; slots are indexed by input position). On failure the
+            // earliest erring slot wins; unclaimed slots (skipped by the
+            // stop flag) can only trail an error.
+            let mut results: Vec<Option<Result<PipelineReport, PipelineError>>> = slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("no worker panicked holding a slot")
+                        .result
+                })
+                .collect();
+            if let Some(i) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
+                let Some(Err(e)) = results.swap_remove(i) else {
+                    unreachable!("position() found Some(Err)")
+                };
+                return Err(in_function(&names[i], e));
+            }
+            for (name, result) in names.iter().zip(results) {
+                let report = result
+                    .expect("without an error, every slot was claimed and completed")
+                    .expect("error slots were returned above");
+                functions.push(FunctionReport {
+                    function: name.clone(),
+                    report,
+                });
+            }
+        }
+        Ok(ModuleReport {
+            functions,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            jobs,
+        })
+    }
+
+    /// Builds a fresh pipeline from the parsed spec and runs it over one
+    /// function.
+    fn run_function(&self, func: &mut Function) -> Result<PipelineReport, PipelineError> {
+        let mut pm = self
+            .registry
+            .build_parsed(&self.spec, self.options.pipeline)?;
+        pm.run(func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darm_ir::builder::FunctionBuilder;
+    use darm_ir::{IcmpPred, Type, Value};
+
+    /// A function with a constant diamond plus dead code — grist for
+    /// simplify/instcombine/dce.
+    fn messy(name: &str) -> Function {
+        let mut f = Function::new(name, vec![Type::I32], Type::I32);
+        let entry = f.entry();
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let x = f.add_block("x");
+        let mut b = FunctionBuilder::new(&mut f, entry);
+        b.br(Value::I1(true), t, e);
+        b.switch_to(t);
+        let v = b.add(b.param(0), b.const_i32(1));
+        b.jump(x);
+        b.switch_to(e);
+        b.jump(x);
+        b.switch_to(x);
+        let p = b.phi(Type::I32, &[(t, v), (e, Value::I32(0))]);
+        let dead = b.mul(p, b.const_i32(0));
+        let _ = b.icmp(IcmpPred::Eq, dead, dead);
+        b.ret(Some(p));
+        f
+    }
+
+    fn messy_module(n: usize) -> Module {
+        Module::from_functions("m", (0..n).map(|i| messy(&format!("f{i}")))).unwrap()
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        let registry = PassRegistry::with_transforms();
+        let spec = "fixpoint(simplify,instcombine,dce)";
+        let mut serial = messy_module(9);
+        let mut parallel = messy_module(9);
+        let mpm1 = ModulePassManager::new(
+            &registry,
+            spec,
+            ModuleOptions::serial(PipelineOptions::default()),
+        )
+        .unwrap();
+        let r1 = mpm1.run(&mut serial).unwrap();
+        assert_eq!(r1.jobs, 1);
+        let mpm4 = ModulePassManager::new(
+            &registry,
+            spec,
+            ModuleOptions {
+                pipeline: PipelineOptions::default(),
+                jobs: 4,
+            },
+        )
+        .unwrap();
+        let r4 = mpm4.run(&mut parallel).unwrap();
+        assert_eq!(r4.jobs, 4);
+        assert_eq!(serial.to_string(), parallel.to_string());
+        // Reports are input-ordered in both.
+        let order: Vec<&str> = r4.functions.iter().map(|f| f.function.as_str()).collect();
+        assert_eq!(order, (0..9).map(|i| format!("f{i}")).collect::<Vec<_>>());
+        assert_eq!(r1.functions.len(), r4.functions.len());
+        // Each function collapsed to one block.
+        for f in serial.functions() {
+            assert_eq!(f.block_ids().len(), 1, "@{}", f.name());
+        }
+    }
+
+    #[test]
+    fn rollup_merges_slots_across_functions() {
+        let registry = PassRegistry::with_transforms();
+        let mut m = messy_module(3);
+        let mpm = ModulePassManager::new(
+            &registry,
+            "simplify,dce",
+            ModuleOptions::serial(PipelineOptions::default()),
+        )
+        .unwrap();
+        let report = mpm.run(&mut m).unwrap();
+        let rollup = report.rollup();
+        assert_eq!(rollup.passes.len(), 2);
+        assert_eq!(rollup.passes[0].name, "simplify");
+        assert_eq!(rollup.passes[0].runs, 3, "one run per function");
+        assert!(rollup.passes[1].units > 0, "dce removed something");
+        let table = report.render();
+        assert!(table.contains("3 function(s)"), "{table}");
+        assert!(table.contains("| @f2 |"), "{table}");
+    }
+
+    #[test]
+    fn construction_validates_the_spec_up_front() {
+        let registry = PassRegistry::with_transforms();
+        let opts = ModuleOptions::default();
+        assert!(matches!(
+            ModulePassManager::new(&registry, "dce(", opts),
+            Err(PipelineError::Spec(_))
+        ));
+        assert!(matches!(
+            ModulePassManager::new(&registry, "frobnicate", opts),
+            Err(PipelineError::UnknownPass { .. })
+        ));
+    }
+
+    #[test]
+    fn failures_name_the_earliest_failing_function() {
+        let registry = PassRegistry::with_transforms();
+        // `verify` fails on broken SSA: build a module whose f1 and f3 are
+        // broken; the error must name f1 regardless of worker order.
+        let mut m = Module::new("m");
+        for i in 0..4 {
+            let mut f = messy(&format!("f{i}"));
+            if i % 2 == 1 {
+                // Point the ret at a non-dominating instruction.
+                let blocks = f.block_ids();
+                let t_inst = f.insts_of(blocks[1])[0];
+                let x = *blocks.last().unwrap();
+                let term = f.terminator(x).unwrap();
+                f.inst_mut(term).operands[0] = Value::Inst(t_inst);
+            }
+            m.add_function(f).unwrap();
+        }
+        let mpm = ModulePassManager::new(
+            &registry,
+            "verify",
+            ModuleOptions {
+                pipeline: PipelineOptions::default(),
+                jobs: 4,
+            },
+        )
+        .unwrap();
+        match mpm.run(&mut m) {
+            Err(PipelineError::InFunction { function, .. }) => assert_eq!(function, "f1"),
+            other => panic!("expected InFunction, got {other:?}"),
+        }
+    }
+}

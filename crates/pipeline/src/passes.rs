@@ -374,6 +374,71 @@ impl Pass for VerifyPass {
     }
 }
 
+/// A `fixpoint(...)` spec group as a pass: re-runs its inner pipeline
+/// until a full round reports no change, or `max` rounds have run.
+///
+/// The inner passes apply their own
+/// [`PreservedAnalyses`](darm_analysis::PreservedAnalyses) reports against
+/// the shared [`AnalysisManager`] after every run, so by the time the
+/// group returns the cache holds only entries its rounds did not break —
+/// the group itself therefore reports `all()` (keeping that state) plus a
+/// truthful `changed` flag — the same contract the melding pass's inner
+/// cleanup pipeline relies on.
+pub struct FixpointPass {
+    label: String,
+    inner: crate::PassManager,
+    max: usize,
+    rounds: u64,
+}
+
+impl FixpointPass {
+    /// Iteration cap when the spec gives no `max=N`.
+    pub const DEFAULT_MAX: usize = 32;
+
+    /// Wraps `inner` as a fixpoint group named `label` (the rendered spec
+    /// element, e.g. `fixpoint(simplify,dce)`).
+    pub fn new(label: String, inner: crate::PassManager, max: Option<usize>) -> FixpointPass {
+        FixpointPass {
+            label,
+            inner,
+            max: max.unwrap_or(Self::DEFAULT_MAX).max(1),
+            rounds: 0,
+        }
+    }
+}
+
+impl Pass for FixpointPass {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn run(
+        &mut self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+    ) -> Result<PassOutcome, String> {
+        let units_before = self.inner.total_units();
+        let mut changed_any = false;
+        for _ in 0..self.max {
+            self.rounds += 1;
+            let changed = self.inner.run_once(func, am).map_err(|e| e.to_string())?;
+            changed_any |= changed;
+            if !changed {
+                break;
+            }
+        }
+        Ok(PassOutcome {
+            preserved: darm_analysis::PreservedAnalyses::all(),
+            changed: changed_any,
+            units: self.inner.total_units() - units_before,
+        })
+    }
+
+    fn stat_entries(&self) -> Vec<(&'static str, u64)> {
+        vec![("rounds", self.rounds)]
+    }
+}
+
 /// Adapter turning a closure into a [`Pass`] — handy for tests and one-off
 /// drivers. The closure receives the function and the analysis manager and
 /// returns the outcome.

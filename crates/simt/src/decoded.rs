@@ -9,7 +9,7 @@
 //! time, and lowers the function into flat arrays the interpreter can walk
 //! with nothing but integer indexing:
 //!
-//! * one dense [`DInst`] record per live instruction, grouped by block,
+//! * one dense `DInst` record per live instruction, grouped by block,
 //!   with operands pre-resolved to register slots / immediates / parameter
 //!   indices (no `Value` matching at runtime);
 //! * per-block instruction ranges plus a φ table keyed by predecessor, so

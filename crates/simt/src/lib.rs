@@ -59,7 +59,7 @@
 //! ```
 //!
 //! The original arena-walking, per-lane interpreter is retained in
-//! [`reference`] behind [`Gpu::launch_reference`]: the
+//! [`reference`](mod@reference) behind [`Gpu::launch_reference`]: the
 //! `decoded_vs_reference` differential test proves both engines produce
 //! bit-identical buffer contents and [`KernelStats`] on the full benchmark
 //! kernel suite, and the `interp_throughput` bench measures the decoded

@@ -2,52 +2,60 @@
 //!
 //! ```text
 //! darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T]
-//!           [--no-unpredicate] [--dot out.dot] [--stats]
+//!           [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N]
 //!           [--passes SPEC] [--time-passes] [--verify-each]
 //! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
 //! darm analyze <input.ir>
 //! ```
 //!
-//! `meld` parses a textual IR kernel, runs DARM (or the branch-fusion
-//! baseline), and prints or writes the transformed kernel. With `--passes`
-//! the transform chain is built from a comma-separated pipeline spec (e.g.
-//! `simplify,meld,instcombine,dce`; see `darm_melding::registry` for the
-//! names) instead of the default single melding pass; `--time-passes`
-//! prints the per-pass timing/stat table and `--verify-each` checks SSA
-//! between passes. `run` executes a kernel on the SIMT simulator with
-//! zero-initialized `i32` buffers and prints the counters. `analyze`
-//! reports divergence analysis and meldable regions without transforming.
+//! `meld` parses a textual IR module — one or more `fn @name` kernels per
+//! file — runs DARM (or the branch-fusion baseline) over every function,
+//! and prints or writes the transformed module. With `--passes` the
+//! transform chain is built from a pipeline spec (parameters and fixpoint
+//! groups supported, e.g. `meld(threshold=0.3),fixpoint(simplify,dce)`;
+//! see `darm_pipeline::spec` for the grammar and `darm_melding::registry`
+//! for the names) instead of the default single melding pass. Functions
+//! are compiled on `--jobs N` worker threads (default: all cores; the
+//! output is bit-identical to `--jobs 1`). `--time-passes` prints the
+//! per-pass/per-function timing tables and `--verify-each` checks SSA
+//! between passes. `run` executes a kernel (the first function of the
+//! module) on the SIMT simulator with zero-initialized `i32` buffers and
+//! prints the counters. `analyze` reports divergence analysis and meldable
+//! regions for every function without transforming.
 
 use darm::analysis::{to_dot, verify_ssa, DivergenceAnalysis};
-use darm::ir::parser::{fixup_types, parse_function};
-use darm::melding::{region, run_meld_pipeline, Analyses, MeldConfig, MeldMode};
-use darm::pipeline::PipelineOptions;
+use darm::ir::parser::{fixup_types, parse_module};
+use darm::ir::Module;
+use darm::melding::{region, Analyses, MeldConfig, MeldMode};
+use darm::pipeline::{ModuleOptions, ModulePassManager, PipelineOptions};
 use darm::prelude::*;
 use darm::simt::KernelArg;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--passes SPEC] [--time-passes] [--verify-each]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
     );
     std::process::exit(2);
 }
 
-fn load(path: &str) -> Function {
+fn load(path: &str) -> Module {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let mut func = parse_function(&text).unwrap_or_else(|e| {
+    let mut module = parse_module(&text).unwrap_or_else(|e| {
         eprintln!("error: {path}: {e}");
         std::process::exit(1);
     });
-    fixup_types(&mut func);
-    if let Err(e) = verify_ssa(&func) {
-        eprintln!("error: {path}: {e}");
-        std::process::exit(1);
+    for func in module.functions_mut() {
+        fixup_types(func);
+        if let Err(e) = verify_ssa(func) {
+            eprintln!("error: {path}: @{}: {e}", func.name());
+            std::process::exit(1);
+        }
     }
-    func
+    module
 }
 
 fn main() -> ExitCode {
@@ -69,6 +77,7 @@ fn cmd_meld(args: &[String]) -> ExitCode {
     let mut show_stats = false;
     let mut passes_spec: Option<String> = None;
     let mut options = PipelineOptions::default();
+    let mut jobs = 0usize; // 0 = available_parallelism
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +88,12 @@ fn cmd_meld(args: &[String]) -> ExitCode {
             "--passes" => passes_spec = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--time-passes" => options.time_passes = true,
             "--verify-each" => options.verify_each = true,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--mode" => match it.next().map(String::as_str) {
                 Some("darm") => config.mode = MeldMode::Darm,
                 Some("bf") => config.mode = MeldMode::BranchFusion,
@@ -95,33 +110,40 @@ fn cmd_meld(args: &[String]) -> ExitCode {
         }
     }
     let Some(input) = input else { usage() };
-    let mut func = load(&input);
+    let mut module = load(&input);
     // One driver for both paths: the default chain is the single melding
-    // pass; --passes builds an arbitrary pipeline from the registry.
-    let report = match &passes_spec {
-        Some(spec) => {
-            let registry = darm::melding::registry(&config);
-            let mut pm = match registry.build(spec, options) {
-                Ok(pm) => pm,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match pm.run(&mut func) {
-                Ok(report) => report,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
+    // pass; --passes builds an arbitrary pipeline from the registry. The
+    // module manager runs it over every function, in parallel with --jobs.
+    let spec = passes_spec.as_deref().unwrap_or("meld");
+    let registry = darm::melding::registry(&config);
+    let module_options = ModuleOptions {
+        pipeline: options,
+        jobs,
+    };
+    let report = ModulePassManager::new(&registry, spec, module_options)
+        .and_then(|mpm| mpm.run(&mut module));
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        None => match run_meld_pipeline(&mut func, &config, options) {
-            Ok(outcome) => {
-                if show_stats {
-                    let stats = outcome.stats;
+    };
+    if show_stats {
+        let multi = module.len() > 1;
+        for fr in &report.functions {
+            let prefix = if multi {
+                format!("@{}: ", fr.function)
+            } else {
+                String::new()
+            };
+            match &passes_spec {
+                // Default chain: the friendly melding summary, recovered
+                // from the meld pass's stat entries.
+                None => {
+                    let stats = darm::melding::MeldStats::from_report(&fr.report);
                     eprintln!(
-                        "melded {} region(s), {} subgraph(s), {} replication(s), {} select(s), {} unpredicated group(s)",
+                        "{prefix}melded {} region(s), {} subgraph(s), {} replication(s), {} select(s), {} unpredicated group(s)",
                         stats.melded_regions,
                         stats.melded_subgraphs,
                         stats.replications,
@@ -129,35 +151,39 @@ fn cmd_meld(args: &[String]) -> ExitCode {
                         stats.unpredicated_groups
                     );
                 }
-                outcome.report
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
-    if show_stats && passes_spec.is_some() {
-        for pass in &report.passes {
-            for (k, v) in &pass.stats {
-                eprintln!("{}: {k} = {v}", pass.name);
+                Some(_) => {
+                    for pass in &fr.report.passes {
+                        for (k, v) in &pass.stats {
+                            eprintln!("{prefix}{}: {k} = {v}", pass.name);
+                        }
+                    }
+                }
             }
         }
     }
     if options.time_passes {
         eprint!("{}", report.render());
     }
-    if let Err(e) = verify_ssa(&func) {
-        eprintln!("internal error: melded function fails verification: {e}");
-        return ExitCode::FAILURE;
+    for func in module.functions() {
+        if let Err(e) = verify_ssa(func) {
+            eprintln!(
+                "internal error: melded function @{} fails verification: {e}",
+                func.name()
+            );
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(p) = dot {
-        if let Err(e) = std::fs::write(&p, to_dot(&func)) {
+        if module.len() != 1 {
+            eprintln!("error: --dot needs a single-function module");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&p, to_dot(&module.functions()[0])) {
             eprintln!("error: cannot write {p}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    let text = func.to_string();
+    let text = module.to_string();
     match output {
         Some(p) => {
             if let Err(e) = std::fs::write(&p, text) {
@@ -207,7 +233,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
     let Some(input) = input else { usage() };
-    let func = load(&input);
+    let module = load(&input);
+    let func = &module.functions()[0];
     let mut gpu = Gpu::new(GpuConfig::default());
     let mut kargs = Vec::new();
     let mut buffers = Vec::new();
@@ -220,7 +247,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             kargs.push(KernelArg::I32(v as i32));
         }
     }
-    match gpu.launch(&func, &LaunchConfig::linear(grid, block), &kargs) {
+    match gpu.launch(func, &LaunchConfig::linear(grid, block), &kargs) {
         Ok(stats) => {
             println!("cycles:              {}", stats.cycles);
             println!("warp instructions:   {}", stats.warp_instructions);
@@ -248,29 +275,31 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let Some(input) = args.first() else { usage() };
-    let func = load(input);
-    let da = DivergenceAnalysis::new(&func);
-    println!(
-        "kernel {} — {} blocks, {} instructions",
-        func.name(),
-        func.block_ids().len(),
-        func.live_inst_count()
-    );
-    let divergent = da.divergent_branch_blocks();
-    println!("divergent branches: {}", divergent.len());
-    for b in &divergent {
-        println!("  {}", func.block_name(*b));
-    }
-    let analyses = Analyses::new(&func);
-    for &b in analyses.cfg.rpo() {
-        if let Some(r) = region::detect_region(&func, &analyses, b) {
-            println!(
-                "meldable divergent region at {} (exit {}): {} true / {} false subgraph(s)",
-                func.block_name(r.branch_block),
-                func.block_name(r.exit),
-                r.true_chain.len(),
-                r.false_chain.len()
-            );
+    let module = load(input);
+    for func in module.functions() {
+        let da = DivergenceAnalysis::new(func);
+        println!(
+            "kernel {} — {} blocks, {} instructions",
+            func.name(),
+            func.block_ids().len(),
+            func.live_inst_count()
+        );
+        let divergent = da.divergent_branch_blocks();
+        println!("divergent branches: {}", divergent.len());
+        for b in &divergent {
+            println!("  {}", func.block_name(*b));
+        }
+        let analyses = Analyses::new(func);
+        for &b in analyses.cfg.rpo() {
+            if let Some(r) = region::detect_region(func, &analyses, b) {
+                println!(
+                    "meldable divergent region at {} (exit {}): {} true / {} false subgraph(s)",
+                    func.block_name(r.branch_block),
+                    func.block_name(r.exit),
+                    r.true_chain.len(),
+                    r.false_chain.len()
+                );
+            }
         }
     }
     ExitCode::SUCCESS

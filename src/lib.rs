@@ -44,10 +44,12 @@ pub mod prelude {
     pub use darm_analysis::AnalysisManager;
     pub use darm_ir::builder::FunctionBuilder;
     pub use darm_ir::{
-        AddrSpace, BlockId, Dim, FcmpPred, Function, IcmpPred, InstData, InstId, Opcode, Type,
-        Value,
+        AddrSpace, BlockId, Dim, FcmpPred, Function, IcmpPred, InstData, InstId, Module, Opcode,
+        Type, Value,
     };
     pub use darm_melding::{meld_function, run_meld_pipeline, MeldConfig, MeldMode, MeldStats};
-    pub use darm_pipeline::{PassManager, PassRegistry, PipelineOptions};
+    pub use darm_pipeline::{
+        ModuleOptions, ModulePassManager, PassManager, PassRegistry, PassSpec, PipelineOptions,
+    };
     pub use darm_simt::{Gpu, GpuConfig, LaunchConfig};
 }

@@ -149,6 +149,157 @@ fn dot_export_writes_a_digraph() {
     assert!(text.starts_with("digraph"));
 }
 
+/// Two copies of the divergent diamond under different names — a module.
+const MODULE: &str = r#"
+fn @k_a(ptr(global) %arg0) -> void {
+entry:
+  %0 = tid.x
+  %1 = and %0, 1
+  %2 = icmp eq %1, 0
+  br %2, t, e
+t:
+  %3 = mul %0, 3
+  %4 = add %3, 10
+  %5 = gep i32 %arg0, %0
+  store %4, %5
+  jump x
+e:
+  %6 = mul %0, 5
+  %7 = add %6, 77
+  %8 = gep i32 %arg0, %0
+  store %7, %8
+  jump x
+x:
+  ret
+}
+
+fn @k_b(ptr(global) %arg0) -> void {
+entry:
+  %0 = tid.x
+  %1 = and %0, 1
+  %2 = icmp eq %1, 0
+  br %2, t, e
+t:
+  %3 = mul %0, 7
+  %4 = add %3, 1
+  %5 = gep i32 %arg0, %0
+  store %4, %5
+  jump x
+e:
+  %6 = mul %0, 9
+  %7 = add %6, 2
+  %8 = gep i32 %arg0, %0
+  store %7, %8
+  jump x
+x:
+  ret
+}
+"#;
+
+fn write_module(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, MODULE).unwrap();
+    path
+}
+
+#[test]
+fn meld_handles_modules_with_jobs() {
+    let input = write_module("darm_cli_module.ir");
+    let out = bin()
+        .args(["meld", input.to_str().unwrap(), "--jobs", "2", "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stdout.contains("fn @k_a"), "{stdout}");
+    assert!(stdout.contains("fn @k_b"), "{stdout}");
+    // Per-function stats are prefixed in module mode.
+    assert!(stderr.contains("@k_a: melded 1 region(s)"), "{stderr}");
+    assert!(stderr.contains("@k_b: melded 1 region(s)"), "{stderr}");
+}
+
+#[test]
+fn parallel_module_meld_is_bit_identical_to_serial() {
+    let input = write_module("darm_cli_module_det.ir");
+    let run = |jobs: &str| {
+        let out = bin()
+            .args(["meld", input.to_str().unwrap(), "--jobs", jobs])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run("1"), run("4"));
+}
+
+#[test]
+fn parameterized_pass_specs_drive_the_pipeline() {
+    let input = write_module("darm_cli_spec.ir");
+    // A threshold above any profit melds nothing; both diamonds survive.
+    let out = bin()
+        .args([
+            "meld",
+            input.to_str().unwrap(),
+            "--passes",
+            "meld(threshold=1000000),fixpoint(instcombine,dce)",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.matches("br %").count(), 2, "{stdout}");
+    // The default threshold melds both.
+    let out = bin()
+        .args([
+            "meld",
+            input.to_str().unwrap(),
+            "--passes",
+            "meld(threshold=0.2),fixpoint(instcombine,dce)",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.matches("br %").count(), 0, "{stdout}");
+}
+
+#[test]
+fn bad_specs_fail_with_positioned_diagnostics() {
+    let input = write_kernel("darm_cli_badspec.ir");
+    let out = bin()
+        .args(["meld", input.to_str().unwrap(), "--passes", "fixpoint(dce"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("expected"), "{stderr}");
+    let out = bin()
+        .args([
+            "meld",
+            input.to_str().unwrap(),
+            "--passes",
+            "meld(thresold=0.3)",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown parameter `thresold`"), "{stderr}");
+}
+
 #[test]
 fn bad_input_fails_with_diagnostic() {
     let path = std::env::temp_dir().join("darm_cli_bad.ir");
