@@ -9,41 +9,62 @@
 //! roadmap), and a fixpoint driver that runs many queries against one CFG
 //! state computes each analysis at most once.
 //!
-//! # The three invalidation tiers
+//! # Reconcile-on-read
+//!
+//! Every cache slot remembers the *journal cursor* of the function state
+//! it was computed (or last validated) for. A query
+//! ([`AnalysisManager::get`]) probes the window since that cursor in O(1)
+//! and, when it is not clean, reconciles the entry *lazily at read time*
+//! via [`Analysis::refresh`]:
+//!
+//! * a clean window serves the entry as a plain hit;
+//! * an instruction-only window keeps the shape analyses ([`Cfg`],
+//!   [`DomTree`], [`PostDomTree`], [`LoopInfo`]), re-seeds [`Liveness`]
+//!   from the dirty blocks only, and drops [`DivergenceAnalysis`]
+//!   (divergence may *shrink* under rewrites, which a monotone
+//!   incremental update cannot express);
+//! * a block-graph window updates the dominator and post-dominator trees
+//!   in place, bit-identical to a fresh recompute — edge subdivision and
+//!   insertion-only batches by exact local rules, deletion-containing
+//!   batches (the bulk of meld surgery) by the affected-subtree recompute
+//!   (see [`DomTree::try_update`]; the deletion share is split out as
+//!   [`AnalysisCounters::in_place_deletion_updates`]) — when a
+//!   profitability gate decides the batch is small enough relative to the
+//!   function for the update to beat the recompute it replaces;
+//! * anything else drops the entry, which recomputes on demand.
+//!
+//! Laziness is what makes the scheme pay: a mutation-heavy stretch (meld
+//! surgery followed by cleanup rounds) coalesces into *one* window per
+//! entry, reconciled at its next query, instead of an eager pass over the
+//! cache per edit batch. Per-slot cursors are what make it sound: a
+//! transform that mutates, internally invalidates, and recomputes an
+//! analysis mid-run produces an entry stamped with its own (newer)
+//! cursor, so the journal never replays edits onto a tree that already
+//! reflects them.
+//!
+//! # Invalidation tiers
 //!
 //! | tier | trigger | effect |
 //! |---|---|---|
 //! | **all** | block/edge surgery, provenance unknown | [`AnalysisManager::invalidate_all`] drops every entry |
-//! | **values** | instruction-only changes (φ insertion, peepholes, DCE) | [`AnalysisManager::invalidate_values`] drops only the instruction-sensitive analyses; [`Cfg`], [`DomTree`], [`PostDomTree`], [`LoopInfo`] survive |
-//! | **dirty-set** | any changes, *tracked by the `darm-ir` mutation journal* | [`AnalysisManager::update_after`] replays exactly what changed and keeps, updates-in-place, or drops each entry accordingly |
+//! | **values** | instruction-only changes (φ insertion, peepholes, DCE) | [`AnalysisManager::invalidate_values`] drops only the instruction-sensitive analyses |
+//! | **dirty-set** | any journaled mutation | reconcile-on-read as above; [`AnalysisManager::update_after`] runs the same reconciliation eagerly over every slot |
 //!
 //! The first two tiers are driven by what a pass *reports* (a
 //! [`PreservedAnalyses`] summary applied via [`AnalysisManager::retain`],
-//! or direct invalidation during a run). The third tier inverts the burden
-//! of proof: instead of trusting a pass's summary, the manager replays the
-//! journal window since it last looked ([`AnalysisManager::update_after`])
-//! and decides per analysis —
-//!
-//! * a clean window keeps everything;
-//! * an instruction-only window keeps the shape analyses, re-seeds
-//!   [`Liveness`] from the dirty blocks only, and drops
-//!   [`DivergenceAnalysis`] (divergence may *shrink* under rewrites, which
-//!   a monotone incremental update cannot express);
-//! * a window whose block-graph edits match a supported local pattern
-//!   (edge subdivision, insertion-only batches — see
-//!   [`DomTree::try_update`]) updates the dominator and post-dominator
-//!   trees in place, bit-identical to a fresh recompute;
-//! * anything else drops what it must, never more.
-//!
-//! A pass should report `PreservedAnalyses::all()` and let `update_after`
-//! arbitrate when it runs under a dirty-tracking driver; report the
-//! coarser tiers when it manages invalidation by hand. Reports can only
-//! *drop* entries, never resurrect stale ones, so an over-conservative
-//! report costs recomputation, never correctness.
+//! or direct invalidation during a run) and remain for drivers that
+//! manage invalidation by hand. The dirty-set tier inverts the burden of
+//! proof: the journal, not the pass's summary, decides what survives.
+//! Journal-arbitrated pipelines (`PipelineOptions::journal_sync` in
+//! `darm-pipeline`) run [`AnalysisManager::update_after_with_report`]
+//! after every pass — the pass's report can then only *extend* validity
+//! (vouching for entries across the pass's own window, e.g. DCE proving
+//! divergence intact), never resurrect an entry the journal would
+//! otherwise have condemned.
 //!
 //! [`AnalysisManager::counters`] exposes how many computations, cache hits
 //! and in-place updates occurred — `darm meld --time-passes` prints the
-//! per-pass split.
+//! per-pass split, including the deletion-batch share.
 
 use crate::cfg::Cfg;
 use crate::divergence::DivergenceAnalysis;
@@ -82,6 +103,106 @@ pub trait Analysis: Sized + Send + Sync + 'static {
 
     /// Computes the analysis for the current state of `func`.
     fn compute(func: &Function, am: &mut AnalysisManager) -> Self;
+
+    /// Reconciles a cached result with the journal window since `cursor`
+    /// (pre-classified as `probe`, never [`WindowProbe::Clean`]). The
+    /// default keeps shape-only results across instruction-only windows
+    /// and drops everything else; the dominator trees and liveness
+    /// override it with in-place updates.
+    fn refresh(
+        _old: &Self,
+        _func: &Function,
+        _am: &mut AnalysisManager,
+        probe: WindowProbe,
+        _cursor: JournalCursor,
+    ) -> Refresh<Self> {
+        match probe {
+            WindowProbe::InstsOnly { .. } if Self::SHAPE_ONLY => Refresh::Keep,
+            _ => Refresh::Drop,
+        }
+    }
+}
+
+/// Outcome of reconciling one cached entry with its mutation window (see
+/// [`Analysis::refresh`]).
+pub enum Refresh<A> {
+    /// The window cannot have broken the entry: keep it as-is.
+    Keep,
+    /// The entry absorbed the window in place.
+    Update {
+        /// The refreshed result.
+        value: A,
+        /// Whether the window net-deleted edges — the batch shape counted
+        /// by [`AnalysisCounters::in_place_deletion_updates`].
+        deletion_batch: bool,
+    },
+    /// The entry cannot survive the window: drop and recompute on demand.
+    Drop,
+}
+
+/// Shared dominator/post-dominator refresh: absorb block-graph windows via
+/// `try_update`, bounded by the edit-batch cap.
+fn tree_refresh<A>(
+    func: &Function,
+    am: &mut AnalysisManager,
+    probe: WindowProbe,
+    cursor: JournalCursor,
+    win_scale: usize,
+    viable: impl Fn(&[darm_ir::CfgEdit]) -> bool,
+    apply: impl FnOnce(&EditSummary, &Cfg) -> Option<A>,
+) -> Refresh<A> {
+    // Attempt the in-place update only when the batch is small *relative
+    // to the function* — decided from the O(1) probe metadata alone, before
+    // any replay or normalization is paid. A window whose event count
+    // rivals the block count (meld surgery rewriting most of a small
+    // kernel) perturbs most of the tree: the affected-subtree rebuild
+    // would converge on the same work as the recompute it replaces, plus
+    // anchoring overhead. Small batches relative to the function (a folded
+    // branch, an elided landing pad, region surgery inside a big kernel)
+    // are where the update wins. `win_scale` sets how much smaller the
+    // batch must be: the forward tree (1) reuses the CFG snapshot's
+    // predecessor lists and iterates only the affected region, while the
+    // reversed tree (4) must rebuild the reversed graph and its postorder
+    // wholesale — near the cost of the recompute it replaces — so it only
+    // pays off against far smaller batches.
+    let cheap_window = |shape_events: usize| shape_events * win_scale <= func.live_block_count();
+    match probe {
+        WindowProbe::InstsOnly { .. } => Refresh::Keep,
+        WindowProbe::Shape { shape_events, .. } if cheap_window(shape_events) => {
+            let head = func.journal_head();
+            // Replay the raw block-graph slice of the window (cheap — no
+            // bitsets) and let the tree's endpoint pre-filter reject
+            // unprofitable batches before normalization is paid.
+            let mut edits = std::mem::take(&mut am.edits_scratch);
+            let ok = func.cfg_edits_since(cursor, &mut edits);
+            if !ok || !viable(&edits) {
+                am.edits_scratch = edits;
+                return Refresh::Drop;
+            }
+            // The dominator and post-dominator trees usually carry the
+            // same window: normalize it once and memoize.
+            let summary = match am.tree_window_memo.take() {
+                Some(memo) if memo.from == cursor && memo.to == head => memo.summary,
+                _ => EditSummary::normalize(func, &edits),
+            };
+            am.edits_scratch = edits;
+            let cfg = am.get::<Cfg>(func);
+            let refreshed = match apply(&summary, &cfg) {
+                Some(value) => Refresh::Update {
+                    value,
+                    deletion_batch: summary.has_deletions(),
+                },
+                None => Refresh::Drop,
+            };
+            am.tree_window_memo = Some(TreeWindowMemo {
+                from: cursor,
+                to: head,
+                summary,
+            });
+            refreshed
+        }
+        _ => Refresh::Drop,
+    }
 }
 
 impl Analysis for Cfg {
@@ -103,6 +224,24 @@ impl Analysis for DomTree {
         let cfg = am.get::<Cfg>(func);
         DomTree::new(func, &cfg)
     }
+
+    fn refresh(
+        old: &DomTree,
+        func: &Function,
+        am: &mut AnalysisManager,
+        probe: WindowProbe,
+        cursor: JournalCursor,
+    ) -> Refresh<DomTree> {
+        tree_refresh(
+            func,
+            am,
+            probe,
+            cursor,
+            1,
+            |edits| old.absorb_viable(edits),
+            |summary, cfg| old.try_update(func, cfg, summary),
+        )
+    }
 }
 
 impl Analysis for PostDomTree {
@@ -113,6 +252,24 @@ impl Analysis for PostDomTree {
     fn compute(func: &Function, am: &mut AnalysisManager) -> PostDomTree {
         let cfg = am.get::<Cfg>(func);
         PostDomTree::new(func, &cfg)
+    }
+
+    fn refresh(
+        old: &PostDomTree,
+        func: &Function,
+        am: &mut AnalysisManager,
+        probe: WindowProbe,
+        cursor: JournalCursor,
+    ) -> Refresh<PostDomTree> {
+        tree_refresh(
+            func,
+            am,
+            probe,
+            cursor,
+            4,
+            |edits| old.absorb_viable(edits),
+            |summary, cfg| old.try_update(func, cfg, summary),
+        )
     }
 }
 
@@ -151,6 +308,32 @@ impl Analysis for Liveness {
     fn compute(func: &Function, am: &mut AnalysisManager) -> Liveness {
         let cfg = am.get::<Cfg>(func);
         Liveness::with_cfg(func, &cfg)
+    }
+
+    fn refresh(
+        old: &Liveness,
+        func: &Function,
+        am: &mut AnalysisManager,
+        probe: WindowProbe,
+        cursor: JournalCursor,
+    ) -> Refresh<Liveness> {
+        // Instruction-only windows re-seed the dataflow from the dirty
+        // blocks (the block graph is intact, so the current CFG snapshot
+        // is the snapshot of the window's own state).
+        match probe {
+            WindowProbe::InstsOnly { .. } => {
+                let delta = func.dirty_since(cursor);
+                if delta.is_saturated() {
+                    return Refresh::Drop;
+                }
+                let cfg = am.get::<Cfg>(func);
+                Refresh::Update {
+                    value: old.updated(func, &cfg, &delta.blocks),
+                    deletion_batch: false,
+                }
+            }
+            _ => Refresh::Drop,
+        }
     }
 }
 
@@ -211,11 +394,17 @@ impl PreservedAnalyses {
 
 /// One cache slot: the result plus its shape-only flag and name (captured
 /// at insertion so [`AnalysisManager::retain`] can filter without knowing
-/// the concrete types).
+/// the concrete types), and the journal cursor of the function state the
+/// entry is valid for — [`AnalysisManager::update_after`] reconciles every
+/// entry against *its own* window, so entries computed mid-pass (after a
+/// transform's internal invalidation) are never replayed against edits
+/// they already reflect.
+#[derive(Clone)]
 struct Slot {
     value: Arc<dyn Any + Send + Sync>,
     shape_only: bool,
     name: &'static str,
+    cursor: JournalCursor,
 }
 
 /// Totals of the manager's bookkeeping, for per-pass attribution in
@@ -229,6 +418,11 @@ pub struct AnalysisCounters {
     pub hits: usize,
     /// Entries refreshed in place by [`AnalysisManager::update_after`].
     pub updates: usize,
+    /// The subset of `updates` that absorbed a *deletion-containing* edit
+    /// batch via the affected-subtree rule (see
+    /// [`DomTree::try_update`]) — the meld-surgery shape that used to force
+    /// a full dominator recompute.
+    pub in_place_deletion_updates: usize,
 }
 
 impl AnalysisCounters {
@@ -238,6 +432,8 @@ impl AnalysisCounters {
             computes: self.computes - earlier.computes,
             hits: self.hits - earlier.hits,
             updates: self.updates - earlier.updates,
+            in_place_deletion_updates: self.in_place_deletion_updates
+                - earlier.in_place_deletion_updates,
         }
     }
 }
@@ -252,6 +448,19 @@ pub struct AnalysisManager {
     counters: AnalysisCounters,
     cursor: Option<JournalCursor>,
     dom_checkpoint: Option<(JournalCursor, Arc<DomTree>)>,
+    /// Memoized normalized edit summary of the window `[from, to)` — the
+    /// dominator and post-dominator trees usually reconcile the same
+    /// window back to back, and normalization is the expensive half.
+    tree_window_memo: Option<TreeWindowMemo>,
+    /// Reused replay buffer for [`Function::cfg_edits_since`].
+    edits_scratch: Vec<darm_ir::CfgEdit>,
+}
+
+/// See [`AnalysisManager::tree_window_memo`].
+struct TreeWindowMemo {
+    from: JournalCursor,
+    to: JournalCursor,
+    summary: EditSummary,
 }
 
 impl std::fmt::Debug for AnalysisManager {
@@ -271,25 +480,66 @@ impl AnalysisManager {
         AnalysisManager::default()
     }
 
-    /// Returns analysis `A` for the current state of `func`, computing and
-    /// caching it if absent.
+    /// Returns analysis `A` for the current state of `func` — serving the
+    /// cache, *reconciling on read* (a cached entry whose journal window
+    /// is non-clean is kept, updated in place, or dropped per
+    /// [`Analysis::refresh`]), or computing from scratch. Reconciliation
+    /// happens lazily at query time, so mutation-heavy stretches coalesce
+    /// into one window per entry instead of paying per edit batch.
     pub fn get<A: Analysis>(&mut self, func: &Function) -> Arc<A> {
-        if let Some(slot) = &self.slots[A::SLOT] {
-            self.counters.hits += 1;
-            return slot
-                .value
-                .clone()
-                .downcast::<A>()
-                .expect("cache slot type matches key");
+        match self.reconcile::<A>(func, true) {
+            Some(value) => value,
+            None => {
+                let value = Arc::new(A::compute(func, self));
+                self.note_computed(A::NAME);
+                self.put(func, value.clone());
+                value
+            }
         }
-        let value = Arc::new(A::compute(func, self));
-        self.note_computed(A::NAME);
-        self.slots[A::SLOT] = Some(Slot {
-            value: value.clone(),
-            shape_only: A::SHAPE_ONLY,
-            name: A::NAME,
-        });
-        value
+    }
+
+    /// Reconciles the cached `A` (if any) with the journal window since it
+    /// was last validated, returning the surviving value. `count_hit`
+    /// controls whether an entry served unchanged counts as a cache hit
+    /// (query paths) or not (eager [`AnalysisManager::update_after`]
+    /// sweeps).
+    fn reconcile<A: Analysis>(&mut self, func: &Function, count_hit: bool) -> Option<Arc<A>> {
+        let slot = self.slots[A::SLOT].as_ref()?;
+        let cursor = slot.cursor;
+        let value = slot
+            .value
+            .clone()
+            .downcast::<A>()
+            .expect("cache slot type matches key");
+        let probe = func.probe_since(cursor);
+        if matches!(probe, WindowProbe::Clean) {
+            if count_hit {
+                self.counters.hits += 1;
+            }
+            return Some(value);
+        }
+        match A::refresh(&value, func, self, probe, cursor) {
+            Refresh::Keep => {
+                if count_hit {
+                    self.counters.hits += 1;
+                }
+                self.refresh_cursor::<A>(func.journal_head());
+                Some(value)
+            }
+            Refresh::Update {
+                value,
+                deletion_batch,
+            } => {
+                let value = Arc::new(value);
+                self.put(func, value.clone());
+                self.note_updated(A::NAME, deletion_batch);
+                Some(value)
+            }
+            Refresh::Drop => {
+                self.slots[A::SLOT] = None;
+                None
+            }
+        }
     }
 
     /// The cached `A`, if present (no computation, not counted as a hit).
@@ -302,12 +552,21 @@ impl AnalysisManager {
         })
     }
 
-    fn put<A: Analysis>(&mut self, value: Arc<A>) {
+    fn put<A: Analysis>(&mut self, func: &Function, value: Arc<A>) {
         self.slots[A::SLOT] = Some(Slot {
             value,
             shape_only: A::SHAPE_ONLY,
             name: A::NAME,
+            cursor: func.journal_head(),
         });
+    }
+
+    /// Stamps the cached `A` (if any) as valid for the function's current
+    /// state — called after a reconciliation proves the entry survived.
+    fn refresh_cursor<A: Analysis>(&mut self, head: JournalCursor) {
+        if let Some(slot) = &mut self.slots[A::SLOT] {
+            slot.cursor = head;
+        }
     }
 
     /// Drops the cached `A`, if present.
@@ -339,7 +598,11 @@ impl AnalysisManager {
     /// standing cache contract). Call once before a dirty-tracked driver
     /// starts interleaving mutations with [`AnalysisManager::update_after`].
     pub fn observe(&mut self, func: &Function) {
-        self.cursor = Some(func.journal_head());
+        let head = func.journal_head();
+        self.cursor = Some(head);
+        for slot in self.slots.iter_mut().flatten() {
+            slot.cursor = head;
+        }
     }
 
     /// Publishes a *repair checkpoint*: the dominator tree of the
@@ -362,69 +625,81 @@ impl AnalysisManager {
     /// [`observe`](AnalysisManager::observe)/`update_after` (an O(1) probe
     /// on the journal) and reconciles every cached entry with what
     /// actually changed — keeping entries untouched windows cannot have
-    /// broken, updating dominator trees in place for supported local edit
-    /// patterns, re-seeding liveness from the dirty blocks, and dropping
-    /// the rest. The full event replay is paid only when a cached entry
-    /// can actually profit from it; wide windows (wholesale region
-    /// rewrites) degrade straight to
-    /// [`invalidate_all`](AnalysisManager::invalidate_all), as does a
-    /// missing cursor or a saturated journal.
+    /// broken, updating dominator trees in place (including
+    /// deletion-containing batches, via the affected-subtree rule),
+    /// re-seeding liveness from the dirty blocks, and dropping the rest.
     ///
-    /// Returns the window classification.
+    /// Each entry is reconciled against *its own* window: slots remember
+    /// the journal cursor of the state they were computed (or last
+    /// validated) for, so an entry a transform recomputed mid-pass — after
+    /// its internal invalidation — is never replayed against edits it
+    /// already reflects. Wide windows and a saturated journal degrade to
+    /// dropping; a missing manager cursor degrades to
+    /// [`invalidate_all`](AnalysisManager::invalidate_all).
+    ///
+    /// Returns the classification of the *manager-level* window (since the
+    /// last `observe`/`update_after`).
     pub fn update_after(&mut self, func: &Function) -> WindowProbe {
-        /// Block-graph windows wider than this skip the incremental
-        /// dominator attempt outright — they fall back to recompute
-        /// anyway, and normalizing hundreds of edge events costs more
-        /// than the recompute.
-        const EDIT_BATCH_CAP: usize = 48;
         let probe = match self.cursor {
             Some(cursor) => func.probe_since(cursor),
             None => WindowProbe::Saturated,
         };
-        let cursor = self.cursor.replace(func.journal_head());
+        self.cursor = Some(func.journal_head());
         match probe {
-            WindowProbe::Clean => {}
-            WindowProbe::Saturated => self.invalidate_all(),
-            WindowProbe::InstsOnly { .. } => {
-                // Shape analyses stay; liveness can be re-seeded from the
-                // dirty blocks (the only consumer of the replay here);
-                // divergence may shrink under rewrites, so it recomputes
-                // (against the warm CFG/dom/postdom).
-                self.invalidate::<DivergenceAnalysis>();
-                match (self.cached::<Liveness>(), self.cached::<Cfg>()) {
-                    (Some(live), Some(cfg)) => {
-                        let delta = func.dirty_since(cursor.expect("probed via cursor"));
-                        let updated = live.updated(func, &cfg, &delta.blocks);
-                        self.put(Arc::new(updated));
-                        self.note_updated(Liveness::NAME);
-                    }
-                    _ => self.invalidate::<Liveness>(),
-                }
-            }
-            WindowProbe::Shape { shape_events, .. } => {
-                let had_dom = self.cached::<DomTree>();
-                let had_pdt = self.cached::<PostDomTree>();
-                let try_incremental =
-                    (had_dom.is_some() || had_pdt.is_some()) && shape_events <= EDIT_BATCH_CAP;
+            // Slots installed before the manager's window opened were
+            // validated then; slots installed inside it are newer still —
+            // a clean manager window keeps everything.
+            WindowProbe::Clean => return probe,
+            WindowProbe::Saturated => {
                 self.invalidate_all();
-                if try_incremental {
-                    let delta = func.dirty_since(cursor.expect("probed via cursor"));
-                    if !delta.is_saturated() {
-                        let summary = EditSummary::normalize(func, &delta.edits);
-                        let cfg = self.get::<Cfg>(func);
-                        if let Some(old) = had_dom {
-                            if let Some(updated) = old.try_update(func, &cfg, &summary) {
-                                self.put(Arc::new(updated));
-                                self.note_updated(DomTree::NAME);
-                            }
-                        }
-                        if let Some(old) = had_pdt {
-                            if let Some(updated) = old.try_update(func, &cfg, &summary) {
-                                self.put(Arc::new(updated));
-                                self.note_updated(PostDomTree::NAME);
-                            }
-                        }
-                    }
+                return probe;
+            }
+            _ => {}
+        }
+        // Eagerly reconcile every cached entry against its own window
+        // (CFG first so the tree updates pull a valid snapshot through
+        // the cache). Entries served unchanged do not count as hits here.
+        self.reconcile::<Cfg>(func, false);
+        self.reconcile::<DomTree>(func, false);
+        self.reconcile::<PostDomTree>(func, false);
+        self.reconcile::<LoopInfo>(func, false);
+        self.reconcile::<Liveness>(func, false);
+        self.reconcile::<DivergenceAnalysis>(func, false);
+        probe
+    }
+
+    /// The journal-arbitrated analogue of
+    /// [`retain`](AnalysisManager::retain), run by `journal_sync`
+    /// pipelines (`darm-pipeline`) after every pass: entries the pass's
+    /// [`PreservedAnalyses`] report vouches for are stamped valid for the
+    /// current state (the pass proved it preserved them across its
+    /// mutations); everything else keeps its old validity cursor and is
+    /// reconciled *lazily* at its next query — where the journal keeps,
+    /// updates in place, or drops it. The union is sound — an entry
+    /// survives only if the report vouches for it or the journal proves
+    /// its window harmless — and strictly finer than either side alone.
+    ///
+    /// `pass_start` is the journal cursor captured just before the pass
+    /// ran: the report vouches for the `[pass_start, now)` window *only*,
+    /// so an entry still carrying an older unreconciled window keeps its
+    /// cursor and revalidates lazily instead of having that pending
+    /// window silently erased.
+    pub fn update_after_with_report(
+        &mut self,
+        func: &Function,
+        preserved: &PreservedAnalyses,
+        pass_start: JournalCursor,
+    ) -> WindowProbe {
+        let probe = match self.cursor {
+            Some(cursor) => func.probe_since(cursor),
+            None => WindowProbe::Saturated,
+        };
+        let head = func.journal_head();
+        self.cursor = Some(head);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(slot) = slot {
+                if slot.cursor == pass_start && preserved.keeps(i, slot.shape_only) {
+                    slot.cursor = head;
                 }
             }
         }
@@ -472,8 +747,11 @@ impl AnalysisManager {
         }
     }
 
-    fn note_updated(&mut self, _name: &'static str) {
+    fn note_updated(&mut self, _name: &'static str, deletion_batch: bool) {
         self.counters.updates += 1;
+        if deletion_batch {
+            self.counters.in_place_deletion_updates += 1;
+        }
     }
 }
 

@@ -56,6 +56,29 @@ fn apply_edit(f: &mut Function, op: u8, x: u8, y: u8) {
     let n = blocks.len();
     let u = blocks[x as usize % n];
     let v = blocks[y as usize % n];
+    if op % 5 == 4 {
+        // Tombstone an unreachable block outright (meld cleanup's
+        // remove-unreachable — a deletion-heavy batch component), clearing
+        // φ entries that name it. `remove_block`'s contract requires every
+        // in-edge gone first — including stale edges from other
+        // *unreachable* blocks, which a later edit could otherwise
+        // resurrect into a live edge pointing at a tombstone.
+        let cfg = Cfg::new(f);
+        let Some(b) = blocks.iter().copied().find(|&b| {
+            b != f.entry()
+                && !cfg.is_reachable(b)
+                && !blocks.iter().any(|&p| p != b && f.succs(p).contains(&b))
+        }) else {
+            return;
+        };
+        for s in f.succs(b) {
+            if f.is_block_alive(s) {
+                f.phi_remove_incoming(s, b);
+            }
+        }
+        f.remove_block(b);
+        return;
+    }
     match op % 4 {
         // Split every edge u → first-succ through a fresh block.
         0 => {
@@ -187,6 +210,80 @@ fn ret_to_duplicate_branch_is_a_reverse_deletion() {
     assert_pdt_eq(&fresh, &got, &f, "ret-to-branch");
 }
 
+/// Pinned regression for the *back-edge-covered deletion* case: a deleted
+/// edge `(b, v)` whose target keeps a forward entry through `c` and a back
+/// edge from `w` — the remaining-predecessor analysis must not mistake the
+/// back edge for an entry path, and the affected-subtree rebuild must land
+/// (not fall back to recompute) with an exact result on both trees. The
+/// side chain `q1..q5` keeps the anchor's subtree under half the function
+/// so the profitability gate admits the update.
+#[test]
+fn back_edge_covered_deletion_updates_in_place() {
+    let mut f = Function::new("bee", vec![Type::I32], Type::Void);
+    let entry = f.entry();
+    let p = f.add_block("p");
+    let b = f.add_block("b");
+    let c = f.add_block("c");
+    let v = f.add_block("v");
+    let w = f.add_block("w");
+    let x = f.add_block("x");
+    let qs: Vec<BlockId> = (1..=5).map(|i| f.add_block(&format!("q{i}"))).collect();
+    let mut fb = FunctionBuilder::new(&mut f, entry);
+    let c0 = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(0));
+    fb.br(c0, p, qs[0]);
+    fb.switch_to(p);
+    let c1 = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(1));
+    fb.br(c1, b, c);
+    fb.switch_to(b);
+    fb.jump(v);
+    fb.switch_to(c);
+    fb.jump(v);
+    fb.switch_to(v);
+    fb.jump(w);
+    fb.switch_to(w);
+    let c2 = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(2));
+    fb.br(c2, v, x); // back edge w → v
+    fb.switch_to(x);
+    fb.ret(None);
+    for (i, &q) in qs.iter().enumerate() {
+        fb.switch_to(q);
+        match qs.get(i + 1) {
+            Some(&next) => fb.jump(next),
+            None => fb.ret(None),
+        }
+    }
+
+    let cfg0 = Cfg::new(&f);
+    let dom = DomTree::new(&f, &cfg0);
+    let pdt = PostDomTree::new(&f, &cfg0);
+    let cursor = f.journal_head();
+    // The deletion: collapse p's branch so only the c arm feeds v; b
+    // becomes unreachable and v keeps {c, w-back-edge} as predecessors.
+    let term = f.terminator(p).unwrap();
+    f.remove_inst(term);
+    f.add_inst(
+        p,
+        InstData::terminator(darm_ir::Opcode::Jump, vec![], vec![c]),
+    );
+    let delta = f.dirty_since(cursor);
+    let summary = EditSummary::normalize(&f, &delta.edits);
+    assert!(
+        summary.has_deletions(),
+        "the window must net-delete an edge"
+    );
+    let cfg = Cfg::new(&f);
+    let fresh_dom = DomTree::new(&f, &cfg);
+    let fresh_pdt = PostDomTree::new(&f, &cfg);
+    let up_dom = dom
+        .try_update(&f, &cfg, &summary)
+        .expect("deletion batch with a deep anchor must update in place");
+    assert_dom_eq(&fresh_dom, &up_dom, &f, "pinned domtree");
+    let up_pdt = pdt
+        .try_update(&f, &cfg, &summary)
+        .expect("reversed-graph deletion batch must update in place");
+    assert_pdt_eq(&fresh_pdt, &up_pdt, &f, "pinned postdomtree");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -205,6 +302,7 @@ proptest! {
         for &(op, x, y) in &edits {
             let cursor = f.journal_head();
             let cap_before = f.block_capacity();
+            let pre = std::env::var_os("PROP_DEBUG").map(|_| f.to_string());
             apply_edit(&mut f, op, x, y);
             let delta = f.dirty_since(cursor);
             let cfg = Cfg::new(&f);
@@ -217,6 +315,16 @@ proptest! {
                         .any(|i| fresh_dom.idom(BlockId::new(i)) != updated.idom(BlockId::new(i)));
                     if bad {
                         eprintln!("script={script:?}\nedit=({op},{x},{y})\nsummary={summary:?}\nfn:\n{f}");
+                        eprintln!("pre-edit fn:\n{}", pre.as_deref().unwrap_or(""));
+                        for i in 0..f.block_capacity() {
+                            let b = BlockId::new(i);
+                            eprintln!(
+                                "  idom({i}): old={:?} fresh={:?} updated={:?}",
+                                dom.idom(b),
+                                fresh_dom.idom(b),
+                                updated.idom(b)
+                            );
+                        }
                     }
                 }
                 assert_dom_eq(&fresh_dom, &updated, &f, "domtree");
@@ -230,7 +338,59 @@ proptest! {
                 }
             }
             if let Some(updated) = pdt.try_update(&f, &cfg, &summary) {
+                if std::env::var_os("PROP_DEBUG").is_some() {
+                    let bad = (0..f.block_capacity())
+                        .any(|i| fresh_pdt.ipdom(BlockId::new(i)) != updated.ipdom(BlockId::new(i)));
+                    if bad {
+                        eprintln!("script={script:?}\nedit=({op},{x},{y})\nsummary={summary:?}\nfn:\n{f}");
+                    }
+                }
                 assert_pdt_eq(&fresh_pdt, &updated, &f, "postdomtree");
+            }
+            dom = fresh_dom;
+            pdt = fresh_pdt;
+        }
+    }
+
+    /// Meld surgery arrives as *batches*: several blocks unlinked, branches
+    /// collapsed, landing pads split and unreachable remnants tombstoned
+    /// between two analysis queries. When `try_update` accepts such a
+    /// deletion-containing window it must produce exactly the trees a
+    /// fresh computation produces.
+    #[test]
+    fn incremental_trees_equal_fresh_under_batched_deletions(
+        script in proptest::collection::vec(any::<u8>(), 6..36),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..7),
+            1..5,
+        ),
+    ) {
+        let mut f = build_cfg(&script);
+        let cfg0 = Cfg::new(&f);
+        let mut dom = DomTree::new(&f, &cfg0);
+        let mut pdt = PostDomTree::new(&f, &cfg0);
+        for batch in &batches {
+            let cursor = f.journal_head();
+            for &(op, x, y) in batch {
+                apply_edit(&mut f, op, x, y);
+            }
+            let delta = f.dirty_since(cursor);
+            let cfg = Cfg::new(&f);
+            let fresh_dom = DomTree::new(&f, &cfg);
+            let fresh_pdt = PostDomTree::new(&f, &cfg);
+            let summary = EditSummary::normalize(&f, &delta.edits);
+            if let Some(updated) = dom.try_update(&f, &cfg, &summary) {
+                assert_dom_eq(&fresh_dom, &updated, &f, "batched domtree");
+            }
+            if let Some(updated) = pdt.try_update(&f, &cfg, &summary) {
+                if std::env::var_os("PROP_DEBUG").is_some() {
+                    let bad = (0..f.block_capacity())
+                        .any(|i| fresh_pdt.ipdom(BlockId::new(i)) != updated.ipdom(BlockId::new(i)));
+                    if bad {
+                        eprintln!("script={script:?}\nbatch={batch:?}\nsummary={summary:?}\nfn:\n{f}");
+                    }
+                }
+                assert_pdt_eq(&fresh_pdt, &updated, &f, "batched postdomtree");
             }
             dom = fresh_dom;
             pdt = fresh_pdt;

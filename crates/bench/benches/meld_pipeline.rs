@@ -13,26 +13,36 @@
 //! compile time alone.
 //!
 //! Bounds (asserted in measured mode):
-//! * **Hard floor ≥ 1.10×** geomean — the incremental rework must beat the
+//! * **Hard floor ≥ 1.15×** geomean — the incremental rework must beat the
 //!   PR 2 driver by a clear margin even on a noisy machine.
-//! * **Target 1.25×** — printed against the measurement. Quiet-machine
-//!   runs land around 1.2×: the remaining gap is Amdahl's law, not
-//!   recompute — the melding planner/codegen shared by both drivers
-//!   dominates these paper-sized kernels, while the phases this rework
-//!   attacked (analysis recompute, cleanup rescans) measure ~1.6× on
-//!   their own (see the no-op rescan figure the bench prints).
+//! * **Target 1.25×** — printed against the measurement, and reached on a
+//!   quiet machine since the deletion-capable dominator work: reconcile-
+//!   on-read analysis management (each cached entry revalidates against
+//!   its own journal window at query time, so mutation stretches coalesce)
+//!   plus in-place dominator/post-dominator updates for deletion batches
+//!   small enough to win (profitability-gated — see
+//!   `darm_analysis::dom`). The remaining gap to the PR 2 driver is the
+//!   melding planner/codegen shared by both (Amdahl); the phases this
+//!   line of work attacked measure ~1.7× on their own (the no-op rescan
+//!   figure below, floor ≥ 1.50×).
 //!
 //! `cargo bench --bench meld_pipeline` — measure.
 //! `cargo bench --bench meld_pipeline -- --test` — smoke mode: bit-identity
 //! cross-check of the incremental driver vs the frozen PR 2 driver vs the
-//! pre-pipeline reference oracle on every fig8 kernel × {DARM, BF}, plus a
+//! pre-pipeline reference oracle on every fig8 kernel × {DARM, BF}, a
 //! reduced-iteration no-regression guard (geomean ≥ 1.0× with a 5%
-//! timer-noise allowance) — the CI gate.
+//! timer-noise allowance), and an `in_place_deletion_updates > 0` check
+//! that deletion windows really do update trees in place — the CI gate.
+//! With `DARM_BENCH_JSON=path` both modes also record their ratios for
+//! the perf-gate trajectory (see `darm_bench::perfjson`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use darm_bench::{fig8_cases, geomean};
+use darm_bench::{fig8_cases, geomean, perfjson};
 use darm_kernels::BenchCase;
-use darm_melding::{meld_function, meld_function_pr2, meld_function_reference, MeldConfig};
+use darm_melding::{
+    meld_function, meld_function_pr2, meld_function_reference, run_meld_pipeline, MeldConfig,
+};
+use darm_pipeline::PipelineOptions;
 use std::time::Instant;
 
 /// Times `f` over enough repetitions to fill ~20 ms, returning seconds per
@@ -122,12 +132,42 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // Deletion windows must actually update trees in place somewhere on
+    // the sweep — the `--time-passes` counter the deletion-capable
+    // dominator work is measured by.
+    let deletion_updates: usize = cases
+        .iter()
+        .map(|case| {
+            let mut f = case.func.clone();
+            let out = run_meld_pipeline(
+                &mut f,
+                &config,
+                PipelineOptions {
+                    time_passes: true,
+                    ..PipelineOptions::default()
+                },
+            )
+            .expect("meld pipeline runs");
+            out.report
+                .passes
+                .iter()
+                .map(|p| p.analysis.in_place_deletion_updates)
+                .sum::<usize>()
+        })
+        .sum();
+    println!("in-place deletion updates across the fig8 sweep: {deletion_updates}");
+    assert!(
+        deletion_updates > 0,
+        "no deletion-containing window updated a dominator tree in place"
+    );
+
     if test_mode {
         // Smoke-sized no-regression guard: the incremental driver must not
         // be slower than the PR 2 driver (5% timer-noise allowance).
         let speedups = compare(&cases, &config, 2);
         let gm = geomean(speedups.iter().copied());
         println!("meld_pipeline guard: smoke geomean {gm:.3}x vs PR 2 driver (bound: >= 0.95)");
+        perfjson::record("meld_pipeline/smoke_vs_pr2", gm);
         assert!(
             gm >= 0.95,
             "incremental driver regressed below the PR 2 driver ({gm:.3}x)"
@@ -195,15 +235,17 @@ fn bench(c: &mut Criterion) {
     }
     let gm_rescan = geomean(rescans.iter().copied());
     println!("no-op rescan geomean (the attacked phase): {gm_rescan:.2}x");
-    println!("hard floor: >= 1.10x end-to-end geomean");
+    perfjson::record("measured/meld_pipeline/end_to_end_vs_pr2", gm);
+    perfjson::record("measured/meld_pipeline/rescan_vs_pr2", gm_rescan);
+    println!("hard floor: >= 1.15x end-to-end geomean, >= 1.50x on the rescan phase");
     println!("target: >= 1.25x — measured {gm:.2}x end-to-end; the remainder is the");
     println!("melding planner/codegen shared by both drivers (Amdahl), not recompute");
     assert!(
-        gm >= 1.10,
+        gm >= 1.15,
         "incremental driver fell below the hard floor vs the PR 2 driver ({gm:.2}x)"
     );
     assert!(
-        gm_rescan >= 1.25,
+        gm_rescan >= 1.50,
         "incremental rescan phase fell below its bound ({gm_rescan:.2}x)"
     );
 }

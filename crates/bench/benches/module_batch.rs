@@ -10,10 +10,12 @@
 //! `cargo bench --bench module_batch` — measure serial vs parallel.
 //! `cargo bench --bench module_batch -- --test` — smoke mode (the CI
 //! gate): one serial and one `--jobs 2` run over the whole suite, asserted
-//! bit-identical, plus per-function report shape checks.
+//! bit-identical, plus a check that the worker pool's schedule really is
+//! largest-kernel-first. With `DARM_BENCH_JSON=path` both modes record
+//! the serial-vs-parallel wall ratio for the perf-gate trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use darm_bench::{fig8_cases, fig9_cases, suite_module};
+use darm_bench::{fig8_cases, fig9_cases, perfjson, suite_module};
 use darm_ir::Module;
 use darm_kernels::BenchCase;
 use darm_melding::MeldConfig;
@@ -52,8 +54,37 @@ fn bench(c: &mut Criterion) {
     let module = suite_module("fig8+fig9", &cases);
     let registry = darm_melding::registry(&MeldConfig::default());
 
+    // Cross-kernel scheduling guard, in both modes: the worker pool must
+    // claim kernels largest-first (descending live block + inst count,
+    // input order breaking ties) — the fig8+fig9 suite is size-skewed, so
+    // a sorted schedule is a real reordering here.
+    {
+        let mpm = ModulePassManager::new(&registry, "meld", ModuleOptions::default())
+            .expect("the meld spec is valid");
+        let order = mpm.scheduled_order(&module);
+        let size = |i: usize| {
+            let f = &module.functions()[i];
+            f.live_block_count() + f.live_inst_count()
+        };
+        for w in order.windows(2) {
+            assert!(
+                size(w[0]) > size(w[1]) || (size(w[0]) == size(w[1]) && w[0] < w[1]),
+                "schedule not largest-first: {:?} (sizes {} vs {})",
+                w,
+                size(w[0]),
+                size(w[1])
+            );
+        }
+        assert_ne!(
+            order,
+            (0..module.len()).collect::<Vec<_>>(),
+            "suite is size-skewed; a largest-first schedule must reorder it"
+        );
+    }
+
     // Determinism guard, in both modes: a parallel run must produce a
-    // module that prints bit-identical to the serial run's.
+    // module that prints bit-identical to the serial run's despite the
+    // out-of-input-order schedule.
     let (serial, _) = meld_with_jobs(&registry, &module, 1);
     let (parallel2, _) = meld_with_jobs(&registry, &module, 2);
     assert_eq!(
@@ -64,9 +95,18 @@ fn bench(c: &mut Criterion) {
 
     if c.is_test_mode() {
         println!(
-            "module_batch guard: {} kernels, --jobs 2 bit-identical to serial",
+            "module_batch guard: {} kernels, --jobs 2 bit-identical to serial (largest-first schedule)",
             module.len()
         );
+        // Interleaved min over a few rounds: single-shot wall ratios are
+        // too noisy to gate on.
+        let (mut t1, mut t2) = (f64::MAX, f64::MAX);
+        for _ in 0..3 {
+            t1 = t1.min(meld_with_jobs(&registry, &module, 1).1);
+            t2 = t2.min(meld_with_jobs(&registry, &module, 2).1);
+        }
+        println!("module_batch smoke: --jobs 2 at {:.2}x of serial", t1 / t2);
+        perfjson::record("module_batch/jobs2_vs_serial", t1 / t2);
         return;
     }
 
@@ -97,6 +137,10 @@ fn bench(c: &mut Criterion) {
     println!(
         "parallel speedup: {:.2}x on {jobs} workers (output bit-identical to serial)",
         t_serial / t_parallel
+    );
+    perfjson::record(
+        "measured/module_batch/parallel_vs_serial",
+        t_serial / t_parallel,
     );
 }
 

@@ -48,7 +48,7 @@ fn pipeline_bit_identical_to_reference() {
 fn verify_each_holds_on_every_variant() {
     let options = PipelineOptions {
         verify_each: true,
-        time_passes: false,
+        ..PipelineOptions::default()
     };
     let registry = darm_melding::registry(&MeldConfig::default());
     for case in all_cases() {

@@ -180,6 +180,30 @@ impl MutationJournal {
         Some(self.events.len() - start)
     }
 
+    /// Replays just the [`CfgEdit`]s after `cursor` into `out` (cleared
+    /// first) — the block-graph slice of the window without the dirty
+    /// block/instruction bitsets a full [`DirtyDelta`] builds. Returns
+    /// `false` on saturation (foreign cursor, truncation, or a saturate
+    /// event inside the window).
+    pub fn cfg_edits_since(&self, cursor: JournalCursor, out: &mut Vec<CfgEdit>) -> bool {
+        out.clear();
+        if cursor.id != self.id || cursor.seq < self.base {
+            return false;
+        }
+        let start = (cursor.seq - self.base) as usize;
+        for &ev in &self.events[start.min(self.events.len())..] {
+            match ev {
+                DirtyEvent::BlockAdded(b) => out.push(CfgEdit::BlockAdded(b)),
+                DirtyEvent::BlockRemoved(b) => out.push(CfgEdit::BlockRemoved(b)),
+                DirtyEvent::EdgeInserted(u, v) => out.push(CfgEdit::EdgeInserted(u, v)),
+                DirtyEvent::EdgeDeleted(u, v) => out.push(CfgEdit::EdgeDeleted(u, v)),
+                DirtyEvent::Saturate => return false,
+                DirtyEvent::Block(_) | DirtyEvent::Inst(_) => {}
+            }
+        }
+        true
+    }
+
     /// Visits just the instruction ids touched after `cursor` (no
     /// allocation). Returns `false` on saturation.
     pub fn visit_insts_since(&self, cursor: JournalCursor, mut f: impl FnMut(InstId)) -> bool {

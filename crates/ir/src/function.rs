@@ -1,6 +1,6 @@
 //! Functions, basic blocks and instructions.
 
-use crate::dirty::{DirtyDelta, DirtyEvent, JournalCursor, MutationJournal, WindowProbe};
+use crate::dirty::{CfgEdit, DirtyDelta, DirtyEvent, JournalCursor, MutationJournal, WindowProbe};
 use crate::opcode::Opcode;
 use crate::types::Type;
 use crate::value::Value;
@@ -201,6 +201,10 @@ pub struct Function {
     entry: BlockId,
     shared: Vec<SharedArray>,
     journal: MutationJournal,
+    /// Count of non-tombstoned blocks, maintained by
+    /// `add_block`/`remove_block` so [`Function::live_block_count`] is
+    /// O(1) — it sits on the analysis manager's reconcile hot path.
+    live_blocks: usize,
 }
 
 /// Cloning starts a fresh, empty journal under a new identity: cursors
@@ -218,6 +222,7 @@ impl Clone for Function {
             entry: self.entry,
             shared: self.shared.clone(),
             journal: MutationJournal::new(),
+            live_blocks: self.live_blocks,
         }
     }
 }
@@ -236,6 +241,7 @@ impl Function {
             entry: BlockId::new(0),
             shared: Vec::new(),
             journal: MutationJournal::new(),
+            live_blocks: 0,
         };
         let entry = f.add_block("entry");
         f.entry = entry;
@@ -265,6 +271,14 @@ impl Function {
     /// anything changed).
     pub fn insts_touched_since(&self, cursor: JournalCursor, f: impl FnMut(InstId)) -> bool {
         self.journal.visit_insts_since(cursor, f)
+    }
+
+    /// Replays just the block-graph edits after `cursor` into `out`
+    /// (cleared first), skipping the bitset construction of a full
+    /// [`DirtyDelta`] — the dominator-tree updater's replay. Returns
+    /// `false` on saturation.
+    pub fn cfg_edits_since(&self, cursor: JournalCursor, out: &mut Vec<CfgEdit>) -> bool {
+        self.journal.cfg_edits_since(cursor, out)
     }
 
     /// O(1) classification of the journal window after `cursor`: clean,
@@ -380,6 +394,7 @@ impl Function {
             insts: Vec::new(),
             alive: true,
         });
+        self.live_blocks += 1;
         self.record(DirtyEvent::BlockAdded(id));
         id
     }
@@ -399,6 +414,9 @@ impl Function {
             self.record(DirtyEvent::Inst(id));
             self.record_operand_defs_of(id);
             self.dead_insts[id.index()] = true;
+        }
+        if self.blocks[b.index()].alive {
+            self.live_blocks -= 1;
         }
         self.blocks[b.index()].alive = false;
         self.record(DirtyEvent::BlockRemoved(b));
@@ -420,6 +438,14 @@ impl Function {
     /// Upper bound (exclusive) on block arena indices, for dense side tables.
     pub fn block_capacity(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Number of live (non-tombstoned) blocks — unlike
+    /// [`Function::block_capacity`] this does not grow with tombstones, so
+    /// it is the right scale for "is this edit batch small relative to the
+    /// function" decisions.
+    pub fn live_block_count(&self) -> usize {
+        self.live_blocks
     }
 
     /// Upper bound (exclusive) on instruction arena indices.
@@ -455,6 +481,16 @@ impl Function {
     pub fn terminator(&self, b: BlockId) -> Option<InstId> {
         let last = *self.blocks[b.index()].insts.last()?;
         self.inst(last).opcode.is_terminator().then_some(last)
+    }
+
+    /// Successor blocks as a borrowed slice (empty if the block has no
+    /// terminator) — the allocation-free sibling of [`Function::succs`]
+    /// for read-heavy consumers like the incremental dominator updater.
+    pub fn succ_slice(&self, b: BlockId) -> &[BlockId] {
+        match self.terminator(b) {
+            Some(t) => &self.inst(t).succs,
+            None => &[],
+        }
     }
 
     /// Successor blocks (empty if the block has no terminator yet).
@@ -650,18 +686,25 @@ impl Function {
     /// terminator. φ-nodes in `from`/`to` are *not* updated.
     pub fn replace_succ(&mut self, b: BlockId, from: BlockId, to: BlockId) {
         if let Some(t) = self.terminator(b) {
-            let mut hit = false;
+            let mut hits = 0;
             for s in &mut self.insts[t.index()].succs {
                 if *s == from {
                     *s = to;
-                    hit = true;
+                    hits += 1;
                 }
             }
-            if hit {
+            if hits > 0 {
                 self.record(DirtyEvent::Inst(t));
                 self.record(DirtyEvent::Block(b));
-                self.record(DirtyEvent::EdgeDeleted(b, from));
-                self.record(DirtyEvent::EdgeInserted(b, to));
+                // One event pair *per replaced occurrence*: a duplicate-
+                // target branch (`br c, X, X`) carries two successor
+                // entries, and the journal's edge multiset arithmetic
+                // (`EditSummary::normalize`) is only exact when every
+                // entry's flip is recorded.
+                for _ in 0..hits {
+                    self.record(DirtyEvent::EdgeDeleted(b, from));
+                    self.record(DirtyEvent::EdgeInserted(b, to));
+                }
             }
         }
     }

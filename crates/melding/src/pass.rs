@@ -5,11 +5,13 @@
 //! divergence snapshot from the cache instead of recomputing it wholesale,
 //! candidate regions are detected exactly once per scan (the sizing pass
 //! memoizes them for the processing loop), and the post-meld cleanup runs
-//! as an inner pipeline (`ssa-repair`, `instcombine`, `simplify`, `dce`)
-//! whose passes invalidate only what they break. Analyses therefore
-//! survive across everything that does not move blocks or edges —
-//! region-entry simplification and `meld_region` itself are the only
-//! events that drop the whole cache.
+//! as a journal-synced inner pipeline (`ssa-repair`, `instcombine`,
+//! `simplify`, `dce`). In incremental mode nothing invalidates eagerly at
+//! all: every mutation — region surgery and cleanup alike — is journaled,
+//! and the manager reconciles each cached entry against its own window at
+//! the next query, keeping what survived, updating the dominator and
+//! post-dominator trees in place where the batch is small enough to win,
+//! and recomputing the rest on demand.
 //!
 //! The rewrite *sequence* is identical to the pre-pipeline driver (kept as
 //! [`meld_function_reference`](crate::reference::meld_function_reference));
@@ -53,10 +55,18 @@ impl MeldPass {
         // Algorithm 1's RunPostOptimizations, as an inner pipeline in the
         // pre-pipeline driver's exact order. In incremental mode each
         // cleanup pass restricts its rescan to the journal window since
-        // its own previous run (per-meld cost); otherwise every run scans
-        // the whole function, as the pre-incremental driver did.
+        // its own previous run (per-meld cost) and the pipeline reconciles
+        // the analysis cache through the journal after every pass — so the
+        // dominator/post-dominator trees the meld surgery updated in place
+        // survive the cleanup rounds instead of being dropped by coarse
+        // preservation reports. Otherwise every run scans the whole
+        // function and invalidates by report, as the pre-incremental
+        // driver did.
         let scoped = config.incremental;
-        let mut cleanup = PassManager::new(PipelineOptions::default());
+        let mut cleanup = PassManager::new(PipelineOptions {
+            journal_sync: scoped,
+            ..PipelineOptions::default()
+        });
         cleanup
             .add(Box::new(SsaRepairPass::default().with_scoping(scoped)))
             .add(Box::new(InstCombinePass::default().with_scoping(scoped)))
@@ -69,13 +79,15 @@ impl MeldPass {
         }
     }
 
-    /// Reconciles the analysis cache with the mutations just performed:
-    /// journal-replay (keep / update-in-place / drop per analysis) in
-    /// incremental mode, drop-everything otherwise.
-    fn sync_analyses(&self, func: &Function, am: &mut AnalysisManager) {
-        if self.config.incremental {
-            am.update_after(func);
-        } else {
+    /// Reconciles the analysis cache with the mutations just performed. In
+    /// incremental mode there is nothing eager to do: every mutation is
+    /// journaled, and the manager reconciles each cached entry against its
+    /// own window at the next query — consecutive surgeries and cleanup
+    /// rounds coalesce into one reconciliation per entry per scan.
+    /// Non-incremental mode drops everything, as the pre-incremental
+    /// driver did.
+    fn sync_analyses(&self, _func: &Function, am: &mut AnalysisManager) {
+        if !self.config.incremental {
             am.invalidate_all();
         }
     }
@@ -224,10 +236,14 @@ impl Pass for MeldPass {
             sink.iterations += stats.iterations;
         }
         // A scan that melded nothing, padded nothing and grew no arena is
-        // provably mutation-free: the warm cache survives into the next
-        // pipeline stage.
+        // provably mutation-free. In incremental mode the cache is also
+        // valid after a *mutating* run: every mutation was reconciled
+        // through the journal (`sync_analyses` after surgery, the
+        // journal-synced cleanup pipeline after each pass), so the warm
+        // dominator/post-dominator trees survive into the next pipeline
+        // stage either way.
         Ok(PassOutcome {
-            preserved: if mutated {
+            preserved: if mutated && !config.incremental {
                 darm_analysis::PreservedAnalyses::none()
             } else {
                 darm_analysis::PreservedAnalyses::all()

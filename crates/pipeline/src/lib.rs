@@ -261,6 +261,15 @@ pub struct PipelineOptions {
     /// render the table. Off (the default), pass runs skip the clock reads
     /// entirely — run/change/unit counts are still recorded.
     pub time_passes: bool,
+    /// Reconcile the analysis cache with the mutation journal after every
+    /// pass (`AnalysisManager::update_after_with_report`) instead of
+    /// applying the pass's coarse [`PreservedAnalyses`] report alone: the
+    /// journal keeps or updates in place what the window provably cannot
+    /// have broken (dominator/post-dominator trees survive meld surgery),
+    /// and the report still rescues entries the pass vouches for. Off (the
+    /// default), passes invalidate by report, as the pre-incremental
+    /// drivers did.
+    pub journal_sync: bool,
 }
 
 /// Timing/stat record of one pipeline slot.
@@ -299,12 +308,14 @@ impl PipelineReport {
     /// Renders the `--time-passes` style table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("| pass | runs | changed | units | time (ms) | analyses (comp/hit/upd) |\n");
+        out.push_str(
+            "| pass | runs | changed | units | time (ms) | analyses (comp/hit/upd/del-upd) |\n",
+        );
         out.push_str("|---|---|---|---|---|---|\n");
         let mut totals = AnalysisCounters::default();
         for r in &self.passes {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.3} | {}/{}/{} |\n",
+                "| {} | {} | {} | {} | {:.3} | {}/{}/{}/{} |\n",
                 r.name,
                 r.runs,
                 r.changed_runs,
@@ -313,20 +324,23 @@ impl PipelineReport {
                 r.analysis.computes,
                 r.analysis.hits,
                 r.analysis.updates,
+                r.analysis.in_place_deletion_updates,
             ));
             totals.computes += r.analysis.computes;
             totals.hits += r.analysis.hits;
             totals.updates += r.analysis.updates;
+            totals.in_place_deletion_updates += r.analysis.in_place_deletion_updates;
             for (k, v) in &r.stats {
                 out.push_str(&format!("|   · {k} | | | {v} | | |\n"));
             }
         }
         out.push_str(&format!(
-            "| **total** | | | | **{:.3}** | **{}/{}/{}** |\n",
+            "| **total** | | | | **{:.3}** | **{}/{}/{}/{}** |\n",
             self.total_seconds * 1e3,
             totals.computes,
             totals.hits,
             totals.updates,
+            totals.in_place_deletion_updates,
         ));
         let computed: Vec<String> = self
             .analysis_computations
@@ -458,18 +472,25 @@ impl PassManager {
         for (pass, record) in &mut self.passes {
             let t = timing.then(Instant::now);
             let counters_before = timing.then(|| am.counters());
+            let pass_start = self.options.journal_sync.then(|| func.journal_head());
             let outcome = pass
                 .run(func, am)
                 .map_err(|message| PipelineError::PassFailed {
                     pass: pass.name().to_string(),
                     message,
                 })?;
-            am.retain(&outcome.preserved);
+            match pass_start {
+                Some(start) => {
+                    am.update_after_with_report(func, &outcome.preserved, start);
+                }
+                None => am.retain(&outcome.preserved),
+            }
             if let Some(before) = counters_before {
                 let delta = am.counters().since(&before);
                 record.analysis.computes += delta.computes;
                 record.analysis.hits += delta.hits;
                 record.analysis.updates += delta.updates;
+                record.analysis.in_place_deletion_updates += delta.in_place_deletion_updates;
             }
             record.runs += 1;
             record.changed_runs += usize::from(outcome.changed);
@@ -552,6 +573,7 @@ mod tests {
         let mut pm = PassManager::new(PipelineOptions {
             verify_each: true,
             time_passes: true,
+            ..PipelineOptions::default()
         });
         pm.add(Box::new(SimplifyCfgPass::default()))
             .add(Box::new(InstCombinePass::default()))
@@ -629,7 +651,7 @@ mod tests {
 
         let mut pm = PassManager::new(PipelineOptions {
             verify_each: true,
-            time_passes: false,
+            ..PipelineOptions::default()
         });
         pm.add(Box::new(Breaker));
         match pm.run(&mut f) {

@@ -4,13 +4,16 @@
 //!
 //! Functions are independent — they share no arenas, and every analysis
 //! result is `Send + Sync` — so the parallel path needs no coordination
-//! beyond a work queue: workers pop function indices from an atomic
-//! counter, build a private pipeline instance from the shared parsed spec,
-//! and run it against their function. Results land in per-function slots,
-//! so reports and transformed functions are assembled in *input order*
-//! regardless of completion order: a parallel run is bit-identical to the
-//! serial one (`jobs = 1`, which takes a plain loop with no thread or lock
-//! overhead).
+//! beyond a work queue: workers pop positions of a precomputed *schedule*
+//! from an atomic counter, build a private pipeline instance from the
+//! shared parsed spec, and run it against their function. The schedule is
+//! largest-function-first (live blocks + instructions, input order
+//! breaking ties): on skewed suites a big kernel claimed last would
+//! otherwise stretch the parallel makespan on its own. Results land in
+//! per-function slots, so reports and transformed functions are assembled
+//! in *input order* regardless of claim or completion order: a parallel
+//! run is bit-identical to the serial one (`jobs = 1`, which takes a
+//! plain loop with no thread or lock overhead).
 //!
 //! Pass *instances* are deliberately per-function: passes carry
 //! per-function state (journal cursors, dominator baselines, stat sinks),
@@ -107,6 +110,8 @@ impl ModuleReport {
                     computes: acc.analysis.computes + r.analysis.computes,
                     hits: acc.analysis.hits + r.analysis.hits,
                     updates: acc.analysis.updates + r.analysis.updates,
+                    in_place_deletion_updates: acc.analysis.in_place_deletion_updates
+                        + r.analysis.in_place_deletion_updates,
                 };
                 for &(k, v) in &r.stats {
                     match acc.stats.iter_mut().find(|(ak, _)| *ak == k) {
@@ -218,17 +223,30 @@ impl<'r> ModulePassManager<'r> {
         &self.spec
     }
 
+    /// The order the worker pool claims functions in: largest first (by
+    /// live block + instruction count, input order breaking ties), so a
+    /// big kernel never starts last and stretches the parallel makespan.
+    /// Output assembly stays input-ordered regardless — scheduling affects
+    /// wall clock only, never results.
+    pub fn scheduled_order(&self, module: &Module) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..module.len()).collect();
+        let size = |f: &Function| f.live_block_count() + f.live_inst_count();
+        order.sort_by_key(|&i| (std::cmp::Reverse(size(&module.functions()[i])), i));
+        order
+    }
+
     /// Runs the pipeline over every function of `module`, in parallel when
     /// `options.jobs` resolves to more than one worker.
     ///
     /// # Errors
     ///
     /// [`PipelineError::InFunction`] wrapping the first (in module order)
-    /// function failure. The run fails fast: the serial path stops at the
-    /// failing function, the parallel pool stops claiming new functions
-    /// once any worker fails (in-flight functions finish). Functions after
-    /// a failing one may or may not have been transformed — treat the
-    /// module as poisoned on error.
+    /// function failure. The serial path stops at the failing function;
+    /// the parallel pool completes every function (the largest-first
+    /// schedule claims out of input order, so finishing the pool is what
+    /// keeps the reported failure deterministic) and then reports the
+    /// earliest. Other functions may or may not have been transformed —
+    /// treat the module as poisoned on error.
     pub fn run(&self, module: &mut Module) -> Result<ModuleReport, PipelineError> {
         let t0 = Instant::now();
         let names: Vec<String> = module
@@ -236,6 +254,9 @@ impl<'r> ModulePassManager<'r> {
             .iter()
             .map(|f| f.name().to_string())
             .collect();
+        // Cross-kernel scheduling: workers claim the largest functions
+        // first (see [`ModulePassManager::scheduled_order`]).
+        let schedule = self.scheduled_order(module);
         let funcs = module.functions_mut();
         let jobs = self.options.effective_jobs(funcs.len());
         let in_function = |function: &String, error: PipelineError| PipelineError::InFunction {
@@ -256,31 +277,26 @@ impl<'r> ModulePassManager<'r> {
             }
         } else {
             let next = AtomicUsize::new(0);
-            let stop = std::sync::atomic::AtomicBool::new(false);
             let slots: Vec<Mutex<Slot>> = funcs
                 .iter_mut()
                 .map(|func| Mutex::new(Slot { func, result: None }))
                 .collect();
             std::thread::scope(|s| {
                 for _ in 0..jobs {
-                    s.spawn(|| {
-                        while !stop.load(Ordering::Relaxed) {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(slot) = slots.get(i) else { break };
-                            let mut slot = slot.lock().expect("no worker panicked holding a slot");
-                            let result = self.run_function(slot.func);
-                            if result.is_err() {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                            slot.result = Some(result);
-                        }
+                    s.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = schedule.get(k) else { break };
+                        let mut slot = slots[i].lock().expect("no worker panicked holding a slot");
+                        slot.result = Some(self.run_function(slot.func));
                     });
                 }
             });
-            // Deterministic, input-ordered assembly (workers finish in any
-            // order; slots are indexed by input position). On failure the
-            // earliest erring slot wins; unclaimed slots (skipped by the
-            // stop flag) can only trail an error.
+            // Deterministic, input-ordered assembly (workers claim in
+            // schedule order and finish in any order; slots are indexed by
+            // input position). Every function runs even when one fails —
+            // the module is poisoned on error regardless, and completing
+            // the pool makes "earliest failure in module order" exact
+            // under out-of-order scheduling.
             let mut results: Vec<Option<Result<PipelineReport, PipelineError>>> = slots
                 .into_iter()
                 .map(|s| {
@@ -297,7 +313,7 @@ impl<'r> ModulePassManager<'r> {
             }
             for (name, result) in names.iter().zip(results) {
                 let report = result
-                    .expect("without an error, every slot was claimed and completed")
+                    .expect("every slot was claimed and completed")
                     .expect("error slots were returned above");
                 functions.push(FunctionReport {
                     function: name.clone(),
@@ -410,6 +426,59 @@ mod tests {
         let table = report.render();
         assert!(table.contains("3 function(s)"), "{table}");
         assert!(table.contains("| @f2 |"), "{table}");
+    }
+
+    #[test]
+    fn schedule_claims_largest_functions_first() {
+        let registry = PassRegistry::with_transforms();
+        // f0 small, f1 big (pad with dead adds), f2 middling.
+        let mut m = Module::new("m");
+        for (i, pad) in [(0usize, 0usize), (1, 40), (2, 10)] {
+            let mut f = messy(&format!("f{i}"));
+            let entry = f.entry();
+            let term = f.terminator(entry).unwrap();
+            for k in 0..pad {
+                f.insert_inst_before(
+                    term,
+                    darm_ir::InstData::new(
+                        darm_ir::Opcode::Add,
+                        darm_ir::Type::I32,
+                        vec![Value::I32(k as i32), Value::I32(1)],
+                    ),
+                );
+            }
+            m.add_function(f).unwrap();
+        }
+        let mpm = ModulePassManager::new(&registry, "dce", ModuleOptions::default()).unwrap();
+        assert_eq!(mpm.scheduled_order(&m), vec![1, 2, 0]);
+        // Equal sizes keep input order (deterministic tie-break).
+        let eq = messy_module(3);
+        assert_eq!(mpm.scheduled_order(&eq), vec![0, 1, 2]);
+        // Scheduling never leaks into results: the parallel run still
+        // assembles input-ordered and bit-identical to serial.
+        let mut serial = m.clone();
+        let mut parallel = m.clone();
+        let spec = "fixpoint(simplify,instcombine,dce)";
+        ModulePassManager::new(
+            &registry,
+            spec,
+            ModuleOptions::serial(PipelineOptions::default()),
+        )
+        .unwrap()
+        .run(&mut serial)
+        .unwrap();
+        ModulePassManager::new(
+            &registry,
+            spec,
+            ModuleOptions {
+                pipeline: PipelineOptions::default(),
+                jobs: 3,
+            },
+        )
+        .unwrap()
+        .run(&mut parallel)
+        .unwrap();
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 
     #[test]

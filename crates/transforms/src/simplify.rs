@@ -249,9 +249,9 @@ fn remove_unreachable(
         stats.removed_unreachable += 1;
         changed = true;
     }
-    if changed {
-        am.invalidate_all();
-    }
+    // No explicit invalidation: every mutation above is journaled, and the
+    // manager reconciles each cached entry with its own window at the next
+    // query (keeping or updating the dominator trees in place).
     changed
 }
 
@@ -296,9 +296,9 @@ fn fold_branches(
             changed = true;
         }
     }
-    if changed {
-        am.invalidate_all();
-    }
+    // No explicit invalidation: every mutation above is journaled, and the
+    // manager reconciles each cached entry with its own window at the next
+    // query (keeping or updating the dominator trees in place).
     changed
 }
 
@@ -482,9 +482,9 @@ fn merge_straightline(
             break;
         }
     }
-    if changed {
-        am.invalidate_all();
-    }
+    // No explicit invalidation: every mutation above is journaled, and the
+    // manager reconciles each cached entry with its own window at the next
+    // query (keeping or updating the dominator trees in place).
     changed
 }
 
@@ -601,9 +601,9 @@ fn elide_empty_blocks(
             break;
         }
     }
-    if changed {
-        am.invalidate_all();
-    }
+    // No explicit invalidation: every mutation above is journaled, and the
+    // manager reconciles each cached entry with its own window at the next
+    // query (keeping or updating the dominator trees in place).
     changed
 }
 

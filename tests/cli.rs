@@ -238,7 +238,38 @@ fn parallel_module_meld_is_bit_identical_to_serial() {
         );
         String::from_utf8(out.stdout).unwrap()
     };
-    assert_eq!(run("1"), run("4"));
+    // One serial and one two-worker run — the pair a multi-core CI runner
+    // uses to exercise the parallel claim path (the dev container is
+    // single-core, so worker counts beyond 2 add nothing locally) — plus
+    // an all-cores-ish run for good measure.
+    let serial = run("1");
+    assert_eq!(serial, run("2"));
+    assert_eq!(serial, run("4"));
+}
+
+#[test]
+fn jobs_two_reports_the_same_stats_as_serial() {
+    let input = write_module("darm_cli_module_stats.ir");
+    let run = |jobs: &str| {
+        let out = bin()
+            .args(["meld", input.to_str().unwrap(), "--jobs", jobs, "--stats"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(out.stdout).unwrap(),
+            String::from_utf8(out.stderr).unwrap(),
+        )
+    };
+    let (out1, stats1) = run("1");
+    let (out2, stats2) = run("2");
+    assert_eq!(out1, out2, "--jobs 2 IR diverged from --jobs 1");
+    assert_eq!(stats1, stats2, "--jobs 2 stats diverged from --jobs 1");
+    assert!(stats1.contains("@k_a: melded 1 region(s)"), "{stats1}");
 }
 
 #[test]

@@ -17,7 +17,7 @@ fn meld_and_check(case: &BenchCase, config: &MeldConfig) -> MeldStats {
     let mut melded = case.func.clone();
     let options = PipelineOptions {
         verify_each: true,
-        time_passes: false,
+        ..PipelineOptions::default()
     };
     let stats = run_meld_pipeline(&mut melded, config, options)
         .unwrap_or_else(|e| panic!("{}: meld pipeline failed: {e}\n{melded}", case.name))
