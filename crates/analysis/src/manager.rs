@@ -490,6 +490,7 @@ impl AnalysisManager {
         match self.reconcile::<A>(func, true) {
             Some(value) => value,
             None => {
+                darm_ir::fault::point("analysis::compute");
                 let value = Arc::new(A::compute(func, self));
                 self.note_computed(A::NAME);
                 self.put(func, value.clone());
@@ -580,6 +581,26 @@ impl AnalysisManager {
     /// the window).
     pub fn invalidate_all(&mut self) {
         self.slots = Default::default();
+    }
+
+    /// Forgets *everything tied to a function's journal identity* — cached
+    /// entries, the observation cursor, the dominator checkpoint and the
+    /// window memo — keeping only the historical computation counters.
+    ///
+    /// This is the containment path for abandoned windows: after a
+    /// contained pipeline panic or budget cancellation the function is
+    /// rolled back to a pre-pipeline snapshot under a *fresh* journal
+    /// identity, so every anchor this manager holds describes an edit
+    /// history that no longer exists. Stale cursors would merely saturate
+    /// (safe but wasteful); the checkpoint and memo would be dead weight.
+    /// A hard reset returns the manager to the cold state a fresh function
+    /// expects, while the counters keep reporting what was truly spent.
+    pub fn hard_reset(&mut self) {
+        self.slots = Default::default();
+        self.cursor = None;
+        self.dom_checkpoint = None;
+        self.tree_window_memo = None;
+        self.edits_scratch.clear();
     }
 
     /// Drops the instruction-sensitive analyses, keeping shape-only ones —
@@ -808,6 +829,26 @@ mod tests {
         assert!(am.cached::<DivergenceAnalysis>().is_none());
         am.invalidate_all();
         assert!(am.cached::<Cfg>().is_none());
+    }
+
+    #[test]
+    fn hard_reset_forgets_anchors_but_keeps_counters() {
+        let f = diamond();
+        let mut am = AnalysisManager::new();
+        am.observe(&f);
+        let dt = am.get::<DomTree>(&f);
+        am.set_dom_checkpoint(&f, dt);
+        let computed = am.total_computations();
+        assert!(computed > 0);
+        am.hard_reset();
+        assert!(am.cached::<Cfg>().is_none());
+        assert!(am.cached::<DomTree>().is_none());
+        assert!(am.take_dom_checkpoint().is_none());
+        // Historical stats survive: the reset forgets state, not spend.
+        assert_eq!(am.total_computations(), computed);
+        // The manager is usable from cold afterwards.
+        am.get::<DomTree>(&f);
+        assert!(am.cached::<DomTree>().is_some());
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn meld_with_jobs(registry: &PassRegistry, module: &Module, jobs: usize) -> (Mod
         ModuleOptions {
             pipeline: PipelineOptions::default(),
             jobs,
+            ..ModuleOptions::default()
         },
     )
     .expect("the meld spec is valid");

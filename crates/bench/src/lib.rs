@@ -118,9 +118,10 @@ pub fn prepare_suite(
     let module_options = ModuleOptions {
         pipeline: options,
         jobs,
+        ..ModuleOptions::default()
     };
     let registry = darm_melding::registry(config);
-    let mpm = ModulePassManager::new(&registry, "meld", module_options)?;
+    let mpm = ModulePassManager::new(&registry, "meld", module_options.clone())?;
     let mut darm_module = suite_module("suite-darm", cases);
     let darm_report = mpm.run(&mut darm_module)?;
     // The BF baseline always runs the paper's branch-fusion configuration,

@@ -53,11 +53,11 @@ fn verify_each_holds_on_every_variant() {
     let registry = darm_melding::registry(&MeldConfig::default());
     for case in all_cases() {
         // DARM + BF variants through the shared driver.
-        prepare_variants_checked(&case, &MeldConfig::default(), options)
+        prepare_variants_checked(&case, &MeldConfig::default(), options.clone())
             .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         // Baseline through the generic cleanup pipeline.
         let mut pm = registry
-            .build("simplify,instcombine,dce,verify", options)
+            .build("simplify,instcombine,dce,verify", options.clone())
             .expect("cleanup spec parses");
         let mut baseline = case.func.clone();
         pm.run(&mut baseline)

@@ -1,0 +1,302 @@
+//! Compilation budgets: a shared wall-clock deadline plus fuel counter
+//! that expensive loops poll, and an unwind-based cancellation protocol.
+//!
+//! A [`Budget`] is a cheap cloneable handle (an `Arc` internally, or
+//! nothing at all for the unlimited default) that a driver constructs once
+//! and threads through its pipeline options. Code on the hot path never
+//! sees the handle: it calls the free function [`poll`] at the top of its
+//! expensive loops, which consults the *innermost installed* budget of the
+//! current thread. When nothing is installed — the fault-free default —
+//! [`poll`] is a thread-local flag check and returns immediately, which is
+//! what keeps the instrumented hot paths within the repo's perf-gate
+//! floors.
+//!
+//! Exhaustion cancels via `std::panic::panic_any` with a typed
+//! [`Cancelled`] payload. That unwind is *not* an error escape hatch: it
+//! is caught at the per-function containment boundary in `darm-pipeline`,
+//! which restores the function's pre-pipeline snapshot and records a
+//! degraded outcome. Budgets are shared: cloning the handle shares the
+//! fuel counter and deadline, so one budget can bound a whole parallel
+//! module compile.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which limit a cancelled computation ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The fuel counter reached zero (or the budget was force-exhausted).
+    Fuel,
+}
+
+/// The panic payload [`poll`] unwinds with on exhaustion. Catch it (via
+/// `catch_unwind` + downcast) at a containment boundary; it carries the
+/// poll site that observed the exhaustion.
+#[derive(Debug, Clone, Copy)]
+pub struct Cancelled {
+    /// The [`poll`] site that observed the exhaustion.
+    pub site: &'static str,
+    /// Which limit ran out.
+    pub kind: CancelKind,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    deadline: Option<Instant>,
+    /// Remaining fuel; `i64::MAX` when no fuel limit was set. Decremented
+    /// once per poll, so fuel units are "budget polls survived" — a
+    /// coarse, deterministic measure of pipeline work.
+    fuel: AtomicI64,
+    /// Latched once any limit trips (or [`Budget::exhaust`] forces it), so
+    /// every subsequent poll against this budget cancels immediately —
+    /// with the [`CancelKind`] of the limit that tripped first, so a
+    /// deadline that passed during one function's compile is not
+    /// misreported as fuel exhaustion by the next function's poll.
+    /// `0` = within budget, `1` = fuel, `2` = deadline.
+    tripped: AtomicU8,
+}
+
+const TRIPPED_NONE: u8 = 0;
+const TRIPPED_FUEL: u8 = 1;
+const TRIPPED_DEADLINE: u8 = 2;
+
+fn trip_kind(raw: u8) -> Option<CancelKind> {
+    match raw {
+        TRIPPED_FUEL => Some(CancelKind::Fuel),
+        TRIPPED_DEADLINE => Some(CancelKind::Deadline),
+        _ => None,
+    }
+}
+
+impl BudgetInner {
+    /// Latches `kind` as the tripped limit; the first trip wins, and every
+    /// caller is told the winning kind.
+    fn trip(&self, kind: u8) -> CancelKind {
+        let raw = match self.tripped.compare_exchange(
+            TRIPPED_NONE,
+            kind,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => kind,
+            Err(prev) => prev,
+        };
+        trip_kind(raw).expect("a tripped budget always has a kind")
+    }
+}
+
+/// A shared wall-clock + fuel budget. `Default` (and [`Budget::unlimited`])
+/// is the no-limit budget, which costs nothing to poll.
+#[derive(Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<BudgetInner>>,
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Budget::unlimited"),
+            Some(inner) => f
+                .debug_struct("Budget")
+                .field("deadline", &inner.deadline)
+                .field("fuel", &inner.fuel.load(Ordering::Relaxed))
+                .field("tripped", &trip_kind(inner.tripped.load(Ordering::Relaxed)))
+                .finish(),
+        }
+    }
+}
+
+impl Budget {
+    /// The no-limit budget; [`install`](Budget::install)ing it is a no-op.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget limited by a wall-clock `timeout` (measured from now)
+    /// and/or a `fuel` allowance. `Budget::new(None, None)` is unlimited.
+    pub fn new(timeout: Option<Duration>, fuel: Option<u64>) -> Budget {
+        if timeout.is_none() && fuel.is_none() {
+            return Budget::unlimited();
+        }
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                deadline: timeout.map(|t| Instant::now() + t),
+                fuel: AtomicI64::new(
+                    fuel.map(|n| i64::try_from(n).unwrap_or(i64::MAX))
+                        .unwrap_or(i64::MAX),
+                ),
+                tripped: AtomicU8::new(TRIPPED_NONE),
+            })),
+        }
+    }
+
+    /// Whether this budget imposes any limit at all.
+    pub fn is_limited(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Force-exhausts the budget: every later poll against it cancels
+    /// (with [`CancelKind::Fuel`]). No-op on an unlimited budget. The
+    /// fault-injection harness uses this to exercise the genuine
+    /// poll → unwind → degrade path rather than a simulated one.
+    pub fn exhaust(&self) {
+        if let Some(inner) = &self.inner {
+            inner.trip(TRIPPED_FUEL);
+        }
+    }
+
+    /// Checks the limits, consuming one unit of fuel. `Ok` while within
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// The [`CancelKind`] of the first limit found exhausted.
+    pub fn check(&self) -> Result<(), CancelKind> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(kind) = trip_kind(inner.tripped.load(Ordering::Relaxed)) {
+            return Err(kind);
+        }
+        if inner.fuel.fetch_sub(1, Ordering::Relaxed) <= 0 {
+            return Err(inner.trip(TRIPPED_FUEL));
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(inner.trip(TRIPPED_DEADLINE));
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs this budget as the current thread's innermost budget for
+    /// the lifetime of the returned guard: [`poll`] calls on this thread
+    /// check it. Installing an unlimited budget is a no-op (`None`), so a
+    /// nested unlimited pipeline — a fixpoint group's inner pipeline, a
+    /// meld pass's cleanup pipeline — never masks an outer limited budget.
+    pub fn install(&self) -> Option<InstallGuard> {
+        if !self.is_limited() {
+            return None;
+        }
+        INSTALLED.with_borrow_mut(|stack| stack.push(self.clone()));
+        Some(InstallGuard { _priv: () })
+    }
+}
+
+thread_local! {
+    /// The stack of installed (always limited) budgets of this thread.
+    static INSTALLED: RefCell<Vec<Budget>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard of [`Budget::install`]; dropping it uninstalls the budget.
+#[derive(Debug)]
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with_borrow_mut(|stack| {
+            stack.pop().expect("install guard outlived its stack entry");
+        });
+    }
+}
+
+/// Polls the current thread's innermost installed budget, consuming one
+/// unit of fuel. Returns immediately (a thread-local check) when no budget
+/// is installed. On exhaustion, unwinds with a [`Cancelled`] payload
+/// naming `site` — callers at a containment boundary catch it and degrade.
+#[inline]
+pub fn poll(site: &'static str) {
+    let kind = INSTALLED.with_borrow(|stack| stack.last().map(|b| b.check().err()));
+    match kind {
+        None | Some(None) => {}
+        Some(Some(kind)) => std::panic::panic_any(Cancelled { site, kind }),
+    }
+}
+
+/// Force-exhausts the current thread's innermost installed budget (see
+/// [`Budget::exhaust`]); a no-op when none is installed.
+pub fn exhaust_current() {
+    INSTALLED.with_borrow(|stack| {
+        if let Some(b) = stack.last() {
+            b.exhaust();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(b.install().is_none());
+        for _ in 0..10_000 {
+            assert!(b.check().is_ok());
+        }
+        // poll with nothing installed is a no-op.
+        poll("test::site");
+    }
+
+    #[test]
+    fn fuel_runs_out_exactly_after_n_checks() {
+        let b = Budget::new(None, Some(3));
+        assert!(b.check().is_ok());
+        assert!(b.check().is_ok());
+        assert!(b.check().is_ok());
+        assert_eq!(b.check(), Err(CancelKind::Fuel));
+        // Latched: stays exhausted.
+        assert_eq!(b.check(), Err(CancelKind::Fuel));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_as_deadline() {
+        let b = Budget::new(Some(Duration::ZERO), None);
+        assert_eq!(b.check(), Err(CancelKind::Deadline));
+        // The latch remembers which limit tripped: later polls (e.g. the
+        // next function sharing the budget) still report the deadline,
+        // not a phantom fuel exhaustion.
+        assert_eq!(b.check(), Err(CancelKind::Deadline));
+        assert_eq!(b.clone().check(), Err(CancelKind::Deadline));
+    }
+
+    #[test]
+    fn poll_unwinds_with_a_typed_payload_and_uninstalls() {
+        let b = Budget::new(None, Some(0));
+        let err = std::panic::catch_unwind(|| {
+            let _guard = b.install().expect("limited budget installs");
+            poll("test::loop");
+        })
+        .expect_err("exhausted budget unwinds");
+        let cancelled = err.downcast::<Cancelled>().expect("typed payload");
+        assert_eq!(cancelled.site, "test::loop");
+        assert_eq!(cancelled.kind, CancelKind::Fuel);
+        // The guard dropped during the unwind: nothing remains installed.
+        poll("test::after");
+    }
+
+    #[test]
+    fn clones_share_the_fuel_pool() {
+        let a = Budget::new(None, Some(2));
+        let b = a.clone();
+        assert!(a.check().is_ok());
+        assert!(b.check().is_ok());
+        assert_eq!(a.check(), Err(CancelKind::Fuel));
+        assert_eq!(b.check(), Err(CancelKind::Fuel));
+    }
+
+    #[test]
+    fn exhaust_current_targets_the_innermost_budget() {
+        let b = Budget::new(None, Some(1_000));
+        let _guard = b.install().unwrap();
+        exhaust_current();
+        assert_eq!(b.check(), Err(CancelKind::Fuel));
+    }
+}

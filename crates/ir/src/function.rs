@@ -227,6 +227,29 @@ impl Clone for Function {
     }
 }
 
+/// A cheap pre-pipeline copy of a [`Function`], taken with
+/// [`Function::snapshot`] and applied back with [`Function::restore`].
+///
+/// Both directions go through [`Function::clone`], so the snapshot and
+/// every restored state carry a *fresh, empty journal identity*: cursors
+/// and checkpoints taken during an abandoned, half-applied pipeline replay
+/// as saturated against the restored function instead of silently aliasing
+/// into an edit history that no longer describes it. That property is what
+/// lets a containment boundary (`darm-pipeline`) roll a function back to
+/// baseline IR after a panic or budget cancellation without auditing any
+/// surviving cursor.
+#[derive(Debug, Clone)]
+pub struct FunctionSnapshot {
+    inner: Function,
+}
+
+impl FunctionSnapshot {
+    /// The captured function state (e.g. for bit-identity checks).
+    pub fn function(&self) -> &Function {
+        &self.inner
+    }
+}
+
 impl Function {
     /// Creates a function with the given parameter and return types, plus an
     /// empty `entry` block.
@@ -307,6 +330,23 @@ impl Function {
     /// mutating IR outside the journaled APIs.
     pub fn saturate_journal(&mut self) {
         self.journal.record(DirtyEvent::Saturate);
+    }
+
+    /// Captures a pre-pipeline copy of the function for later
+    /// [`Function::restore`]. See [`FunctionSnapshot`] for the journal
+    /// identity guarantees.
+    pub fn snapshot(&self) -> FunctionSnapshot {
+        FunctionSnapshot {
+            inner: self.clone(),
+        }
+    }
+
+    /// Replaces this function's entire state with `snapshot`'s, under a
+    /// fresh journal identity (cursors taken on the abandoned state — or
+    /// on a previous restore — saturate instead of aliasing). A snapshot
+    /// can be restored any number of times.
+    pub fn restore(&mut self, snapshot: &FunctionSnapshot) {
+        *self = snapshot.inner.clone();
     }
 
     /// Journal size guard: past this many buffered events the journal

@@ -51,9 +51,11 @@
 //! f.verify_structure().unwrap();
 //! ```
 
+pub mod budget;
 pub mod builder;
 pub mod cost;
 pub mod dirty;
+pub mod fault;
 pub mod function;
 pub mod module;
 pub mod opcode;
@@ -62,8 +64,11 @@ pub mod printer;
 pub mod types;
 pub mod value;
 
+pub use budget::Budget;
 pub use dirty::{BlockSet, CfgEdit, DirtyDelta, DirtyInstSet, JournalCursor, WindowProbe};
-pub use function::{BlockData, BlockId, Function, InstData, InstId, IrError, SharedArray};
+pub use function::{
+    BlockData, BlockId, Function, FunctionSnapshot, InstData, InstId, IrError, SharedArray,
+};
 pub use module::{DuplicateFunction, Module};
 pub use opcode::{Dim, FcmpPred, IcmpPred, Opcode};
 pub use types::{AddrSpace, Type};

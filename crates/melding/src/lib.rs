@@ -231,9 +231,10 @@ pub fn run_meld_pipeline(
     options: PipelineOptions,
 ) -> Result<MeldOutcome, PipelineError> {
     let sink = MeldStatsSink::default();
+    let verify_each = options.verify_each;
     let mut pm = PassManager::new(options);
     pm.add(Box::new(
-        MeldPass::with_sink(*config, sink.clone()).with_verify_each(options.verify_each),
+        MeldPass::with_sink(*config, sink.clone()).with_verify_each(verify_each),
     ));
     let report = pm.run(func)?;
     Ok(MeldOutcome {
@@ -343,12 +344,17 @@ pub(crate) fn plan_region(
     r: &MeldableRegion,
     config: &MeldConfig,
 ) -> Option<(Vec<PlanElement>, usize)> {
+    darm_ir::fault::point("meld::plan");
     fn score_pair(
         func: &Function,
         config: &MeldConfig,
         st: &Subgraph,
         sf: &Subgraph,
     ) -> Option<(f64, MatchKind)> {
+        // Scoring dominates planning cost (isomorphism + profit analysis
+        // per pair), so it polls the budget and hosts a fault site.
+        darm_ir::budget::poll("meld::score");
+        darm_ir::fault::point("meld::score");
         if st.has_meld_barrier(func) || sf.has_meld_barrier(func) {
             return None;
         }

@@ -165,6 +165,7 @@ impl Pass for MeldPass {
             am.observe(func);
         }
         'outer: for _ in 0..config.max_iterations {
+            darm_ir::budget::poll("meld::fixpoint");
             stats.iterations += 1;
             let a = Analyses::from_manager(func, am);
             if config.incremental {
@@ -202,6 +203,7 @@ impl Pass for MeldPass {
                     }
                     continue;
                 };
+                darm_ir::fault::point("meld::codegen");
                 let rstats = crate::codegen::meld_region(func, &r, &plan, config.unpredicate);
                 // Melding rewrote blocks and edges: reconcile the cache
                 // with exactly what the surgery touched.
@@ -265,6 +267,14 @@ impl Pass for MeldPass {
             ("fixpoint iterations", s.iterations as u64),
         ]
     }
+
+    fn reset(&mut self) {
+        // The sink is shared (callers may hold clones of the Rc), so reset
+        // its contents in place; the inner cleanup pipeline carries the
+        // per-function journal cursors and dominator baselines.
+        *self.stats.borrow_mut() = MeldStats::default();
+        self.cleanup.reset_for_reuse();
+    }
 }
 
 /// Classic tail merging as a pass (Table I's weakest technique).
@@ -295,5 +305,9 @@ impl Pass for TailMergePass {
 
     fn stat_entries(&self) -> Vec<(&'static str, u64)> {
         vec![("merged blocks", self.merged)]
+    }
+
+    fn reset(&mut self) {
+        self.merged = 0;
     }
 }

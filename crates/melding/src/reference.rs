@@ -222,7 +222,7 @@ pub fn meld_function_pr2(func: &mut Function, config: &MeldConfig) -> MeldStats 
     }
 
     // Inner cleanup pipeline: the era's order, frozen internals.
-    let mut cleanup = PassManager::new(timed);
+    let mut cleanup = PassManager::new(timed.clone());
     cleanup
         .add(Box::new(FnPass::new("ssa-repair", |func, am| {
             let n = repair_ssa_with_pr2(func, am) as u64;

@@ -100,13 +100,56 @@
 //! so a fixpoint driver pays per-region cleanup cost, not per-function.
 //! `PipelineReport` splits per-pass analysis *computations* from cache
 //! *hits* and incremental *updates*, which `--time-passes` prints.
+//!
+//! ## Failure semantics: containment, budgets, degradation
+//!
+//! Melding is a strictly optional optimization — the paper proves the
+//! melded kernel bit-equivalent to the original — so the correct degraded
+//! answer to *any* mid-pipeline failure is the verified, unmelded input
+//! function, never an aborted process. The crate implements that at the
+//! per-function boundary:
+//!
+//! * **Containment.** [`PassManager::run_contained`] snapshots the
+//!   function ([`Function::snapshot`] — the restored state carries a
+//!   fresh journal identity, so no stale cursor survives), wraps the run
+//!   in `catch_unwind`, and on any fault — a pass panic, an injected
+//!   fault, a budget cancellation, or a plain pipeline error — restores
+//!   the snapshot, hard-resets the analysis manager and returns a
+//!   structured [`Diagnostic`]`{ function, pass, site, cause }`.
+//! * **Outcomes.** A [`ModulePassManager`] with
+//!   [`OnError::Degrade`] records
+//!   [`FunctionOutcome::Degraded`] in its [`ModuleReport`] and keeps
+//!   compiling every other function; with [`OnError::Fail`] (the library
+//!   default, preserving pre-containment semantics) the earliest fault in
+//!   module order fails the run — but panics are still contained and
+//!   surfaced as [`PipelineError::Fault`], and workers recover poisoned
+//!   slot mutexes instead of cascading.
+//! * **Budgets.** [`PipelineOptions::budget`] carries a shared
+//!   wall-clock + fuel [`Budget`]. The pass loop installs it for the
+//!   current thread and the expensive loops poll it
+//!   (`darm_ir::budget::poll` at `pipeline::pass`, `pipeline::fixpoint`,
+//!   `meld::fixpoint`, `meld::score`, `transforms::simplify`); exhaustion
+//!   unwinds with a typed payload that containment converts into a
+//!   deadline/fuel diagnostic for just that function.
+//! * **Fault injection.** With the `fault-injection` feature of `darm-ir`
+//!   enabled, named `darm_ir::fault::point` sites across melding,
+//!   transforms and analysis fire a deterministic
+//!   `darm_ir::fault::FaultPlan` (set via API or the `DARM_FAULT` env
+//!   var, e.g. `DARM_FAULT='meld::score#3=panic'`). Hit counters are
+//!   per-function (reset at each containment boundary), so which
+//!   functions fault is independent of module order, worker count and
+//!   scheduling — the property the root crate's fault-injection proptests
+//!   assert.
 
 pub mod module;
 pub mod passes;
 pub mod registry;
 pub mod spec;
 
-pub use module::{FunctionReport, ModuleOptions, ModulePassManager, ModuleReport};
+pub use darm_ir::budget::{Budget, CancelKind};
+pub use module::{
+    FunctionOutcome, FunctionReport, ModuleOptions, ModulePassManager, ModuleReport, OnError,
+};
 pub use passes::{
     DcePass, FixpointPass, FnPass, InstCombinePass, ScopedPass, SimplifyCfgPass, SsaRepairPass,
     VerifyPass,
@@ -116,6 +159,9 @@ pub use spec::{PassSpec, SpecElem, SpecError};
 
 use darm_analysis::{AnalysisCounters, AnalysisManager, PreservedAnalyses};
 use darm_ir::Function;
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// What one [`Pass::run`] did, reported back to the [`PassManager`].
@@ -177,6 +223,14 @@ pub trait Pass {
     fn stat_entries(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Clears all per-function state — journal cursors, dominator
+    /// baselines, stat counters — so the instance behaves exactly like a
+    /// freshly constructed one on its next function. Lets a module worker
+    /// pool pipeline instances across the functions it claims instead of
+    /// rebuilding them. The default is a no-op, correct for stateless
+    /// passes.
+    fn reset(&mut self) {}
 }
 
 /// Why a pipeline run stopped early.
@@ -224,6 +278,11 @@ pub enum PipelineError {
         /// What went wrong there.
         error: Box<PipelineError>,
     },
+    /// A contained fault (pass panic, injected fault, or budget
+    /// cancellation) under [`OnError::Fail`]; the diagnostic names the
+    /// function, so this variant is not wrapped in
+    /// [`PipelineError::InFunction`].
+    Fault(Diagnostic),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -246,14 +305,176 @@ impl std::fmt::Display for PipelineError {
             PipelineError::InFunction { function, error } => {
                 write!(f, "in function @{function}: {error}")
             }
+            PipelineError::Fault(diag) => write!(f, "{diag}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
 
+/// Root cause of a contained per-function fault (see [`Diagnostic`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCause {
+    /// An unexpected pass panic; carries the panic message.
+    Panic(String),
+    /// An internal error — a failed pass, a verification failure, or an
+    /// injected error fault; carries the message.
+    Error(String),
+    /// The wall-clock budget ran out
+    /// ([`CancelKind::Deadline`]).
+    Deadline,
+    /// The fuel budget ran out ([`CancelKind::Fuel`]).
+    Fuel,
+}
+
+/// A structured, stably-rendered description of one contained fault:
+/// which function, which pass was running, which budget-poll or
+/// fault-injection site observed it, and the root cause.
+///
+/// Rendering is pinned by the CLI snapshot tests:
+/// `@func: pass 'meld': time budget exceeded (at pipeline::pass)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The function whose pipeline faulted.
+    pub function: String,
+    /// The pass that was running, when known.
+    pub pass: Option<String>,
+    /// The budget-poll or fault-injection site, when the fault came
+    /// through one.
+    pub site: Option<String>,
+    /// The root cause.
+    pub cause: FaultCause,
+}
+
+impl Diagnostic {
+    /// Describes a regular [`PipelineError`] as a fault of `function`.
+    pub fn from_error(function: &str, error: &PipelineError) -> Diagnostic {
+        let (pass, cause) = match error {
+            PipelineError::PassFailed { pass, message } => {
+                (Some(pass.clone()), FaultCause::Error(message.clone()))
+            }
+            PipelineError::VerifyFailed { pass, message } => (
+                Some(pass.clone()),
+                FaultCause::Error(format!("SSA verification failed: {message}")),
+            ),
+            other => (None, FaultCause::Error(other.to_string())),
+        };
+        Diagnostic {
+            function: function.to_string(),
+            pass,
+            site: None,
+            cause,
+        }
+    }
+
+    /// Classifies a caught unwind payload as a fault of `function`: a
+    /// typed budget [`Cancelled`](darm_ir::budget::Cancelled) or injected
+    /// fault carries its site and kind; anything else is an unexpected
+    /// pass panic. The running pass is taken from the pipeline's
+    /// thread-local pass marker.
+    pub fn from_unwind(function: &str, payload: Box<dyn Any + Send>) -> Diagnostic {
+        let pass = take_current_pass();
+        let (site, cause) = if let Some(c) = payload.downcast_ref::<darm_ir::budget::Cancelled>() {
+            let cause = match c.kind {
+                darm_ir::budget::CancelKind::Deadline => FaultCause::Deadline,
+                darm_ir::budget::CancelKind::Fuel => FaultCause::Fuel,
+            };
+            (Some(c.site.to_string()), cause)
+        } else if let Some(inj) = payload.downcast_ref::<darm_ir::fault::InjectedFault>() {
+            let cause = match inj.kind {
+                darm_ir::fault::FaultKind::Error => FaultCause::Error("injected fault".to_string()),
+                _ => FaultCause::Panic("injected fault".to_string()),
+            };
+            (Some(inj.site.to_string()), cause)
+        } else {
+            let message = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (None, FaultCause::Panic(message))
+        };
+        Diagnostic {
+            function: function.to_string(),
+            pass,
+            site,
+            cause,
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}: ", self.function)?;
+        if let Some(pass) = &self.pass {
+            write!(f, "pass '{pass}': ")?;
+        }
+        match &self.cause {
+            FaultCause::Panic(m) => write!(f, "panicked: {m}")?,
+            FaultCause::Error(m) => write!(f, "{m}")?,
+            FaultCause::Deadline => write!(f, "time budget exceeded")?,
+            FaultCause::Fuel => write!(f, "fuel budget exhausted")?,
+        }
+        if let Some(site) = &self.site {
+            write!(f, " (at {site})")?;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// Name of the pass currently running on this thread — read back when
+    /// classifying an unwind that escaped a pass. A reused buffer, not an
+    /// allocation per pass run.
+    static CURRENT_PASS: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn note_current_pass(name: &str) {
+    CURRENT_PASS.with_borrow_mut(|s| {
+        s.clear();
+        s.push_str(name);
+    });
+}
+
+fn clear_current_pass() {
+    CURRENT_PASS.with_borrow_mut(String::clear);
+}
+
+fn take_current_pass() -> Option<String> {
+    CURRENT_PASS.with_borrow_mut(|s| {
+        if s.is_empty() {
+            None
+        } else {
+            let name = s.clone();
+            s.clear();
+            Some(name)
+        }
+    })
+}
+
+/// Wraps the process panic hook (once) so *typed, contained* unwinds —
+/// budget cancellations and injected faults, which are caught and turned
+/// into diagnostics at the containment boundary by construction — do not
+/// spray "thread panicked" noise on stderr. Every other panic still goes
+/// through the previous hook untouched.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let contained = p.downcast_ref::<darm_ir::budget::Cancelled>().is_some()
+                || p.downcast_ref::<darm_ir::fault::InjectedFault>().is_some();
+            if !contained {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// Knobs of a [`PassManager`] run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PipelineOptions {
     /// Verify SSA after every pass; the run fails at the first violation.
     pub verify_each: bool,
@@ -270,6 +491,15 @@ pub struct PipelineOptions {
     /// default), passes invalidate by report, as the pre-incremental
     /// drivers did.
     pub journal_sync: bool,
+    /// Shared wall-clock/fuel budget. The pass loop installs it for the
+    /// current thread and polls it before every pass; the expensive inner
+    /// loops (fixpoint rounds, meld planning/scoring, scoped-simplify
+    /// rounds) poll it too. Exhaustion unwinds with a typed payload that a
+    /// containment boundary ([`PassManager::run_contained`],
+    /// [`OnError::Degrade`]) converts into a degraded outcome for just the
+    /// current function. The default is unlimited, which makes every poll
+    /// a near-free thread-local check.
+    pub budget: Budget,
 }
 
 /// Timing/stat record of one pipeline slot.
@@ -417,6 +647,59 @@ impl PassManager {
         self.run_with(func, &mut am)
     }
 
+    /// Resets the pipeline for reuse on another function: zeroes the
+    /// accumulated records and total time and calls [`Pass::reset`] on
+    /// every pass, so the next run is bit-identical to one through a
+    /// freshly built instance. Module workers call this between the
+    /// functions they claim (per-worker pass-instance pooling).
+    pub fn reset_for_reuse(&mut self) {
+        for (pass, record) in &mut self.passes {
+            pass.reset();
+            *record = PassRecord::default();
+        }
+        self.total_seconds = 0.0;
+    }
+
+    /// Runs the pipeline inside a *containment boundary*: the function is
+    /// snapshotted first, the run is wrapped in `catch_unwind`, and on any
+    /// fault — a pass panic, an injected fault, a budget cancellation
+    /// unwind, or a plain pipeline error — the function is restored to its
+    /// pre-pipeline snapshot (under a fresh journal identity), `am` is
+    /// hard-reset, and the returned [`Diagnostic`] describes what
+    /// happened.
+    ///
+    /// After a fault the pipeline instance may hold a pass abandoned
+    /// mid-run: discard it or call [`PassManager::reset_for_reuse`] before
+    /// running it again.
+    ///
+    /// # Errors
+    ///
+    /// The [`Diagnostic`] of the contained fault; the function is then
+    /// bit-identical to its pre-call state.
+    pub fn run_contained(
+        &mut self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+    ) -> Result<PipelineReport, Diagnostic> {
+        install_quiet_panic_hook();
+        clear_current_pass();
+        darm_ir::fault::begin_function();
+        let snapshot = func.snapshot();
+        match catch_unwind(AssertUnwindSafe(|| self.run_with(func, am))) {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(error)) => {
+                func.restore(&snapshot);
+                am.hard_reset();
+                Err(Diagnostic::from_error(func.name(), &error))
+            }
+            Err(payload) => {
+                func.restore(&snapshot);
+                am.hard_reset();
+                Err(Diagnostic::from_unwind(func.name(), payload))
+            }
+        }
+    }
+
     /// [`PassManager::run`] against a caller-provided cache, so warm
     /// analyses survive into (or arrive from) surrounding driver code.
     ///
@@ -469,7 +752,17 @@ impl PassManager {
         let timing = self.options.time_passes;
         let t_total = timing.then(Instant::now);
         let verify_each = self.options.verify_each;
+        // A limited budget becomes this thread's innermost budget for the
+        // duration of the pass loop; the unlimited default installs
+        // nothing, so nested unlimited pipelines (fixpoint groups, meld
+        // cleanup) never mask an outer limited budget.
+        let _budget = self.options.budget.install();
         for (pass, record) in &mut self.passes {
+            // Mark the pass before polling: an exhaustion observed here is
+            // attributed to the pass about to run (for the first pass the
+            // budget was already dry on entry — still its attribution).
+            note_current_pass(pass.name());
+            darm_ir::budget::poll("pipeline::pass");
             let t = timing.then(Instant::now);
             let counters_before = timing.then(|| am.counters());
             let pass_start = self.options.journal_sync.then(|| func.journal_head());

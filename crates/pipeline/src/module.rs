@@ -15,34 +15,75 @@
 //! run is bit-identical to the serial one (`jobs = 1`, which takes a
 //! plain loop with no thread or lock overhead).
 //!
-//! Pass *instances* are deliberately per-function: passes carry
-//! per-function state (journal cursors, dominator baselines, stat sinks),
-//! so the spec — not the pass objects — is what the module manager builds
-//! once and reuses.
+//! Each worker builds *one* pipeline instance from the shared parsed spec
+//! and pools it across the functions it claims:
+//! [`PassManager::reset_for_reuse`](crate::PassManager::reset_for_reuse)
+//! clears the per-function pass state (journal cursors, dominator
+//! baselines, stat sinks) between functions, so a pooled run is
+//! bit-identical to per-function construction without paying the factory
+//! cost per function. After a contained fault the pooled instance is
+//! discarded (a pass may have been abandoned mid-run) and rebuilt lazily.
+//!
+//! Every per-function pipeline runs inside a containment boundary: panics
+//! and budget cancellations are caught, the function is rolled back to
+//! its pre-pipeline snapshot, and — per [`ModuleOptions::on_error`] — the
+//! run either records a [`FunctionOutcome::Degraded`] and continues
+//! ([`OnError::Degrade`]) or fails with the earliest fault in module
+//! order ([`OnError::Fail`]). Workers recover poisoned slot mutexes with
+//! `PoisonError::into_inner` instead of cascading a crash.
 
 use crate::registry::PassRegistry;
 use crate::spec::PassSpec;
-use crate::{PassRecord, PipelineError, PipelineOptions, PipelineReport};
-use darm_analysis::AnalysisCounters;
+use crate::{
+    clear_current_pass, install_quiet_panic_hook, Diagnostic, FaultCause, PassManager, PassRecord,
+    PipelineError, PipelineOptions, PipelineReport,
+};
+use darm_analysis::{AnalysisCounters, AnalysisManager};
 use darm_ir::{Function, Module};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
+/// What a [`ModulePassManager`] does when one function's pipeline faults
+/// (panics, errors, or exhausts its budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnError {
+    /// Fail the whole module run with the earliest (in module order)
+    /// fault. The library default — it preserves the pre-containment
+    /// error surface — though panics are still caught and surfaced as
+    /// [`PipelineError::Fault`] instead of crashing the driver.
+    #[default]
+    Fail,
+    /// Contain the fault: restore the function's pre-pipeline IR (bit
+    /// identical, fresh journal identity), record
+    /// [`FunctionOutcome::Degraded`] with its [`Diagnostic`], and keep
+    /// compiling every other function. The CLI default (`darm meld
+    /// --on-error=degrade`): melding is strictly optional, so baseline IR
+    /// is always a correct answer.
+    Degrade,
+}
+
 /// Knobs of a [`ModulePassManager`] run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ModuleOptions {
-    /// Per-function pipeline options (verification, timing).
+    /// Per-function pipeline options (verification, timing, budget).
     pub pipeline: PipelineOptions,
     /// Worker threads; `0` (the default) means
     /// [`std::thread::available_parallelism`], `1` the serial path.
     pub jobs: usize,
+    /// Fault response: fail the run or degrade the function.
+    pub on_error: OnError,
 }
 
 impl ModuleOptions {
     /// Serial module compilation with the given pipeline options.
     pub fn serial(pipeline: PipelineOptions) -> ModuleOptions {
-        ModuleOptions { pipeline, jobs: 1 }
+        ModuleOptions {
+            pipeline,
+            jobs: 1,
+            on_error: OnError::default(),
+        }
     }
 
     /// The worker count a run will actually use for `n_functions`
@@ -60,14 +101,43 @@ impl ModuleOptions {
     }
 }
 
+/// How one function's pipeline ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionOutcome {
+    /// The pipeline ran to completion; the function holds its output.
+    Optimized,
+    /// The pipeline faulted and was contained: the function holds its
+    /// pre-pipeline IR, bit-identical to the input, and the diagnostic
+    /// says why.
+    Degraded(Diagnostic),
+}
+
+impl FunctionOutcome {
+    /// Whether this is a degraded outcome.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, FunctionOutcome::Degraded(_))
+    }
+
+    /// The diagnostic of a degraded outcome.
+    pub fn diagnostic(&self) -> Option<&Diagnostic> {
+        match self {
+            FunctionOutcome::Optimized => None,
+            FunctionOutcome::Degraded(diag) => Some(diag),
+        }
+    }
+}
+
 /// One function's share of a [`ModuleReport`].
 #[derive(Debug, Clone)]
 pub struct FunctionReport {
     /// Function name.
     pub function: String,
     /// The function's pipeline report (per-pass records, analysis
-    /// computations).
+    /// computations). Empty for a degraded function — its pipeline work
+    /// was rolled back with its IR.
     pub report: PipelineReport,
+    /// Whether the function was optimized or degraded to baseline IR.
+    pub outcome: FunctionOutcome,
 }
 
 /// Everything a module run measured: per-function reports in module order
@@ -134,8 +204,23 @@ impl ModuleReport {
         }
     }
 
+    /// The degraded functions, in module order, with their diagnostics.
+    pub fn degraded(&self) -> impl Iterator<Item = (&str, &Diagnostic)> {
+        self.functions.iter().filter_map(|fr| {
+            fr.outcome
+                .diagnostic()
+                .map(|diag| (fr.function.as_str(), diag))
+        })
+    }
+
+    /// How many functions degraded to baseline IR.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded().count()
+    }
+
     /// Renders the module-level `--time-passes` tables: the per-pass
-    /// rollup, then per-function totals, then the wall-clock line.
+    /// rollup, then per-function totals and outcomes, then the wall-clock
+    /// line (plus a degradation summary when any function degraded).
     pub fn render(&self) -> String {
         let rollup = self.rollup();
         let mut out = format!(
@@ -144,14 +229,23 @@ impl ModuleReport {
             self.jobs
         );
         out.push_str(&rollup.render());
-        out.push_str("| function | time (ms) | units |\n|---|---|---|\n");
+        out.push_str("| function | time (ms) | units | outcome |\n|---|---|---|---|\n");
         for fr in &self.functions {
             out.push_str(&format!(
-                "| @{} | {:.3} | {} |\n",
+                "| @{} | {:.3} | {} | {} |\n",
                 fr.function,
                 fr.report.total_seconds * 1e3,
                 fr.report.passes.iter().map(|p| p.units).sum::<u64>(),
+                if fr.outcome.is_degraded() {
+                    "degraded"
+                } else {
+                    "optimized"
+                },
             ));
+        }
+        let degraded = self.degraded_count();
+        if degraded > 0 {
+            out.push_str(&format!("degraded: {degraded} function(s)\n"));
         }
         out.push_str(&format!(
             "wall: {:.3} ms (summed per-function pipeline time: {:.3} ms)\n",
@@ -166,7 +260,7 @@ impl ModuleReport {
 /// place for its result.
 struct Slot<'f> {
     func: &'f mut Function,
-    result: Option<Result<PipelineReport, PipelineError>>,
+    result: Option<Result<(PipelineReport, FunctionOutcome), PipelineError>>,
 }
 
 /// Runs one pipeline spec over every function of a [`Module`].
@@ -210,7 +304,7 @@ impl<'r> ModulePassManager<'r> {
         options: ModuleOptions,
     ) -> Result<ModulePassManager<'r>, PipelineError> {
         // Probe build: surface registry errors at construction time.
-        registry.build_parsed(&spec, options.pipeline)?;
+        registry.build_parsed(&spec, options.pipeline.clone())?;
         Ok(ModulePassManager {
             registry,
             spec,
@@ -238,15 +332,22 @@ impl<'r> ModulePassManager<'r> {
     /// Runs the pipeline over every function of `module`, in parallel when
     /// `options.jobs` resolves to more than one worker.
     ///
+    /// Every per-function pipeline runs inside a containment boundary (see
+    /// [`OnError`]): with [`OnError::Degrade`] a faulting function keeps
+    /// its pre-pipeline IR and is reported as
+    /// [`FunctionOutcome::Degraded`]; the run itself succeeds.
+    ///
     /// # Errors
     ///
-    /// [`PipelineError::InFunction`] wrapping the first (in module order)
-    /// function failure. The serial path stops at the failing function;
-    /// the parallel pool completes every function (the largest-first
-    /// schedule claims out of input order, so finishing the pool is what
-    /// keeps the reported failure deterministic) and then reports the
-    /// earliest. Other functions may or may not have been transformed —
-    /// treat the module as poisoned on error.
+    /// Under [`OnError::Fail`]: the first (in module order) function
+    /// failure — [`PipelineError::InFunction`] for regular pipeline
+    /// errors, [`PipelineError::Fault`] for contained panics and budget
+    /// cancellations. The serial path stops at the failing function; the
+    /// parallel pool completes every function (the largest-first schedule
+    /// claims out of input order, so finishing the pool is what keeps the
+    /// reported failure deterministic) and then reports the earliest.
+    /// Other functions may or may not have been transformed — treat the
+    /// module as poisoned on error.
     pub fn run(&self, module: &mut Module) -> Result<ModuleReport, PipelineError> {
         let t0 = Instant::now();
         let names: Vec<String> = module
@@ -259,20 +360,28 @@ impl<'r> ModulePassManager<'r> {
         let schedule = self.scheduled_order(module);
         let funcs = module.functions_mut();
         let jobs = self.options.effective_jobs(funcs.len());
-        let in_function = |function: &String, error: PipelineError| PipelineError::InFunction {
-            function: function.clone(),
-            error: Box::new(error),
+        // `Fault` diagnostics already name their function; everything else
+        // gets wrapped so module errors always say where they happened.
+        let wrap = |function: &String, error: PipelineError| match error {
+            fault @ PipelineError::Fault(_) => fault,
+            error => PipelineError::InFunction {
+                function: function.clone(),
+                error: Box::new(error),
+            },
         };
         let mut functions = Vec::with_capacity(funcs.len());
         if jobs <= 1 {
-            // Serial: any failure is by construction the earliest one.
+            // Serial: one pooled pipeline instance serves every function,
+            // and any failure is by construction the earliest one.
+            let mut pool = None;
             for (name, func) in names.iter().zip(funcs.iter_mut()) {
-                match self.run_function(func) {
-                    Ok(report) => functions.push(FunctionReport {
+                match self.compile_one(&mut pool, func) {
+                    Ok((report, outcome)) => functions.push(FunctionReport {
                         function: name.clone(),
                         report,
+                        outcome,
                     }),
-                    Err(e) => return Err(in_function(name, e)),
+                    Err(e) => return Err(wrap(name, e)),
                 }
             }
         } else {
@@ -283,11 +392,22 @@ impl<'r> ModulePassManager<'r> {
                 .collect();
             std::thread::scope(|s| {
                 for _ in 0..jobs {
-                    s.spawn(|| loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = schedule.get(k) else { break };
-                        let mut slot = slots[i].lock().expect("no worker panicked holding a slot");
-                        slot.result = Some(self.run_function(slot.func));
+                    s.spawn(|| {
+                        // Per-worker pooled pipeline instance, reset (or
+                        // discarded, after a fault) between functions.
+                        let mut pool = None;
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = schedule.get(k) else { break };
+                            // Containment catches pass panics, but a slot
+                            // can still be poisoned by a panic outside the
+                            // boundary; the slot data is valid regardless
+                            // of where its holder died (the result is
+                            // either written whole or absent), so recover
+                            // it instead of cascading the crash.
+                            let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+                            slot.result = Some(self.compile_one(&mut pool, slot.func));
+                        }
                     });
                 }
             });
@@ -297,27 +417,40 @@ impl<'r> ModulePassManager<'r> {
             // the module is poisoned on error regardless, and completing
             // the pool makes "earliest failure in module order" exact
             // under out-of-order scheduling.
-            let mut results: Vec<Option<Result<PipelineReport, PipelineError>>> = slots
-                .into_iter()
-                .map(|s| {
-                    s.into_inner()
-                        .expect("no worker panicked holding a slot")
-                        .result
-                })
-                .collect();
-            if let Some(i) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
-                let Some(Err(e)) = results.swap_remove(i) else {
-                    unreachable!("position() found Some(Err)")
-                };
-                return Err(in_function(&names[i], e));
+            let mut results: Vec<Option<Result<(PipelineReport, FunctionOutcome), PipelineError>>> =
+                slots
+                    .into_iter()
+                    .map(|s| {
+                        s.into_inner()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .result
+                    })
+                    .collect();
+            if let Some(i) = results.iter().position(|r| !matches!(r, Some(Ok(_)))) {
+                return Err(match results.swap_remove(i) {
+                    Some(Err(e)) => wrap(&names[i], e),
+                    // A worker died before writing the slot. Containment
+                    // should make this unreachable; surface it as a fault
+                    // of the function instead of crashing the driver.
+                    None => PipelineError::Fault(Diagnostic {
+                        function: names[i].clone(),
+                        pass: None,
+                        site: None,
+                        cause: FaultCause::Panic(
+                            "worker terminated before completing the function".to_string(),
+                        ),
+                    }),
+                    Some(Ok(_)) => unreachable!("position() found a non-Ok slot"),
+                });
             }
             for (name, result) in names.iter().zip(results) {
-                let report = result
-                    .expect("every slot was claimed and completed")
-                    .expect("error slots were returned above");
+                let (report, outcome) = result
+                    .expect("non-Ok slots were returned above")
+                    .expect("non-Ok slots were returned above");
                 functions.push(FunctionReport {
                     function: name.clone(),
                     report,
+                    outcome,
                 });
             }
         }
@@ -328,13 +461,70 @@ impl<'r> ModulePassManager<'r> {
         })
     }
 
-    /// Builds a fresh pipeline from the parsed spec and runs it over one
-    /// function.
-    fn run_function(&self, func: &mut Function) -> Result<PipelineReport, PipelineError> {
-        let mut pm = self
-            .registry
-            .build_parsed(&self.spec, self.options.pipeline)?;
-        pm.run(func)
+    /// Compiles one function through a pooled pipeline instance.
+    ///
+    /// The pool is built lazily from the parsed spec and reset between
+    /// functions ([`PassManager::reset_for_reuse`]); after any fault it is
+    /// discarded — a pass may have been abandoned mid-run — and rebuilt
+    /// lazily for the next function.
+    ///
+    /// # Errors
+    ///
+    /// Under [`OnError::Degrade`], faults degrade the function (`Ok` with
+    /// [`FunctionOutcome::Degraded`], IR restored to the pre-pipeline
+    /// snapshot); only pipeline construction itself can fail. Under
+    /// [`OnError::Fail`] the fault is returned: regular pipeline errors
+    /// as-is, panics and budget cancellations as
+    /// [`PipelineError::Fault`].
+    fn compile_one(
+        &self,
+        pool: &mut Option<PassManager>,
+        func: &mut Function,
+    ) -> Result<(PipelineReport, FunctionOutcome), PipelineError> {
+        match pool {
+            Some(pm) => pm.reset_for_reuse(),
+            None => {
+                *pool = Some(
+                    self.registry
+                        .build_parsed(&self.spec, self.options.pipeline.clone())?,
+                );
+            }
+        }
+        let pm = pool.as_mut().expect("pool was just filled");
+        let mut am = AnalysisManager::new();
+        match self.options.on_error {
+            OnError::Degrade => match pm.run_contained(func, &mut am) {
+                Ok(report) => Ok((report, FunctionOutcome::Optimized)),
+                Err(diag) => {
+                    *pool = None;
+                    Ok((PipelineReport::default(), FunctionOutcome::Degraded(diag)))
+                }
+            },
+            OnError::Fail => {
+                // Same containment boundary, but faults fail the run
+                // instead of degrading, and regular pipeline errors pass
+                // through typed (no snapshot/rollback: the module is
+                // treated as poisoned on error, and skipping the function
+                // clone keeps the fault-free default path overhead-free).
+                install_quiet_panic_hook();
+                clear_current_pass();
+                darm_ir::fault::begin_function();
+                match catch_unwind(AssertUnwindSafe(|| pm.run_with(func, &mut am))) {
+                    Ok(Ok(report)) => Ok((report, FunctionOutcome::Optimized)),
+                    Ok(Err(error)) => {
+                        *pool = None;
+                        Err(error)
+                    }
+                    Err(payload) => {
+                        *pool = None;
+                        Err(PipelineError::Fault(Diagnostic::from_unwind(
+                            func.name(),
+                            payload,
+                        )))
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -391,6 +581,7 @@ mod tests {
             ModuleOptions {
                 pipeline: PipelineOptions::default(),
                 jobs: 4,
+                ..ModuleOptions::default()
             },
         )
         .unwrap();
@@ -473,6 +664,7 @@ mod tests {
             ModuleOptions {
                 pipeline: PipelineOptions::default(),
                 jobs: 3,
+                ..ModuleOptions::default()
             },
         )
         .unwrap()
@@ -486,13 +678,116 @@ mod tests {
         let registry = PassRegistry::with_transforms();
         let opts = ModuleOptions::default();
         assert!(matches!(
-            ModulePassManager::new(&registry, "dce(", opts),
+            ModulePassManager::new(&registry, "dce(", opts.clone()),
             Err(PipelineError::Spec(_))
         ));
         assert!(matches!(
             ModulePassManager::new(&registry, "frobnicate", opts),
             Err(PipelineError::UnknownPass { .. })
         ));
+    }
+
+    /// A registry whose `explode` pass panics on the named functions and
+    /// is a no-op elsewhere.
+    fn exploding_registry(victims: &'static [&'static str]) -> PassRegistry {
+        let mut registry = PassRegistry::with_transforms();
+        registry.register("explode", move || {
+            Box::new(crate::passes::FnPass::new("explode", move |func, _am| {
+                if victims.contains(&func.name()) {
+                    panic!("boom in @{}", func.name());
+                }
+                Ok(crate::PassOutcome::unchanged())
+            }))
+        });
+        registry
+    }
+
+    #[test]
+    fn degrade_contains_a_panic_and_keeps_the_rest_optimized() {
+        let registry = exploding_registry(&["f1"]);
+        for jobs in [1, 4] {
+            let mut m = messy_module(4);
+            let before = m.functions()[1].to_string();
+            let mpm = ModulePassManager::new(
+                &registry,
+                "explode,fixpoint(simplify,instcombine,dce)",
+                ModuleOptions {
+                    jobs,
+                    on_error: OnError::Degrade,
+                    ..ModuleOptions::default()
+                },
+            )
+            .unwrap();
+            let report = mpm.run(&mut m).expect("degrade mode never fails the run");
+            assert_eq!(report.degraded_count(), 1, "jobs={jobs}");
+            let (name, diag) = report.degraded().next().unwrap();
+            assert_eq!(name, "f1");
+            assert_eq!(diag.pass.as_deref(), Some("explode"));
+            assert_eq!(diag.cause, FaultCause::Panic("boom in @f1".to_string()));
+            // The degraded function is bit-identical to its input; the
+            // others still went through the full pipeline.
+            assert_eq!(m.functions()[1].to_string(), before, "jobs={jobs}");
+            for (i, f) in m.functions().iter().enumerate() {
+                if i != 1 {
+                    assert_eq!(f.block_ids().len(), 1, "@{} jobs={jobs}", f.name());
+                }
+            }
+            let table = report.render();
+            assert!(table.contains("| @f1 | 0.000 | 0 | degraded |"), "{table}");
+            assert!(table.contains("degraded: 1 function(s)"), "{table}");
+        }
+    }
+
+    #[test]
+    fn fail_mode_contains_the_panic_and_names_the_earliest_function() {
+        // f1 and f3 both panic; the error must name f1 regardless of
+        // worker scheduling — and the driver must not crash or poison.
+        let registry = exploding_registry(&["f1", "f3"]);
+        for jobs in [1, 4] {
+            let mut m = messy_module(4);
+            let mpm = ModulePassManager::new(
+                &registry,
+                "explode",
+                ModuleOptions {
+                    jobs,
+                    ..ModuleOptions::default()
+                },
+            )
+            .unwrap();
+            match mpm.run(&mut m) {
+                Err(PipelineError::Fault(diag)) => {
+                    assert_eq!(diag.function, "f1", "jobs={jobs}");
+                    assert_eq!(diag.pass.as_deref(), Some("explode"));
+                    assert_eq!(diag.cause, FaultCause::Panic("boom in @f1".to_string()));
+                }
+                other => panic!("expected Fault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_serial_run_matches_fresh_instances() {
+        // The serial path pools one pipeline instance across functions;
+        // jobs=4 builds per-worker instances. Identical output proves
+        // `reset_for_reuse` restores as-new behavior (cursors, baselines,
+        // stats) between functions.
+        let registry = PassRegistry::with_transforms();
+        let spec = "fixpoint(simplify,instcombine,dce),ssa-repair";
+        let mut pooled = messy_module(6);
+        let mut fresh = messy_module(6);
+        let serial = ModulePassManager::new(
+            &registry,
+            spec,
+            ModuleOptions::serial(PipelineOptions::default()),
+        )
+        .unwrap();
+        let report = serial.run(&mut pooled).unwrap();
+        for func in fresh.functions_mut() {
+            let mut pm = registry.build(spec, PipelineOptions::default()).unwrap();
+            pm.run(func).unwrap();
+        }
+        assert_eq!(pooled.to_string(), fresh.to_string());
+        assert!(report.functions.iter().all(|f| !f.outcome.is_degraded()));
     }
 
     #[test]
@@ -519,6 +814,7 @@ mod tests {
             ModuleOptions {
                 pipeline: PipelineOptions::default(),
                 jobs: 4,
+                ..ModuleOptions::default()
             },
         )
         .unwrap();

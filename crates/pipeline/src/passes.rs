@@ -88,6 +88,12 @@ impl ScopeTracker {
     fn advance(&mut self, func: &Function) {
         self.cursor = self.scoping.then(|| func.journal_head());
     }
+
+    /// Forgets the previous function's cursor (keeps the scoping flag —
+    /// it's configuration, not per-function state).
+    fn reset(&mut self) {
+        self.cursor = None;
+    }
 }
 
 /// `simplifycfg` as a pass. Reports precisely: runs that only removed φs
@@ -168,6 +174,11 @@ impl Pass for SimplifyCfgPass {
         .map(|(k, v)| (k, v as u64))
         .collect()
     }
+
+    fn reset(&mut self) {
+        self.total = SimplifyStats::default();
+        self.tracker.reset();
+    }
 }
 
 /// Dead-code elimination as a pass (instruction-only: keeps CFG shape and,
@@ -216,6 +227,11 @@ impl Pass for DcePass {
     fn stat_entries(&self) -> Vec<(&'static str, u64)> {
         vec![("removed insts", self.removed)]
     }
+
+    fn reset(&mut self) {
+        self.removed = 0;
+        self.tracker.reset();
+    }
 }
 
 /// Peephole `instcombine` as a pass (instruction-only, keeps CFG shape;
@@ -257,6 +273,11 @@ impl Pass for InstCombinePass {
 
     fn stat_entries(&self) -> Vec<(&'static str, u64)> {
         vec![("combined insts", self.combined)]
+    }
+
+    fn reset(&mut self) {
+        self.combined = 0;
+        self.tracker.reset();
     }
 }
 
@@ -351,6 +372,12 @@ impl Pass for SsaRepairPass {
     fn stat_entries(&self) -> Vec<(&'static str, u64)> {
         vec![("repaired defs", self.repaired)]
     }
+
+    fn reset(&mut self) {
+        self.repaired = 0;
+        self.tracker.reset();
+        self.baseline = None;
+    }
 }
 
 /// Full SSA verification as an explicit pipeline element (useful in specs
@@ -420,6 +447,7 @@ impl Pass for FixpointPass {
         let units_before = self.inner.total_units();
         let mut changed_any = false;
         for _ in 0..self.max {
+            darm_ir::budget::poll("pipeline::fixpoint");
             self.rounds += 1;
             let changed = self.inner.run_once(func, am).map_err(|e| e.to_string())?;
             changed_any |= changed;
@@ -436,6 +464,11 @@ impl Pass for FixpointPass {
 
     fn stat_entries(&self) -> Vec<(&'static str, u64)> {
         vec![("rounds", self.rounds)]
+    }
+
+    fn reset(&mut self) {
+        self.rounds = 0;
+        self.inner.reset_for_reuse();
     }
 }
 

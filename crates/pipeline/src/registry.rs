@@ -233,9 +233,9 @@ impl PassRegistry {
         if spec.elems.is_empty() {
             return Err(PipelineError::EmptySpec);
         }
-        let mut pm = PassManager::new(options);
+        let mut pm = PassManager::new(options.clone());
         for elem in &spec.elems {
-            pm.add(self.instantiate(elem, options)?);
+            pm.add(self.instantiate(elem, options.clone())?);
         }
         Ok(pm)
     }
@@ -263,9 +263,9 @@ impl PassRegistry {
                     time_passes: false,
                     ..options
                 };
-                let mut inner = PassManager::new(inner_options);
+                let mut inner = PassManager::new(inner_options.clone());
                 for e in elems {
-                    inner.add(self.instantiate(e, inner_options)?);
+                    inner.add(self.instantiate(e, inner_options.clone())?);
                 }
                 Ok(Box::new(FixpointPass::new(elem.to_string(), inner, *max)))
             }

@@ -28,6 +28,7 @@ pub fn run_dce(func: &mut Function) -> usize {
 /// [`run_dce`] with the candidate seeds restricted to `scope`'s dirty
 /// region (`None`, or a saturated delta, means whole-function).
 pub fn run_dce_scoped(func: &mut Function, scope: Option<&DirtyDelta>) -> usize {
+    darm_ir::fault::point("transforms::dce");
     if scope.is_some_and(|d| d.is_clean()) {
         return 0; // nothing mutated since the last run: no new dead code
     }

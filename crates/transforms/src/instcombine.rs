@@ -28,6 +28,7 @@ pub fn run_instcombine(func: &mut Function) -> usize {
 /// On a function whose untouched remainder is already at the rewrite
 /// fixpoint, the result is identical to the whole-function run.
 pub fn run_instcombine_scoped(func: &mut Function, scope: Option<&DirtyDelta>) -> usize {
+    darm_ir::fault::point("transforms::instcombine");
     if scope.is_some_and(|d| d.is_clean()) {
         return 0; // nothing mutated since the last run: no new redexes
     }

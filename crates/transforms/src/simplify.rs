@@ -203,6 +203,8 @@ pub fn simplify_cfg_scoped(
         _ => ScopeState::warmup(func),
     };
     loop {
+        darm_ir::budget::poll("transforms::simplify");
+        darm_ir::fault::point("transforms::simplify");
         let mut changed = false;
         scope.refresh(func, am);
         if scope.shape_changed() {

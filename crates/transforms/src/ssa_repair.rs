@@ -40,6 +40,7 @@ pub fn repair_ssa_scoped(
     am: &mut AnalysisManager,
     scope: Option<(&DirtyDelta, &[bool])>,
 ) -> usize {
+    darm_ir::fault::point("transforms::ssa-repair");
     if scope.is_some_and(|(d, _)| d.is_clean()) {
         return 0; // nothing mutated since the last repair: SSA still valid
     }

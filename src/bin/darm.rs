@@ -4,6 +4,7 @@
 //! darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T]
 //!           [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N]
 //!           [--passes SPEC] [--time-passes] [--verify-each]
+//!           [--on-error degrade|fail] [--timeout-ms N] [--fuel N]
 //! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
 //! darm analyze <input.ir>
 //! ```
@@ -18,7 +19,14 @@
 //! are compiled on `--jobs N` worker threads (default: all cores; the
 //! output is bit-identical to `--jobs 1`). `--time-passes` prints the
 //! per-pass/per-function timing tables and `--verify-each` checks SSA
-//! between passes. `run` executes a kernel (the first function of the
+//! between passes.
+//!
+//! Failure semantics: melding is strictly optional, so by default
+//! (`--on-error degrade`) a function whose pipeline faults — panics,
+//! errors, or exhausts the `--timeout-ms`/`--fuel` budget — is emitted as
+//! its verified *input* IR with a `warning:` diagnostic on stderr, and the
+//! exit code stays 0. `--on-error fail` turns the earliest fault into an
+//! `error:` and exit code 1. `run` executes a kernel (the first function of the
 //! module) on the SIMT simulator with zero-initialized `i32` buffers and
 //! prints the counters. `analyze` reports divergence analysis and meldable
 //! regions for every function without transforming.
@@ -27,14 +35,14 @@ use darm::analysis::{to_dot, verify_ssa, DivergenceAnalysis};
 use darm::ir::parser::{fixup_types, parse_module};
 use darm::ir::Module;
 use darm::melding::{region, Analyses, MeldConfig, MeldMode};
-use darm::pipeline::{ModuleOptions, ModulePassManager, PipelineOptions};
+use darm::pipeline::{Budget, ModuleOptions, ModulePassManager, OnError, PipelineOptions};
 use darm::prelude::*;
 use darm::simt::KernelArg;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
     );
     std::process::exit(2);
 }
@@ -78,6 +86,18 @@ fn cmd_meld(args: &[String]) -> ExitCode {
     let mut passes_spec: Option<String> = None;
     let mut options = PipelineOptions::default();
     let mut jobs = 0usize; // 0 = available_parallelism
+                           // The CLI defaults to graceful degradation: melding is optional, the
+                           // verified input IR is always a correct output for a faulting function.
+    let mut on_error = OnError::Degrade;
+    let mut timeout_ms: Option<u64> = None;
+    let mut fuel: Option<u64> = None;
+    fn parse_on_error(v: &str) -> OnError {
+        match v {
+            "fail" => OnError::Fail,
+            "degrade" => OnError::Degrade,
+            _ => usage(),
+        }
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -94,6 +114,23 @@ fn cmd_meld(args: &[String]) -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--on-error" => {
+                on_error = parse_on_error(it.next().map(String::as_str).unwrap_or_else(|| usage()))
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--fuel" => {
+                fuel = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--mode" => match it.next().map(String::as_str) {
                 Some("darm") => config.mode = MeldMode::Darm,
                 Some("bf") => config.mode = MeldMode::BranchFusion,
@@ -106,7 +143,15 @@ fn cmd_meld(args: &[String]) -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
-            _ => usage(),
+            // `--flag=value` spellings of the failure-semantics flags.
+            other => match other.split_once('=') {
+                Some(("--on-error", v)) => on_error = parse_on_error(v),
+                Some(("--timeout-ms", v)) => {
+                    timeout_ms = Some(v.parse().unwrap_or_else(|_| usage()))
+                }
+                Some(("--fuel", v)) => fuel = Some(v.parse().unwrap_or_else(|_| usage())),
+                _ => usage(),
+            },
         }
     }
     let Some(input) = input else { usage() };
@@ -116,9 +161,12 @@ fn cmd_meld(args: &[String]) -> ExitCode {
     // module manager runs it over every function, in parallel with --jobs.
     let spec = passes_spec.as_deref().unwrap_or("meld");
     let registry = darm::melding::registry(&config);
+    let time_passes = options.time_passes;
+    options.budget = Budget::new(timeout_ms.map(std::time::Duration::from_millis), fuel);
     let module_options = ModuleOptions {
         pipeline: options,
         jobs,
+        on_error,
     };
     let report = ModulePassManager::new(&registry, spec, module_options)
         .and_then(|mpm| mpm.run(&mut module));
@@ -129,6 +177,11 @@ fn cmd_meld(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Degraded functions were emitted as their verified input IR; say why,
+    // stably (`warning: @fn: pass 'meld': time budget exceeded (at ...)`).
+    for (_, diag) in report.degraded() {
+        eprintln!("warning: {diag}");
+    }
     if show_stats {
         let multi = module.len() > 1;
         for fr in &report.functions {
@@ -161,7 +214,7 @@ fn cmd_meld(args: &[String]) -> ExitCode {
             }
         }
     }
-    if options.time_passes {
+    if time_passes {
         eprint!("{}", report.render());
     }
     for func in module.functions() {

@@ -343,3 +343,126 @@ fn bad_input_fails_with_diagnostic() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("line 3"), "{stderr}");
 }
+
+#[test]
+fn timeout_zero_degrades_every_function_and_reprints_the_input() {
+    let input = write_module("darm_cli_timeout.ir");
+    let out = bin()
+        .args(["meld", input.to_str().unwrap(), "--timeout-ms", "0"])
+        .output()
+        .unwrap();
+    // Degrade is the CLI default: the run succeeds, every function keeps
+    // its baseline IR, and each degradation is a stderr warning.
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // The divergent diamonds survive untouched (no select-merge happened).
+    assert_eq!(stdout.matches("br %").count(), 2, "{stdout}");
+    assert!(!stdout.contains("select"), "{stdout}");
+    // Pinned diagnostic rendering: function, pass, cause, site.
+    assert!(
+        stderr.contains("warning: @k_a: pass 'meld': time budget exceeded (at pipeline::pass)"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("warning: @k_b: pass 'meld': time budget exceeded (at pipeline::pass)"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn on_error_fail_turns_a_budget_fault_into_exit_one() {
+    let input = write_module("darm_cli_fail.ir");
+    // Both `--on-error fail` and `--on-error=fail` spellings.
+    for args in [
+        vec!["--timeout-ms", "0", "--on-error", "fail"],
+        vec!["--timeout-ms=0", "--on-error=fail"],
+    ] {
+        let out = bin()
+            .args(["meld", input.to_str().unwrap()])
+            .args(&args)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1));
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("error: @k_a: pass 'meld': time budget exceeded (at pipeline::pass)"),
+            "{stderr}"
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.is_empty(), "no IR on a failed run: {stdout}");
+    }
+}
+
+#[test]
+fn fuel_zero_degrades_with_a_fuel_diagnostic() {
+    let input = write_module("darm_cli_fuel.ir");
+    let out = bin()
+        .args(["meld", input.to_str().unwrap(), "--fuel", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("warning: @k_a: pass 'meld': fuel budget exhausted (at pipeline::pass)"),
+        "{stderr}"
+    );
+    assert_eq!(stderr.matches("warning: ").count(), 2, "{stderr}");
+}
+
+#[test]
+fn malformed_module_second_function_fails_with_position() {
+    // The first function parses; the second is malformed — module-mode
+    // errors still carry the position and exit 1.
+    let path = std::env::temp_dir().join("darm_cli_badmod.ir");
+    let good = MODULE.split("fn @k_b").next().unwrap();
+    std::fs::write(
+        &path,
+        format!(
+            "{good}fn @k_b(ptr(global) %arg0) -> void {{\nentry:\n  %0 = frobnicate\n  ret\n}}\n"
+        ),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["meld", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("line"), "{stderr}");
+}
+
+#[test]
+fn degraded_runs_still_render_time_passes_tables() {
+    let input = write_module("darm_cli_timeout_tables.ir");
+    let out = bin()
+        .args([
+            "meld",
+            input.to_str().unwrap(),
+            "--timeout-ms",
+            "0",
+            "--time-passes",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("| @k_a | 0.000 | 0 | degraded |"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("degraded: 2 function(s)"), "{stderr}");
+}
