@@ -1,23 +1,30 @@
-//! Interpreter-throughput microbenchmark: the pre-decoded warp-vectorized
-//! engine vs the original per-lane reference interpreter, on the fig. 9
+//! Interpreter-throughput microbenchmark across all three execution
+//! backends — flat register bytecode vs the pre-decoded warp-vectorized
+//! engine vs the original per-lane reference interpreter — on the fig. 9
 //! real-world kernel set.
 //!
-//! Reports per-case criterion timings for both engines plus a summary table
-//! of simulated thread-instructions per second and the geomean speedup.
-//! The acceptance target for the decode/execute split is a **≥2× geomean**
-//! throughput improvement; full bench runs assert it.
+//! Reports per-case criterion timings for every engine plus a summary
+//! table of simulated thread-instructions per second and the geomean
+//! speedups. Acceptance targets, asserted on full runs: the decoded
+//! engine at **≥2×** the reference, and the bytecode engine at **≥1.3×**
+//! the decoded engine.
 //!
 //! `cargo bench --bench interp_throughput` — measure.
 //! `cargo bench --bench interp_throughput -- --test` — smoke mode: each
-//! engine runs every case once and the stats are cross-checked, untimed.
+//! engine runs every case once and the stats are cross-checked, then
+//! quick min-estimator ratios are recorded through
+//! [`darm_bench::perfjson`] (keys `interp_throughput/bytecode_vs_reference`
+//! and `interp_throughput/bytecode_vs_prepared`) for the perf gate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use darm_bench::{fig9_cases, geomean};
+use darm_bench::{fig9_cases, geomean, perfjson};
 use darm_kernels::BenchCase;
-use darm_simt::{Gpu, GpuConfig, KernelStats, PreparedKernel};
+use darm_simt::{BytecodeKernel, Gpu, GpuConfig, KernelStats, PreparedKernel};
 use std::time::Instant;
 
 /// Runs `case` on the reference (per-lane, arena-walking) interpreter.
+/// Like the two helpers below: fresh buffers, no readback, so timings
+/// compare launch cost alone, symmetrically across engines.
 fn run_reference(case: &BenchCase) -> KernelStats {
     let mut gpu = Gpu::new(GpuConfig::default());
     let (kargs, _bufs) = case.alloc_args(&mut gpu);
@@ -25,19 +32,40 @@ fn run_reference(case: &BenchCase) -> KernelStats {
         .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", case.name))
 }
 
-/// Times `f` over enough repetitions to fill ~100 ms, returning seconds per
-/// call.
-fn time_per_call(mut f: impl FnMut()) -> f64 {
+/// Runs `case` on the decoded engine.
+fn run_prepared(case: &BenchCase, pk: &PreparedKernel) -> KernelStats {
+    let mut gpu = Gpu::new(GpuConfig::default());
+    let (kargs, _bufs) = case.alloc_args(&mut gpu);
+    gpu.launch_prepared(pk, &case.launch, &kargs)
+        .unwrap_or_else(|e| panic!("{}: decoded run failed: {e}", case.name))
+}
+
+/// Runs `case` on the bytecode engine.
+fn run_bytecode(case: &BenchCase, bk: &BytecodeKernel) -> KernelStats {
+    let mut gpu = Gpu::new(GpuConfig::default());
+    let (kargs, _bufs) = case.alloc_args(&mut gpu);
+    gpu.launch_bytecode(bk, &case.launch, &kargs)
+        .unwrap_or_else(|e| panic!("{}: bytecode run failed: {e}", case.name))
+}
+
+/// Times `f` over enough repetitions to fill roughly `budget` seconds,
+/// returning seconds per call.
+fn time_per_call_budget(budget: f64, mut f: impl FnMut()) -> f64 {
     // Warm up and size the batch.
     let t0 = Instant::now();
     f();
     let once = t0.elapsed().as_secs_f64().max(1e-6);
-    let reps = ((0.1 / once).ceil() as usize).clamp(3, 200);
+    let reps = ((budget / once).ceil() as usize).clamp(3, 200);
     let t1 = Instant::now();
     for _ in 0..reps {
         f();
     }
     t1.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Full-run timing: ~100 ms per measurement.
+fn time_per_call(f: impl FnMut()) -> f64 {
+    time_per_call_budget(0.1, f)
 }
 
 fn bench(c: &mut Criterion) {
@@ -49,8 +77,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for case in &cases {
         let pk = PreparedKernel::new(&case.func);
+        let bk = BytecodeKernel::from_prepared(&pk);
+        group.bench_with_input(BenchmarkId::new("bytecode", &case.name), case, |b, case| {
+            b.iter(|| run_bytecode(case, &bk))
+        });
         group.bench_with_input(BenchmarkId::new("decoded", &case.name), case, |b, case| {
-            b.iter(|| case.execute_prepared(&pk).unwrap().stats)
+            b.iter(|| run_prepared(case, &pk))
         });
         group.bench_with_input(
             BenchmarkId::new("reference", &case.name),
@@ -60,54 +92,113 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    // Summary: simulated thread-instructions per second, decoded vs
-    // reference, and the geomean speedup the tentpole is accountable for.
-    let mut speedups = Vec::new();
-    println!();
-    println!("| case | static insts | regs | decoded Minstr/s | reference Minstr/s | speedup |");
-    println!("|---|---|---|---|---|---|");
-    for case in &cases {
-        let pk = PreparedKernel::new(&case.func);
-        let stats = case.execute_prepared(&pk).unwrap().stats;
-        if test_mode {
-            // Smoke mode: one untimed cross-check per engine.
+    if test_mode {
+        // Smoke mode: one untimed cross-check per engine, then quick
+        // min-estimator ratios for the perf gate.
+        let (mut bc_vs_ref, mut bc_vs_dec) = (Vec::new(), Vec::new());
+        for case in &cases {
+            let pk = PreparedKernel::new(&case.func);
+            let bk = BytecodeKernel::from_prepared(&pk);
+            let stats = run_prepared(case, &pk);
             assert_eq!(
                 stats,
                 run_reference(case),
-                "{}: engines disagree",
+                "{}: decoded vs reference disagree",
                 case.name
             );
-            continue;
+            assert_eq!(
+                stats,
+                run_bytecode(case, &bk),
+                "{}: bytecode vs decoded disagree",
+                case.name
+            );
+            let t_bc = time_per_call_budget(0.03, || {
+                run_bytecode(case, &bk);
+            });
+            let t_dec = time_per_call_budget(0.03, || {
+                run_prepared(case, &pk);
+            });
+            let t_ref = time_per_call_budget(0.03, || {
+                run_reference(case);
+            });
+            println!(
+                "interp_throughput smoke: {:<10} bytecode {:.2}x reference, {:.2}x decoded",
+                case.name,
+                t_ref / t_bc,
+                t_dec / t_bc
+            );
+            bc_vs_ref.push(t_ref / t_bc);
+            bc_vs_dec.push(t_dec / t_bc);
         }
+        let gm_ref = geomean(bc_vs_ref.iter().copied());
+        let gm_dec = geomean(bc_vs_dec.iter().copied());
+        println!("interp_throughput: smoke mode — all three engines agree on all fig9 cases");
+        println!(
+            "interp_throughput smoke: bytecode at {gm_ref:.2}x reference, {gm_dec:.2}x decoded"
+        );
+        perfjson::record("interp_throughput/bytecode_vs_reference", gm_ref);
+        perfjson::record("interp_throughput/bytecode_vs_prepared", gm_dec);
+        return;
+    }
+
+    // Summary: simulated thread-instructions per second for all three
+    // engines, and the geomean speedups the tentpoles are accountable for.
+    let (mut dec_vs_ref, mut bc_vs_dec, mut bc_vs_ref) = (Vec::new(), Vec::new(), Vec::new());
+    println!();
+    println!(
+        "| case | static insts | regs | bytecode Minstr/s | decoded Minstr/s | reference Minstr/s | bc/dec | dec/ref |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for case in &cases {
+        let pk = PreparedKernel::new(&case.func);
+        let bk = BytecodeKernel::from_prepared(&pk);
+        let stats = run_prepared(case, &pk);
         let insts = stats.thread_instructions as f64;
+        let bc = insts
+            / time_per_call(|| {
+                run_bytecode(case, &bk);
+            });
         let dec = insts
             / time_per_call(|| {
-                case.execute_prepared(&pk).unwrap();
+                run_prepared(case, &pk);
             });
         let refc = insts
             / time_per_call(|| {
                 run_reference(case);
             });
         println!(
-            "| {} | {} | {} | {:.1} | {:.1} | {:.2}x |",
+            "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.2}x | {:.2}x |",
             case.name,
             pk.decoded_inst_count(),
             pk.register_slots(),
+            bc / 1e6,
             dec / 1e6,
             refc / 1e6,
+            bc / dec,
             dec / refc
         );
-        speedups.push(dec / refc);
+        dec_vs_ref.push(dec / refc);
+        bc_vs_dec.push(bc / dec);
+        bc_vs_ref.push(bc / refc);
     }
-    if test_mode {
-        println!("interp_throughput: smoke mode — engines agree on all fig9 cases");
-        return;
-    }
-    let gm = geomean(speedups.iter().copied());
-    println!("| **GM** | | | | | **{gm:.2}x** |");
+    let gm_dec_ref = geomean(dec_vs_ref.iter().copied());
+    let gm_bc_dec = geomean(bc_vs_dec.iter().copied());
+    let gm_bc_ref = geomean(bc_vs_ref.iter().copied());
+    println!("| **GM** | | | | | | **{gm_bc_dec:.2}x** | **{gm_dec_ref:.2}x** |");
+    println!("bytecode vs reference geomean: {gm_bc_ref:.2}x");
+    perfjson::record(
+        "measured/interp_throughput/bytecode_vs_reference",
+        gm_bc_ref,
+    );
+    perfjson::record("measured/interp_throughput/bytecode_vs_prepared", gm_bc_dec);
     assert!(
-        gm >= 2.0,
-        "decoded engine geomean speedup {gm:.2}x is below the 2x acceptance target"
+        gm_dec_ref >= 2.0,
+        "decoded engine geomean speedup {gm_dec_ref:.2}x is below the 2x acceptance target"
+    );
+    assert!(
+        gm_bc_dec >= 1.3,
+        "bytecode engine geomean speedup {gm_bc_dec:.2}x over the decoded engine is below the \
+         1.3x acceptance target"
     );
 }
 

@@ -1,9 +1,24 @@
 //! Regenerates Fig. 9: real-world benchmark speedups across block sizes.
 //! All kernels are melded in one module batch on all cores.
+//!
+//! With `DARM_BENCH_JSON` set, the sweep's DARM/BF geomean speedups are
+//! recorded for the perf gate — simulated-cycle ratios, so the values are
+//! deterministic and the committed baselines are exact.
+
+use darm_bench::{fig9_cases, geomean, perfjson, render_speedups, run_cases, VariantStats};
+
 fn main() {
-    let rows = darm_bench::run_cases(&darm_bench::fig9_cases(), 0);
+    let rows = run_cases(&fig9_cases(), 0);
+    perfjson::record(
+        "fig9/darm_geomean",
+        geomean(rows.iter().map(VariantStats::darm_speedup)),
+    );
+    perfjson::record(
+        "fig9/bf_geomean",
+        geomean(rows.iter().map(VariantStats::bf_speedup)),
+    );
     print!(
         "{}",
-        darm_bench::render_speedups("Figure 9 — real-world benchmark speedups", &rows)
+        render_speedups("Figure 9 — real-world benchmark speedups", &rows)
     );
 }

@@ -110,9 +110,24 @@ impl BenchCase {
     ///
     /// Propagates any simulator error.
     pub fn execute_prepared(&self, kernel: &PreparedKernel) -> Result<RunResult, SimError> {
+        self.execute_compiled(kernel)
+    }
+
+    /// Executes a kernel compiled for any [`darm_simt::Backend`] tier on
+    /// this case's inputs — the [`darm_simt::CompiledKernel`] analogue of
+    /// [`BenchCase::execute_prepared`]; all tiers produce bit-identical
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulator error.
+    pub fn execute_compiled(
+        &self,
+        kernel: &dyn darm_simt::CompiledKernel,
+    ) -> Result<RunResult, SimError> {
         let mut gpu = Gpu::new(GpuConfig::default());
         let (kargs, bufs) = self.alloc_args(&mut gpu);
-        let stats = gpu.launch_prepared(kernel, &self.launch, &kargs)?;
+        let stats = kernel.execute(&mut gpu, &self.launch, &kargs)?;
         let buffers = bufs
             .into_iter()
             .map(|b| {

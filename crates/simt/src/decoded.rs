@@ -66,6 +66,11 @@ pub(crate) struct DInst {
     /// Opcode-specific immediate: GEP element size in bytes, or the shared
     /// arena byte offset for `SharedBase`.
     pub aux: u64,
+    /// For `Br` whose condition is a register: the condition's slot,
+    /// pre-resolved at decode time so the execute loops read it directly
+    /// instead of re-matching `ops[0]` per lane. [`NO_DST`] for every other
+    /// opcode and for lane-invariant (constant/parameter) conditions.
+    pub cond_slot: u32,
 }
 
 /// One φ definition: destination slot plus a range into
@@ -220,6 +225,10 @@ impl PreparedKernel {
                     Opcode::SharedBase(k) => pk.shared_offsets[k as usize],
                     _ => 0,
                 };
+                let cond_slot = match (data.opcode, ops[0]) {
+                    (Opcode::Br, DOperand::Reg(s)) => s,
+                    _ => NO_DST,
+                };
                 pk.insts.push(DInst {
                     opcode: data.opcode,
                     ty: data.ty,
@@ -228,6 +237,7 @@ impl PreparedKernel {
                     succs,
                     latency: cost::latency(data.opcode, None),
                     aux,
+                    cond_slot,
                 });
             }
             let end = pk.insts.len() as u32;

@@ -21,7 +21,7 @@ use crate::decoded::{DInst, DOperand, PreparedKernel, BLOCK_ENTRY, NO_BLOCK, NO_
 use crate::mem::{decode, encode_global, encode_shared, BufferId, ByteStore, RawVal};
 use crate::stats::KernelStats;
 use crate::{reference, GpuConfig, LaunchConfig};
-use darm_ir::{cost, Dim, Function, Opcode, Type};
+use darm_ir::{Dim, Function, Opcode, Type};
 use std::error::Error;
 use std::fmt;
 
@@ -274,33 +274,81 @@ impl Gpu {
     ) -> Result<KernelStats, SimError> {
         reference::launch(&mut self.buffers, &self.config, func, cfg, args)
     }
+
+    /// Launches a kernel lowered to the flat register bytecode
+    /// ([`crate::BytecodeKernel`]) — the fastest execution tier, bit-identical
+    /// to the other two.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gpu::launch`].
+    pub fn launch_bytecode(
+        &mut self,
+        bk: &crate::BytecodeKernel,
+        cfg: &LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<KernelStats, SimError> {
+        crate::exec_bc::launch(&mut self.buffers, &self.config, bk, cfg, args)
+    }
+
+    /// Compiles and launches `func` on the chosen execution backend.
+    ///
+    /// All three backends are bit-identical in buffers, stats, and errors;
+    /// they differ only in throughput. Compilation is *not* amortized —
+    /// callers launching repeatedly should compile once via
+    /// [`crate::BackendKind::backend`] / [`crate::Backend::compile`] (or the
+    /// concrete [`PreparedKernel::new`] / [`crate::BytecodeKernel::new`])
+    /// and reuse the compiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gpu::launch`].
+    pub fn launch_with(
+        &mut self,
+        kind: crate::BackendKind,
+        func: &Function,
+        cfg: &LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<KernelStats, SimError> {
+        match kind {
+            crate::BackendKind::Reference => self.launch_reference(func, cfg, args),
+            crate::BackendKind::Prepared => self.launch(func, cfg, args),
+            crate::BackendKind::Bytecode => {
+                let bk = crate::BytecodeKernel::new(func);
+                self.launch_bytecode(&bk, cfg, args)
+            }
+        }
+    }
 }
 
+/// One IPDOM reconvergence-stack entry. Shared by the decoded and bytecode
+/// engines (`inst_idx` indexes [`PreparedKernel::insts`] for the former and
+/// the flat bytecode stream for the latter).
 #[derive(Debug, Clone, Copy)]
-struct StackEntry {
+pub(crate) struct StackEntry {
     /// Dense block index.
-    block: u32,
-    /// Absolute index into [`PreparedKernel::insts`], or [`BLOCK_ENTRY`]
-    /// when the block's φ batch has not run yet.
-    inst_idx: u32,
+    pub block: u32,
+    /// Absolute instruction/op index, or [`BLOCK_ENTRY`] when the block's φ
+    /// batch has not run yet.
+    pub inst_idx: u32,
     /// Reconvergence block (dense), or [`NO_BLOCK`].
-    rpc: u32,
-    mask: u64,
+    pub rpc: u32,
+    pub mask: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WarpStatus {
+pub(crate) enum WarpStatus {
     Running,
     AtBarrier,
     Done,
 }
 
-struct WarpState {
-    stack: Vec<StackEntry>,
+pub(crate) struct WarpState {
+    pub stack: Vec<StackEntry>,
     /// Last block executed, per lane (dense index) — resolves φ incomings.
-    prev: Vec<u32>,
-    status: WarpStatus,
-    base_thread: u32,
+    pub prev: Vec<u32>,
+    pub status: WarpStatus,
+    pub base_thread: u32,
 }
 
 /// Per-thread-block execution state for the decoded engine.
@@ -337,7 +385,7 @@ fn resolve(op: DOperand, regs: &[RawVal], lane_base: usize, args: &[RawVal]) -> 
 /// The seed interpreter's integer-binop semantics: well-typed pairs compute,
 /// everything else (type mismatches, undef) yields `Undef`.
 #[inline(always)]
-fn bin_i(a: RawVal, b: RawVal, f: impl Fn(i64, i64) -> i64) -> RawVal {
+pub(crate) fn bin_i(a: RawVal, b: RawVal, f: impl Fn(i64, i64) -> i64) -> RawVal {
     match (a, b) {
         (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(f(a as i64, b as i64) as i32),
         (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(f(a, b)),
@@ -347,7 +395,7 @@ fn bin_i(a: RawVal, b: RawVal, f: impl Fn(i64, i64) -> i64) -> RawVal {
 }
 
 #[inline(always)]
-fn bin_f(a: RawVal, b: RawVal, f: impl Fn(f32, f32) -> f32) -> RawVal {
+pub(crate) fn bin_f(a: RawVal, b: RawVal, f: impl Fn(f32, f32) -> f32) -> RawVal {
     match (a, b) {
         (RawVal::F32(a), RawVal::F32(b)) => RawVal::F32(f(a, b)),
         _ => RawVal::Undef,
@@ -355,11 +403,238 @@ fn bin_f(a: RawVal, b: RawVal, f: impl Fn(f32, f32) -> f32) -> RawVal {
 }
 
 #[inline(always)]
-fn un_f(a: RawVal, f: impl Fn(f32) -> f32) -> RawVal {
+pub(crate) fn un_f(a: RawVal, f: impl Fn(f32) -> f32) -> RawVal {
     match a {
         RawVal::F32(a) => RawVal::F32(f(a)),
         _ => RawVal::Undef,
     }
+}
+
+// The per-opcode value semantics below are shared verbatim by the decoded
+// engine (`exec_plain`) and the bytecode engine (`crate::exec_bc`), so the
+// two tiers cannot drift apart.
+
+#[inline(always)]
+pub(crate) fn icmp_eval(pred: darm_ir::IcmpPred, a: RawVal, b: RawVal) -> RawVal {
+    use darm_ir::IcmpPred::*;
+    let cmp = |a: i64, b: i64, ua: u64, ub: u64| -> bool {
+        match pred {
+            Eq => a == b,
+            Ne => a != b,
+            Slt => a < b,
+            Sle => a <= b,
+            Sgt => a > b,
+            Sge => a >= b,
+            Ult => ua < ub,
+            Ule => ua <= ub,
+            Ugt => ua > ub,
+            Uge => ua >= ub,
+        }
+    };
+    match (a, b) {
+        (RawVal::I32(a), RawVal::I32(b)) => {
+            RawVal::I1(cmp(a as i64, b as i64, a as u32 as u64, b as u32 as u64))
+        }
+        (RawVal::I64(a), RawVal::I64(b)) => RawVal::I1(cmp(a, b, a as u64, b as u64)),
+        (RawVal::I1(a), RawVal::I1(b)) => RawVal::I1(cmp(a as i64, b as i64, a as u64, b as u64)),
+        (RawVal::Ptr(a), RawVal::Ptr(b)) => RawVal::I1(cmp(a as i64, b as i64, a, b)),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn fcmp_eval(pred: darm_ir::FcmpPred, a: RawVal, b: RawVal) -> RawVal {
+    use darm_ir::FcmpPred::*;
+    match (a, b) {
+        (RawVal::F32(a), RawVal::F32(b)) => RawVal::I1(match pred {
+            Oeq => a == b,
+            One => a != b,
+            Olt => a < b,
+            Ole => a <= b,
+            Ogt => a > b,
+            Oge => a >= b,
+        }),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn shl_eval(a: RawVal, b: RawVal) -> RawVal {
+    match (a, b) {
+        (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(a.wrapping_shl(b as u32)),
+        (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(a.wrapping_shl(b as u32)),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn lshr_eval(a: RawVal, b: RawVal) -> RawVal {
+    match (a, b) {
+        (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(((a as u32).wrapping_shr(b as u32)) as i32),
+        (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(((a as u64).wrapping_shr(b as u32)) as i64),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn ashr_eval(a: RawVal, b: RawVal) -> RawVal {
+    match (a, b) {
+        (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(a.wrapping_shr(b as u32)),
+        (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(a.wrapping_shr(b as u32)),
+        _ => RawVal::Undef,
+    }
+}
+
+/// Division family. Returns `Err(DivByZero)` on a well-typed zero divisor;
+/// undef or mistyped operands yield `Undef` (seed-interpreter semantics).
+#[inline(always)]
+pub(crate) fn div_eval(opcode: Opcode, ty: Type, x: RawVal, y: RawVal) -> Result<RawVal, SimError> {
+    use Opcode::*;
+    if matches!(x, RawVal::Undef) || matches!(y, RawVal::Undef) {
+        return Ok(RawVal::Undef);
+    }
+    let (a, b) = match (x, y) {
+        (RawVal::I32(a), RawVal::I32(b)) => (a as i64, b as i64),
+        (RawVal::I64(a), RawVal::I64(b)) => (a, b),
+        _ => return Ok(RawVal::Undef),
+    };
+    if b == 0 {
+        return Err(SimError::DivByZero);
+    }
+    let r = match opcode {
+        SDiv => a.wrapping_div(b),
+        SRem => a.wrapping_rem(b),
+        UDiv => ((a as u64) / (b as u64)) as i64,
+        URem => ((a as u64) % (b as u64)) as i64,
+        _ => unreachable!(),
+    };
+    Ok(match ty {
+        Type::I32 => RawVal::I32(r as i32),
+        _ => RawVal::I64(r),
+    })
+}
+
+#[inline(always)]
+pub(crate) fn select_eval(c: RawVal, t: RawVal, e: RawVal) -> RawVal {
+    match c {
+        RawVal::I1(true) => t,
+        RawVal::I1(false) => e,
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn zext_sext_eval(zext: bool, ty: Type, a: RawVal) -> RawVal {
+    match a {
+        RawVal::I1(b) => {
+            let x = if zext { b as i64 } else { -(b as i64) };
+            match ty {
+                Type::I32 => RawVal::I32(x as i32),
+                Type::I64 => RawVal::I64(x),
+                _ => RawVal::Undef,
+            }
+        }
+        RawVal::I32(v) => {
+            let x = if zext { v as u32 as i64 } else { v as i64 };
+            match ty {
+                Type::I64 => RawVal::I64(x),
+                Type::I32 => RawVal::I32(v),
+                _ => RawVal::Undef,
+            }
+        }
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn trunc_eval(ty: Type, a: RawVal) -> RawVal {
+    match a {
+        RawVal::I64(v) => match ty {
+            Type::I32 => RawVal::I32(v as i32),
+            Type::I1 => RawVal::I1(v & 1 != 0),
+            _ => RawVal::Undef,
+        },
+        RawVal::I32(v) => match ty {
+            Type::I1 => RawVal::I1(v & 1 != 0),
+            _ => RawVal::Undef,
+        },
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn sitofp_eval(a: RawVal) -> RawVal {
+    match a {
+        RawVal::I32(v) => RawVal::F32(v as f32),
+        RawVal::I64(v) => RawVal::F32(v as f32),
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn fptosi_eval(ty: Type, a: RawVal) -> RawVal {
+    match a {
+        RawVal::F32(v) => match ty {
+            Type::I32 => RawVal::I32(v as i32),
+            Type::I64 => RawVal::I64(v as i64),
+            _ => RawVal::Undef,
+        },
+        _ => RawVal::Undef,
+    }
+}
+
+#[inline(always)]
+pub(crate) fn gep_eval(elem_size: u64, base: RawVal, idx: RawVal) -> RawVal {
+    match (base, idx.as_i64_index()) {
+        (RawVal::Ptr(base), Some(idx)) => {
+            RawVal::Ptr(base.wrapping_add((idx as u64).wrapping_mul(elem_size)))
+        }
+        _ => RawVal::Undef,
+    }
+}
+
+/// Typed read from a global buffer or the block's shared arena. Shared by
+/// both engines (the reference interpreter keeps its own copy).
+#[inline(always)]
+pub(crate) fn mem_read_at(
+    buffers: &[ByteStore],
+    shared: &ByteStore,
+    ty: Type,
+    addr: u64,
+) -> Result<RawVal, SimError> {
+    let (buf, off) = decode(addr);
+    let store = match buf {
+        Some(b) => buffers
+            .get(b.0 as usize)
+            .ok_or_else(|| SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}")))?,
+        None => shared,
+    };
+    store.read(ty, off).ok_or_else(|| {
+        SimError::OutOfBounds(format!(
+            "read of {ty} at offset {off} (len {})",
+            store.len()
+        ))
+    })
+}
+
+/// Typed write to a global buffer or the block's shared arena.
+#[inline(always)]
+pub(crate) fn mem_write_at(
+    buffers: &mut [ByteStore],
+    shared: &mut ByteStore,
+    addr: u64,
+    v: RawVal,
+) -> Result<(), SimError> {
+    let (buf, off) = decode(addr);
+    let store = match buf {
+        Some(b) => buffers
+            .get_mut(b.0 as usize)
+            .ok_or_else(|| SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}")))?,
+        None => shared,
+    };
+    store.write(off, v).ok_or_else(|| {
+        SimError::OutOfBounds(format!("write at offset {off} (len {})", store.len()))
+    })
 }
 
 impl<'a> Engine<'a> {
@@ -509,14 +784,34 @@ impl<'a> Engine<'a> {
                             _ => {
                                 let mut m_true = 0u64;
                                 let mut m_false = 0u64;
-                                let mut m = top.mask;
-                                while m != 0 {
-                                    let lane = m.trailing_zeros();
-                                    m &= m - 1;
-                                    let thread = (warp.base_thread + lane) as usize;
-                                    match resolve(inst.ops[0], regs, thread * n, args) {
-                                        RawVal::I1(true) => m_true |= 1 << lane,
-                                        RawVal::I1(false) => m_false |= 1 << lane,
+                                if inst.cond_slot != NO_DST {
+                                    // Condition slot pre-resolved at decode
+                                    // time: read the register file directly
+                                    // instead of re-matching the operand
+                                    // kind per lane.
+                                    let s = inst.cond_slot as usize;
+                                    let mut m = top.mask;
+                                    while m != 0 {
+                                        let lane = m.trailing_zeros();
+                                        m &= m - 1;
+                                        let thread = (warp.base_thread + lane) as usize;
+                                        match regs[thread * n + s] {
+                                            RawVal::I1(true) => m_true |= 1 << lane,
+                                            RawVal::I1(false) => m_false |= 1 << lane,
+                                            _ => {
+                                                return Err(SimError::UndefValue(format!(
+                                                    "branch condition in block {}",
+                                                    pk.block_name(top.block)
+                                                )))
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    // Constant or parameter condition:
+                                    // lane-invariant, resolve once.
+                                    match resolve(inst.ops[0], regs, 0, args) {
+                                        RawVal::I1(true) => m_true = top.mask,
+                                        RawVal::I1(false) => m_false = top.mask,
                                         _ => {
                                             return Err(SimError::UndefValue(format!(
                                                 "branch condition in block {}",
@@ -651,52 +946,12 @@ impl<'a> Engine<'a> {
                 lanes!(|lb| {
                     let x = resolve(op0, regs, lb, args);
                     let y = resolve(op1, regs, lb, args);
-                    let undef_in = matches!(x, RawVal::Undef) || matches!(y, RawVal::Undef);
-                    regs[lb + dst] = if undef_in {
-                        RawVal::Undef
-                    } else {
-                        let pair = match (x, y) {
-                            (RawVal::I32(a), RawVal::I32(b)) => Some((a as i64, b as i64)),
-                            (RawVal::I64(a), RawVal::I64(b)) => Some((a, b)),
-                            _ => None,
-                        };
-                        match pair {
-                            None => RawVal::Undef,
-                            Some((_, 0)) => return Err(SimError::DivByZero),
-                            Some((a, b)) => {
-                                let r = match opcode {
-                                    SDiv => a.wrapping_div(b),
-                                    SRem => a.wrapping_rem(b),
-                                    UDiv => ((a as u64) / (b as u64)) as i64,
-                                    URem => ((a as u64) % (b as u64)) as i64,
-                                    _ => unreachable!(),
-                                };
-                                match ty {
-                                    Type::I32 => RawVal::I32(r as i32),
-                                    _ => RawVal::I64(r),
-                                }
-                            }
-                        }
-                    };
+                    regs[lb + dst] = div_eval(opcode, ty, x, y)?;
                 });
             }
-            Shl => map2!(|a, b| match (a, b) {
-                (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(a.wrapping_shl(b as u32)),
-                (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(a.wrapping_shl(b as u32)),
-                _ => RawVal::Undef,
-            }),
-            LShr => map2!(|a, b| match (a, b) {
-                (RawVal::I32(a), RawVal::I32(b)) =>
-                    RawVal::I32(((a as u32).wrapping_shr(b as u32)) as i32),
-                (RawVal::I64(a), RawVal::I64(b)) =>
-                    RawVal::I64(((a as u64).wrapping_shr(b as u32)) as i64),
-                _ => RawVal::Undef,
-            }),
-            AShr => map2!(|a, b| match (a, b) {
-                (RawVal::I32(a), RawVal::I32(b)) => RawVal::I32(a.wrapping_shr(b as u32)),
-                (RawVal::I64(a), RawVal::I64(b)) => RawVal::I64(a.wrapping_shr(b as u32)),
-                _ => RawVal::Undef,
-            }),
+            Shl => map2!(shl_eval),
+            LShr => map2!(lshr_eval),
+            AShr => map2!(ashr_eval),
             FAdd => map2!(|a, b| bin_f(a, b, |a, b| a + b)),
             FSub => map2!(|a, b| bin_f(a, b, |a, b| a - b)),
             FMul => map2!(|a, b| bin_f(a, b, |a, b| a * b)),
@@ -705,119 +960,33 @@ impl<'a> Engine<'a> {
             FAbs => map1!(|a| un_f(a, f32::abs)),
             FNeg => map1!(|a| un_f(a, |x| -x)),
             FExp => map1!(|a| un_f(a, f32::exp)),
-            Icmp(pred) => {
-                use darm_ir::IcmpPred::*;
-                let cmp = |a: i64, b: i64, ua: u64, ub: u64| -> bool {
-                    match pred {
-                        Eq => a == b,
-                        Ne => a != b,
-                        Slt => a < b,
-                        Sle => a <= b,
-                        Sgt => a > b,
-                        Sge => a >= b,
-                        Ult => ua < ub,
-                        Ule => ua <= ub,
-                        Ugt => ua > ub,
-                        Uge => ua >= ub,
-                    }
-                };
-                map2!(|a, b| match (a, b) {
-                    (RawVal::I32(a), RawVal::I32(b)) =>
-                        RawVal::I1(cmp(a as i64, b as i64, a as u32 as u64, b as u32 as u64)),
-                    (RawVal::I64(a), RawVal::I64(b)) => RawVal::I1(cmp(a, b, a as u64, b as u64)),
-                    (RawVal::I1(a), RawVal::I1(b)) =>
-                        RawVal::I1(cmp(a as i64, b as i64, a as u64, b as u64)),
-                    (RawVal::Ptr(a), RawVal::Ptr(b)) => RawVal::I1(cmp(a as i64, b as i64, a, b)),
-                    _ => RawVal::Undef,
-                });
-            }
-            Fcmp(pred) => {
-                use darm_ir::FcmpPred::*;
-                map2!(|a, b| match (a, b) {
-                    (RawVal::F32(a), RawVal::F32(b)) => RawVal::I1(match pred {
-                        Oeq => a == b,
-                        One => a != b,
-                        Olt => a < b,
-                        Ole => a <= b,
-                        Ogt => a > b,
-                        Oge => a >= b,
-                    }),
-                    _ => RawVal::Undef,
-                });
-            }
+            Icmp(pred) => map2!(|a, b| icmp_eval(pred, a, b)),
+            Fcmp(pred) => map2!(|a, b| fcmp_eval(pred, a, b)),
             Select => {
                 lanes!(|lb| {
                     let c = resolve(op0, regs, lb, args);
                     let t = resolve(op1, regs, lb, args);
                     let e = resolve(op2, regs, lb, args);
-                    regs[lb + dst] = match c {
-                        RawVal::I1(true) => t,
-                        RawVal::I1(false) => e,
-                        _ => RawVal::Undef,
-                    };
+                    regs[lb + dst] = select_eval(c, t, e);
                 });
             }
             Zext | Sext => {
                 let zext = inst.opcode == Zext;
                 let ty = inst.ty;
-                map1!(|a| match a {
-                    RawVal::I1(b) => {
-                        let x = if zext { b as i64 } else { -(b as i64) };
-                        match ty {
-                            Type::I32 => RawVal::I32(x as i32),
-                            Type::I64 => RawVal::I64(x),
-                            _ => RawVal::Undef,
-                        }
-                    }
-                    RawVal::I32(v) => {
-                        let x = if zext { v as u32 as i64 } else { v as i64 };
-                        match ty {
-                            Type::I64 => RawVal::I64(x),
-                            Type::I32 => RawVal::I32(v),
-                            _ => RawVal::Undef,
-                        }
-                    }
-                    _ => RawVal::Undef,
-                });
+                map1!(|a| zext_sext_eval(zext, ty, a));
             }
             Trunc => {
                 let ty = inst.ty;
-                map1!(|a| match a {
-                    RawVal::I64(v) => match ty {
-                        Type::I32 => RawVal::I32(v as i32),
-                        Type::I1 => RawVal::I1(v & 1 != 0),
-                        _ => RawVal::Undef,
-                    },
-                    RawVal::I32(v) => match ty {
-                        Type::I1 => RawVal::I1(v & 1 != 0),
-                        _ => RawVal::Undef,
-                    },
-                    _ => RawVal::Undef,
-                });
+                map1!(|a| trunc_eval(ty, a));
             }
-            SiToFp => map1!(|a| match a {
-                RawVal::I32(v) => RawVal::F32(v as f32),
-                RawVal::I64(v) => RawVal::F32(v as f32),
-                _ => RawVal::Undef,
-            }),
+            SiToFp => map1!(sitofp_eval),
             FpToSi => {
                 let ty = inst.ty;
-                map1!(|a| match a {
-                    RawVal::F32(v) => match ty {
-                        Type::I32 => RawVal::I32(v as i32),
-                        Type::I64 => RawVal::I64(v as i64),
-                        _ => RawVal::Undef,
-                    },
-                    _ => RawVal::Undef,
-                });
+                map1!(|a| fptosi_eval(ty, a));
             }
             Gep { .. } => {
                 let elem_size = inst.aux;
-                map2!(|a, b: RawVal| match (a, b.as_i64_index()) {
-                    (RawVal::Ptr(base), Some(idx)) =>
-                        RawVal::Ptr(base.wrapping_add((idx as u64).wrapping_mul(elem_size))),
-                    _ => RawVal::Undef,
-                });
+                map2!(|a, b| gep_eval(elem_size, a, b));
             }
             Load => {
                 let ty = inst.ty;
@@ -903,32 +1072,11 @@ impl<'a> Engine<'a> {
     }
 
     fn mem_read(&self, ty: Type, addr: u64) -> Result<RawVal, SimError> {
-        let (buf, off) = decode(addr);
-        let store = match buf {
-            Some(b) => self.buffers.get(b.0 as usize).ok_or_else(|| {
-                SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}"))
-            })?,
-            None => &self.shared,
-        };
-        store.read(ty, off).ok_or_else(|| {
-            SimError::OutOfBounds(format!(
-                "read of {ty} at offset {off} (len {})",
-                store.len()
-            ))
-        })
+        mem_read_at(self.buffers, &self.shared, ty, addr)
     }
 
     fn mem_write(&mut self, addr: u64, v: RawVal) -> Result<(), SimError> {
-        let (buf, off) = decode(addr);
-        let store = match buf {
-            Some(b) => self.buffers.get_mut(b.0 as usize).ok_or_else(|| {
-                SimError::OutOfBounds(format!("unknown buffer in address {addr:#x}"))
-            })?,
-            None => &mut self.shared,
-        };
-        store.write(off, v).ok_or_else(|| {
-            SimError::OutOfBounds(format!("write at offset {off} (len {})", store.len()))
-        })
+        mem_write_at(self.buffers, &mut self.shared, addr, v)
     }
 
     /// Charges cycles and updates counters for one warp-instruction issue,
@@ -943,58 +1091,8 @@ impl<'a> Engine<'a> {
         use Opcode::*;
         match inst.opcode {
             Load | Store => {
-                // Infer the address space from the encoded addresses (global
-                // addresses carry a buffer id in the high bits).
-                let is_global = self
-                    .lane_addrs
-                    .first()
-                    .map(|&a| decode(a).0.is_some())
-                    .unwrap_or(false);
-                if is_global {
-                    self.stats.global_mem_insts += 1;
-                    // Coalescing: one transaction per distinct 128B segment.
-                    self.scratch.clear();
-                    self.scratch.extend(
-                        self.lane_addrs
-                            .iter()
-                            .map(|a| a / cost::COALESCE_SEGMENT_BYTES),
-                    );
-                    self.scratch.sort_unstable();
-                    self.scratch.dedup();
-                    let n_seg = self.scratch.len().max(1) as u64;
-                    self.stats.global_transactions += n_seg;
-                    self.stats.cycles +=
-                        cost::GLOBAL_MEM_LATENCY + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
-                } else {
-                    self.stats.shared_mem_insts += 1;
-                    // Bank-conflict model: accesses to distinct words in the
-                    // same bank serialize; broadcasts do not. Encoded as
-                    // bank << 48 | word so one sort+dedup yields, per bank, a
-                    // run of its distinct words.
-                    self.scratch.clear();
-                    self.scratch.extend(self.lane_addrs.iter().map(|&a| {
-                        let word = a / cost::SHARED_BANK_WORD_BYTES;
-                        ((word % cost::SHARED_BANKS) << 48) | (word & 0xFFFF_FFFF_FFFF)
-                    }));
-                    self.scratch.sort_unstable();
-                    self.scratch.dedup();
-                    let mut degree = 1u64;
-                    let mut run = 0u64;
-                    let mut cur_bank = u64::MAX;
-                    for &enc in &self.scratch {
-                        let bank = enc >> 48;
-                        if bank == cur_bank {
-                            run += 1;
-                        } else {
-                            cur_bank = bank;
-                            run = 1;
-                        }
-                        degree = degree.max(run);
-                    }
-                    self.stats.shared_bank_conflicts += degree - 1;
-                    self.stats.cycles += cost::SHARED_MEM_LATENCY
-                        + (degree - 1) * cost::SHARED_BANK_CONFLICT_PENALTY;
-                }
+                self.stats
+                    .charge_mem_access(&self.lane_addrs, &mut self.scratch);
             }
             Phi | Syncthreads => {}
             Br | Jump | Ret => {
@@ -1011,7 +1109,7 @@ impl<'a> Engine<'a> {
 
 /// Applies a control transfer for the warp's top-of-stack entry, popping it
 /// if the target is its reconvergence point.
-fn transition(warp: &mut WarpState, target: u32) {
+pub(crate) fn transition(warp: &mut WarpState, target: u32) {
     let top = warp.stack.last_mut().expect("entry exists");
     if target == top.rpc {
         warp.stack.pop();

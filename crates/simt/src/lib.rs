@@ -21,23 +21,43 @@
 //! * rocprof-style counters are collected: total cycles, ALU utilization,
 //!   and vector/shared memory instruction counts (Figures 9–11).
 //!
-//! ## Decode → execute architecture
+//! ## Decode → bytecode → execute architecture
 //!
-//! The interpreter runs in two phases. [`PreparedKernel`] (the *decode*
-//! phase) lowers a [`darm_ir::Function`] once into flat arrays: dense
-//! instruction records with operands pre-resolved to register slots /
-//! immediates / parameter indices, per-block instruction ranges, φ tables
-//! keyed by predecessor block, and the cached CFG/post-dominator facts
-//! (the IPDOM of every block) that reconvergence needs. The *execute*
-//! phase ([`Gpu::launch_prepared`]) then walks those arrays with a flat,
-//! lane-major register file per thread block and dispatches each opcode
-//! **once per warp instruction**, iterating the active-mask lanes inside
-//! the handler — instead of re-matching the opcode per lane against the IR
-//! arena the way the original interpreter did.
+//! Kernels lower through up to two compile tiers before execution:
 //!
-//! A `PreparedKernel` borrows nothing, so the decode (and the dominator
-//! analysis behind it) is paid once per kernel and reused across launches
-//! and launch geometries:
+//! 1. **decode** — [`PreparedKernel`] lowers a [`darm_ir::Function`] once
+//!    into flat arrays: dense instruction records with operands
+//!    pre-resolved to register slots / immediates / parameter indices,
+//!    per-block instruction ranges, φ tables keyed by predecessor block,
+//!    and the cached CFG/post-dominator facts (the IPDOM of every block)
+//!    that reconvergence needs. Its execute loop
+//!    ([`Gpu::launch_prepared`]) dispatches each opcode **once per warp
+//!    instruction**, iterating the active-mask lanes inside the handler —
+//!    instead of re-matching the opcode per lane against the IR arena the
+//!    way the seed interpreter did.
+//! 2. **bytecode** — [`BytecodeKernel`] lowers the decoded records once
+//!    more into a flat, fixed-width register bytecode: constants and
+//!    parameters are folded into dedicated register slots (so every
+//!    operand read is a plain indexed load), an `icmp` feeding its
+//!    block's `br` fuses into one compare-and-branch op, φ batches become
+//!    per-predecessor move tables, and every branch target carries its
+//!    pre-computed resume pc so taken control flow never touches the
+//!    reconvergence stack. Its execute loop ([`Gpu::launch_bytecode`]) is
+//!    a single dense `match` per warp instruction — the fastest tier.
+//!
+//! All tiers — the two above plus the retained seed interpreter
+//! ([`Gpu::launch_reference`]) — are **bit-identical** in output buffers,
+//! [`KernelStats`], and [`SimError`]s; they differ only in throughput.
+//! The [`backend`] module packages the choice as [`BackendKind`] and the
+//! compile-then-execute shape as the [`Backend`] / [`CompiledKernel`]
+//! traits (lane-major register file `thread * n_slots + slot`,
+//! [`KernelStats`] as the shared stats sink) — the seam a future JIT tier
+//! plugs into; [`Gpu::launch_with`] selects a tier per launch and the
+//! `darm` CLI exposes the same choice as `--backend`.
+//!
+//! A `PreparedKernel` (and a `BytecodeKernel` — same API shape) borrows
+//! nothing, so the compile work — including the dominator analysis — is
+//! paid once per kernel and reused across launches and launch geometries:
 //!
 //! ```
 //! # use darm_simt::{Gpu, GpuConfig, LaunchConfig, KernelArg};
@@ -60,10 +80,11 @@
 //!
 //! The original arena-walking, per-lane interpreter is retained in
 //! [`reference`](mod@reference) behind [`Gpu::launch_reference`]: the
-//! `decoded_vs_reference` differential test proves both engines produce
-//! bit-identical buffer contents and [`KernelStats`] on the full benchmark
-//! kernel suite, and the `interp_throughput` bench measures the decoded
-//! engine's speedup over it.
+//! `decoded_vs_reference` differential test proves all three engines
+//! produce bit-identical buffer contents and [`KernelStats`] on the full
+//! benchmark kernel suite (a property-based test does the same over
+//! random divergent CFGs), and the `interp_throughput` bench measures the
+//! faster tiers' speedups over it.
 //!
 //! ```
 //! use darm_simt::{Gpu, GpuConfig, LaunchConfig, KernelArg};
@@ -87,12 +108,17 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+pub mod backend;
+pub mod bytecode;
 pub mod decoded;
 pub mod exec;
+pub(crate) mod exec_bc;
 pub mod mem;
 pub mod reference;
 pub mod stats;
 
+pub use backend::{Backend, BackendKind, CompiledKernel};
+pub use bytecode::BytecodeKernel;
 pub use decoded::PreparedKernel;
 pub use exec::{Gpu, KernelArg, SimError};
 pub use mem::BufferId;

@@ -1,4 +1,12 @@
 //! Performance counters — the simulator's answer to `rocprof` (§VI-B..D).
+//!
+//! [`KernelStats`] is also the **stats sink** of the backend contract
+//! (see [`crate::backend`]): every execution tier charges into the same
+//! counters through the same methods, which is what keeps the tiers
+//! bit-comparable and lets differential tests assert `==` on the struct.
+
+use crate::mem::decode;
+use darm_ir::cost;
 
 /// Counters collected over one kernel launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +55,109 @@ impl KernelStats {
             return 0.0;
         }
         self.thread_instructions as f64 / (self.warp_instructions as f64 * self.warp_size as f64)
+    }
+
+    /// Charges the memory-cost model for one warp-wide load/store issue:
+    /// coalescing (one transaction per distinct 128-byte segment) for global
+    /// accesses, the bank-conflict model for shared (LDS) accesses. The
+    /// address space is inferred from the encoded addresses — global
+    /// addresses carry a buffer id in the high bits. `scratch` is reusable
+    /// sort space so the hot loops stay allocation-free.
+    ///
+    /// Shared by the decoded and bytecode engines (the reference
+    /// interpreter keeps its own copy); callers account
+    /// `warp_instructions`/`thread_instructions` themselves.
+    pub(crate) fn charge_mem_access(&mut self, lane_addrs: &[u64], scratch: &mut Vec<u64>) {
+        let is_global = lane_addrs
+            .first()
+            .map(|&a| decode(a).0.is_some())
+            .unwrap_or(false);
+        if is_global {
+            self.global_mem_insts += 1;
+            // Coalescing: one transaction per distinct 128B segment.
+            // Fast path: when every segment index lands in one 64-wide
+            // window (true for any coalesced or moderately strided warp
+            // access), the distinct count is a popcount over a bitmask.
+            let n_seg = {
+                let mut lo = u64::MAX;
+                let mut hi = 0u64;
+                for &a in lane_addrs {
+                    let seg = a / cost::COALESCE_SEGMENT_BYTES;
+                    lo = lo.min(seg);
+                    hi = hi.max(seg);
+                }
+                if lane_addrs.is_empty() {
+                    1
+                } else if hi - lo < 64 {
+                    let mut seen = 0u64;
+                    for &a in lane_addrs {
+                        seen |= 1u64 << (a / cost::COALESCE_SEGMENT_BYTES - lo);
+                    }
+                    u64::from(seen.count_ones())
+                } else {
+                    scratch.clear();
+                    scratch.extend(lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES));
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    scratch.len() as u64
+                }
+            };
+            self.global_transactions += n_seg;
+            self.cycles +=
+                cost::GLOBAL_MEM_LATENCY + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
+        } else {
+            self.shared_mem_insts += 1;
+            // Bank-conflict model: accesses to distinct words in the same
+            // bank serialize; broadcasts do not. Fast path: walk the lanes
+            // with a per-bank last-word table — as long as each bank sees
+            // at most one distinct word (conflict-free or broadcast, the
+            // overwhelmingly common case) the answer is degree 1 with no
+            // sorting.
+            let mut bank_word = [0u64; cost::SHARED_BANKS as usize];
+            let mut bank_seen = 0u32;
+            let mut clean = true;
+            for &a in lane_addrs {
+                let word = a / cost::SHARED_BANK_WORD_BYTES;
+                let bank = (word % cost::SHARED_BANKS) as usize;
+                if bank_seen & (1 << bank) == 0 {
+                    bank_seen |= 1 << bank;
+                    bank_word[bank] = word;
+                } else if bank_word[bank] != word {
+                    clean = false;
+                    break;
+                }
+            }
+            let degree = if clean {
+                1u64
+            } else {
+                // Encoded as bank << 48 | word so one sort+dedup yields,
+                // per bank, a run of its distinct words.
+                scratch.clear();
+                scratch.extend(lane_addrs.iter().map(|&a| {
+                    let word = a / cost::SHARED_BANK_WORD_BYTES;
+                    ((word % cost::SHARED_BANKS) << 48) | (word & 0xFFFF_FFFF_FFFF)
+                }));
+                scratch.sort_unstable();
+                scratch.dedup();
+                let mut degree = 1u64;
+                let mut run = 0u64;
+                let mut cur_bank = u64::MAX;
+                for &enc in scratch.iter() {
+                    let bank = enc >> 48;
+                    if bank == cur_bank {
+                        run += 1;
+                    } else {
+                        cur_bank = bank;
+                        run = 1;
+                    }
+                    degree = degree.max(run);
+                }
+                degree
+            };
+            self.shared_bank_conflicts += degree - 1;
+            self.cycles +=
+                cost::SHARED_MEM_LATENCY + (degree - 1) * cost::SHARED_BANK_CONFLICT_PENALTY;
+        }
     }
 
     /// Accumulates another launch's counters (used to sum per-block runs).

@@ -6,6 +6,7 @@
 //!           [--passes SPEC] [--time-passes] [--verify-each]
 //!           [--on-error degrade|fail] [--timeout-ms N] [--fuel N]
 //! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
+//!           [--backend reference|prepared|bytecode]
 //! darm analyze <input.ir>
 //! ```
 //!
@@ -28,8 +29,12 @@
 //! exit code stays 0. `--on-error fail` turns the earliest fault into an
 //! `error:` and exit code 1. `run` executes a kernel (the first function of the
 //! module) on the SIMT simulator with zero-initialized `i32` buffers and
-//! prints the counters. `analyze` reports divergence analysis and meldable
-//! regions for every function without transforming.
+//! prints the counters; `--backend` picks the execution tier (the per-lane
+//! `reference` interpreter, the pre-decoded `prepared` engine — the
+//! default — or the flat register `bytecode` engine; all three are
+//! bit-identical in buffers, stats, and errors). `analyze` reports
+//! divergence analysis and meldable regions for every function without
+//! transforming.
 
 use darm::analysis::{to_dot, verify_ssa, DivergenceAnalysis};
 use darm::ir::parser::{fixup_types, parse_module};
@@ -37,12 +42,12 @@ use darm::ir::Module;
 use darm::melding::{region, Analyses, MeldConfig, MeldMode};
 use darm::pipeline::{Budget, ModuleOptions, ModulePassManager, OnError, PipelineOptions};
 use darm::prelude::*;
-use darm::simt::KernelArg;
+use darm::simt::{BackendKind, KernelArg};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...\n  darm analyze <input.ir>"
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]... [--backend reference|prepared|bytecode]\n  darm analyze <input.ir>"
     );
     std::process::exit(2);
 }
@@ -254,6 +259,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut block = 32u32;
     let mut grid = 1u32;
     let mut arg_specs: Vec<(bool, i64)> = Vec::new(); // (is_buffer, len-or-value)
+    let mut backend = BackendKind::Prepared;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -281,6 +287,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage()),
             )),
+            "--backend" => {
+                backend = it
+                    .next()
+                    .and_then(|v| BackendKind::parse(v))
+                    .unwrap_or_else(|| usage())
+            }
             other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             _ => usage(),
         }
@@ -300,7 +312,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             kargs.push(KernelArg::I32(v as i32));
         }
     }
-    match gpu.launch(func, &LaunchConfig::linear(grid, block), &kargs) {
+    match gpu.launch_with(backend, func, &LaunchConfig::linear(grid, block), &kargs) {
         Ok(stats) => {
             println!("cycles:              {}", stats.cycles);
             println!("warp instructions:   {}", stats.warp_instructions);

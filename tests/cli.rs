@@ -114,6 +114,40 @@ fn run_subcommand_executes_baseline() {
 }
 
 #[test]
+fn run_subcommand_backends_agree() {
+    // The --backend flag selects the execution tier; all three must print
+    // identical counters and buffer contents on the same kernel.
+    let input = write_kernel("darm_cli_backend.ir");
+    let run = |backend: &str| {
+        let out = bin()
+            .args([
+                "run",
+                input.to_str().unwrap(),
+                "--block",
+                "32",
+                "--buf",
+                "32",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--backend {backend} failed");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let prepared = run("prepared");
+    assert!(prepared.contains("[10, 82,"), "{prepared}");
+    assert_eq!(prepared, run("reference"));
+    assert_eq!(prepared, run("bytecode"));
+    // An unknown backend is a usage error.
+    let out = bin()
+        .args(["run", input.to_str().unwrap(), "--backend", "jit"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn analyze_subcommand_reports_regions() {
     let input = write_kernel("darm_cli_analyze.ir");
     let out = bin()
