@@ -121,15 +121,14 @@ pub fn prepare_suite(
         ..ModuleOptions::default()
     };
     let registry = darm_melding::registry(config);
-    let mpm = ModulePassManager::new(&registry, "meld", module_options.clone())?;
     let mut darm_module = suite_module("suite-darm", cases);
-    let darm_report = mpm.run(&mut darm_module)?;
+    let darm_report =
+        ModulePassManager::compile(&registry, "meld", module_options.clone(), &mut darm_module)?;
     // The BF baseline always runs the paper's branch-fusion configuration,
     // independent of the DARM config under study.
     let bf_registry = darm_melding::registry(&MeldConfig::branch_fusion());
-    let bf_mpm = ModulePassManager::new(&bf_registry, "meld", module_options)?;
     let mut bf_module = suite_module("suite-bf", cases);
-    bf_mpm.run(&mut bf_module)?;
+    ModulePassManager::compile(&bf_registry, "meld", module_options, &mut bf_module)?;
 
     let darm_fns = darm_module.into_functions();
     let bf_fns = bf_module.into_functions();
@@ -344,15 +343,14 @@ pub fn render_threshold_sweep(thresholds: &[f64]) -> String {
     let mut speedups = vec![Vec::with_capacity(thresholds.len()); cases.len()];
     for &t in thresholds {
         let spec = format!("meld(threshold={t})");
-        let mpm = ModulePassManager::new(
+        let mut module = suite_module("threshold-sweep", &cases);
+        ModulePassManager::compile(
             &registry,
             &spec,
             ModuleOptions::serial(PipelineOptions::default()),
+            &mut module,
         )
         .unwrap_or_else(|e| panic!("sweep spec `{spec}`: {e}"));
-        let mut module = suite_module("threshold-sweep", &cases);
-        mpm.run(&mut module)
-            .unwrap_or_else(|e| panic!("sweep spec `{spec}`: {e}"));
         for (i, case) in cases.iter().enumerate() {
             let stats = case.run_checked(&module.functions()[i]).stats;
             speedups[i].push(baselines[i].cycles as f64 / stats.cycles as f64);

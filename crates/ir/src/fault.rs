@@ -28,6 +28,14 @@
 //!
 //! `DARM_FAULT` syntax: `<site>[#<hit>]=<kind>` with `kind` one of
 //! `panic`, `error`, `fuel` — e.g. `DARM_FAULT='meld::score#3=panic'`.
+//!
+//! Beyond the pipeline sites, the `darm serve` compile service arms four
+//! service-layer sites: `serve::admit` (before queue admission),
+//! `serve::worker` (top of each worker iteration), `serve::cache_lookup`
+//! and `serve::cache_insert` (before the respective cache lock holds).
+//! Their hit counters live in the same per-thread table, so a pipeline
+//! containment boundary running on the same thread resets them too —
+//! serve-site plans therefore conventionally use `#1`.
 
 /// What an armed [`FaultPlan`] does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

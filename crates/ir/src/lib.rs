@@ -57,6 +57,7 @@ pub mod cost;
 pub mod dirty;
 pub mod fault;
 pub mod function;
+pub mod hash;
 pub mod module;
 pub mod opcode;
 pub mod parser;

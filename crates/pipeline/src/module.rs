@@ -317,6 +317,26 @@ impl<'r> ModulePassManager<'r> {
         &self.spec
     }
 
+    /// The one-shot request entry point shared by the CLI, the benchmark
+    /// suites and the `darm serve` compile service: parse and validate
+    /// `spec`, then run it over every function of `module` under
+    /// `options`. Equivalent to [`ModulePassManager::new`] followed by
+    /// [`ModulePassManager::run`], packaged so every driver goes through
+    /// one request → module-compile path.
+    ///
+    /// # Errors
+    ///
+    /// Spec/registry validation errors before any function is touched,
+    /// then the run errors of [`ModulePassManager::run`].
+    pub fn compile(
+        registry: &PassRegistry,
+        spec: &str,
+        options: ModuleOptions,
+        module: &mut Module,
+    ) -> Result<ModuleReport, PipelineError> {
+        ModulePassManager::new(registry, spec, options)?.run(module)
+    }
+
     /// The order the worker pool claims functions in: largest first (by
     /// live block + instruction count, input order breaking ties), so a
     /// big kernel never starts last and stretches the parallel makespan.

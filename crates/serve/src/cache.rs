@@ -1,0 +1,267 @@
+//! Cross-run compile cache keyed by content hash.
+//!
+//! The key is `fnv1a_64(canonical_spec ∥ 0x00 ∥ printed_function_ir)`:
+//! the pass spec is canonicalised (parsed and re-printed) so two
+//! spellings of the same pipeline share entries, and the function text
+//! is streamed through the hasher without materialising a copy.  Keying
+//! is per *function*, not per module, so a warm module that gained one
+//! new function only compiles the newcomer.
+//!
+//! The cache holds both positive entries (optimized IR) and *negative*
+//! entries: functions whose compilation failed deterministically (a
+//! contained panic or pass error) are remembered as degraded, so a
+//! repeat offender fails fast instead of re-tripping the same landmine
+//! on every request.  Budget exhaustion (deadline/fuel) is *not*
+//! negatively cached — those causes depend on per-request limits and
+//! machine load, not on the input.
+//!
+//! Bounded by entry count and total payload bytes with LRU eviction.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use darm_ir::hash::Fnv64;
+use darm_ir::Function;
+
+/// Compute the cache key for one function under a canonical spec.
+pub fn content_key(canonical_spec: &str, func: &Function) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.write(canonical_spec.as_bytes());
+    hasher.write_u8(0);
+    // Streams the printed IR through the hasher via `fmt::Write`.
+    let _ = write!(hasher, "{func}");
+    hasher.finish()
+}
+
+/// What the cache remembers about a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// The pipeline finished; this is the optimized IR text.
+    Optimized { ir: String },
+    /// Compilation failed deterministically; the function is pinned to
+    /// its baseline IR and the diagnostic is replayed verbatim.
+    Degraded { ir: String, diagnostic: String },
+}
+
+impl CachedOutcome {
+    fn bytes(&self) -> usize {
+        match self {
+            CachedOutcome::Optimized { ir } => ir.len(),
+            CachedOutcome::Degraded { ir, diagnostic } => ir.len() + diagnostic.len(),
+        }
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CachedOutcome::Degraded { .. })
+    }
+}
+
+struct Entry {
+    outcome: CachedOutcome,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Monotonic counters exposed through `stats` responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub negative_hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+pub struct CompileCache {
+    entries: HashMap<u64, Entry>,
+    max_entries: usize,
+    max_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl CompileCache {
+    /// `max_entries == 0` disables the cache entirely: every lookup
+    /// misses and every insert is dropped.
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        CompileCache {
+            entries: HashMap::new(),
+            max_entries,
+            max_bytes,
+            bytes: 0,
+            tick: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Look up a key, refreshing its LRU position on a hit.
+    ///
+    /// The `serve::cache_lookup` fault site fires in the engine
+    /// *before* the cache lock is taken, so an injected panic can
+    /// never poison the cache mutex mid-mutation.
+    pub fn lookup(&mut self, key: u64) -> Option<CachedOutcome> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                if entry.outcome.is_degraded() {
+                    self.counters.negative_hits += 1;
+                } else {
+                    self.counters.hits += 1;
+                }
+                Some(entry.outcome.clone())
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting least-recently-used
+    /// entries until both bounds hold again.
+    ///
+    /// Like [`CompileCache::lookup`], the `serve::cache_insert` fault
+    /// site fires before the lock, never under it.
+    pub fn insert(&mut self, key: u64, outcome: CachedOutcome) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let bytes = outcome.bytes();
+        if bytes > self.max_bytes {
+            return; // would evict everything and still not fit
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            key,
+            Entry {
+                outcome,
+                bytes,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.counters.insertions += 1;
+        while self.entries.len() > self.max_entries || self.bytes > self.max_bytes {
+            // O(n) LRU scan: entry counts are bounded by `max_entries`
+            // (thousands), and eviction is off the hot lookup path.
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, entry)| entry.last_used)
+            else {
+                break;
+            };
+            if let Some(entry) = self.entries.remove(&victim) {
+                self.bytes -= entry.bytes;
+                self.counters.evictions += 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bytes currently held — the RSS proxy the soak
+    /// test asserts stays bounded.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(ir: &str) -> CachedOutcome {
+        CachedOutcome::Optimized { ir: ir.into() }
+    }
+
+    #[test]
+    fn hit_miss_and_negative_counters() {
+        let mut cache = CompileCache::new(8, 1024);
+        assert_eq!(cache.lookup(1), None);
+        cache.insert(1, opt("fn a() {}"));
+        cache.insert(
+            2,
+            CachedOutcome::Degraded {
+                ir: "fn b() {}".into(),
+                diagnostic: "pass panicked".into(),
+            },
+        );
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(2).unwrap().is_degraded());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.negative_hits, c.misses), (1, 1, 1));
+        assert_eq!(
+            cache.bytes(),
+            "fn a() {}".len() + "fn b() {}pass panicked".len()
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_entry_bound() {
+        let mut cache = CompileCache::new(2, 1024);
+        cache.insert(1, opt("a"));
+        cache.insert(2, opt("b"));
+        cache.lookup(1); // refresh 1; 2 becomes LRU
+        cache.insert(3, opt("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1).is_some());
+        assert_eq!(cache.lookup(2), None);
+        assert!(cache.lookup(3).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_oversized_payloads_are_dropped() {
+        let mut cache = CompileCache::new(64, 10);
+        cache.insert(1, opt("aaaa")); // 4 bytes
+        cache.insert(2, opt("bbbb")); // 8 bytes
+        cache.insert(3, opt("cccc")); // would be 12 → evict LRU (1)
+        assert_eq!(cache.bytes(), 8);
+        assert_eq!(cache.lookup(1), None);
+        // A payload larger than the whole budget is refused outright.
+        cache.insert(4, opt("ddddddddddddddd"));
+        assert_eq!(cache.lookup(4), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = CompileCache::new(0, 1024);
+        cache.insert(1, opt("a"));
+        assert_eq!(cache.lookup(1), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_bytes_accounting() {
+        let mut cache = CompileCache::new(8, 1024);
+        cache.insert(1, opt("aaaa"));
+        cache.insert(1, opt("bb"));
+        assert_eq!(cache.bytes(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn content_key_separates_spec_from_ir() {
+        use darm_ir::parser::parse_module;
+        let module = parse_module("fn @f() -> void {\nentry:\n  ret\n}").unwrap();
+        let func = &module.functions()[0];
+        let a = content_key("meld", func);
+        let b = content_key("meld,simplify", func);
+        assert_ne!(a, b);
+        assert_eq!(a, content_key("meld", func));
+    }
+}

@@ -1,0 +1,770 @@
+//! The compile engine behind `darm serve`: a bounded work queue, a
+//! pool of worker threads, and the cross-run [`CompileCache`].
+//!
+//! Robustness invariants, in order of importance:
+//!
+//! 1. **The daemon never dies on a request.** Admission and every
+//!    worker iteration run under `catch_unwind`; a panic anywhere in a
+//!    request's path (including the injected `serve::*` fault sites)
+//!    becomes a typed `internal` error response for that request alone.
+//! 2. **Admission never blocks.** A full queue sheds the request with a
+//!    typed `overloaded` response; the client decides whether to retry.
+//! 3. **Every accepted request is answered.** Workers drain the
+//!    backlog after [`Engine::shutdown`] closes the queue, and shutdown
+//!    itself drains any leftovers inline — even an engine with zero
+//!    workers answers everything it admitted.
+//! 4. **Locks are poison-proof.** Every acquisition recovers via
+//!    [`PoisonError::into_inner`]; [`Engine::poisoned_locks`] exposes
+//!    the poison bits so the soak test can assert they stay clear.
+//!
+//! Compilation itself follows a fail-then-degrade retry policy: the
+//! first attempt runs under [`OnError::Fail`] with a fresh per-request
+//! [`Budget`]; if it faults, one retry runs under [`OnError::Degrade`]
+//! (again with a fresh budget), pinning only the faulting functions to
+//! their baseline IR. Deterministic faults (panics, pass errors) are
+//! negatively cached so repeat offenders fail fast; budget exhaustion
+//! is never cached.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use darm_analysis::verify_ssa;
+use darm_ir::budget::{Budget, Cancelled};
+use darm_ir::fault::{self, InjectedFault};
+use darm_ir::parser::{fixup_types, parse_module};
+use darm_ir::Module;
+use darm_melding::MeldConfig;
+use darm_pipeline::{
+    FaultCause, FunctionOutcome, ModuleOptions, ModulePassManager, OnError, PassRegistry,
+    PipelineError, PipelineOptions,
+};
+
+use darm_ir::hash::Fnv64;
+
+use crate::cache::{content_key, CacheCounters, CachedOutcome, CompileCache};
+use crate::json::Json;
+use crate::proto::{CompileRequest, ErrorKind, FunctionResult, Response};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Engine knobs. [`Default`] gives a single worker, a 64-deep queue and
+/// a 4096-entry / 64 MiB cache compiling under the `meld` spec.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` spawns none: jobs queue up and are compiled
+    /// inline when [`Engine::shutdown`] drains — useful for
+    /// deterministic backpressure tests, not for serving.
+    pub workers: usize,
+    /// Queue capacity; admission beyond it sheds with `overloaded`.
+    pub queue_depth: usize,
+    /// Cache entry bound; `0` disables caching.
+    pub cache_entries: usize,
+    /// Cache payload-byte bound.
+    pub cache_bytes: usize,
+    /// Pass spec for requests that do not carry one.
+    pub default_spec: String,
+    /// Default wall-clock budget per request, in milliseconds.
+    pub default_timeout_ms: Option<u64>,
+    /// Default fuel budget per request.
+    pub default_fuel: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            cache_entries: 4096,
+            cache_bytes: 64 * 1024 * 1024,
+            default_spec: "meld".to_string(),
+            default_timeout_ms: None,
+            default_fuel: None,
+        }
+    }
+}
+
+/// Monotonic engine counters (all atomics; read via [`Engine::stats_json`]).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    overloaded: AtomicU64,
+    rejected_closed: AtomicU64,
+    contained_panics: AtomicU64,
+    degraded_retries: AtomicU64,
+    protocol_errors: AtomicU64,
+    fast_hits: AtomicU64,
+}
+
+/// Whole-request memo entry: the response payload of a fully optimized
+/// compile, with every `cached` flag pre-set.
+struct FastEntry {
+    ir: String,
+    functions: Vec<FunctionResult>,
+}
+
+impl FastEntry {
+    /// Approximate heap cost, for the byte bound.
+    fn cost(&self) -> usize {
+        self.ir.len()
+            + self
+                .functions
+                .iter()
+                .map(|f| f.name.len() + f.diagnostic.as_deref().map_or(0, str::len))
+                .sum::<usize>()
+    }
+}
+
+/// Whole-request memo: `fnv64(canonical spec ∥ 0x00 ∥ raw input text)`
+/// → the rendered payload of a fully optimized response. A pure front
+/// for the per-function [`CompileCache`]: a hit skips parsing and
+/// hashing entirely, and entries can be dropped wholesale at any time
+/// without changing any observable result — so eviction is a simple
+/// epoch clear rather than LRU bookkeeping. Only fully *optimized*
+/// responses are memoized; degraded and negatively-cached outcomes
+/// always route through the function cache so fail-fast semantics (and
+/// their counters) stay intact.
+struct FastCache {
+    map: std::collections::HashMap<u64, FastEntry>,
+    bytes: usize,
+    max_entries: usize,
+    max_bytes: usize,
+}
+
+impl FastCache {
+    fn new(max_entries: usize, max_bytes: usize) -> FastCache {
+        FastCache {
+            map: std::collections::HashMap::new(),
+            bytes: 0,
+            max_entries,
+            max_bytes,
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<&FastEntry> {
+        self.map.get(&key)
+    }
+
+    fn insert(&mut self, key: u64, entry: FastEntry) {
+        let cost = entry.cost();
+        if self.max_entries == 0 || cost > self.max_bytes {
+            return;
+        }
+        if self.map.len() >= self.max_entries || self.bytes + cost > self.max_bytes {
+            self.map.clear();
+            self.bytes = 0;
+        }
+        self.bytes += cost;
+        if let Some(old) = self.map.insert(key, entry) {
+            self.bytes -= old.cost();
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    registry: PassRegistry,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<CompileCache>,
+    /// Memoized spec validation: raw request spelling → canonical form
+    /// or the rendered spec error. Validating a spec means driving the
+    /// registry's pass factories, which is far too expensive to redo on
+    /// every warm hit.
+    specs: Mutex<std::collections::HashMap<String, Result<String, String>>>,
+    /// Whole-request fast path; shares the function cache's bounds.
+    fast: Mutex<FastCache>,
+    counters: Counters,
+}
+
+/// How a finished [`Response`] gets back to the client.
+pub type Responder = Box<dyn FnOnce(Response) + Send + 'static>;
+
+struct Job {
+    request: CompileRequest,
+    respond: Responder,
+}
+
+/// A running compile service.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Quiet hook for *typed, contained* unwinds (budget cancellations and
+/// injected faults) so they do not spray "thread panicked" noise;
+/// mirrors the pipeline's containment-boundary hook, which only
+/// installs itself once a pipeline actually runs.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let contained = p.downcast_ref::<Cancelled>().is_some()
+                || p.downcast_ref::<InjectedFault>().is_some();
+            if !contained {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught unwind payload for an `internal` error message.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(inj) = payload.downcast_ref::<InjectedFault>() {
+        format!("injected fault at {}", inj.site)
+    } else if let Some(c) = payload.downcast_ref::<Cancelled>() {
+        format!("budget exhausted at {}", c.site)
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Engine {
+    /// Builds the registry, spawns the workers and opens the doors.
+    pub fn new(config: ServeConfig) -> Engine {
+        install_quiet_panic_hook();
+        let shared = Arc::new(Shared {
+            registry: darm_melding::registry(&MeldConfig::default()),
+            queue: BoundedQueue::new(config.queue_depth.max(1)),
+            cache: Mutex::new(CompileCache::new(config.cache_entries, config.cache_bytes)),
+            specs: Mutex::new(std::collections::HashMap::new()),
+            fast: Mutex::new(FastCache::new(config.cache_entries, config.cache_bytes)),
+            counters: Counters::default(),
+            config,
+        });
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("darm-serve-{i}"))
+                .spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        Self::process_job(&shared, job);
+                    }
+                })
+                .expect("spawn serve worker");
+            workers.push(handle);
+        }
+        Engine {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admit one compile request. Never blocks and never panics out:
+    /// a full queue answers `overloaded`, a closed queue answers a
+    /// typed error, and an injected admission fault answers `internal`.
+    pub fn submit(&self, request: CompileRequest, respond: Responder) {
+        let shared = &self.shared;
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let id = request.id;
+        // The admission fault site fires *before* the job moves into
+        // the queue, so on an injected panic the responder is still in
+        // hand and the client gets a typed error instead of silence.
+        if let Err(payload) = catch_unwind(|| fault::point("serve::admit")) {
+            shared
+                .counters
+                .contained_panics
+                .fetch_add(1, Ordering::Relaxed);
+            respond(Response::Error {
+                id: Some(id),
+                kind: ErrorKind::Internal,
+                message: describe_panic(payload.as_ref()),
+            });
+            return;
+        }
+        match shared.queue.try_push(Job { request, respond }) {
+            Ok(_depth) => {}
+            Err((job, PushError::Full)) => {
+                shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                (job.respond)(Response::Overloaded {
+                    id,
+                    queue_depth: shared.queue.len(),
+                });
+            }
+            Err((job, PushError::Closed)) => {
+                shared
+                    .counters
+                    .rejected_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                (job.respond)(Response::Error {
+                    id: Some(id),
+                    kind: ErrorKind::Internal,
+                    message: "service is shutting down".to_string(),
+                });
+            }
+        }
+    }
+
+    /// One worker iteration: compile under `catch_unwind`, then always
+    /// answer. A panic in the compile path (or an injected
+    /// `serve::worker` fault) becomes an `internal` error response.
+    fn process_job(shared: &Shared, job: Job) {
+        let id = job.request.id;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            fault::point("serve::worker");
+            Self::handle_compile(shared, &job.request)
+        }));
+        let response = match outcome {
+            Ok(response) => response,
+            Err(payload) => {
+                shared
+                    .counters
+                    .contained_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    id: Some(id),
+                    kind: ErrorKind::Internal,
+                    message: describe_panic(payload.as_ref()),
+                }
+            }
+        };
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        // A responder that panics (e.g. the peer vanished mid-write and
+        // the transport chose to panic) must not kill the worker.
+        let _ = catch_unwind(AssertUnwindSafe(move || (job.respond)(response)));
+    }
+
+    fn handle_compile(shared: &Shared, request: &CompileRequest) -> Response {
+        let id = request.id;
+        let error = |kind: ErrorKind, message: String| Response::Error {
+            id: Some(id),
+            kind,
+            message,
+        };
+
+        // Canonicalise and validate the spec up front (memoized): cache
+        // keys use the canonical spelling, and a bad spec must fail
+        // fast rather than consult the cache.
+        let spec_src = request
+            .spec
+            .as_deref()
+            .unwrap_or(&shared.config.default_spec);
+        let canonical = {
+            let mut specs = shared.specs.lock().unwrap_or_else(PoisonError::into_inner);
+            let entry = match specs.get(spec_src) {
+                Some(entry) => entry.clone(),
+                None => {
+                    let validated = darm_pipeline::PassSpec::parse(spec_src)
+                        .map_err(|e| format!("invalid pipeline spec: {e}"))
+                        .map(|spec| spec.to_string())
+                        .and_then(|canonical| {
+                            ModulePassManager::new(
+                                &shared.registry,
+                                &canonical,
+                                ModuleOptions::serial(PipelineOptions::default()),
+                            )
+                            .map(|_| canonical)
+                            .map_err(|e| e.to_string())
+                        });
+                    if specs.len() >= 64 {
+                        specs.clear(); // a flood of unique bad specs must not leak
+                    }
+                    specs.insert(spec_src.to_string(), validated.clone());
+                    validated
+                }
+            };
+            match entry {
+                Ok(canonical) => canonical,
+                Err(message) => return error(ErrorKind::Spec, message),
+            }
+        };
+
+        // Whole-request fast path: a fully-warm request is answered
+        // straight from the memo, before the input is even parsed. The
+        // lookup fault site fires here — before either cache lock and
+        // outside any lock hold — so an injected panic unwinds to the
+        // worker boundary without poisoning anything.
+        let fast_key = {
+            let mut hasher = Fnv64::new();
+            hasher.write(canonical.as_bytes());
+            hasher.write_u8(0);
+            hasher.write(request.ir.as_bytes());
+            hasher.finish()
+        };
+        fault::point("serve::cache_lookup");
+        {
+            let fast = shared.fast.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(entry) = fast.get(fast_key) {
+                shared.counters.fast_hits.fetch_add(1, Ordering::Relaxed);
+                return Response::Ok {
+                    id,
+                    ir: entry.ir.clone(),
+                    functions: entry.functions.clone(),
+                };
+            }
+        }
+
+        // Parse the input module. SSA verification is deferred to the
+        // cache misses: a hit's content hash equals that of an input
+        // that verified and compiled before, so re-verifying it would
+        // only tax the warm path.
+        let mut module = match parse_module(&request.ir) {
+            Ok(module) => module,
+            Err(e) => return error(ErrorKind::Parse, e.to_string()),
+        };
+        for func in module.functions_mut() {
+            fixup_types(func);
+        }
+
+        // Per-function cache probe, one lock hold for the whole module.
+        struct Slot {
+            name: String,
+            text: String,
+            optimized: bool,
+            cached: bool,
+            diagnostic: Option<String>,
+        }
+        let mut slots: Vec<Option<Slot>> = Vec::with_capacity(module.functions().len());
+        let mut misses: Vec<(usize, u64)> = Vec::new();
+        {
+            // (The `serve::cache_lookup` fault site already fired above,
+            // before the fast-path probe — once per request, outside
+            // every lock hold.)
+            let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            for (index, func) in module.functions().iter().enumerate() {
+                let key = content_key(&canonical, func);
+                match cache.lookup(key) {
+                    Some(CachedOutcome::Optimized { ir }) => slots.push(Some(Slot {
+                        name: func.name().to_string(),
+                        text: ir,
+                        optimized: true,
+                        cached: true,
+                        diagnostic: None,
+                    })),
+                    Some(CachedOutcome::Degraded { ir, diagnostic }) => slots.push(Some(Slot {
+                        name: func.name().to_string(),
+                        text: ir,
+                        optimized: false,
+                        cached: true,
+                        diagnostic: Some(diagnostic),
+                    })),
+                    None => {
+                        slots.push(None);
+                        misses.push((index, key));
+                    }
+                }
+            }
+        }
+
+        // Verify only the misses: a hit's content hash matches an input
+        // that already passed verification on its first compile, so the
+        // warm path skips straight to the cached payload.
+        for &(index, _) in &misses {
+            let func = &module.functions()[index];
+            if let Err(e) = verify_ssa(func) {
+                return error(ErrorKind::Parse, format!("function @{}: {e}", func.name()));
+            }
+        }
+
+        // Compile the misses: OnError::Fail first, one retry under
+        // OnError::Degrade, each attempt with a fresh budget.
+        if !misses.is_empty() {
+            let miss_funcs: Vec<darm_ir::Function> = misses
+                .iter()
+                .map(|&(index, _)| module.functions()[index].clone())
+                .collect();
+            let budget = || {
+                Budget::new(
+                    request
+                        .timeout_ms
+                        .or(shared.config.default_timeout_ms)
+                        .map(Duration::from_millis),
+                    request.fuel.or(shared.config.default_fuel),
+                )
+            };
+            let options = |on_error: OnError| ModuleOptions {
+                pipeline: PipelineOptions {
+                    budget: budget(),
+                    ..PipelineOptions::default()
+                },
+                jobs: 1,
+                on_error,
+            };
+            let build = |funcs: &[darm_ir::Function]| {
+                Module::from_functions("serve", funcs.iter().cloned())
+                    .expect("input module had unique names")
+            };
+
+            let mut compiled = build(&miss_funcs);
+            let report = match ModulePassManager::compile(
+                &shared.registry,
+                &canonical,
+                options(OnError::Fail),
+                &mut compiled,
+            ) {
+                Ok(report) => report,
+                Err(
+                    e @ (PipelineError::Spec(_)
+                    | PipelineError::UnknownPass { .. }
+                    | PipelineError::BadParameter { .. }
+                    | PipelineError::EmptySpec),
+                ) => return error(ErrorKind::Spec, e.to_string()),
+                Err(_faulted) => {
+                    // Retry the whole miss set under degradation with a
+                    // fresh budget; only the faulting functions end up
+                    // pinned to baseline IR.
+                    shared
+                        .counters
+                        .degraded_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    compiled = build(&miss_funcs);
+                    match ModulePassManager::compile(
+                        &shared.registry,
+                        &canonical,
+                        options(OnError::Degrade),
+                        &mut compiled,
+                    ) {
+                        Ok(report) => report,
+                        Err(e) => return error(ErrorKind::Internal, e.to_string()),
+                    }
+                }
+            };
+
+            // Same discipline as the lookup: fire the fault site
+            // outside the lock hold.
+            fault::point("serve::cache_insert");
+            let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            for (slot_pos, &(index, key)) in misses.iter().enumerate() {
+                let func = &compiled.functions()[slot_pos];
+                let func_report = &report.functions[slot_pos];
+                let text = func.to_string();
+                let slot = match &func_report.outcome {
+                    FunctionOutcome::Optimized => {
+                        cache.insert(key, CachedOutcome::Optimized { ir: text.clone() });
+                        Slot {
+                            name: func.name().to_string(),
+                            text,
+                            optimized: true,
+                            cached: false,
+                            diagnostic: None,
+                        }
+                    }
+                    FunctionOutcome::Degraded(diag) => {
+                        let rendered = diag.to_string();
+                        // Negative-cache only deterministic causes: a
+                        // panic or pass error will recur on the same
+                        // input, budget exhaustion may not.
+                        if matches!(diag.cause, FaultCause::Panic(_) | FaultCause::Error(_)) {
+                            cache.insert(
+                                key,
+                                CachedOutcome::Degraded {
+                                    ir: text.clone(),
+                                    diagnostic: rendered.clone(),
+                                },
+                            );
+                        }
+                        Slot {
+                            name: func.name().to_string(),
+                            text,
+                            optimized: false,
+                            cached: false,
+                            diagnostic: Some(rendered),
+                        }
+                    }
+                };
+                slots[index] = Some(slot);
+            }
+        }
+
+        let slots: Vec<Slot> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every function slot filled"))
+            .collect();
+        // Reassemble the module text exactly as `Module`'s `Display`
+        // would print it: function texts separated by one blank line.
+        let ir = slots
+            .iter()
+            .map(|slot| slot.text.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let functions: Vec<FunctionResult> = slots
+            .into_iter()
+            .map(|slot| FunctionResult {
+                name: slot.name,
+                optimized: slot.optimized,
+                cached: slot.cached,
+                diagnostic: slot.diagnostic,
+            })
+            .collect();
+        // Memoize fully optimized responses for the whole-request fast
+        // path, with the `cached` flags pre-set the way a warm hit must
+        // report them.
+        if functions.iter().all(|f| f.optimized) {
+            let memo = FastEntry {
+                ir: ir.clone(),
+                functions: functions
+                    .iter()
+                    .map(|f| FunctionResult {
+                        cached: true,
+                        ..f.clone()
+                    })
+                    .collect(),
+            };
+            shared
+                .fast
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(fast_key, memo);
+        }
+        Response::Ok { id, ir, functions }
+    }
+
+    /// Counted by the transport when it answers a malformed frame.
+    pub fn note_protocol_error(&self) {
+        self.shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every counter, cache gauge and queue gauge.
+    pub fn stats_json(&self) -> Json {
+        let c = &self.shared.counters;
+        let (cache_counters, cache_entries, cache_bytes) = {
+            let cache = self
+                .shared
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            (cache.counters(), cache.len(), cache.bytes())
+        };
+        let cc = cache_counters;
+        Json::obj([
+            ("requests", Json::int(c.requests.load(Ordering::Relaxed))),
+            ("completed", Json::int(c.completed.load(Ordering::Relaxed))),
+            (
+                "overloaded",
+                Json::int(c.overloaded.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected_closed",
+                Json::int(c.rejected_closed.load(Ordering::Relaxed)),
+            ),
+            (
+                "contained_panics",
+                Json::int(c.contained_panics.load(Ordering::Relaxed)),
+            ),
+            (
+                "degraded_retries",
+                Json::int(c.degraded_retries.load(Ordering::Relaxed)),
+            ),
+            (
+                "protocol_errors",
+                Json::int(c.protocol_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("fast_hits", Json::int(c.fast_hits.load(Ordering::Relaxed))),
+                    ("fast_entries", Json::int(self.fast_entries() as u64)),
+                    ("hits", Json::int(cc.hits)),
+                    ("negative_hits", Json::int(cc.negative_hits)),
+                    ("misses", Json::int(cc.misses)),
+                    ("insertions", Json::int(cc.insertions)),
+                    ("evictions", Json::int(cc.evictions)),
+                    ("entries", Json::int(cache_entries as u64)),
+                    ("bytes", Json::int(cache_bytes as u64)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::int(self.shared.queue.len() as u64)),
+                    (
+                        "high_water",
+                        Json::int(self.shared.queue.high_water() as u64),
+                    ),
+                    (
+                        "capacity",
+                        Json::int(self.shared.config.queue_depth.max(1) as u64),
+                    ),
+                ]),
+            ),
+            ("workers", Json::int(self.shared.config.workers as u64)),
+        ])
+    }
+
+    /// Cache counters for tests (hits/misses/insertions/evictions).
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counters()
+    }
+
+    /// Current cache payload bytes — the soak test's RSS proxy.
+    pub fn cache_bytes(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bytes()
+    }
+
+    /// Current cache entry count.
+    pub fn cache_entries(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whole-request fast-path hits.
+    pub fn fast_hits(&self) -> u64 {
+        self.shared.counters.fast_hits.load(Ordering::Relaxed)
+    }
+
+    /// Current whole-request memo entry count (bounded like the cache).
+    pub fn fast_entries(&self) -> usize {
+        self.shared
+            .fast
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// How many engine locks are poisoned (must be 0 even after
+    /// injected panics — containment happens *outside* lock holds).
+    pub fn poisoned_locks(&self) -> usize {
+        usize::from(self.shared.cache.is_poisoned())
+            + usize::from(self.shared.fast.is_poisoned())
+            + usize::from(self.shared.specs.is_poisoned())
+            + usize::from(self.shared.queue.is_poisoned())
+            + usize::from(self.workers.is_poisoned())
+    }
+
+    /// Graceful drain: close the queue, let the workers finish the
+    /// backlog, join them, then compile anything still queued inline
+    /// (relevant only for zero-worker engines — with live workers the
+    /// backlog is empty once they exit). Idempotent; returns the final
+    /// stats snapshot for the transport to flush.
+    pub fn shutdown(&self) -> Json {
+        self.shared.queue.close();
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        while let Some(job) = self.shared.queue.try_pop() {
+            Self::process_job(&self.shared, job);
+        }
+        self.stats_json()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,98 @@
+//! `darm serve` — a fault-tolerant persistent compile service with
+//! cross-run caching.
+//!
+//! A `darm serve` daemon keeps a [`ModulePassManager`]-based compiler
+//! hot across many module-compile requests: the pass registry is built
+//! once, and per-function results are cached across requests keyed by
+//! content hash, so a rebuild that re-sends a mostly-unchanged module
+//! only pays for the functions that actually changed.
+//!
+//! [`ModulePassManager`]: darm_pipeline::ModulePassManager
+//!
+//! # Protocol
+//!
+//! Both directions speak length-prefixed JSON frames — a 4-byte
+//! big-endian `u32` byte count, then that many bytes of UTF-8 JSON
+//! (see [`proto`]):
+//!
+//! ```text
+//! frame    := u32_be(len) body
+//! body     := request | response          ; UTF-8 JSON, len bytes
+//! request  := {"op":"compile","id":N,"ir":S,
+//!              "spec":S?,"timeout_ms":N?,"fuel":N?}
+//!           | {"op":"ping","id":N}
+//!           | {"op":"stats","id":N}
+//!           | {"op":"shutdown","id":N}
+//! response := {"status":"ok","id":N,"ir":S,"functions":[...]}
+//!           | {"status":"error","kind":K,"message":S,"id":N?}
+//!           | {"status":"overloaded","id":N,"queue_depth":N}
+//!           | {"status":"pong","id":N}
+//!           | {"status":"stats","id":N,"stats":{...}}
+//!           | {"status":"bye","id":N,"stats":{...}}
+//! K        := "protocol" | "parse" | "spec" | "internal"
+//! ```
+//!
+//! Responses are written as workers finish — possibly out of request
+//! order — and carry the request `id` for matching. JSON objects are
+//! rendered with sorted keys, so a response's byte representation is a
+//! pure function of its content: a warm cache hit is *byte-identical*
+//! to the cold response it replays.
+//!
+//! # Cache keying
+//!
+//! Caching is two-level. Each function is keyed by
+//! `fnv1a_64(canonical_spec ∥ 0x00 ∥ printed_function_ir)` (see
+//! [`cache::content_key`]): the spec is parsed and re-printed so
+//! equivalent spellings share entries, and FNV-1a is stable across
+//! processes and platforms so a persisted request stream replays
+//! identically anywhere. Deterministic compile faults (contained
+//! panics and pass errors) are *negatively* cached — the function is
+//! served degraded-to-baseline with its diagnostic, instantly — while
+//! budget exhaustion (deadline/fuel) is never cached because it
+//! depends on per-request limits, not on the input.
+//!
+//! In front of the function cache sits a whole-request memo keyed by
+//! `fnv1a_64(canonical_spec ∥ 0x00 ∥ raw_request_ir)`: a fully-warm
+//! request is answered before its input is even parsed. The memo only
+//! holds fully *optimized* responses (degraded and negatively-cached
+//! outcomes always route through the function cache, keeping fail-fast
+//! semantics observable) and is a pure front — dropping it wholesale
+//! changes latency, never results — so it evicts by epoch clear under
+//! the same entry/byte bounds as the function cache.
+//!
+//! # Shedding and degradation
+//!
+//! Admission never blocks: a full queue answers a typed `overloaded`
+//! response ([`queue`]). Each compile attempt runs under a fresh
+//! per-request [`Budget`] with `OnError::Fail` first; if it faults,
+//! one retry runs under `OnError::Degrade`, pinning only the faulting
+//! functions to their baseline IR. A panic anywhere in a request's
+//! path is contained to that request — the daemon never exits on a
+//! poisoned module — and every engine lock recovers from poisoning.
+//! Shutdown (`{"op":"shutdown"}`) drains in-flight requests, flushes
+//! stats into the final `bye` frame, and only then exits.
+//!
+//! [`Budget`]: darm_ir::budget::Budget
+//!
+//! # Fault-injection sites
+//!
+//! With the `fault-injection` feature, `DARM_FAULT` reaches four
+//! service sites on top of the pipeline's own: `serve::admit` (before
+//! queue admission), `serve::worker` (top of each worker iteration),
+//! `serve::cache_lookup` and `serve::cache_insert` (before the
+//! respective cache lock holds — never under a lock, so injected
+//! panics cannot poison the cache). See `darm_ir::fault` for the
+//! `DARM_FAULT='<site>[#hit]=<kind>'` grammar.
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod transport;
+
+pub use engine::{Engine, Responder, ServeConfig};
+pub use proto::{CompileRequest, ErrorKind, Request, Response};
+#[cfg(unix)]
+pub use transport::serve_unix;
+pub use transport::{serve_stream, StreamEnd};

@@ -1,0 +1,140 @@
+//! Transports: run an [`Engine`] over a byte stream.
+//!
+//! [`serve_stream`] speaks the framed protocol of [`crate::proto`] over
+//! any `Read`/`Write` pair — the CLI uses it on stdin/stdout and, on
+//! Unix, over accepted socket connections ([`serve_unix`]).
+//!
+//! Error handling at the transport layer follows the same creed as the
+//! engine: a malformed frame (bad JSON, bad request shape, oversized
+//! length) gets a typed `protocol` error response and the loop keeps
+//! reading; only a truncated stream or a real I/O error ends the
+//! connection.  Responses are written as workers finish, so they may
+//! arrive out of request order — clients match them by `id`.
+
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::engine::Engine;
+use crate::json::Json;
+use crate::proto::{read_frame, write_frame, ErrorKind, FrameError, Request, Response};
+
+/// Why [`serve_stream`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEnd {
+    /// The peer closed the stream (or it truncated mid-frame). The
+    /// engine is still running; a socket server keeps accepting.
+    Eof,
+    /// The peer sent a `shutdown` request: the engine has drained, the
+    /// final stats were flushed in the `bye` response, and the daemon
+    /// should exit.
+    Shutdown,
+}
+
+fn send(writer: &Arc<Mutex<impl Write + Send>>, response: &Response) {
+    let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    // A vanished peer must not take the daemon down; responders swallow
+    // write errors and the read side notices the closed stream.
+    let _ = write_frame(&mut *writer, &response.to_bytes());
+}
+
+/// Serve one framed connection until EOF or a `shutdown` request.
+///
+/// On `shutdown` the engine drains (in-flight requests finish and their
+/// responses are written) before the final `bye` frame — which carries
+/// the flushed stats snapshot — goes out.
+pub fn serve_stream(
+    engine: &Engine,
+    mut reader: impl Read,
+    writer: impl Write + Send + 'static,
+    max_frame: usize,
+) -> io::Result<StreamEnd> {
+    let writer = Arc::new(Mutex::new(writer));
+    loop {
+        let body = match read_frame(&mut reader, max_frame) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(StreamEnd::Eof),
+            Err(FrameError::Oversized { len, max }) => {
+                engine.note_protocol_error();
+                send(
+                    &writer,
+                    &Response::Error {
+                        id: None,
+                        kind: ErrorKind::Protocol,
+                        message: format!("oversized frame: {len} bytes exceeds limit {max}"),
+                    },
+                );
+                continue; // the body was drained; the stream is aligned
+            }
+            Err(FrameError::Truncated) => {
+                engine.note_protocol_error();
+                send(
+                    &writer,
+                    &Response::Error {
+                        id: None,
+                        kind: ErrorKind::Protocol,
+                        message: "truncated frame".to_string(),
+                    },
+                );
+                return Ok(StreamEnd::Eof);
+            }
+            Err(FrameError::Io(err)) => return Err(err),
+        };
+        let request = std::str::from_utf8(&body)
+            .map_err(|e| format!("frame is not UTF-8: {e}"))
+            .and_then(|text| Json::parse(text).map_err(|e| format!("invalid JSON: {e}")))
+            .and_then(|json| Request::from_json(&json));
+        let request = match request {
+            Ok(request) => request,
+            Err(message) => {
+                engine.note_protocol_error();
+                send(
+                    &writer,
+                    &Response::Error {
+                        id: None,
+                        kind: ErrorKind::Protocol,
+                        message,
+                    },
+                );
+                continue;
+            }
+        };
+        match request {
+            Request::Ping { id } => send(&writer, &Response::Pong { id }),
+            Request::Stats { id } => send(
+                &writer,
+                &Response::Stats {
+                    id,
+                    body: engine.stats_json(),
+                },
+            ),
+            Request::Shutdown { id } => {
+                let stats = engine.shutdown();
+                send(&writer, &Response::Bye { id, stats });
+                return Ok(StreamEnd::Shutdown);
+            }
+            Request::Compile(req) => {
+                let writer = Arc::clone(&writer);
+                engine.submit(req, Box::new(move |response| send(&writer, &response)));
+            }
+        }
+    }
+}
+
+/// Serve connections from a Unix socket listener, one at a time, until
+/// a client sends `shutdown`. Peer disconnects (EOF) keep the daemon —
+/// and its warm cache — alive for the next connection.
+#[cfg(unix)]
+pub fn serve_unix(
+    engine: &Engine,
+    listener: &std::os::unix::net::UnixListener,
+    max_frame: usize,
+) -> io::Result<()> {
+    loop {
+        let (stream, _addr) = listener.accept()?;
+        let reader = stream.try_clone()?;
+        match serve_stream(engine, reader, stream, max_frame)? {
+            StreamEnd::Eof => continue,
+            StreamEnd::Shutdown => return Ok(()),
+        }
+    }
+}

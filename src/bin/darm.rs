@@ -8,6 +8,9 @@
 //! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
 //!           [--backend reference|prepared|bytecode]
 //! darm analyze <input.ir>
+//! darm serve [--socket PATH] [--jobs N] [--queue-depth N]
+//!            [--cache-entries N] [--cache-bytes N] [--spec SPEC]
+//!            [--timeout-ms N] [--fuel N] [--max-frame N]
 //! ```
 //!
 //! `meld` parses a textual IR module — one or more `fn @name` kernels per
@@ -35,6 +38,13 @@
 //! bit-identical in buffers, stats, and errors). `analyze` reports
 //! divergence analysis and meldable regions for every function without
 //! transforming.
+//!
+//! `serve` starts the persistent compile service: a length-prefixed JSON
+//! frame protocol on stdin/stdout (or a Unix socket with `--socket`),
+//! compile requests keyed into a cross-run per-function cache, a bounded
+//! work queue that sheds load with typed `overloaded` responses, and a
+//! fail-then-degrade fault policy under per-request budgets. See
+//! `darm_serve` for the protocol grammar and policies.
 
 use darm::analysis::{to_dot, verify_ssa, DivergenceAnalysis};
 use darm::ir::parser::{fixup_types, parse_module};
@@ -42,12 +52,13 @@ use darm::ir::Module;
 use darm::melding::{region, Analyses, MeldConfig, MeldMode};
 use darm::pipeline::{Budget, ModuleOptions, ModulePassManager, OnError, PipelineOptions};
 use darm::prelude::*;
+use darm::serve::{serve_stream, Engine, ServeConfig};
 use darm::simt::{BackendKind, KernelArg};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]... [--backend reference|prepared|bytecode]\n  darm analyze <input.ir>"
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]... [--backend reference|prepared|bytecode]\n  darm analyze <input.ir>\n  darm serve [--socket PATH] [--jobs N] [--queue-depth N] [--cache-entries N] [--cache-bytes N] [--spec SPEC] [--timeout-ms N] [--fuel N] [--max-frame N]"
     );
     std::process::exit(2);
 }
@@ -78,6 +89,7 @@ fn main() -> ExitCode {
         "meld" => cmd_meld(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -173,8 +185,7 @@ fn cmd_meld(args: &[String]) -> ExitCode {
         jobs,
         on_error,
     };
-    let report = ModulePassManager::new(&registry, spec, module_options)
-        .and_then(|mpm| mpm.run(&mut module));
+    let report = ModulePassManager::compile(&registry, spec, module_options, &mut module);
     let report = match report {
         Ok(report) => report,
         Err(e) => {
@@ -368,4 +379,83 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig {
+        // A serving daemon defaults to all cores; `ServeConfig`'s own
+        // library default of one worker is for embedders and tests.
+        workers: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        ..ServeConfig::default()
+    };
+    let mut socket: Option<String> = None;
+    let mut max_frame = darm::serve::proto::DEFAULT_MAX_FRAME;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        fn num(v: Option<&String>) -> u64 {
+            v.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+        }
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--jobs" => config.workers = num(it.next()) as usize,
+            "--queue-depth" => config.queue_depth = num(it.next()).max(1) as usize,
+            "--cache-entries" => config.cache_entries = num(it.next()) as usize,
+            "--cache-bytes" => config.cache_bytes = num(it.next()) as usize,
+            "--spec" => config.default_spec = it.next().cloned().unwrap_or_else(|| usage()),
+            "--timeout-ms" => config.default_timeout_ms = Some(num(it.next())),
+            "--fuel" => config.default_fuel = Some(num(it.next())),
+            "--max-frame" => max_frame = num(it.next()).max(16) as usize,
+            _ => usage(),
+        }
+    }
+    let engine = Engine::new(config);
+    match socket {
+        Some(path) => serve_on_socket(&engine, &path, max_frame),
+        None => {
+            // Stdio mode serves exactly one client; EOF without a
+            // `shutdown` request still drains in-flight work cleanly.
+            // Not the `lock()` guards: the writer moves into worker
+            // responders, so it must be `Send + 'static`.
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            match serve_stream(&engine, stdin, stdout, max_frame) {
+                Ok(_end) => {
+                    engine.shutdown();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn serve_on_socket(engine: &Engine, path: &str, max_frame: usize) -> ExitCode {
+    let listener = match std::os::unix::net::UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: serve: cannot bind {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = darm::serve::serve_unix(engine, &listener, max_frame);
+    let _ = std::fs::remove_file(path);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(_engine: &Engine, _path: &str, _max_frame: usize) -> ExitCode {
+    eprintln!("error: serve: --socket requires a Unix platform; use stdio mode");
+    ExitCode::FAILURE
 }

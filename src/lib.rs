@@ -14,7 +14,10 @@
 //! * [`align`] — sequence alignment and melding profitability,
 //! * [`melding`] — the DARM pass plus tail-merging / branch-fusion baselines,
 //! * [`simt`] — SIMT GPU simulator with IPDOM reconvergence and counters,
-//! * [`kernels`] — the paper's synthetic and real-world benchmark kernels.
+//! * [`kernels`] — the paper's synthetic and real-world benchmark kernels,
+//! * [`serve`] — the `darm serve` persistent compile service: framed
+//!   JSON protocol, bounded work queue with load shedding, cross-run
+//!   content-hash compile cache, fail-then-degrade fault policy.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@ pub use darm_ir as ir;
 pub use darm_kernels as kernels;
 pub use darm_melding as melding;
 pub use darm_pipeline as pipeline;
+pub use darm_serve as serve;
 pub use darm_simt as simt;
 pub use darm_transforms as transforms;
 

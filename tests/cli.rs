@@ -500,3 +500,188 @@ fn degraded_runs_still_render_time_passes_tables() {
     );
     assert!(stderr.contains("degraded: 2 function(s)"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// `darm serve`: protocol round-trips and malformed-frame behavior through
+// the real binary over stdio.
+
+mod serve_protocol {
+    use super::{bin, KERNEL};
+    use std::io::{Read, Write};
+    use std::process::{Child, ChildStdin, ChildStdout, Stdio};
+
+    /// A `darm serve` daemon on piped stdio plus frame-level helpers.
+    struct Daemon {
+        child: Child,
+        stdin: ChildStdin,
+        stdout: ChildStdout,
+    }
+
+    impl Daemon {
+        fn spawn(extra_args: &[&str]) -> Daemon {
+            let mut child = bin()
+                .arg("serve")
+                .args(extra_args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap();
+            let stdin = child.stdin.take().unwrap();
+            let stdout = child.stdout.take().unwrap();
+            Daemon {
+                child,
+                stdin,
+                stdout,
+            }
+        }
+
+        fn send_raw(&mut self, bytes: &[u8]) {
+            self.stdin.write_all(bytes).unwrap();
+            self.stdin.flush().unwrap();
+        }
+
+        fn send(&mut self, json: &str) {
+            let mut frame = Vec::with_capacity(4 + json.len());
+            frame.extend_from_slice(&(json.len() as u32).to_be_bytes());
+            frame.extend_from_slice(json.as_bytes());
+            self.send_raw(&frame);
+        }
+
+        /// Read one response frame and return its JSON text.
+        fn recv(&mut self) -> String {
+            let mut prefix = [0u8; 4];
+            self.stdout.read_exact(&mut prefix).unwrap();
+            let len = u32::from_be_bytes(prefix) as usize;
+            let mut body = vec![0u8; len];
+            self.stdout.read_exact(&mut body).unwrap();
+            String::from_utf8(body).unwrap()
+        }
+
+        /// Close stdin (EOF) and wait for a clean exit.
+        fn finish(mut self) {
+            drop(self.stdin);
+            let status = self.child.wait().unwrap();
+            assert!(status.success(), "daemon exited uncleanly: {status:?}");
+        }
+    }
+
+    fn compile_request(id: u64, ir: &str) -> String {
+        // Hand-rolled JSON escaping for the IR payload (quotes never
+        // appear in IR text, newlines do).
+        let escaped = ir
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        format!("{{\"op\":\"compile\",\"id\":{id},\"ir\":\"{escaped}\"}}")
+    }
+
+    #[test]
+    fn ping_compile_stats_shutdown_round_trip() {
+        let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+        daemon.send("{\"op\":\"ping\",\"id\":1}");
+        assert_eq!(daemon.recv(), "{\"id\":1,\"status\":\"pong\"}");
+
+        daemon.send(&compile_request(2, KERNEL));
+        let response = daemon.recv();
+        assert!(response.contains("\"status\":\"ok\""), "{response}");
+        assert!(response.contains("\"outcome\":\"optimized\""), "{response}");
+        assert!(
+            response.contains("select"),
+            "expected melded IR: {response}"
+        );
+
+        daemon.send("{\"op\":\"stats\",\"id\":3}");
+        let stats = daemon.recv();
+        assert!(stats.contains("\"status\":\"stats\""), "{stats}");
+        assert!(stats.contains("\"misses\":1"), "{stats}");
+
+        daemon.send("{\"op\":\"shutdown\",\"id\":4}");
+        let bye = daemon.recv();
+        assert!(bye.contains("\"status\":\"bye\""), "{bye}");
+        assert!(bye.contains("\"completed\":1"), "{bye}");
+        daemon.finish();
+    }
+
+    #[test]
+    fn warm_hit_response_is_byte_identical_to_cold() {
+        let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+        daemon.send(&compile_request(7, KERNEL));
+        let cold = daemon.recv();
+        daemon.send(&compile_request(7, KERNEL));
+        let warm = daemon.recv();
+        // Same id, same input: apart from the cached marker the bytes
+        // must match exactly — JSON keys render sorted, so any drift
+        // in the payload would show.
+        assert_eq!(cold.replace("\"cached\":false", "\"cached\":true"), warm);
+        assert!(warm.contains("\"cached\":true"), "{warm}");
+        daemon.finish();
+    }
+
+    #[test]
+    fn bad_json_gets_typed_error_and_daemon_stays_up() {
+        let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+        daemon.send("{not json");
+        let err = daemon.recv();
+        assert!(err.contains("\"kind\":\"protocol\""), "{err}");
+        assert!(err.contains("invalid JSON"), "{err}");
+
+        daemon.send("{\"op\":\"fly\",\"id\":1}");
+        let err = daemon.recv();
+        assert!(err.contains("unknown op"), "{err}");
+
+        // Still alive and serving.
+        daemon.send("{\"op\":\"ping\",\"id\":2}");
+        assert_eq!(daemon.recv(), "{\"id\":2,\"status\":\"pong\"}");
+        daemon.finish();
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_daemon_stays_up() {
+        let mut daemon = Daemon::spawn(&["--jobs", "1", "--max-frame", "64"]);
+        let big = format!(
+            "{{\"op\":\"ping\",\"id\":1,\"pad\":\"{}\"}}",
+            "x".repeat(128)
+        );
+        daemon.send(&big);
+        let err = daemon.recv();
+        assert!(err.contains("\"kind\":\"protocol\""), "{err}");
+        assert!(err.contains("oversized frame"), "{err}");
+
+        // The oversized body was drained, so the stream is still
+        // aligned and the next request parses.
+        daemon.send("{\"op\":\"ping\",\"id\":2}");
+        assert_eq!(daemon.recv(), "{\"id\":2,\"status\":\"pong\"}");
+        daemon.finish();
+    }
+
+    #[test]
+    fn truncated_frame_gets_typed_error_and_clean_exit() {
+        let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+        // A frame that promises 100 bytes but delivers 3, then EOF.
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"abc");
+        daemon.send_raw(&bytes);
+        drop(daemon.stdin);
+        let mut out = String::new();
+        daemon.stdout.read_to_string(&mut out).unwrap();
+        assert!(out.contains("truncated frame"), "{out}");
+        assert!(out.contains("\"kind\":\"protocol\""), "{out}");
+        let status = daemon.child.wait().unwrap();
+        assert!(status.success(), "daemon exited uncleanly: {status:?}");
+    }
+
+    #[test]
+    fn compile_parse_error_is_typed_and_namespaced_to_the_request() {
+        let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+        daemon.send(&compile_request(1, "fn @broken( {"));
+        let err = daemon.recv();
+        assert!(err.contains("\"kind\":\"parse\""), "{err}");
+        assert!(err.contains("\"id\":1"), "{err}");
+        // The request after the failed one compiles normally.
+        daemon.send(&compile_request(2, KERNEL));
+        let ok = daemon.recv();
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        daemon.finish();
+    }
+}

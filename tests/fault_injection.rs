@@ -312,3 +312,69 @@ fn fail_mode_reports_the_injected_fault_as_a_diagnostic() {
         other => panic!("expected a fault diagnostic, got: {other}"),
     }
 }
+
+/// Pinned regression for the serve-era containment contract: under an
+/// injected codegen panic with exactly two workers, every degraded
+/// function's output is bit-identical to its baseline (input) IR, the
+/// optimized remainder matches the fault-free reference, and a DCE-site
+/// panic (which every function reaches) degrades the whole module back
+/// to its input, byte for byte.
+#[test]
+fn pinned_jobs2_degrade_output_is_bit_identical_to_baseline() {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let shapes: Vec<Shape> = (0..5)
+        .map(|i| Shape {
+            diamond: i != 2, // one straight-line function in the middle
+            mul_t: 3 + i,
+            add_t: 10 + i,
+            mul_f: 5 + i,
+            add_f: 77 - i,
+        })
+        .collect();
+    let module = build_module(&shapes);
+    let baseline = printed(&module);
+
+    fault::set_plan(None);
+    let mut reference = module.clone();
+    meld_module(&mut reference, 2, false);
+    let clean = printed(&reference);
+
+    // Codegen panics: only the diamonds reach it and degrade.
+    fault::set_plan(Some(FaultPlan {
+        site: "meld::codegen".to_string(),
+        hit: 1,
+        kind: FaultKind::Panic,
+    }));
+    let mut faulted = module.clone();
+    let report = meld_module(&mut faulted, 2, false);
+    assert_eq!(report.degraded_count(), 4);
+    for (i, func) in faulted.functions().iter().enumerate() {
+        let ir = func.to_string();
+        if report.functions[i].outcome.is_degraded() {
+            assert_eq!(ir, baseline[i], "@{} must keep its input IR", func.name());
+        } else {
+            assert_eq!(ir, clean[i], "@{} must match the clean run", func.name());
+        }
+    }
+
+    // DCE panics: every function whose pipeline reaches cleanup (the
+    // four diamonds — the straight-line body melds nothing and skips
+    // it) degrades to its input, byte for byte.
+    fault::set_plan(Some(FaultPlan {
+        site: "transforms::dce".to_string(),
+        hit: 1,
+        kind: FaultKind::Panic,
+    }));
+    let mut dce_faulted = module.clone();
+    let report = meld_module(&mut dce_faulted, 2, false);
+    fault::set_plan(None);
+    assert_eq!(report.degraded_count(), 4);
+    for (i, func) in dce_faulted.functions().iter().enumerate() {
+        let ir = func.to_string();
+        if report.functions[i].outcome.is_degraded() {
+            assert_eq!(ir, baseline[i], "@{} must keep its input IR", func.name());
+        } else {
+            assert_eq!(ir, clean[i], "@{} must match the clean run", func.name());
+        }
+    }
+}
