@@ -1,11 +1,17 @@
 //! Cross-run compile cache keyed by content hash.
 //!
-//! The key is `fnv1a_64(canonical_spec ∥ 0x00 ∥ printed_function_ir)`:
-//! the pass spec is canonicalised (parsed and re-printed) so two
+//! The key is a 128-bit [`ContentKey`]: two independently seeded
+//! FNV-1a-64 streams over `canonical_spec ∥ 0x00 ∥ printed_function_ir`.
+//! The pass spec is canonicalised (parsed and re-printed) so two
 //! spellings of the same pipeline share entries, and the function text
-//! is streamed through the hasher without materialising a copy.  Keying
-//! is per *function*, not per module, so a warm module that gained one
-//! new function only compiles the newcomer.
+//! is streamed through both hashers without materialising a copy.
+//! FNV-1a is non-cryptographic, so a *single* 64-bit digest admits
+//! constructible collisions — and a colliding hit would silently serve
+//! another function's compiled IR, since hits skip parse and verify.
+//! Requiring two independent 64-bit digests to agree closes that hole
+//! for anything short of a deliberate attack on both seeds at once.
+//! Keying is per *function*, not per module, so a warm module that
+//! gained one new function only compiles the newcomer.
 //!
 //! The cache holds both positive entries (optimized IR) and *negative*
 //! entries: functions whose compilation failed deterministically (a
@@ -23,13 +29,70 @@ use std::fmt::Write as _;
 use darm_ir::hash::Fnv64;
 use darm_ir::Function;
 
+/// A 128-bit content key: two FNV-1a-64 digests of the same byte
+/// stream from independent starting states. Both halves must match for
+/// a cache hit, so a collision in one 64-bit hash alone cannot alias
+/// two different inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentKey {
+    lo: u64,
+    hi: u64,
+}
+
+/// Streams one byte sequence into both halves of a [`ContentKey`].
+struct WideHasher {
+    lo: Fnv64,
+    hi: Fnv64,
+}
+
+impl WideHasher {
+    fn new() -> WideHasher {
+        let lo = Fnv64::new();
+        // Seed the second stream by absorbing a fixed tag byte: after
+        // one FNV round its state is decorrelated from `lo`'s, so the
+        // two digests of the same input are independent.
+        let mut hi = Fnv64::new();
+        hi.write_u8(0x9e);
+        WideHasher { lo, hi }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.lo.write(bytes);
+        self.hi.write(bytes);
+    }
+
+    fn finish(&self) -> ContentKey {
+        ContentKey {
+            lo: self.lo.finish(),
+            hi: self.hi.finish(),
+        }
+    }
+}
+
+impl std::fmt::Write for WideHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write(s.as_bytes());
+        Ok(())
+    }
+}
+
 /// Compute the cache key for one function under a canonical spec.
-pub fn content_key(canonical_spec: &str, func: &Function) -> u64 {
-    let mut hasher = Fnv64::new();
+pub fn content_key(canonical_spec: &str, func: &Function) -> ContentKey {
+    let mut hasher = WideHasher::new();
     hasher.write(canonical_spec.as_bytes());
-    hasher.write_u8(0);
-    // Streams the printed IR through the hasher via `fmt::Write`.
+    hasher.write(&[0]);
+    // Streams the printed IR through both hashers via `fmt::Write`.
     let _ = write!(hasher, "{func}");
+    hasher.finish()
+}
+
+/// Compute the whole-request key over the *raw* input text (before any
+/// parse), for the engine's whole-request fast path.
+pub fn raw_key(canonical_spec: &str, text: &str) -> ContentKey {
+    let mut hasher = WideHasher::new();
+    hasher.write(canonical_spec.as_bytes());
+    hasher.write(&[0]);
+    hasher.write(text.as_bytes());
     hasher.finish()
 }
 
@@ -73,7 +136,7 @@ pub struct CacheCounters {
 }
 
 pub struct CompileCache {
-    entries: HashMap<u64, Entry>,
+    entries: HashMap<ContentKey, Entry>,
     max_entries: usize,
     max_bytes: usize,
     bytes: usize,
@@ -100,7 +163,7 @@ impl CompileCache {
     /// The `serve::cache_lookup` fault site fires in the engine
     /// *before* the cache lock is taken, so an injected panic can
     /// never poison the cache mutex mid-mutation.
-    pub fn lookup(&mut self, key: u64) -> Option<CachedOutcome> {
+    pub fn lookup(&mut self, key: ContentKey) -> Option<CachedOutcome> {
         self.tick += 1;
         let tick = self.tick;
         match self.entries.get_mut(&key) {
@@ -125,7 +188,7 @@ impl CompileCache {
     ///
     /// Like [`CompileCache::lookup`], the `serve::cache_insert` fault
     /// site fires before the lock, never under it.
-    pub fn insert(&mut self, key: u64, outcome: CachedOutcome) {
+    pub fn insert(&mut self, key: ContentKey, outcome: CachedOutcome) {
         if self.max_entries == 0 {
             return;
         }
@@ -187,20 +250,25 @@ mod tests {
         CachedOutcome::Optimized { ir: ir.into() }
     }
 
+    /// A synthetic key for bookkeeping tests that never touch hashing.
+    fn key(n: u64) -> ContentKey {
+        ContentKey { lo: n, hi: n }
+    }
+
     #[test]
     fn hit_miss_and_negative_counters() {
         let mut cache = CompileCache::new(8, 1024);
-        assert_eq!(cache.lookup(1), None);
-        cache.insert(1, opt("fn a() {}"));
+        assert_eq!(cache.lookup(key(1)), None);
+        cache.insert(key(1), opt("fn a() {}"));
         cache.insert(
-            2,
+            key(2),
             CachedOutcome::Degraded {
                 ir: "fn b() {}".into(),
                 diagnostic: "pass panicked".into(),
             },
         );
-        assert!(cache.lookup(1).is_some());
-        assert!(cache.lookup(2).unwrap().is_degraded());
+        assert!(cache.lookup(key(1)).is_some());
+        assert!(cache.lookup(key(2)).unwrap().is_degraded());
         let c = cache.counters();
         assert_eq!((c.hits, c.negative_hits, c.misses), (1, 1, 1));
         assert_eq!(
@@ -212,44 +280,44 @@ mod tests {
     #[test]
     fn lru_eviction_respects_entry_bound() {
         let mut cache = CompileCache::new(2, 1024);
-        cache.insert(1, opt("a"));
-        cache.insert(2, opt("b"));
-        cache.lookup(1); // refresh 1; 2 becomes LRU
-        cache.insert(3, opt("c"));
+        cache.insert(key(1), opt("a"));
+        cache.insert(key(2), opt("b"));
+        cache.lookup(key(1)); // refresh 1; 2 becomes LRU
+        cache.insert(key(3), opt("c"));
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(1).is_some());
-        assert_eq!(cache.lookup(2), None);
-        assert!(cache.lookup(3).is_some());
+        assert!(cache.lookup(key(1)).is_some());
+        assert_eq!(cache.lookup(key(2)), None);
+        assert!(cache.lookup(key(3)).is_some());
         assert_eq!(cache.counters().evictions, 1);
     }
 
     #[test]
     fn byte_bound_evicts_and_oversized_payloads_are_dropped() {
         let mut cache = CompileCache::new(64, 10);
-        cache.insert(1, opt("aaaa")); // 4 bytes
-        cache.insert(2, opt("bbbb")); // 8 bytes
-        cache.insert(3, opt("cccc")); // would be 12 → evict LRU (1)
+        cache.insert(key(1), opt("aaaa")); // 4 bytes
+        cache.insert(key(2), opt("bbbb")); // 8 bytes
+        cache.insert(key(3), opt("cccc")); // would be 12 → evict LRU (1)
         assert_eq!(cache.bytes(), 8);
-        assert_eq!(cache.lookup(1), None);
+        assert_eq!(cache.lookup(key(1)), None);
         // A payload larger than the whole budget is refused outright.
-        cache.insert(4, opt("ddddddddddddddd"));
-        assert_eq!(cache.lookup(4), None);
+        cache.insert(key(4), opt("ddddddddddddddd"));
+        assert_eq!(cache.lookup(key(4)), None);
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = CompileCache::new(0, 1024);
-        cache.insert(1, opt("a"));
-        assert_eq!(cache.lookup(1), None);
+        cache.insert(key(1), opt("a"));
+        assert_eq!(cache.lookup(key(1)), None);
         assert_eq!(cache.len(), 0);
     }
 
     #[test]
     fn reinsert_replaces_bytes_accounting() {
         let mut cache = CompileCache::new(8, 1024);
-        cache.insert(1, opt("aaaa"));
-        cache.insert(1, opt("bb"));
+        cache.insert(key(1), opt("aaaa"));
+        cache.insert(key(1), opt("bb"));
         assert_eq!(cache.bytes(), 2);
         assert_eq!(cache.len(), 1);
     }
@@ -263,5 +331,10 @@ mod tests {
         let b = content_key("meld,simplify", func);
         assert_ne!(a, b);
         assert_eq!(a, content_key("meld", func));
+        // The two halves are independently seeded streams over the same
+        // bytes — equal halves would mean the widening is a no-op.
+        assert_ne!(a.lo, a.hi);
+        assert_eq!(raw_key("meld", "x"), raw_key("meld", "x"));
+        assert_ne!(raw_key("meld", "x"), raw_key("meld", "y"));
     }
 }

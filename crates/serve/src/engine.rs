@@ -41,9 +41,7 @@ use darm_pipeline::{
     PipelineError, PipelineOptions,
 };
 
-use darm_ir::hash::Fnv64;
-
-use crate::cache::{content_key, CacheCounters, CachedOutcome, CompileCache};
+use crate::cache::{content_key, raw_key, CacheCounters, CachedOutcome, CompileCache, ContentKey};
 use crate::json::Json;
 use crate::proto::{CompileRequest, ErrorKind, FunctionResult, Response};
 use crate::queue::{BoundedQueue, PushError};
@@ -116,17 +114,18 @@ impl FastEntry {
     }
 }
 
-/// Whole-request memo: `fnv64(canonical spec ∥ 0x00 ∥ raw input text)`
-/// → the rendered payload of a fully optimized response. A pure front
-/// for the per-function [`CompileCache`]: a hit skips parsing and
-/// hashing entirely, and entries can be dropped wholesale at any time
-/// without changing any observable result — so eviction is a simple
-/// epoch clear rather than LRU bookkeeping. Only fully *optimized*
-/// responses are memoized; degraded and negatively-cached outcomes
-/// always route through the function cache so fail-fast semantics (and
-/// their counters) stay intact.
+/// Whole-request memo: the 128-bit [`ContentKey`] of
+/// `canonical spec ∥ 0x00 ∥ raw input text` → the rendered payload of a
+/// fully optimized response. A pure front for the per-function
+/// [`CompileCache`]: a hit skips parsing and hashing entirely, and
+/// entries can be dropped wholesale at any time without changing any
+/// observable result — so eviction is a simple epoch clear rather than
+/// LRU bookkeeping. Only fully *optimized* responses are memoized;
+/// degraded and negatively-cached outcomes always route through the
+/// function cache so fail-fast semantics (and their counters) stay
+/// intact.
 struct FastCache {
-    map: std::collections::HashMap<u64, FastEntry>,
+    map: std::collections::HashMap<ContentKey, FastEntry>,
     bytes: usize,
     max_entries: usize,
     max_bytes: usize,
@@ -142,23 +141,27 @@ impl FastCache {
         }
     }
 
-    fn get(&self, key: u64) -> Option<&FastEntry> {
+    fn get(&self, key: ContentKey) -> Option<&FastEntry> {
         self.map.get(&key)
     }
 
-    fn insert(&mut self, key: u64, entry: FastEntry) {
+    fn insert(&mut self, key: ContentKey, entry: FastEntry) {
         let cost = entry.cost();
         if self.max_entries == 0 || cost > self.max_bytes {
             return;
+        }
+        // Reclaim a replaced entry's budget *before* the capacity
+        // check, so refreshing an existing key never triggers the
+        // epoch clear when the swap itself frees enough room.
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.cost();
         }
         if self.map.len() >= self.max_entries || self.bytes + cost > self.max_bytes {
             self.map.clear();
             self.bytes = 0;
         }
         self.bytes += cost;
-        if let Some(old) = self.map.insert(key, entry) {
-            self.bytes -= old.cost();
-        }
+        self.map.insert(key, entry);
     }
 }
 
@@ -382,13 +385,7 @@ impl Engine {
         // lookup fault site fires here — before either cache lock and
         // outside any lock hold — so an injected panic unwinds to the
         // worker boundary without poisoning anything.
-        let fast_key = {
-            let mut hasher = Fnv64::new();
-            hasher.write(canonical.as_bytes());
-            hasher.write_u8(0);
-            hasher.write(request.ir.as_bytes());
-            hasher.finish()
-        };
+        let fast_key = raw_key(&canonical, &request.ir);
         fault::point("serve::cache_lookup");
         {
             let fast = shared.fast.lock().unwrap_or_else(PoisonError::into_inner);
@@ -423,7 +420,7 @@ impl Engine {
             diagnostic: Option<String>,
         }
         let mut slots: Vec<Option<Slot>> = Vec::with_capacity(module.functions().len());
-        let mut misses: Vec<(usize, u64)> = Vec::new();
+        let mut misses: Vec<(usize, ContentKey)> = Vec::new();
         {
             // (The `serve::cache_lookup` fault site already fired above,
             // before the fast-path probe — once per request, outside

@@ -99,7 +99,11 @@ impl Json {
     /// A human-readable message with a byte offset.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser {
+            bytes,
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -166,9 +170,18 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
+/// Maximum container nesting the parser accepts. Recursion depth is
+/// bounded by input nesting, so without a cap a frame of densely nested
+/// `[` (up to the frame size limit) would overflow the stack — and a
+/// stack overflow aborts the process, no `catch_unwind` can contain it.
+/// The cap turns such input into an ordinary typed parse error; the
+/// protocol itself never nests more than a handful of levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -206,12 +219,28 @@ impl Parser<'_> {
             Some(b't') => self.lit("true", Json::Bool(true)),
             Some(b'f') => self.lit("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
             None => Err("unexpected end of input".to_string()),
         }
+    }
+
+    /// Runs a container parser one nesting level deeper, erroring past
+    /// [`MAX_DEPTH`] instead of risking the recursion growing the stack
+    /// without bound.
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let value = parse(self);
+        self.depth -= 1;
+        value
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -220,9 +249,16 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii span");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+        let n = text
+            .parse::<f64>()
+            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))?;
+        // Out-of-range literals like `1e999` parse to infinity, and
+        // `Display` would render non-finite values as invalid JSON —
+        // enforce finiteness at the boundary so they can never get in.
+        if !n.is_finite() {
+            return Err(format!("number `{text}` at byte {start} is out of range"));
+        }
+        Ok(Json::Num(n))
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -388,6 +424,36 @@ mod tests {
         assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
         assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
         assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // Far past the cap: must return a typed error, not abort. A
+        // stack overflow here would kill the whole test process, so
+        // merely completing proves containment.
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(100_000);
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.contains("nesting"), "unexpected error: {err}");
+        }
+        // At and below the cap, nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn out_of_range_numbers_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e400"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.contains("out of range"), "unexpected error: {err}");
+        }
+        assert!(Json::parse("1e308").is_ok());
     }
 
     #[test]

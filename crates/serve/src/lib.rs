@@ -40,19 +40,22 @@
 //!
 //! # Cache keying
 //!
-//! Caching is two-level. Each function is keyed by
-//! `fnv1a_64(canonical_spec ∥ 0x00 ∥ printed_function_ir)` (see
+//! Caching is two-level. Each function is keyed by a 128-bit
+//! [`cache::ContentKey`] — two independently seeded FNV-1a-64 streams
+//! over `canonical_spec ∥ 0x00 ∥ printed_function_ir` (see
 //! [`cache::content_key`]): the spec is parsed and re-printed so
-//! equivalent spellings share entries, and FNV-1a is stable across
+//! equivalent spellings share entries, FNV-1a is stable across
 //! processes and platforms so a persisted request stream replays
-//! identically anywhere. Deterministic compile faults (contained
+//! identically anywhere, and requiring both 64-bit digests to agree
+//! keeps a constructible single-hash collision from silently serving
+//! another function's compiled IR. Deterministic compile faults (contained
 //! panics and pass errors) are *negatively* cached — the function is
 //! served degraded-to-baseline with its diagnostic, instantly — while
 //! budget exhaustion (deadline/fuel) is never cached because it
 //! depends on per-request limits, not on the input.
 //!
-//! In front of the function cache sits a whole-request memo keyed by
-//! `fnv1a_64(canonical_spec ∥ 0x00 ∥ raw_request_ir)`: a fully-warm
+//! In front of the function cache sits a whole-request memo keyed the
+//! same way over `canonical_spec ∥ 0x00 ∥ raw_request_ir`: a fully-warm
 //! request is answered before its input is even parsed. The memo only
 //! holds fully *optimized* responses (degraded and negatively-cached
 //! outcomes always route through the function cache, keeping fail-fast

@@ -416,7 +416,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         None => {
             // Stdio mode serves exactly one client; EOF without a
             // `shutdown` request still drains in-flight work cleanly.
-            // Not the `lock()` guards: the writer moves into worker
+            // Note the `lock()` guards: the writer moves into worker
             // responders, so it must be `Send + 'static`.
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();

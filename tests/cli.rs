@@ -637,6 +637,25 @@ mod serve_protocol {
     }
 
     #[test]
+    fn nesting_bomb_gets_typed_error_and_daemon_stays_up() {
+        // A frame of densely nested `[` drives the JSON parser's
+        // recursion as deep as the input allows; without the parser's
+        // depth cap this would overflow the stack and abort the daemon
+        // (a stack overflow is not an unwind — no catch_unwind saves
+        // it). With the cap it is just another malformed frame.
+        let mut daemon = Daemon::spawn(&["--jobs", "1"]);
+        daemon.send(&"[".repeat(200_000));
+        let err = daemon.recv();
+        assert!(err.contains("\"kind\":\"protocol\""), "{err}");
+        assert!(err.contains("nesting"), "{err}");
+
+        // Still alive and serving.
+        daemon.send("{\"op\":\"ping\",\"id\":2}");
+        assert_eq!(daemon.recv(), "{\"id\":2,\"status\":\"pong\"}");
+        daemon.finish();
+    }
+
+    #[test]
     fn oversized_frame_is_skipped_and_daemon_stays_up() {
         let mut daemon = Daemon::spawn(&["--jobs", "1", "--max-frame", "64"]);
         let big = format!(
