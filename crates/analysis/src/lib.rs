@@ -15,8 +15,14 @@
 //! * [`regions`] — SESE subgraph chains inside divergent regions
 //!   (Definitions 1–4 of the paper),
 //! * [`verify`] — full SSA verification (structure + dominance),
-//! * [`manager`] — a memoizing [`AnalysisManager`] with typed invalidation,
-//!   the cache behind the `darm-pipeline` pass manager.
+//! * [`manager`] — a memoizing [`AnalysisManager`] with reconcile-on-read
+//!   invalidation, the cache behind the `darm-pipeline` pass manager:
+//!   every cached entry revalidates against its own journal window at
+//!   query time, and every analysis — dominator/post-dominator trees,
+//!   [`Cfg`] (RPO splice below the edit window's anchor),
+//!   [`DivergenceAnalysis`] (changed-closure re-derivation) and
+//!   [`Liveness`] — has an in-place update path behind a profitability
+//!   gate, so no analysis is unconditionally dropped anymore.
 
 pub mod cfg;
 pub mod divergence;

@@ -20,18 +20,33 @@
 //! * a clean window serves the entry as a plain hit;
 //! * an instruction-only window keeps the shape analyses ([`Cfg`],
 //!   [`DomTree`], [`PostDomTree`], [`LoopInfo`]), re-seeds [`Liveness`]
-//!   from the dirty blocks only, and drops [`DivergenceAnalysis`]
-//!   (divergence may *shrink* under rewrites, which a monotone
-//!   incremental update cannot express);
+//!   from the dirty blocks only, and re-derives [`DivergenceAnalysis`]
+//!   over the *changed closure* of the dirty instructions (divergence may
+//!   shrink under rewrites, so the closure is reset to the lattice bottom
+//!   and re-run with the untouched remainder as a fixed boundary — exact,
+//!   not merely monotone; see
+//!   [`DivergenceAnalysis::refresh_window`]);
 //! * a block-graph window updates the dominator and post-dominator trees
 //!   in place, bit-identical to a fresh recompute — edge subdivision and
 //!   insertion-only batches by exact local rules, deletion-containing
 //!   batches (the bulk of meld surgery) by the affected-subtree recompute
 //!   (see [`DomTree::try_update`]; the deletion share is split out as
-//!   [`AnalysisCounters::in_place_deletion_updates`]) — when a
-//!   profitability gate decides the batch is small enough relative to the
-//!   function for the update to beat the recompute it replaces;
-//! * anything else drops the entry, which recomputes on demand.
+//!   [`AnalysisCounters::in_place_deletion_updates`]) — splices the
+//!   [`Cfg`] snapshot's RPO below the window's DFS-tree anchor
+//!   ([`Cfg::try_update`], counted by
+//!   [`AnalysisCounters::in_place_cfg_updates`]), and re-derives
+//!   divergence with every surviving divergent branch's join set
+//!   recomputed under the new shape
+//!   ([`AnalysisCounters::in_place_divergence_updates`]) — each behind a
+//!   profitability gate that only admits batches small enough relative
+//!   to the function for the update to beat the recompute it replaces;
+//! * anything else — a saturated journal, a window a gate rejects, or
+//!   the divergence slot's periodic exact-confirm round — drops the
+//!   entry, which recomputes on demand.
+//!
+//! No analysis is *unconditionally* dropped anymore: every slot has an
+//! in-place path, and full recomputation is purely the fallback the
+//! gates and confirm rounds choose on purpose.
 //!
 //! Laziness is what makes the scheme pay: a mutation-heavy stretch (meld
 //! surgery followed by cleanup rounds) coalesces into *one* window per
@@ -64,7 +79,8 @@
 //!
 //! [`AnalysisManager::counters`] exposes how many computations, cache hits
 //! and in-place updates occurred — `darm meld --time-passes` prints the
-//! per-pass split, including the deletion-batch share.
+//! per-pass split, including the deletion-batch share and the dedicated
+//! CFG/divergence in-place-update columns.
 
 use crate::cfg::Cfg;
 use crate::divergence::DivergenceAnalysis;
@@ -140,6 +156,12 @@ pub enum Refresh<A> {
     Drop,
 }
 
+/// Below this many live blocks the dominator/post-dominator refresh drops
+/// straight to a rebuild: the in-place attempt's fixed costs (journal
+/// replay, edit normalization, old-array remapping) exceed the fixpoint
+/// rebuild on graphs this small.
+const TREE_UPDATE_MIN_LIVE_BLOCKS: usize = 16;
+
 /// Shared dominator/post-dominator refresh: absorb block-graph windows via
 /// `try_update`, bounded by the edit-batch cap.
 fn tree_refresh<A>(
@@ -165,7 +187,17 @@ fn tree_refresh<A>(
     // reversed tree (4) must rebuild the reversed graph and its postorder
     // wholesale — near the cost of the recompute it replaces — so it only
     // pays off against far smaller batches.
-    let cheap_window = |shape_events: usize| shape_events * win_scale <= func.live_block_count();
+    // Both gates are O(1), paid before any replay: the batch must be small
+    // *relative to the function*, and the function itself must be big
+    // enough that a rebuild actually hurts. On a graph of a dozen blocks
+    // the fixpoint rebuild is a microsecond — cheaper than the replay,
+    // normalization and old-array remapping an in-place attempt spends
+    // before it can even decline (measured on the paper kernels: the
+    // attempts cost more end-to-end than every rebuild they avoided).
+    let cheap_window = |shape_events: usize| {
+        func.live_block_count() >= TREE_UPDATE_MIN_LIVE_BLOCKS
+            && shape_events * win_scale <= func.live_block_count()
+    };
     match probe {
         WindowProbe::InstsOnly { .. } => Refresh::Keep,
         WindowProbe::Shape { shape_events, .. } if cheap_window(shape_events) => {
@@ -212,6 +244,42 @@ impl Analysis for Cfg {
 
     fn compute(func: &Function, _am: &mut AnalysisManager) -> Cfg {
         Cfg::new(func)
+    }
+
+    fn refresh(
+        old: &Cfg,
+        func: &Function,
+        am: &mut AnalysisManager,
+        probe: WindowProbe,
+        cursor: JournalCursor,
+    ) -> Refresh<Cfg> {
+        match probe {
+            WindowProbe::InstsOnly { .. } => Refresh::Keep,
+            // The splice consumes the *raw* edit list (a net-zero window
+            // can still reorder successors, and with them the RPO), so
+            // gate on the O(1) probe metadata and replay without
+            // normalizing.
+            WindowProbe::Shape { shape_events, .. }
+                if shape_events * 2 <= func.live_block_count() =>
+            {
+                let mut edits = std::mem::take(&mut am.edits_scratch);
+                let ok = func.cfg_edits_since(cursor, &mut edits);
+                let refreshed = if ok {
+                    old.try_update(func, &edits)
+                } else {
+                    None
+                };
+                am.edits_scratch = edits;
+                match refreshed {
+                    Some(value) => Refresh::Update {
+                        value,
+                        deletion_batch: false,
+                    },
+                    None => Refresh::Drop,
+                }
+            }
+            _ => Refresh::Drop,
+        }
     }
 }
 
@@ -297,6 +365,107 @@ impl Analysis for DivergenceAnalysis {
         // driver recomputed it privately inside every divergence run.
         let pdt = am.get::<PostDomTree>(func);
         DivergenceAnalysis::run_with_pdt(func, &cfg, &dt, &pdt)
+    }
+
+    fn refresh(
+        old: &DivergenceAnalysis,
+        func: &Function,
+        am: &mut AnalysisManager,
+        probe: WindowProbe,
+        cursor: JournalCursor,
+    ) -> Refresh<DivergenceAnalysis> {
+        let (events, shape_window) = match probe {
+            WindowProbe::InstsOnly { events } => (events, false),
+            WindowProbe::Shape { events, .. } => (events, true),
+            _ => return Refresh::Drop,
+        };
+        // Profitability floor: a fresh divergence sweep is O(live insts)
+        // with a small constant (no use map — see `run_with_pdt`), so on
+        // tiny functions it undercuts the refresh's fixed costs (journal
+        // replay, def→use rows, join re-derivation) no matter how small
+        // the window is. The crossover sits around the size where the
+        // sweep's repeated whole-function rounds start to dominate the
+        // refresh's one-pass row build (measured on the paper kernels).
+        if func.live_inst_count() < 56 {
+            return Refresh::Drop;
+        }
+        // Periodic exact-confirm round: every 32nd reconciliation recomputes
+        // from scratch on purpose, so a defect in the incremental path (or
+        // in the journal feeding it) is caught within a bounded number of
+        // windows instead of compounding silently for a whole session.
+        am.divergence_refreshes += 1;
+        if am.divergence_refreshes.is_multiple_of(32) {
+            return Refresh::Drop;
+        }
+        // Replay cap: the refresh pays one pass over the window's events
+        // before its live-seed gate can arbitrate, so the window must be
+        // small against the function for the attempt itself to be cheaper
+        // than the recompute it hopes to beat. Raw event counts overstate
+        // the dirty set (an inserted-then-rewritten-then-deleted
+        // instruction is three events and zero seeds), so the multiplier
+        // leaves room for churn; meld-surgery windows that rewrite the
+        // bulk of the function still land far above it and drop here,
+        // before any replay is paid.
+        if events > func.live_inst_count() {
+            return Refresh::Drop;
+        }
+        // The shape dependencies must already be reconciled to the
+        // function's current state — the divergence slot is swept last in
+        // `update_after`, and the query path pulls CFG and both trees
+        // before divergence — so a refresh never *forces* a dependency
+        // recompute. A window harsh enough to drop the trees drops
+        // divergence with them (the recompute then rebuilds all four
+        // through the cache as usual).
+        let head = func.journal_head();
+        let (Some(cfg), Some(dt), Some(pdt)) = (
+            am.reconciled_dep::<Cfg>(head),
+            am.reconciled_dep::<DomTree>(head),
+            am.reconciled_dep::<PostDomTree>(head),
+        ) else {
+            return Refresh::Drop;
+        };
+        // Zero-allocation replay of just the touched-instruction events;
+        // a saturated cursor (`false`) means anything may have changed.
+        let mut touched = std::mem::take(&mut am.touched_scratch);
+        touched.clear();
+        let ok = func.insts_touched_since(cursor, |id| touched.push(id));
+        let refreshed = if ok {
+            touched.sort_unstable();
+            touched.dedup();
+            old.refresh_window(func, &cfg, &dt, &pdt, &touched, shape_window)
+        } else {
+            None
+        };
+        am.touched_scratch = touched;
+        match refreshed {
+            Some(value) => {
+                #[cfg(debug_assertions)]
+                {
+                    let fresh = DivergenceAnalysis::run_with_pdt(func, &cfg, &dt, &pdt);
+                    for i in 0..func.inst_capacity() {
+                        let id = darm_ir::InstId::new(i);
+                        debug_assert_eq!(
+                            value.is_inst_divergent(id),
+                            fresh.is_inst_divergent(id),
+                            "incremental divergence diverged from fresh at inst {i}"
+                        );
+                    }
+                    for b in 0..func.block_capacity() {
+                        let bb = darm_ir::BlockId::new(b);
+                        debug_assert_eq!(
+                            value.is_divergent_branch(bb),
+                            fresh.is_divergent_branch(bb),
+                            "incremental divergent-branch flag diverged at block {b}"
+                        );
+                    }
+                }
+                Refresh::Update {
+                    value,
+                    deletion_batch: false,
+                }
+            }
+            None => Refresh::Drop,
+        }
     }
 }
 
@@ -423,6 +592,14 @@ pub struct AnalysisCounters {
     /// [`DomTree::try_update`]) — the meld-surgery shape that used to force
     /// a full dominator recompute.
     pub in_place_deletion_updates: usize,
+    /// The subset of `updates` that spliced the [`Cfg`] snapshot's RPO
+    /// below the window's DFS-tree anchor instead of rebuilding it (see
+    /// [`Cfg::try_update`]).
+    pub in_place_cfg_updates: usize,
+    /// The subset of `updates` that re-derived [`DivergenceAnalysis`] over
+    /// the window's changed closure instead of recomputing from scratch
+    /// (see [`DivergenceAnalysis::refresh_window`]).
+    pub in_place_divergence_updates: usize,
 }
 
 impl AnalysisCounters {
@@ -434,6 +611,9 @@ impl AnalysisCounters {
             updates: self.updates - earlier.updates,
             in_place_deletion_updates: self.in_place_deletion_updates
                 - earlier.in_place_deletion_updates,
+            in_place_cfg_updates: self.in_place_cfg_updates - earlier.in_place_cfg_updates,
+            in_place_divergence_updates: self.in_place_divergence_updates
+                - earlier.in_place_divergence_updates,
         }
     }
 }
@@ -454,6 +634,12 @@ pub struct AnalysisManager {
     tree_window_memo: Option<TreeWindowMemo>,
     /// Reused replay buffer for [`Function::cfg_edits_since`].
     edits_scratch: Vec<darm_ir::CfgEdit>,
+    /// Reused replay buffer for [`Function::insts_touched_since`] (the
+    /// divergence refresh's touched-instruction window).
+    touched_scratch: Vec<darm_ir::InstId>,
+    /// Reconciliations the divergence slot has attempted — drives the
+    /// periodic exact-confirm round (every 32nd drops and recomputes).
+    divergence_refreshes: usize,
 }
 
 /// See [`AnalysisManager::tree_window_memo`].
@@ -543,6 +729,21 @@ impl AnalysisManager {
         }
     }
 
+    /// The cached `A` only if it is already reconciled to journal cursor
+    /// `head` — the dependency form used by in-place refreshes, which must
+    /// never force a dependency recompute of their own.
+    fn reconciled_dep<A: Analysis>(&self, head: JournalCursor) -> Option<Arc<A>> {
+        self.slots[A::SLOT]
+            .as_ref()
+            .filter(|slot| slot.cursor == head)
+            .map(|slot| {
+                slot.value
+                    .clone()
+                    .downcast::<A>()
+                    .expect("cache slot type matches key")
+            })
+    }
+
     /// The cached `A`, if present (no computation, not counted as a hit).
     pub fn cached<A: Analysis>(&self) -> Option<Arc<A>> {
         self.slots[A::SLOT].as_ref().map(|slot| {
@@ -601,6 +802,7 @@ impl AnalysisManager {
         self.dom_checkpoint = None;
         self.tree_window_memo = None;
         self.edits_scratch.clear();
+        self.touched_scratch.clear();
     }
 
     /// Drops the instruction-sensitive analyses, keeping shape-only ones —
@@ -768,10 +970,15 @@ impl AnalysisManager {
         }
     }
 
-    fn note_updated(&mut self, _name: &'static str, deletion_batch: bool) {
+    fn note_updated(&mut self, name: &'static str, deletion_batch: bool) {
         self.counters.updates += 1;
         if deletion_batch {
             self.counters.in_place_deletion_updates += 1;
+        }
+        match name {
+            "cfg" => self.counters.in_place_cfg_updates += 1,
+            "divergence" => self.counters.in_place_divergence_updates += 1,
+            _ => {}
         }
     }
 }
@@ -884,6 +1091,18 @@ mod tests {
     #[test]
     fn update_after_inst_only_window_keeps_shape() {
         let mut f = diamond();
+        // Pad the function above the divergence refresh's profitability
+        // floor: on genuinely tiny functions the refresh rightly declines
+        // in favor of the fresh sweep, and this test pins the in-place
+        // path itself.
+        let entry = f.entry();
+        for _ in 0..64 {
+            f.insert_inst_at(
+                entry,
+                0,
+                InstData::new(Opcode::Add, Type::I32, vec![Value::I32(1), Value::I32(2)]),
+            );
+        }
         let mut am = AnalysisManager::new();
         am.observe(&f);
         let dt = am.get::<DomTree>(&f);
@@ -902,7 +1121,20 @@ mod tests {
             Arc::ptr_eq(&dt, &am.cached::<DomTree>().unwrap()),
             "shape analyses survive an instruction-only window"
         );
-        assert!(am.cached::<DivergenceAnalysis>().is_none());
+        // Divergence was re-derived over the changed closure, in place.
+        let div = am
+            .cached::<DivergenceAnalysis>()
+            .expect("divergence updated in place");
+        let fresh_cfg = Cfg::new(&f);
+        let fresh_dt = DomTree::new(&f, &fresh_cfg);
+        let fresh_div = DivergenceAnalysis::run(&f, &fresh_cfg, &fresh_dt);
+        for i in 0..f.inst_capacity() {
+            let id = darm_ir::InstId::new(i);
+            assert_eq!(div.is_inst_divergent(id), fresh_div.is_inst_divergent(id));
+        }
+        for b in f.block_ids() {
+            assert_eq!(div.is_divergent_branch(b), fresh_div.is_divergent_branch(b));
+        }
         // Liveness was refreshed in place, and matches a fresh compute.
         let live = am.cached::<Liveness>().expect("liveness updated in place");
         let fresh = Liveness::new(&f);
@@ -910,7 +1142,8 @@ mod tests {
             assert_eq!(live.live_in(b), fresh.live_in(b));
             assert_eq!(live.live_out(b), fresh.live_out(b));
         }
-        assert_eq!(am.counters().updates, 1);
+        assert_eq!(am.counters().updates, 2);
+        assert_eq!(am.counters().in_place_divergence_updates, 1);
     }
 
     #[test]

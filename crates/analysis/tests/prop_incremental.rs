@@ -284,8 +284,197 @@ fn back_edge_covered_deletion_updates_in_place() {
     assert_pdt_eq(&fresh_pdt, &up_pdt, &f, "pinned postdomtree");
 }
 
+/// Bit-identity of a patched [`Cfg`] against a fresh build: preds, succs,
+/// RPO order, RPO indices and reachability.
+fn assert_cfg_eq(fresh: &Cfg, got: &Cfg, f: &Function, what: &str) {
+    assert_eq!(fresh.rpo(), got.rpo(), "{what}: RPO order differs");
+    for i in 0..f.block_capacity() {
+        let b = BlockId::new(i);
+        assert_eq!(fresh.preds(b), got.preds(b), "{what}: preds({i}) differ");
+        assert_eq!(fresh.succs(b), got.succs(b), "{what}: succs({i}) differ");
+        assert_eq!(
+            fresh.is_reachable(b),
+            got.is_reachable(b),
+            "{what}: reachability({i}) differs"
+        );
+        if fresh.is_reachable(b) {
+            assert_eq!(
+                fresh.rpo_index(b),
+                got.rpo_index(b),
+                "{what}: rpo_index({i}) differs"
+            );
+        }
+    }
+}
+
+/// Pinned regression for the RPO-splice-at-anchor case: swapping a deep
+/// branch's successor order nets to *zero* edge changes at the normalized
+/// multiset level, yet reorders the DFS below the branch — exactly why
+/// [`Cfg::try_update`] consumes the raw journal events. The side chain
+/// keeps the anchor's subtree under half the reachable blocks so the
+/// splice is admitted, and the result must be bit-identical to a fresh
+/// build.
+#[test]
+fn rpo_splice_handles_successor_order_swap() {
+    let mut f = Function::new("swap", vec![Type::I32], Type::Void);
+    let entry = f.entry();
+    let a = f.add_block("a");
+    let b = f.add_block("b");
+    let c = f.add_block("c");
+    let d = f.add_block("d");
+    let qs: Vec<BlockId> = (1..=5).map(|i| f.add_block(&format!("q{i}"))).collect();
+    let mut fb = FunctionBuilder::new(&mut f, entry);
+    let c0 = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(0));
+    fb.br(c0, a, qs[0]);
+    fb.switch_to(a);
+    let c1 = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(1));
+    fb.br(c1, b, c);
+    fb.switch_to(b);
+    fb.jump(d);
+    fb.switch_to(c);
+    // Second path into b, so the branch collapse below keeps it reachable
+    // (a block falling unreachable with a retained predecessor is one of
+    // the shapes the splice rightly declines).
+    let c3 = fb.icmp(IcmpPred::Slt, Value::Param(0), Value::I32(3));
+    fb.br(c3, b, d);
+    fb.switch_to(d);
+    fb.ret(None);
+    for (i, &q) in qs.iter().enumerate() {
+        fb.switch_to(q);
+        match qs.get(i + 1) {
+            Some(&next) => fb.jump(next),
+            None => fb.ret(None),
+        }
+    }
+
+    let cfg = Cfg::new(&f);
+    let cursor = f.journal_head();
+    // Swap a's targets: `br c1, b, c` → `br c2, c, b`.
+    let term = f.terminator(a).unwrap();
+    f.remove_inst(term);
+    let c2 = f.add_inst(
+        a,
+        InstData::new(
+            Opcode::Icmp(IcmpPred::Slt),
+            Type::I1,
+            vec![Value::Param(0), Value::I32(2)],
+        ),
+    );
+    f.add_inst(
+        a,
+        InstData::terminator(Opcode::Br, vec![Value::Inst(c2)], vec![c, b]),
+    );
+    let mut edits = Vec::new();
+    assert!(f.cfg_edits_since(cursor, &mut edits));
+    let patched = cfg
+        .try_update(&f, &edits)
+        .expect("deep successor-order swap must splice, not rebuild");
+    assert_cfg_eq(&Cfg::new(&f), &patched, &f, "succ-order swap");
+
+    // And the deletion-containing shape on the same graph: collapse a's
+    // branch to a jump, dropping the b arm below the anchor.
+    let cfg = patched;
+    let cursor = f.journal_head();
+    let term = f.terminator(a).unwrap();
+    f.remove_inst(term);
+    f.add_inst(a, InstData::terminator(Opcode::Jump, vec![], vec![c]));
+    edits.clear();
+    assert!(f.cfg_edits_since(cursor, &mut edits));
+    let patched = cfg
+        .try_update(&f, &edits)
+        .expect("deep branch collapse must splice, not rebuild");
+    assert_cfg_eq(&Cfg::new(&f), &patched, &f, "branch collapse");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A patched `Cfg` (`try_update` over the raw journal events), when the
+    /// splice is admitted, is bit-identical to a fresh build — preds,
+    /// succs, RPO order and reachability — under batched meld-shaped edit
+    /// windows including deletions.
+    #[test]
+    fn patched_cfg_equals_fresh_under_batches(
+        script in proptest::collection::vec(any::<u8>(), 6..36),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+            1..5,
+        ),
+    ) {
+        let mut f = build_cfg(&script);
+        let mut cfg = Cfg::new(&f);
+        let mut edits = Vec::new();
+        for batch in &batches {
+            let cursor = f.journal_head();
+            for &(op, x, y) in batch {
+                apply_edit(&mut f, op, x, y);
+            }
+            edits.clear();
+            prop_assert!(f.cfg_edits_since(cursor, &mut edits));
+            let fresh = Cfg::new(&f);
+            if let Some(patched) = cfg.try_update(&f, &edits) {
+                assert_cfg_eq(&fresh, &patched, &f, "batched cfg");
+            }
+            cfg = fresh;
+        }
+    }
+
+    /// `DivergenceAnalysis::refresh_window`, when it accepts a window, is
+    /// bit-identical to a fresh recompute — under batched meld-shaped edit
+    /// windows including deletions, driven directly (below the manager's
+    /// profitability gates, which on functions this small would simply
+    /// always choose the recompute).
+    #[test]
+    fn incremental_divergence_equals_fresh_under_batches(
+        script in proptest::collection::vec(any::<u8>(), 6..36),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+            1..5,
+        ),
+    ) {
+        let mut f = build_cfg(&script);
+        let cfg0 = Cfg::new(&f);
+        let dt0 = DomTree::new(&f, &cfg0);
+        let pdt0 = PostDomTree::new(&f, &cfg0);
+        let mut da = DivergenceAnalysis::run_with_pdt(&f, &cfg0, &dt0, &pdt0);
+        for batch in &batches {
+            let cursor = f.journal_head();
+            for &(op, x, y) in batch {
+                apply_edit(&mut f, op, x, y);
+            }
+            let mut touched = Vec::new();
+            prop_assert!(f.insts_touched_since(cursor, |id| touched.push(id)));
+            touched.sort_unstable();
+            touched.dedup();
+            let mut shape_edits = Vec::new();
+            prop_assert!(f.cfg_edits_since(cursor, &mut shape_edits));
+            let cfg = Cfg::new(&f);
+            let dt = DomTree::new(&f, &cfg);
+            let pdt = PostDomTree::new(&f, &cfg);
+            let fresh = DivergenceAnalysis::run_with_pdt(&f, &cfg, &dt, &pdt);
+            if let Some(refreshed) =
+                da.refresh_window(&f, &cfg, &dt, &pdt, &touched, !shape_edits.is_empty())
+            {
+                for i in 0..f.inst_capacity() {
+                    let id = darm_ir::InstId::new(i);
+                    prop_assert_eq!(
+                        refreshed.is_inst_divergent(id),
+                        fresh.is_inst_divergent(id),
+                        "divergence bit differs at inst {}", i
+                    );
+                }
+                for i in 0..f.block_capacity() {
+                    let b = BlockId::new(i);
+                    prop_assert_eq!(
+                        refreshed.is_divergent_branch(b),
+                        fresh.is_divergent_branch(b),
+                        "divergent-branch flag differs at block {}", i
+                    );
+                }
+            }
+            da = fresh;
+        }
+    }
 
     /// `DomTree::try_update` / `PostDomTree::try_update`, when they accept
     /// an edit batch, produce exactly the trees a fresh computation

@@ -13,31 +13,37 @@
 //! compile time alone.
 //!
 //! Bounds (asserted in measured mode):
-//! * **Hard floor ≥ 1.15×** geomean — the incremental rework must beat the
-//!   PR 2 driver by a clear margin even on a noisy machine.
-//! * **Target 1.25×** — printed against the measurement, and reached on a
-//!   quiet machine since the deletion-capable dominator work: reconcile-
-//!   on-read analysis management (each cached entry revalidates against
-//!   its own journal window at query time, so mutation stretches coalesce)
-//!   plus in-place dominator/post-dominator updates for deletion batches
-//!   small enough to win (profitability-gated — see
-//!   `darm_analysis::dom`). The remaining gap to the PR 2 driver is the
-//!   melding planner/codegen shared by both (Amdahl); the phases this
-//!   line of work attacked measure ~1.7× on their own (the no-op rescan
-//!   figure below, floor ≥ 1.50×).
+//! * **Hard floor ≥ 1.20×** geomean — raised from 1.15 once the last two
+//!   eager analyses went incremental: `Cfg` splices its RPO below the edit
+//!   window's DFS-tree anchor instead of rebuilding, and
+//!   `DivergenceAnalysis` re-derives only the window's changed closure,
+//!   both behind profitability gates and both bit-identical to fresh
+//!   recomputes. Together with the reconcile-on-read manager (each cached
+//!   entry revalidates against its own journal window at query time) and
+//!   the deletion-capable dominator updates, no analysis is
+//!   unconditionally dropped anymore. Measured ≈1.25× end-to-end; the
+//!   remaining gap to the PR 2 driver is the melding planner/codegen
+//!   shared by both (Amdahl) — on the 32–85-instruction paper kernels the
+//!   profitability gates rightly choose the plain recompute for most
+//!   windows, so the floor stays below the aspirational 1.35×. The phases
+//!   this line of work attacked measure on their own as the no-op rescan
+//!   figure below (≈1.6×, floor ≥ 1.50×).
 //!
 //! `cargo bench --bench meld_pipeline` — measure.
 //! `cargo bench --bench meld_pipeline -- --test` — smoke mode: bit-identity
 //! cross-check of the incremental driver vs the frozen PR 2 driver vs the
 //! pre-pipeline reference oracle on every fig8 kernel × {DARM, BF}, a
 //! reduced-iteration no-regression guard (geomean ≥ 1.0× with a 5%
-//! timer-noise allowance), and an `in_place_deletion_updates > 0` check
-//! that deletion windows really do update trees in place — the CI gate.
-//! With `DARM_BENCH_JSON=path` both modes also record their ratios for
-//! the perf-gate trajectory (see `darm_bench::perfjson`).
+//! timer-noise allowance), an in-place-update check (deletion windows
+//! patch dominator trees, shape windows splice the `Cfg`, and divergence
+//! reconciles over changed closures — all three counters must be nonzero
+//! on the sweep), and a smoke-sized rescan ratio — the CI gate records
+//! `meld_pipeline/smoke_vs_pr2` and `meld_pipeline/rescan_vs_pr2` for the
+//! perf-gate trajectory. With `DARM_BENCH_JSON=path` both modes record
+//! their ratios (see `darm_bench::perfjson`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use darm_bench::{fig8_cases, geomean, perfjson};
+use darm_bench::{fig8_cases, fig9_cases, geomean, perfjson};
 use darm_kernels::BenchCase;
 use darm_melding::{
     meld_function, meld_function_pr2, meld_function_reference, run_meld_pipeline, MeldConfig,
@@ -88,6 +94,35 @@ fn compare(cases: &[BenchCase], config: &MeldConfig, rounds: usize) -> Vec<f64> 
         .collect()
 }
 
+/// Per-case no-op-rescan speedups vs the PR 2 driver: re-meld the
+/// already-melded function (analyses + detection + zero melds), clone
+/// cost excluded.
+fn rescan_ratios(cases: &[BenchCase], config: &MeldConfig, rounds: usize) -> Vec<f64> {
+    let mut ratios = Vec::new();
+    for case in cases {
+        let mut melded = case.func.clone();
+        meld_function(&mut melded, config);
+        let mut t_inc = f64::MAX;
+        let mut t_pr2 = f64::MAX;
+        let mut t_clone = f64::MAX;
+        for _ in 0..rounds {
+            t_clone = t_clone.min(time_per_call(|| {
+                std::hint::black_box(melded.clone());
+            }));
+            t_inc = t_inc.min(time_per_call(|| {
+                let mut g = melded.clone();
+                meld_function(&mut g, config);
+            }));
+            t_pr2 = t_pr2.min(time_per_call(|| {
+                let mut g = melded.clone();
+                meld_function_pr2(&mut g, config);
+            }));
+        }
+        ratios.push((t_pr2 - t_clone) / (t_inc - t_clone));
+    }
+    ratios
+}
+
 fn bench(c: &mut Criterion) {
     let test_mode = c.is_test_mode();
     let cases = fig8_cases();
@@ -132,38 +167,51 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    // Deletion windows must actually update trees in place somewhere on
-    // the sweep — the `--time-passes` counter the deletion-capable
-    // dominator work is measured by.
-    let deletion_updates: usize = cases
-        .iter()
-        .map(|case| {
-            let mut f = case.func.clone();
-            let out = run_meld_pipeline(
-                &mut f,
-                &config,
-                PipelineOptions {
-                    time_passes: true,
-                    ..PipelineOptions::default()
-                },
-            )
-            .expect("meld pipeline runs");
-            out.report
-                .passes
-                .iter()
-                .map(|p| p.analysis.in_place_deletion_updates)
-                .sum::<usize>()
-        })
-        .sum();
-    println!("in-place deletion updates across the fig8 sweep: {deletion_updates}");
+    // The in-place machinery must actually fire somewhere on the sweep —
+    // the `--time-passes` counters the incremental work is measured by:
+    // deletion windows patching dominator trees, shape windows splicing
+    // the Cfg RPO, and divergence reconciling over changed closures. The
+    // sweep includes the fig. 9 real kernels: the fig. 8 synthetics meld
+    // at the function entry, where the RPO splice correctly declines
+    // (anchor covers everything), so the Cfg counter only fires on
+    // kernels whose melds sit below the entry.
+    let (mut deletion_updates, mut cfg_updates, mut divergence_updates) = (0usize, 0usize, 0usize);
+    for case in cases.iter().chain(&fig9_cases()) {
+        let mut f = case.func.clone();
+        let out = run_meld_pipeline(
+            &mut f,
+            &config,
+            PipelineOptions {
+                time_passes: true,
+                ..PipelineOptions::default()
+            },
+        )
+        .expect("meld pipeline runs");
+        for p in &out.report.passes {
+            deletion_updates += p.analysis.in_place_deletion_updates;
+            cfg_updates += p.analysis.in_place_cfg_updates;
+            divergence_updates += p.analysis.in_place_divergence_updates;
+        }
+    }
+    println!(
+        "in-place updates across the fig8 sweep: {deletion_updates} deletion-batch tree, \
+         {cfg_updates} cfg splice, {divergence_updates} divergence closure"
+    );
     assert!(
         deletion_updates > 0,
         "no deletion-containing window updated a dominator tree in place"
     );
+    assert!(cfg_updates > 0, "no shape window spliced the Cfg in place");
+    assert!(
+        divergence_updates > 0,
+        "no window reconciled DivergenceAnalysis in place"
+    );
 
     if test_mode {
         // Smoke-sized no-regression guard: the incremental driver must not
-        // be slower than the PR 2 driver (5% timer-noise allowance).
+        // be slower than the PR 2 driver (5% timer-noise allowance). The
+        // committed floors live in BENCH_meld.json; the perf gate compares
+        // the recorded ratios against them.
         let speedups = compare(&cases, &config, 2);
         let gm = geomean(speedups.iter().copied());
         println!("meld_pipeline guard: smoke geomean {gm:.3}x vs PR 2 driver (bound: >= 0.95)");
@@ -172,6 +220,12 @@ fn bench(c: &mut Criterion) {
             gm >= 0.95,
             "incremental driver regressed below the PR 2 driver ({gm:.3}x)"
         );
+        // Smoke-sized rescan ratio (the attacked phase, isolated): a no-op
+        // rescan of the already-melded function is almost pure analysis
+        // recompute, which the incremental stack now reconciles in place.
+        let gm_rescan = geomean(rescan_ratios(&cases, &config, 2));
+        println!("meld_pipeline guard: smoke rescan geomean {gm_rescan:.3}x vs PR 2 driver");
+        perfjson::record("meld_pipeline/rescan_vs_pr2", gm_rescan);
         return;
     }
 
@@ -211,37 +265,15 @@ fn bench(c: &mut Criterion) {
 
     // The phase this rework attacked, isolated: a full no-op rescan on the
     // already-melded function (analyses + detection + zero melds).
-    let mut rescans = Vec::new();
-    for case in &cases {
-        let mut melded = case.func.clone();
-        meld_function(&mut melded, &config);
-        let mut t_inc = f64::MAX;
-        let mut t_pr2 = f64::MAX;
-        let mut t_clone = f64::MAX;
-        for _ in 0..4 {
-            t_clone = t_clone.min(time_per_call(|| {
-                std::hint::black_box(melded.clone());
-            }));
-            t_inc = t_inc.min(time_per_call(|| {
-                let mut g = melded.clone();
-                meld_function(&mut g, &config);
-            }));
-            t_pr2 = t_pr2.min(time_per_call(|| {
-                let mut g = melded.clone();
-                meld_function_pr2(&mut g, &config);
-            }));
-        }
-        rescans.push((t_pr2 - t_clone) / (t_inc - t_clone));
-    }
-    let gm_rescan = geomean(rescans.iter().copied());
+    let gm_rescan = geomean(rescan_ratios(&cases, &config, 4));
     println!("no-op rescan geomean (the attacked phase): {gm_rescan:.2}x");
     perfjson::record("measured/meld_pipeline/end_to_end_vs_pr2", gm);
     perfjson::record("measured/meld_pipeline/rescan_vs_pr2", gm_rescan);
-    println!("hard floor: >= 1.15x end-to-end geomean, >= 1.50x on the rescan phase");
-    println!("target: >= 1.25x — measured {gm:.2}x end-to-end; the remainder is the");
-    println!("melding planner/codegen shared by both drivers (Amdahl), not recompute");
+    println!("hard floor: >= 1.20x end-to-end geomean, >= 1.50x on the rescan phase");
+    println!("measured {gm:.2}x end-to-end; the remainder is the melding");
+    println!("planner/codegen shared by both drivers (Amdahl), not recompute");
     assert!(
-        gm >= 1.15,
+        gm >= 1.20,
         "incremental driver fell below the hard floor vs the PR 2 driver ({gm:.2}x)"
     );
     assert!(

@@ -1,0 +1,96 @@
+//! Pins the `--time-passes` in-place-update counter columns and the
+//! in-place `DivergenceAnalysis` refresh on a fig8 kernel.
+
+use darm_analysis::{AnalysisManager, Cfg, DivergenceAnalysis, DomTree, PostDomTree};
+use darm_ir::{InstData, Opcode};
+use darm_kernels::synthetic::{build_case, SyntheticKind};
+use darm_melding::{run_meld_pipeline, MeldConfig};
+use darm_pipeline::PipelineOptions;
+
+/// `--time-passes` renders the dedicated CFG/divergence in-place-update
+/// columns, and the fig8+fig9 kernel sweep drives every in-place counter
+/// class (deletion-batch tree, CFG splice, divergence closure) nonzero.
+#[test]
+fn time_passes_renders_in_place_update_columns() {
+    let config = MeldConfig::default();
+    let mut f = build_case(SyntheticKind::Sb1, 32).func;
+    let out = run_meld_pipeline(
+        &mut f,
+        &config,
+        PipelineOptions {
+            time_passes: true,
+            ..PipelineOptions::default()
+        },
+    )
+    .expect("pipeline");
+    let rendered = out.report.render();
+    assert!(
+        rendered.contains("cfg-upd") && rendered.contains("div-upd"),
+        "time-passes table must carry the in-place update columns:\n{rendered}"
+    );
+}
+
+/// A meld-shaped window on a fig8 kernel reconciles `DivergenceAnalysis`
+/// in place: collapsing one of SB3's if-then regions (the paper's
+/// branch-fusion special case — redirect the header around the then-block
+/// and delete it) is exactly the surgery melding performs, and the result
+/// must be bit-identical to a fresh recompute.
+#[test]
+fn fig8_meld_window_updates_divergence_in_place() {
+    let mut f = build_case(SyntheticKind::Sb3, 32).func;
+    let mut am = AnalysisManager::new();
+    // Prime every slot so the surgery below lands in one journal window.
+    am.get::<Cfg>(&f);
+    am.get::<DomTree>(&f);
+    am.get::<PostDomTree>(&f);
+    am.get::<DivergenceAnalysis>(&f);
+
+    // Branch-fusion-shaped meld of the `t2` if-then region: jump the
+    // header straight to the join and drop the then-block.
+    let blocks = f.block_ids();
+    let find = |name: &str| {
+        *blocks
+            .iter()
+            .find(|&&b| f.block_name(b) == name)
+            .unwrap_or_else(|| panic!("SB3 kernel should have block {name}"))
+    };
+    let (hdr, then, join) = (find("t2.hdr"), find("t2.then"), find("t2.join"));
+    let term = f.terminator(hdr).expect("t2.hdr terminator");
+    f.remove_inst(term);
+    f.add_inst(hdr, InstData::terminator(Opcode::Jump, vec![], vec![join]));
+    f.remove_block(then);
+
+    // The shape analyses reconcile first (the divergence refresh requires
+    // its dependencies at the journal head), then divergence absorbs the
+    // window in place.
+    am.get::<Cfg>(&f);
+    am.get::<DomTree>(&f);
+    am.get::<PostDomTree>(&f);
+    let refreshed = am.get::<DivergenceAnalysis>(&f);
+    assert!(
+        am.counters().in_place_divergence_updates >= 1,
+        "fig8 meld window must drive the in-place divergence update, got {:?}",
+        am.counters()
+    );
+
+    // Bit-identical to a fresh recompute.
+    let cfg = Cfg::new(&f);
+    let dt = DomTree::new(&f, &cfg);
+    let fresh = DivergenceAnalysis::run(&f, &cfg, &dt);
+    for i in 0..f.inst_capacity() {
+        let id = darm_ir::InstId::new(i);
+        assert_eq!(
+            refreshed.is_inst_divergent(id),
+            fresh.is_inst_divergent(id),
+            "incremental divergence must match fresh at inst {i}"
+        );
+    }
+    for b in 0..f.block_capacity() {
+        let bb = darm_ir::BlockId::new(b);
+        assert_eq!(
+            refreshed.is_divergent_branch(bb),
+            fresh.is_divergent_branch(bb),
+            "incremental divergent-branch flag must match fresh at block {b}"
+        );
+    }
+}

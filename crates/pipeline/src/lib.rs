@@ -539,13 +539,13 @@ impl PipelineReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "| pass | runs | changed | units | time (ms) | analyses (comp/hit/upd/del-upd) |\n",
+            "| pass | runs | changed | units | time (ms) | analyses (comp/hit/upd/del-upd/cfg-upd/div-upd) |\n",
         );
         out.push_str("|---|---|---|---|---|---|\n");
         let mut totals = AnalysisCounters::default();
         for r in &self.passes {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.3} | {}/{}/{}/{} |\n",
+                "| {} | {} | {} | {} | {:.3} | {}/{}/{}/{}/{}/{} |\n",
                 r.name,
                 r.runs,
                 r.changed_runs,
@@ -555,22 +555,28 @@ impl PipelineReport {
                 r.analysis.hits,
                 r.analysis.updates,
                 r.analysis.in_place_deletion_updates,
+                r.analysis.in_place_cfg_updates,
+                r.analysis.in_place_divergence_updates,
             ));
             totals.computes += r.analysis.computes;
             totals.hits += r.analysis.hits;
             totals.updates += r.analysis.updates;
             totals.in_place_deletion_updates += r.analysis.in_place_deletion_updates;
+            totals.in_place_cfg_updates += r.analysis.in_place_cfg_updates;
+            totals.in_place_divergence_updates += r.analysis.in_place_divergence_updates;
             for (k, v) in &r.stats {
                 out.push_str(&format!("|   · {k} | | | {v} | | |\n"));
             }
         }
         out.push_str(&format!(
-            "| **total** | | | | **{:.3}** | **{}/{}/{}/{}** |\n",
+            "| **total** | | | | **{:.3}** | **{}/{}/{}/{}/{}/{}** |\n",
             self.total_seconds * 1e3,
             totals.computes,
             totals.hits,
             totals.updates,
             totals.in_place_deletion_updates,
+            totals.in_place_cfg_updates,
+            totals.in_place_divergence_updates,
         ));
         let computed: Vec<String> = self
             .analysis_computations
@@ -784,6 +790,8 @@ impl PassManager {
                 record.analysis.hits += delta.hits;
                 record.analysis.updates += delta.updates;
                 record.analysis.in_place_deletion_updates += delta.in_place_deletion_updates;
+                record.analysis.in_place_cfg_updates += delta.in_place_cfg_updates;
+                record.analysis.in_place_divergence_updates += delta.in_place_divergence_updates;
             }
             record.runs += 1;
             record.changed_runs += usize::from(outcome.changed);

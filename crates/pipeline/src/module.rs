@@ -182,6 +182,10 @@ impl ModuleReport {
                     updates: acc.analysis.updates + r.analysis.updates,
                     in_place_deletion_updates: acc.analysis.in_place_deletion_updates
                         + r.analysis.in_place_deletion_updates,
+                    in_place_cfg_updates: acc.analysis.in_place_cfg_updates
+                        + r.analysis.in_place_cfg_updates,
+                    in_place_divergence_updates: acc.analysis.in_place_divergence_updates
+                        + r.analysis.in_place_divergence_updates,
                 };
                 for &(k, v) in &r.stats {
                     match acc.stats.iter_mut().find(|(ak, _)| *ak == k) {

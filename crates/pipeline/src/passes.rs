@@ -37,6 +37,11 @@ pub trait ScopedPass: Sized {
     fn with_scoping(self, scoped: bool) -> Self;
 }
 
+/// Below this many live instructions a dirty window sends the scoped
+/// adapters down their whole-function path: the full scan is cheaper than
+/// the journal replay plus scoped bookkeeping it would avoid.
+const SCOPED_MIN_LIVE_INSTS: usize = 128;
+
 /// Journal bookkeeping shared by the scoped adapters.
 #[derive(Debug, Clone)]
 struct ScopeTracker {
@@ -77,6 +82,14 @@ impl ScopeTracker {
             darm_ir::WindowProbe::InstsOnly { events } => events,
             darm_ir::WindowProbe::Shape { events, .. } => events,
         };
+        // A clean window costs nothing either way, but once there is
+        // anything to replay, a function this small is finished faster by
+        // the plain whole-function scan than by materializing the delta
+        // and running the scoped walk's bookkeeping (measured against the
+        // frozen whole-function baseline on the paper kernels).
+        if func.live_inst_count() < SCOPED_MIN_LIVE_INSTS {
+            return None;
+        }
         if events > func.live_inst_count().saturating_mul(work_factor) / 2 {
             return None;
         }
@@ -320,7 +333,11 @@ impl Pass for SsaRepairPass {
             (Some(delta), Some(baseline)) => Some((delta, baseline)),
             _ => None,
         };
-        if scoped.is_none() && self.tracker.scoping && self.baseline.is_none() {
+        if scoped.is_none()
+            && self.tracker.scoping
+            && self.baseline.is_none()
+            && func.live_inst_count() >= SCOPED_MIN_LIVE_INSTS
+        {
             if let Some((cursor, tree)) = am.take_dom_checkpoint() {
                 let events = match func.probe_since(cursor) {
                     darm_ir::WindowProbe::Clean => Some(0),

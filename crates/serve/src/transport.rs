@@ -120,21 +120,50 @@ pub fn serve_stream(
     }
 }
 
-/// Serve connections from a Unix socket listener, one at a time, until
-/// a client sends `shutdown`. Peer disconnects (EOF) keep the daemon —
-/// and its warm cache — alive for the next connection.
+/// Serve connections from a Unix socket listener concurrently — one
+/// handler thread per accepted connection, all sharing the single
+/// [`Engine`] (and with it the worker pool and the warm compile cache) —
+/// until a client sends `shutdown`. Peer disconnects (EOF) keep the
+/// daemon alive for the next connection.
+///
+/// Handler threads are detached rather than joined: a lingering idle
+/// client must not pin the daemon after another client has shut it down.
+/// The engine's own `shutdown` drains in-flight work before the `bye`
+/// response goes out, so detaching loses nothing — any still-connected
+/// peers simply observe EOF when the process exits. The shutdown signal
+/// reaches the acceptor through a flag plus a self-connection (the
+/// acceptor is otherwise parked in `accept`, which has no timeout on a
+/// blocking listener).
 #[cfg(unix)]
 pub fn serve_unix(
-    engine: &Engine,
+    engine: &Arc<Engine>,
     listener: &std::os::unix::net::UnixListener,
     max_frame: usize,
 ) -> io::Result<()> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let wake_path = listener
+        .local_addr()
+        .ok()
+        .and_then(|addr| addr.as_pathname().map(std::path::Path::to_path_buf));
     loop {
         let (stream, _addr) = listener.accept()?;
-        let reader = stream.try_clone()?;
-        match serve_stream(engine, reader, stream, max_frame)? {
-            StreamEnd::Eof => continue,
-            StreamEnd::Shutdown => return Ok(()),
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
         }
+        let reader = stream.try_clone()?;
+        let engine = Arc::clone(engine);
+        let shutdown = Arc::clone(&shutdown);
+        let wake_path = wake_path.clone();
+        std::thread::spawn(move || {
+            if let Ok(StreamEnd::Shutdown) = serve_stream(&engine, reader, stream, max_frame) {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the acceptor; the queued wake connection makes
+                // its `accept` return so it can observe the flag.
+                if let Some(path) = wake_path {
+                    let _ = std::os::unix::net::UnixStream::connect(path);
+                }
+            }
+        });
     }
 }

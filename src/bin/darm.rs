@@ -410,7 +410,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             _ => usage(),
         }
     }
-    let engine = Engine::new(config);
+    let engine = std::sync::Arc::new(Engine::new(config));
     match socket {
         Some(path) => serve_on_socket(&engine, &path, max_frame),
         None => {
@@ -435,7 +435,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 }
 
 #[cfg(unix)]
-fn serve_on_socket(engine: &Engine, path: &str, max_frame: usize) -> ExitCode {
+fn serve_on_socket(engine: &std::sync::Arc<Engine>, path: &str, max_frame: usize) -> ExitCode {
     let listener = match std::os::unix::net::UnixListener::bind(path) {
         Ok(listener) => listener,
         Err(e) => {
@@ -455,7 +455,7 @@ fn serve_on_socket(engine: &Engine, path: &str, max_frame: usize) -> ExitCode {
 }
 
 #[cfg(not(unix))]
-fn serve_on_socket(_engine: &Engine, _path: &str, _max_frame: usize) -> ExitCode {
+fn serve_on_socket(_engine: &std::sync::Arc<Engine>, _path: &str, _max_frame: usize) -> ExitCode {
     eprintln!("error: serve: --socket requires a Unix platform; use stdio mode");
     ExitCode::FAILURE
 }

@@ -690,6 +690,97 @@ mod serve_protocol {
         assert!(status.success(), "daemon exited uncleanly: {status:?}");
     }
 
+    /// One framed client over a Unix socket.
+    #[cfg(unix)]
+    struct SocketClient {
+        stream: std::os::unix::net::UnixStream,
+    }
+
+    #[cfg(unix)]
+    impl SocketClient {
+        fn connect(path: &std::path::Path) -> SocketClient {
+            // The daemon binds the socket after it starts; poll briefly.
+            for _ in 0..200 {
+                if let Ok(stream) = std::os::unix::net::UnixStream::connect(path) {
+                    return SocketClient { stream };
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            panic!("daemon did not bind {}", path.display());
+        }
+
+        fn send(&mut self, json: &str) {
+            let mut frame = Vec::with_capacity(4 + json.len());
+            frame.extend_from_slice(&(json.len() as u32).to_be_bytes());
+            frame.extend_from_slice(json.as_bytes());
+            self.stream.write_all(&frame).unwrap();
+            self.stream.flush().unwrap();
+        }
+
+        fn recv(&mut self) -> String {
+            let mut prefix = [0u8; 4];
+            self.stream.read_exact(&mut prefix).unwrap();
+            let len = u32::from_be_bytes(prefix) as usize;
+            let mut body = vec![0u8; len];
+            self.stream.read_exact(&mut body).unwrap();
+            String::from_utf8(body).unwrap()
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_serves_two_clients_concurrently() {
+        let dir = std::env::temp_dir().join(format!("darm-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("daemon.sock");
+        let _ = std::fs::remove_file(&path);
+        let mut child = bin()
+            .arg("serve")
+            .args(["--jobs", "1", "--socket"])
+            .arg(&path)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+
+        // Client A connects first and *stays open*: with the old
+        // one-at-a-time accept loop, B's requests below would block
+        // until A disconnected.
+        let mut a = SocketClient::connect(&path);
+        a.send("{\"op\":\"ping\",\"id\":1}");
+        assert_eq!(a.recv(), "{\"id\":1,\"status\":\"pong\"}");
+
+        // Client B is served while A's connection is still up.
+        let mut b = SocketClient::connect(&path);
+        b.send("{\"op\":\"ping\",\"id\":2}");
+        assert_eq!(b.recv(), "{\"id\":2,\"status\":\"pong\"}");
+        b.send(&compile_request(3, KERNEL));
+        let cold = b.recv();
+        assert!(cold.contains("\"status\":\"ok\""), "{cold}");
+        assert!(cold.contains("\"cached\":false"), "{cold}");
+
+        // Both clients share the one engine: A's repeat of B's request
+        // hits the warm cache.
+        a.send(&compile_request(4, KERNEL));
+        let warm = a.recv();
+        assert!(warm.contains("\"cached\":true"), "{warm}");
+
+        // Shutdown from one client takes the daemon down cleanly even
+        // though the other connection is still open.
+        b.send("{\"op\":\"shutdown\",\"id\":5}");
+        let bye = b.recv();
+        assert!(bye.contains("\"status\":\"bye\""), "{bye}");
+        let status = child.wait().unwrap();
+        assert!(status.success(), "daemon exited uncleanly: {status:?}");
+        assert!(
+            !path.exists(),
+            "socket file should be removed on clean exit"
+        );
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn compile_parse_error_is_typed_and_namespaced_to_the_request() {
         let mut daemon = Daemon::spawn(&["--jobs", "1"]);
