@@ -17,6 +17,12 @@ fn main() {
         "fig9/bf_geomean",
         geomean(rows.iter().map(VariantStats::bf_speedup)),
     );
+    // Geomean ratio of *simulated* cycles (timing model) — the headline
+    // number the heuristic warp-cycle ratio above approximates.
+    perfjson::record(
+        "fig9/cycles_darm_vs_baseline",
+        geomean(rows.iter().map(VariantStats::darm_cycle_speedup)),
+    );
     print!(
         "{}",
         render_speedups("Figure 9 — real-world benchmark speedups", &rows)

@@ -17,7 +17,7 @@ use darm_kernels::synthetic::SyntheticKind;
 use darm_kernels::{bitonic, dct, lud, mergesort, nqueens, pcm, srad, BenchCase};
 use darm_melding::{meld_function, MeldConfig, MeldStats};
 use darm_pipeline::{ModuleOptions, ModulePassManager, PipelineError, PipelineOptions};
-use darm_simt::{KernelStats, PreparedKernel};
+use darm_simt::{GpuConfig, KernelStats, PreparedKernel, TimingConfig};
 
 /// Counters for the three variants of one benchmark case.
 #[derive(Debug, Clone)]
@@ -35,7 +35,7 @@ pub struct VariantStats {
 }
 
 impl VariantStats {
-    /// DARM speedup over the baseline (ratio of simulated cycles).
+    /// DARM speedup over the baseline (ratio of heuristic warp cycles).
     pub fn darm_speedup(&self) -> f64 {
         self.baseline.cycles as f64 / self.darm.cycles as f64
     }
@@ -43,6 +43,36 @@ impl VariantStats {
     /// Branch-fusion speedup over the baseline.
     pub fn bf_speedup(&self) -> f64 {
         self.baseline.cycles as f64 / self.bf.cycles as f64
+    }
+
+    /// DARM speedup in *simulated* cycles from the cycle-level timing
+    /// model (issue slots + scoreboard stalls + memory occupancy).
+    /// `1.0` when the rows were collected without timing enabled.
+    pub fn darm_cycle_speedup(&self) -> f64 {
+        if self.darm.sim_cycles == 0 {
+            1.0
+        } else {
+            self.baseline.sim_cycles as f64 / self.darm.sim_cycles as f64
+        }
+    }
+
+    /// Branch-fusion speedup in simulated cycles.
+    pub fn bf_cycle_speedup(&self) -> f64 {
+        if self.bf.sim_cycles == 0 {
+            1.0
+        } else {
+            self.baseline.sim_cycles as f64 / self.bf.sim_cycles as f64
+        }
+    }
+}
+
+/// The [`GpuConfig`] the harness runs figure cases under: defaults plus
+/// the cycle-level timing observer, so every table can report simulated
+/// cycles next to the architectural counters.
+pub fn timed_gpu_config() -> GpuConfig {
+    GpuConfig {
+        timing: TimingConfig::on(),
+        ..GpuConfig::default()
     }
 }
 
@@ -172,13 +202,16 @@ pub fn run_cases(cases: &[BenchCase], jobs: usize) -> Vec<VariantStats> {
 pub fn run_cases_with(cases: &[BenchCase], config: &MeldConfig, jobs: usize) -> Vec<VariantStats> {
     let prepared = prepare_suite(cases, config, PipelineOptions::default(), jobs)
         .unwrap_or_else(|e| panic!("suite meld pipeline failed: {e}"));
+    let gpu_config = timed_gpu_config();
     cases
         .iter()
         .zip(prepared)
         .map(|(case, p)| {
-            let baseline = case.run_checked_prepared(&p.baseline).stats;
-            let darm = case.run_checked_prepared(&p.darm).stats;
-            let bf = case.run_checked_prepared(&p.bf).stats;
+            let baseline = case
+                .run_checked_compiled_with(&p.baseline, gpu_config)
+                .stats;
+            let darm = case.run_checked_compiled_with(&p.darm, gpu_config).stats;
+            let bf = case.run_checked_compiled_with(&p.bf, gpu_config).stats;
             VariantStats {
                 name: case.name.clone(),
                 baseline,
@@ -261,24 +294,33 @@ pub fn counter_cases() -> Vec<BenchCase> {
 }
 
 /// Renders a speedup table (Fig. 8 / Fig. 9 style) as markdown-ish text.
+/// The first two columns are the paper's heuristic warp-cycle ratio; the
+/// "sim-cycle" columns are the cycle-level timing model's verdict on the
+/// same runs (IPDOM stack + issue slots + scoreboard + memory occupancy).
 pub fn render_speedups(title: &str, rows: &[VariantStats]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n\n"));
-    out.push_str("| benchmark | DARM speedup | BF speedup | melded subgraphs |\n");
-    out.push_str("|---|---|---|---|\n");
+    out.push_str(
+        "| benchmark | DARM speedup | BF speedup | DARM sim-cycle | BF sim-cycle | melded subgraphs |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(
-            "| {} | {:.3} | {:.3} | {} |\n",
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {} |\n",
             r.name,
             r.darm_speedup(),
             r.bf_speedup(),
+            r.darm_cycle_speedup(),
+            r.bf_cycle_speedup(),
             r.meld.melded_subgraphs
         ));
     }
     out.push_str(&format!(
-        "| **GM** | **{:.3}** | **{:.3}** | |\n",
+        "| **GM** | **{:.3}** | **{:.3}** | **{:.3}** | **{:.3}** | |\n",
         geomean(rows.iter().map(VariantStats::darm_speedup)),
         geomean(rows.iter().map(VariantStats::bf_speedup)),
+        geomean(rows.iter().map(VariantStats::darm_cycle_speedup)),
+        geomean(rows.iter().map(VariantStats::bf_cycle_speedup)),
     ));
     out
 }

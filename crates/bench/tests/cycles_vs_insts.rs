@@ -1,0 +1,95 @@
+//! Differential smoke for the cycle-level timing observer over the real
+//! benchmark grids: enabling timing must change *nothing* architectural —
+//! buffers, instruction counters, errors — across every figure kernel ×
+//! {baseline, DARM, BF} × {decoded, bytecode}, must be deterministic, and
+//! DARM must show a simulated-cycle win on the fig9 suite.
+
+use darm_bench::{fig8_cases, fig9_cases, geomean, prepare_suite, timed_gpu_config, VariantStats};
+use darm_kernels::BenchCase;
+use darm_melding::MeldConfig;
+use darm_pipeline::PipelineOptions;
+use darm_simt::{BytecodeKernel, CompiledKernel, GpuConfig, PreparedKernel};
+
+/// Runs `kernel` on `case` with and without timing and asserts the pure
+/// observer contract: identical buffers, identical stats apart from the
+/// sim_* fields, cycles present and repeatable when on.
+fn assert_pure_observer(case: &BenchCase, kernel: &dyn CompiledKernel, label: &str) {
+    let off = case
+        .execute_compiled_with(kernel, GpuConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: timing-off run failed: {e}"));
+    let on = case
+        .execute_compiled_with(kernel, timed_gpu_config())
+        .unwrap_or_else(|e| panic!("{label}: timing-on run failed: {e}"));
+    assert_eq!(on.buffers, off.buffers, "{label}: buffers changed");
+    assert_eq!(
+        on.stats.sans_timing(),
+        off.stats,
+        "{label}: architectural counters changed"
+    );
+    assert_eq!(off.stats.sim_cycles, 0, "{label}: cycles leak when off");
+    assert!(on.stats.sim_cycles > 0, "{label}: no cycles when on");
+    let again = case
+        .execute_compiled_with(kernel, timed_gpu_config())
+        .unwrap_or_else(|e| panic!("{label}: rerun failed: {e}"));
+    assert_eq!(on.stats, again.stats, "{label}: timing nondeterministic");
+}
+
+fn sweep(cases: &[BenchCase]) {
+    let prepared = prepare_suite(cases, &MeldConfig::default(), PipelineOptions::default(), 0)
+        .expect("suite melds");
+    for (case, p) in cases.iter().zip(&prepared) {
+        for (variant, pk) in [("baseline", &p.baseline), ("darm", &p.darm), ("bf", &p.bf)] {
+            let label = format!("{}/{variant}", case.name);
+            assert_pure_observer(case, pk, &format!("{label}/decoded"));
+            let bk = BytecodeKernel::from_prepared(pk);
+            assert_pure_observer(case, &bk, &format!("{label}/bytecode"));
+
+            // The two engines must also agree on the simulated timeline.
+            let dec = case.execute_compiled_with(pk, timed_gpu_config()).unwrap();
+            let byc = case.execute_compiled_with(&bk, timed_gpu_config()).unwrap();
+            assert_eq!(dec.stats, byc.stats, "{label}: tiers disagree on cycles");
+        }
+    }
+}
+
+#[test]
+fn fig8_timing_is_a_pure_observer() {
+    sweep(&fig8_cases());
+}
+
+#[test]
+fn fig9_timing_is_a_pure_observer() {
+    sweep(&fig9_cases());
+}
+
+/// DARM melding must pay off in simulated cycles on the real-world grid,
+/// not just in the heuristic warp-cycle counter.
+#[test]
+fn fig9_darm_wins_in_simulated_cycles() {
+    let rows = darm_bench::run_cases(&fig9_cases(), 0);
+    let gm = geomean(rows.iter().map(VariantStats::darm_cycle_speedup));
+    assert!(
+        gm > 1.0,
+        "DARM geomean simulated-cycle speedup must beat baseline: {gm:.4}"
+    );
+    for r in &rows {
+        assert!(
+            r.baseline.sim_cycles > 0 && r.darm.sim_cycles > 0,
+            "{}: timing did not run",
+            r.name
+        );
+    }
+}
+
+/// The prepared kernel decodes once; the PreparedKernel path must agree
+/// with the from-source path under timing (launch-level determinism).
+#[test]
+fn timing_is_stable_across_prepare_paths() {
+    let case = &fig8_cases()[0];
+    let pk = PreparedKernel::new(&case.func);
+    let via_prepared = case.execute_compiled_with(&pk, timed_gpu_config()).unwrap();
+    let via_fn = case
+        .execute_compiled_with(&PreparedKernel::new(&case.func), timed_gpu_config())
+        .unwrap();
+    assert_eq!(via_prepared.stats, via_fn.stats);
+}

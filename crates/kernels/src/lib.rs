@@ -125,7 +125,22 @@ impl BenchCase {
         &self,
         kernel: &dyn darm_simt::CompiledKernel,
     ) -> Result<RunResult, SimError> {
-        let mut gpu = Gpu::new(GpuConfig::default());
+        self.execute_compiled_with(kernel, GpuConfig::default())
+    }
+
+    /// [`BenchCase::execute_compiled`] on a caller-supplied [`GpuConfig`] —
+    /// how the harness switches on the cycle-level timing observer
+    /// (`config.timing.enabled`) without touching the default fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulator error.
+    pub fn execute_compiled_with(
+        &self,
+        kernel: &dyn darm_simt::CompiledKernel,
+        config: GpuConfig,
+    ) -> Result<RunResult, SimError> {
+        let mut gpu = Gpu::new(config);
         let (kargs, bufs) = self.alloc_args(&mut gpu);
         let stats = kernel.execute(&mut gpu, &self.launch, &kargs)?;
         let buffers = bufs
@@ -227,8 +242,19 @@ impl BenchCase {
 
     /// [`BenchCase::run_checked`] for an already-decoded kernel.
     pub fn run_checked_prepared(&self, kernel: &PreparedKernel) -> RunResult {
+        self.run_checked_compiled_with(kernel, GpuConfig::default())
+    }
+
+    /// [`BenchCase::run_checked_prepared`] for any compiled tier on a
+    /// caller-supplied [`GpuConfig`] — the harness path that collects
+    /// simulated cycles by enabling `config.timing`.
+    pub fn run_checked_compiled_with(
+        &self,
+        kernel: &dyn darm_simt::CompiledKernel,
+        config: GpuConfig,
+    ) -> RunResult {
         let result = self
-            .execute_prepared(kernel)
+            .execute_compiled_with(kernel, config)
             .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", self.name));
         self.check(&result).unwrap_or_else(|e| panic!("{e}"));
         result

@@ -20,6 +20,7 @@
 use crate::decoded::{DInst, DOperand, PreparedKernel, BLOCK_ENTRY, NO_BLOCK, NO_DST};
 use crate::mem::{decode, encode_global, encode_shared, BufferId, ByteStore, RawVal};
 use crate::stats::KernelStats;
+use crate::timing::{dinst_deps, TimingState};
 use crate::{reference, GpuConfig, LaunchConfig};
 use darm_ir::{Dim, Function, Opcode, Type};
 use std::error::Error;
@@ -228,6 +229,12 @@ impl Gpu {
         };
         let mut budget = self.config.max_warp_instructions;
         let threads = cfg.threads_per_block() as usize;
+        // Timing observer, allocated only when enabled — the engines see
+        // `None` otherwise and pay one predictable branch per charge.
+        let mut timing = self.config.timing.enabled.then(|| {
+            let n_warps = cfg.threads_per_block().div_ceil(self.config.warp_size) as usize;
+            TimingState::new(self.config.timing, n_warps, pk.n_slots as usize)
+        });
         // One flat lane-major register file, reused (re-cleared) per block.
         let mut regs = vec![RawVal::Undef; threads * pk.n_slots as usize];
         for by in 0..cfg.grid.1 {
@@ -250,9 +257,13 @@ impl Gpu {
                     phi_stage: Vec::new(),
                     lane_addrs: Vec::new(),
                     scratch: Vec::new(),
+                    timing: timing.as_mut(),
                 };
                 engine.run(&mut regs)?;
-                let s = engine.stats;
+                let mut s = engine.stats;
+                if let Some(t) = timing.as_mut() {
+                    t.flush_block(&mut s);
+                }
                 stats.merge(&s);
             }
         }
@@ -369,6 +380,9 @@ struct Engine<'a> {
     lane_addrs: Vec<u64>,
     /// Scratch for the coalescing / bank-conflict model.
     scratch: Vec<u64>,
+    /// Cycle-level timing observer ([`crate::timing`]); `None` unless
+    /// [`crate::TimingConfig::enabled`] — pure observation either way.
+    timing: Option<&'a mut TimingState>,
 }
 
 /// Resolves a pre-decoded operand for one lane. `lane_base` is the lane's
@@ -695,6 +709,9 @@ impl<'a> Engine<'a> {
                 for w in &mut warps {
                     w.status = WarpStatus::Running;
                 }
+                if let Some(t) = self.timing.as_deref_mut() {
+                    t.barrier_release();
+                }
             } else if !any_running {
                 return Err(SimError::BarrierDeadlock("no runnable warps".to_string()));
             }
@@ -707,11 +724,15 @@ impl<'a> Engine<'a> {
         let pk = self.pk;
         let args = self.args;
         let n = self.n_slots;
+        let w = (warp.base_thread / self.warp_size) as usize;
         'outer: loop {
             // Pop entries that already sit at their reconvergence point.
             while let Some(top) = warp.stack.last() {
                 if top.block == top.rpc {
                     warp.stack.pop();
+                    if let Some(t) = self.timing.as_deref_mut() {
+                        t.frame_pop(w);
+                    }
                 } else {
                     break;
                 }
@@ -756,6 +777,32 @@ impl<'a> Engine<'a> {
                     for &(thread, slot, raw) in &self.phi_stage {
                         regs[thread as usize * n + slot as usize] = raw;
                     }
+                    // Timing: a φ becomes ready at the max readiness of the
+                    // sources that actually flowed in (loop-carried deps),
+                    // but costs nothing. Separate pass so the hot path above
+                    // stays untouched when timing is off; the incoming
+                    // lookups were validated there, so `find` cannot fail.
+                    if let Some(t) = self.timing.as_deref_mut() {
+                        t.phi_begin();
+                        for phi in &pk.phis[blk.phi_start as usize..blk.phi_end as usize] {
+                            let mut ready = 0u64;
+                            let mut m = top.mask;
+                            while m != 0 {
+                                let lane = m.trailing_zeros();
+                                m &= m - 1;
+                                let pred = warp.prev[lane as usize];
+                                let incs =
+                                    &pk.phi_incomings[phi.inc_start as usize..phi.inc_end as usize];
+                                if let Some(&(_, DOperand::Reg(s))) =
+                                    incs.iter().find(|&&(p, _)| p == pred)
+                                {
+                                    ready = ready.max(t.reg_ready(w, s));
+                                }
+                            }
+                            t.phi_stage(phi.dst, ready);
+                        }
+                        t.phi_commit(w);
+                    }
                 }
                 idx = blk.first;
             }
@@ -764,7 +811,7 @@ impl<'a> Engine<'a> {
                 let inst = pk.insts[idx as usize];
                 match inst.opcode {
                     Opcode::Ret | Opcode::Jump | Opcode::Br => {
-                        self.charge(&inst, top.mask);
+                        self.charge(&inst, top.mask, w);
                         // Record per-lane provenance before leaving the block.
                         let mut m = top.mask;
                         while m != 0 {
@@ -775,10 +822,17 @@ impl<'a> Engine<'a> {
                         match inst.opcode {
                             Opcode::Ret => {
                                 warp.stack.pop();
+                                if let Some(t) = self.timing.as_deref_mut() {
+                                    t.frame_pop(w);
+                                }
                                 continue 'outer;
                             }
                             Opcode::Jump => {
-                                transition(warp, inst.succs[0]);
+                                if transition(warp, inst.succs[0]) {
+                                    if let Some(t) = self.timing.as_deref_mut() {
+                                        t.frame_pop(w);
+                                    }
+                                }
                                 continue 'outer;
                             }
                             _ => {
@@ -821,10 +875,13 @@ impl<'a> Engine<'a> {
                                     }
                                 }
                                 let (then_bb, else_bb) = (inst.succs[0], inst.succs[1]);
-                                if m_false == 0 {
-                                    transition(warp, then_bb);
-                                } else if m_true == 0 {
-                                    transition(warp, else_bb);
+                                if m_false == 0 || m_true == 0 {
+                                    let target = if m_false == 0 { then_bb } else { else_bb };
+                                    if transition(warp, target) {
+                                        if let Some(t) = self.timing.as_deref_mut() {
+                                            t.frame_pop(w);
+                                        }
+                                    }
                                 } else {
                                     let rpc = blk.ipdom;
                                     if rpc == NO_BLOCK {
@@ -847,6 +904,9 @@ impl<'a> Engine<'a> {
                                         rpc,
                                         mask: m_true,
                                     });
+                                    if let Some(t) = self.timing.as_deref_mut() {
+                                        t.diverge(w, rpc);
+                                    }
                                 }
                                 continue 'outer;
                             }
@@ -855,6 +915,9 @@ impl<'a> Engine<'a> {
                     Opcode::Syncthreads => {
                         self.stats.barriers += 1;
                         self.stats.cycles += 1;
+                        if let Some(t) = self.timing.as_deref_mut() {
+                            t.barrier_issue(w);
+                        }
                         let cur = warp.stack.last_mut().unwrap();
                         cur.inst_idx = idx + 1;
                         warp.status = WarpStatus::AtBarrier;
@@ -863,7 +926,7 @@ impl<'a> Engine<'a> {
                     _ => {
                         self.lane_addrs.clear();
                         self.exec_plain(&inst, top.mask, warp.base_thread, regs)?;
-                        self.charge(&inst, top.mask);
+                        self.charge(&inst, top.mask, w);
                         if *self.budget == 0 {
                             return Err(SimError::StepLimit);
                         }
@@ -1080,8 +1143,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Charges cycles and updates counters for one warp-instruction issue,
-    /// reading per-lane memory addresses from `self.lane_addrs`.
-    fn charge(&mut self, inst: &DInst, mask: u64) {
+    /// reading per-lane memory addresses from `self.lane_addrs`. `w` is the
+    /// warp index within the block, for the timing observer.
+    fn charge(&mut self, inst: &DInst, mask: u64, w: usize) {
         let active = mask.count_ones() as u64;
         if active == 0 {
             return;
@@ -1093,29 +1157,59 @@ impl<'a> Engine<'a> {
             Load | Store => {
                 self.stats
                     .charge_mem_access(&self.lane_addrs, &mut self.scratch);
+                if let Some(t) = self.timing.as_deref_mut() {
+                    let (dst, srcs) = dinst_deps(inst);
+                    t.mem_issue(
+                        w,
+                        active as u32,
+                        dst,
+                        srcs,
+                        0,
+                        &self.lane_addrs,
+                        &mut self.scratch,
+                    );
+                }
             }
             Phi | Syncthreads => {}
             Br | Jump | Ret => {
                 self.stats.cycles += inst.latency;
+                if let Some(t) = self.timing.as_deref_mut() {
+                    // `Ret` takes no scoreboard inputs in the bytecode tier
+                    // (kernels are void); mirror that here for bit-equal
+                    // `sim_*` fields across tiers.
+                    let (dst, srcs) = if inst.opcode == Ret {
+                        (NO_DST, [NO_DST; 3])
+                    } else {
+                        dinst_deps(inst)
+                    };
+                    t.issue(w, active as u32, inst.latency, dst, srcs);
+                }
             }
             _ => {
                 self.stats.cycles += inst.latency;
                 self.stats.alu_issues += 1;
                 self.stats.alu_active_lanes += active;
+                if let Some(t) = self.timing.as_deref_mut() {
+                    let (dst, srcs) = dinst_deps(inst);
+                    t.issue(w, active as u32, inst.latency, dst, srcs);
+                }
             }
         }
     }
 }
 
 /// Applies a control transfer for the warp's top-of-stack entry, popping it
-/// if the target is its reconvergence point.
-pub(crate) fn transition(warp: &mut WarpState, target: u32) {
+/// if the target is its reconvergence point. Returns whether it popped (the
+/// timing observer mirrors engine pops).
+pub(crate) fn transition(warp: &mut WarpState, target: u32) -> bool {
     let top = warp.stack.last_mut().expect("entry exists");
     if target == top.rpc {
         warp.stack.pop();
+        true
     } else {
         top.block = target;
         top.inst_idx = BLOCK_ENTRY;
+        false
     }
 }
 

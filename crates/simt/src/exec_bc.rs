@@ -41,8 +41,9 @@ use crate::exec::{
 };
 use crate::mem::{encode_shared, ByteStore, RawVal};
 use crate::stats::KernelStats;
+use crate::timing::{bc_deps, TimingState};
 use crate::{GpuConfig, LaunchConfig};
-use darm_ir::Dim;
+use darm_ir::{cost, Dim};
 
 /// Runs a bytecode kernel over the launch geometry. Entry point for
 /// [`crate::Gpu::launch_bytecode`].
@@ -60,6 +61,12 @@ pub(crate) fn launch(
     };
     let mut budget = config.max_warp_instructions;
     let threads = cfg.threads_per_block() as usize;
+    // Timing observer, allocated only when enabled — mirrors the decoded
+    // engine so the `sim_*` fields stay bit-identical across tiers.
+    let mut timing = config.timing.enabled.then(|| {
+        let n_warps = cfg.threads_per_block().div_ceil(config.warp_size) as usize;
+        TimingState::new(config.timing, n_warps, bk.n_slots as usize)
+    });
     let n = bk.n_slots as usize;
     let prog = bk.program_slots as usize;
     // One flat slot-major register file (`regs[slot * threads + thread]`),
@@ -102,9 +109,13 @@ pub(crate) fn launch(
                 scratch: Vec::new(),
                 buckets: Vec::new(),
                 stage: Vec::new(),
+                timing: timing.as_mut(),
             };
             engine.run(&mut regs)?;
-            let s = engine.stats;
+            let mut s = engine.stats;
+            if let Some(t) = timing.as_mut() {
+                t.flush_block(&mut s);
+            }
             stats.merge(&s);
         }
     }
@@ -134,6 +145,9 @@ struct BcEngine<'a> {
     buckets: Vec<(u32, u64)>,
     /// Scratch for the staged (overlapping) φ move path.
     stage: Vec<RawVal>,
+    /// Cycle-level timing observer ([`crate::timing`]); `None` unless
+    /// [`crate::TimingConfig::enabled`] — pure observation either way.
+    timing: Option<&'a mut TimingState>,
 }
 
 impl<'a> BcEngine<'a> {
@@ -195,6 +209,9 @@ impl<'a> BcEngine<'a> {
                 for w in &mut warps {
                     w.status = WarpStatus::Running;
                 }
+                if let Some(t) = self.timing.as_deref_mut() {
+                    t.barrier_release();
+                }
             } else if !any_running {
                 return Err(SimError::BarrierDeadlock("no runnable warps".to_string()));
             }
@@ -211,6 +228,8 @@ impl<'a> BcEngine<'a> {
         // `regs[s * nt + t]`, so a warp op walks `wb + lane` contiguously.
         let nt = self.threads;
         let wb = warp.base_thread as usize;
+        // Warp index within the block, for the timing observer.
+        let w_idx = (warp.base_thread / self.warp_size) as usize;
         // Hot counters accumulate in locals and flush to `self` only at
         // suspension points (`flush!`). Error returns skip the flush on
         // purpose: stats are discarded on `Err` and the launch aborts, so
@@ -241,6 +260,9 @@ impl<'a> BcEngine<'a> {
             while let Some(top) = warp.stack.last() {
                 if top.block == top.rpc {
                     warp.stack.pop();
+                    if let Some(t) = self.timing.as_deref_mut() {
+                        t.frame_pop(w_idx);
+                    }
                 } else {
                     break;
                 }
@@ -307,13 +329,18 @@ impl<'a> BcEngine<'a> {
             }
             // Charge + budget + advance for a plain ALU-class op (mirrors
             // the decoded engine's charge() default arm + budget sequence).
+            // `$op` feeds the timing observer's scoreboard deps.
             macro_rules! charge_alu {
-                () => {{
+                ($op:expr) => {{
                     l_warp_insts += 1;
                     l_thread_insts += active;
                     l_cycles += bk.lats[pc as usize];
                     l_alu_issues += 1;
                     l_alu_active += active;
+                    if let Some(t) = self.timing.as_deref_mut() {
+                        let (dst, srcs) = bc_deps(&$op);
+                        t.issue(w_idx, active as u32, bk.lats[pc as usize], dst, srcs);
+                    }
                     if l_budget == 0 {
                         return Err(SimError::StepLimit);
                     }
@@ -323,13 +350,27 @@ impl<'a> BcEngine<'a> {
             }
             // Same for a memory op: the cost model reads `lane_addrs` and
             // charges `self.stats` directly, so the locals flush first.
+            // `$d`/`$srcs` are the scoreboard dst/src slots; `$hint` is an
+            // explicit readiness floor (the gep half of a fused op, whose
+            // address register may be elided).
             macro_rules! charge_mem {
-                () => {{
+                ($d:expr, $srcs:expr, $hint:expr) => {{
                     l_warp_insts += 1;
                     l_thread_insts += active;
                     flush!();
                     self.stats
                         .charge_mem_access(&self.lane_addrs, &mut self.scratch);
+                    if let Some(t) = self.timing.as_deref_mut() {
+                        t.mem_issue(
+                            w_idx,
+                            active as u32,
+                            $d,
+                            $srcs,
+                            $hint,
+                            &self.lane_addrs,
+                            &mut self.scratch,
+                        );
+                    }
                     if l_budget == 0 {
                         return Err(SimError::StepLimit);
                     }
@@ -340,10 +381,14 @@ impl<'a> BcEngine<'a> {
             // One control-flow warp instruction (`br`/`jump`/`ret`) — the
             // decoded engine's charge() control arm.
             macro_rules! charge_ctl {
-                () => {{
+                ($op:expr) => {{
                     l_warp_insts += 1;
                     l_thread_insts += active;
                     l_cycles += bk.lats[pc as usize];
+                    if let Some(t) = self.timing.as_deref_mut() {
+                        let (dst, srcs) = bc_deps(&$op);
+                        t.issue(w_idx, active as u32, bk.lats[pc as usize], dst, srcs);
+                    }
                 }};
             }
             // Record per-lane provenance before leaving a block (skipped
@@ -366,16 +411,22 @@ impl<'a> BcEngine<'a> {
                 match op {
                     // ---- control ----
                     Op::Ret => {
-                        charge_ctl!();
+                        charge_ctl!(op);
                         record_prev!();
                         warp.stack.pop();
+                        if let Some(t) = self.timing.as_deref_mut() {
+                            t.frame_pop(w_idx);
+                        }
                         continue 'outer;
                     }
                     Op::Jump { t_block, t_pc } => {
-                        charge_ctl!();
+                        charge_ctl!(op);
                         record_prev!();
                         if t_block == top.rpc {
                             warp.stack.pop();
+                            if let Some(t) = self.timing.as_deref_mut() {
+                                t.frame_pop(w_idx);
+                            }
                             continue 'outer;
                         }
                         cur_block = t_block;
@@ -393,7 +444,7 @@ impl<'a> BcEngine<'a> {
                         e_block,
                         e_pc,
                     } => {
-                        charge_ctl!();
+                        charge_ctl!(op);
                         record_prev!();
                         let cb = c as usize * nt + wb;
                         let mut m_true = 0u64;
@@ -418,6 +469,9 @@ impl<'a> BcEngine<'a> {
                             };
                             if tb == top.rpc {
                                 warp.stack.pop();
+                                if let Some(t) = self.timing.as_deref_mut() {
+                                    t.frame_pop(w_idx);
+                                }
                                 continue 'outer;
                             }
                             cur_block = tb;
@@ -470,6 +524,15 @@ impl<'a> BcEngine<'a> {
                         l_cycles += bk.lats[pc as usize];
                         l_alu_issues += 1;
                         l_alu_active += active;
+                        if let Some(t) = self.timing.as_deref_mut() {
+                            // bk.lats folds both halves' latency into one
+                            // entry; the observer needs the unfused pair —
+                            // the compare produces `d`, the branch waits on
+                            // it — so each half is issued at its own cost.
+                            let rdy =
+                                t.issue(w_idx, active as u32, cost::ALU_LATENCY, d, [a, b, NO_DST]);
+                            t.issue_dep(w_idx, active as u32, cost::BRANCH_LATENCY, NO_DST, rdy);
+                        }
                         if l_budget == 0 {
                             return Err(SimError::StepLimit);
                         }
@@ -489,6 +552,9 @@ impl<'a> BcEngine<'a> {
                             };
                             if tb == top.rpc {
                                 warp.stack.pop();
+                                if let Some(t) = self.timing.as_deref_mut() {
+                                    t.frame_pop(w_idx);
+                                }
                                 continue 'outer;
                             }
                             cur_block = tb;
@@ -506,6 +572,9 @@ impl<'a> BcEngine<'a> {
                     Op::Sync => {
                         self.stats.barriers += 1;
                         l_cycles += 1;
+                        if let Some(t) = self.timing.as_deref_mut() {
+                            t.barrier_issue(w_idx);
+                        }
                         flush!();
                         let cur = warp.stack.last_mut().expect("entry exists");
                         cur.block = cur_block;
@@ -516,39 +585,39 @@ impl<'a> BcEngine<'a> {
                     // ---- plain ops ----
                     Op::Add { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_i(x, y, |x, y| x.wrapping_add(y)));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Sub { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_i(x, y, |x, y| x.wrapping_sub(y)));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Mul { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_i(x, y, |x, y| x.wrapping_mul(y)));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::And { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_i(x, y, |x, y| x & y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Or { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_i(x, y, |x, y| x | y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Xor { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_i(x, y, |x, y| x ^ y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Shl { d, a, b } => {
                         map2!(d, a, b, shl_eval);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::LShr { d, a, b } => {
                         map2!(d, a, b, lshr_eval);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::AShr { d, a, b } => {
                         map2!(d, a, b, ashr_eval);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Div {
                         op: opc,
@@ -563,47 +632,47 @@ impl<'a> BcEngine<'a> {
                         lanes!(|i| {
                             regs[db + i] = div_eval(opc, ty, regs[ab + i], regs[bb + i])?;
                         });
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FAdd { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_f(x, y, |x, y| x + y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FSub { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_f(x, y, |x, y| x - y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FMul { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_f(x, y, |x, y| x * y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FDiv { d, a, b } => {
                         map2!(d, a, b, |x, y| bin_f(x, y, |x, y| x / y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FSqrt { d, a } => {
                         map1!(d, a, |x| un_f(x, f32::sqrt));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FAbs { d, a } => {
                         map1!(d, a, |x| un_f(x, f32::abs));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FNeg { d, a } => {
                         map1!(d, a, |x| un_f(x, |v| -v));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FExp { d, a } => {
                         map1!(d, a, |x| un_f(x, f32::exp));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Icmp { p, d, a, b } => {
                         map2!(d, a, b, |x, y| icmp_eval(p, x, y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Fcmp { p, d, a, b } => {
                         map2!(d, a, b, |x, y| fcmp_eval(p, x, y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Select { d, c, a, b } => {
                         let db = d as usize * nt + wb;
@@ -613,27 +682,27 @@ impl<'a> BcEngine<'a> {
                         lanes!(|i| {
                             regs[db + i] = select_eval(regs[cb + i], regs[ab + i], regs[bb + i]);
                         });
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::ZextSext { zext, ty, d, a } => {
                         map1!(d, a, |x| zext_sext_eval(zext, ty, x));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Trunc { ty, d, a } => {
                         map1!(d, a, |x| trunc_eval(ty, x));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::SiToFp { d, a } => {
                         map1!(d, a, sitofp_eval);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::FpToSi { ty, d, a } => {
                         map1!(d, a, |x| fptosi_eval(ty, x));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Gep { elem, d, a, b } => {
                         map2!(d, a, b, |x, y| gep_eval(elem, x, y));
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Load { ty, d, a } => {
                         self.lane_addrs.clear();
@@ -646,7 +715,7 @@ impl<'a> BcEngine<'a> {
                             self.lane_addrs.push(addr);
                             regs[db + i] = mem_read_at(self.buffers, &self.shared, ty, addr)?;
                         });
-                        charge_mem!();
+                        charge_mem!(d, [a, NO_DST, NO_DST], 0);
                     }
                     Op::Store { v, a } => {
                         self.lane_addrs.clear();
@@ -663,7 +732,7 @@ impl<'a> BcEngine<'a> {
                             self.lane_addrs.push(addr);
                             mem_write_at(self.buffers, &mut self.shared, addr, val)?;
                         });
-                        charge_mem!();
+                        charge_mem!(NO_DST, [v, a, NO_DST], 0);
                     }
                     Op::GepLoad {
                         elem,
@@ -694,6 +763,19 @@ impl<'a> BcEngine<'a> {
                         l_cycles += bk.lats[pc as usize];
                         l_alu_issues += 1;
                         l_alu_active += active;
+                        // The fused op's latency table entry covers only the
+                        // gep half; the address register may be elided, so
+                        // its readiness travels by hint to the load half.
+                        let mut gep_ready = 0u64;
+                        if let Some(t) = self.timing.as_deref_mut() {
+                            gep_ready = t.issue(
+                                w_idx,
+                                active as u32,
+                                bk.lats[pc as usize],
+                                gd,
+                                [ga, gb, NO_DST],
+                            );
+                        }
                         if l_budget == 0 {
                             return Err(SimError::StepLimit);
                         }
@@ -711,7 +793,7 @@ impl<'a> BcEngine<'a> {
                             self.lane_addrs.push(addr);
                             regs[db + i] = mem_read_at(self.buffers, &self.shared, ty, addr)?;
                         });
-                        charge_mem!();
+                        charge_mem!(d, [NO_DST, NO_DST, NO_DST], gep_ready);
                     }
                     Op::GepStore {
                         elem,
@@ -736,6 +818,16 @@ impl<'a> BcEngine<'a> {
                         l_cycles += bk.lats[pc as usize];
                         l_alu_issues += 1;
                         l_alu_active += active;
+                        let mut gep_ready = 0u64;
+                        if let Some(t) = self.timing.as_deref_mut() {
+                            gep_ready = t.issue(
+                                w_idx,
+                                active as u32,
+                                bk.lats[pc as usize],
+                                gd,
+                                [ga, gb, NO_DST],
+                            );
+                        }
                         if l_budget == 0 {
                             return Err(SimError::StepLimit);
                         }
@@ -755,7 +847,7 @@ impl<'a> BcEngine<'a> {
                             self.lane_addrs.push(addr);
                             mem_write_at(self.buffers, &mut self.shared, addr, val)?;
                         });
-                        charge_mem!();
+                        charge_mem!(NO_DST, [v, NO_DST, NO_DST], gep_ready);
                     }
                     Op::ThreadIdx { dim, d } => {
                         let db = d as usize * nt + wb;
@@ -765,7 +857,7 @@ impl<'a> BcEngine<'a> {
                             let (tx, ty) = (t % bx, t / bx);
                             regs[db + i] = RawVal::I32(if dim == Dim::X { tx } else { ty } as i32);
                         });
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::BlockIdx { dim, d } => {
                         let db = d as usize * nt + wb;
@@ -775,7 +867,7 @@ impl<'a> BcEngine<'a> {
                             self.block_idx.1
                         } as i32);
                         lanes!(|i| regs[db + i] = v);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::BlockDim { dim, d } => {
                         let db = d as usize * nt + wb;
@@ -785,7 +877,7 @@ impl<'a> BcEngine<'a> {
                             self.launch.block.1
                         } as i32);
                         lanes!(|i| regs[db + i] = v);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::GridDim { dim, d } => {
                         let db = d as usize * nt + wb;
@@ -795,13 +887,13 @@ impl<'a> BcEngine<'a> {
                             self.launch.grid.1
                         } as i32);
                         lanes!(|i| regs[db + i] = v);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::SharedBase { off, d } => {
                         let db = d as usize * nt + wb;
                         let v = RawVal::Ptr(encode_shared(off));
                         lanes!(|i| regs[db + i] = v);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                     Op::Ballot { d, a } => {
                         // The one warp-wide operation: all active lanes
@@ -816,7 +908,7 @@ impl<'a> BcEngine<'a> {
                         });
                         let v = RawVal::I64(ballot as i64);
                         lanes!(|i| regs[db + i] = v);
-                        charge_alu!();
+                        charge_alu!(op);
                     }
                 }
             }
@@ -855,6 +947,10 @@ impl<'a> BcEngine<'a> {
             rpc,
             mask: m_true,
         });
+        if let Some(t) = self.timing.as_deref_mut() {
+            let w = (warp.base_thread / self.warp_size) as usize;
+            t.diverge(w, rpc);
+        }
         Ok(())
     }
 
@@ -942,6 +1038,33 @@ impl<'a> BcEngine<'a> {
                     }
                 }
             }
+        }
+        // Timing: φs cost nothing but propagate scoreboard readiness. A
+        // complete edge lists one move per φ in φ order, so `moves[k]` is φ
+        // `k` on every bucket; each φ's readiness is the max over the
+        // taken incomings, staged so that a φ sourcing another φ of the
+        // same batch reads the pre-batch scoreboard (matching the staged
+        // value semantics above).
+        if let Some(t) = self.timing.as_deref_mut() {
+            let w = (warp.base_thread / self.warp_size) as usize;
+            t.phi_begin();
+            let first = edges
+                .iter()
+                .find(|e| e.pred == buckets[0].0)
+                .expect("validated");
+            let n_phis = (first.m_end - first.m_start) as usize;
+            for k in 0..n_phis {
+                let mut ready = 0u64;
+                let mut dst = 0u32;
+                for &(pred, _) in &buckets {
+                    let e = edges.iter().find(|e| e.pred == pred).expect("validated");
+                    let (d, s) = bk.phi_moves[e.m_start as usize + k];
+                    dst = d;
+                    ready = ready.max(t.reg_ready(w, s));
+                }
+                t.phi_stage(dst, ready);
+            }
+            t.phi_commit(w);
         }
         self.buckets = buckets;
         Ok(())

@@ -21,9 +21,11 @@
 //! * rocprof-style counters are collected: total cycles, ALU utilization,
 //!   and vector/shared memory instruction counts (Figures 9–11).
 //!
-//! ## Decode → bytecode → execute architecture
+//! ## Four layers: reference → decoded → bytecode → timing observer
 //!
-//! Kernels lower through up to two compile tiers before execution:
+//! The crate is organized as three bit-identical *execution* tiers plus
+//! one optional *observation* layer. Kernels lower through up to two
+//! compile tiers before execution:
 //!
 //! 1. **decode** — [`PreparedKernel`] lowers a [`darm_ir::Function`] once
 //!    into flat arrays: dense instruction records with operands
@@ -48,6 +50,21 @@
 //! All tiers — the two above plus the retained seed interpreter
 //! ([`Gpu::launch_reference`]) — are **bit-identical** in output buffers,
 //! [`KernelStats`], and [`SimError`]s; they differ only in throughput.
+//!
+//! The fourth layer is not an engine at all: the **timing observer**
+//! ([`timing`], enabled with [`TimingConfig`] via [`GpuConfig::timing`])
+//! rides along inside the decoded and bytecode engines and reconstructs a
+//! cycle-accurate per-warp timeline — IPDOM reconvergence-stack pushes
+//! and pops, `ceil(active/issue_width)` issue slots, function-unit
+//! latencies with a register scoreboard, and an optional
+//! coalescing/bank-conflict memory occupancy model — into the `sim_*`
+//! fields of [`KernelStats`]. It is a pure observer: switching it on
+//! changes no buffers, no base counters, and no errors, and both engines
+//! fire the same hook sequence so the simulated cycles are themselves
+//! bit-identical across tiers. (The reference interpreter predates the
+//! hook points and always reports `sim_* = 0`; use either faster tier
+//! for timing runs.)
+//!
 //! The [`backend`] module packages the choice as [`BackendKind`] and the
 //! compile-then-execute shape as the [`Backend`] / [`CompiledKernel`]
 //! traits (lane-major register file `thread * n_slots + slot`,
@@ -116,6 +133,7 @@ pub(crate) mod exec_bc;
 pub mod mem;
 pub mod reference;
 pub mod stats;
+pub mod timing;
 
 pub use backend::{Backend, BackendKind, CompiledKernel};
 pub use bytecode::BytecodeKernel;
@@ -123,6 +141,7 @@ pub use decoded::PreparedKernel;
 pub use exec::{Gpu, KernelArg, SimError};
 pub use mem::BufferId;
 pub use stats::KernelStats;
+pub use timing::TimingConfig;
 
 /// Hardware configuration of the simulated GPU.
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +151,9 @@ pub struct GpuConfig {
     pub warp_size: u32,
     /// Safety limit on dynamically issued warp instructions per launch.
     pub max_warp_instructions: u64,
+    /// Cycle-level timing model (see [`timing`]); off by default, in which
+    /// case launches are bit-identical to a build without the model.
+    pub timing: TimingConfig,
 }
 
 impl Default for GpuConfig {
@@ -139,6 +161,7 @@ impl Default for GpuConfig {
         GpuConfig {
             warp_size: 32,
             max_warp_instructions: 1 << 32,
+            timing: TimingConfig::default(),
         }
     }
 }

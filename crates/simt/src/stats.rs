@@ -4,6 +4,13 @@
 //! (see [`crate::backend`]): every execution tier charges into the same
 //! counters through the same methods, which is what keeps the tiers
 //! bit-comparable and lets differential tests assert `==` on the struct.
+//!
+//! Two families of counters live here. The base counters (`cycles`,
+//! `warp_instructions`, …) are charged unconditionally by every tier and
+//! form the bit-identity contract. The `sim_*` fields are filled in only
+//! when the cycle-level timing model ([`crate::timing`]) is enabled; with
+//! timing off they stay zero, so a timing-off run's stats compare equal to
+//! any pre-timing build.
 
 use crate::mem::decode;
 use darm_ir::cost;
@@ -36,6 +43,22 @@ pub struct KernelStats {
     pub shared_bank_conflicts: u64,
     /// Barriers executed (warp-level count).
     pub barriers: u64,
+    /// Simulated cycles from the timing model ([`crate::timing`]): per
+    /// block the maximum warp timeline, summed over blocks. Zero unless
+    /// [`crate::TimingConfig::enabled`] is set.
+    pub sim_cycles: u64,
+    /// Cycles warps spent stalled on the scoreboard or at barriers
+    /// (timing model only).
+    pub sim_stall_cycles: u64,
+    /// Issue slots occupied, `Σ ceil(active_lanes / issue_width)`
+    /// (timing model only).
+    pub sim_issue_slots: u64,
+    /// Branches that actually diverged at runtime — pushed entries on the
+    /// IPDOM reconvergence stack (timing model only).
+    pub sim_divergent_branches: u64,
+    /// Reconvergence-stack pops, each charged one cycle (timing model
+    /// only). Two per fully divergent two-way branch.
+    pub sim_reconvergences: u64,
     /// Warp size used by the launch (needed to normalize utilization).
     pub warp_size: u32,
 }
@@ -57,6 +80,22 @@ impl KernelStats {
         self.thread_instructions as f64 / (self.warp_instructions as f64 * self.warp_size as f64)
     }
 
+    /// A copy with every timing-model field zeroed — what the same launch
+    /// would have reported with timing off. The differential suites use
+    /// this to assert that enabling timing perturbs nothing else:
+    /// `on.sans_timing() == off`.
+    #[must_use]
+    pub fn sans_timing(&self) -> KernelStats {
+        KernelStats {
+            sim_cycles: 0,
+            sim_stall_cycles: 0,
+            sim_issue_slots: 0,
+            sim_divergent_branches: 0,
+            sim_reconvergences: 0,
+            ..*self
+        }
+    }
+
     /// Charges the memory-cost model for one warp-wide load/store issue:
     /// coalescing (one transaction per distinct 128-byte segment) for global
     /// accesses, the bank-conflict model for shared (LDS) accesses. The
@@ -66,94 +105,19 @@ impl KernelStats {
     ///
     /// Shared by the decoded and bytecode engines (the reference
     /// interpreter keeps its own copy); callers account
-    /// `warp_instructions`/`thread_instructions` themselves.
+    /// `warp_instructions`/`thread_instructions` themselves. The timing
+    /// model reuses the same [`is_global_access`] / [`global_segments`] /
+    /// [`shared_conflict_degree`] analysis for its LSU-occupancy charges.
     pub(crate) fn charge_mem_access(&mut self, lane_addrs: &[u64], scratch: &mut Vec<u64>) {
-        let is_global = lane_addrs
-            .first()
-            .map(|&a| decode(a).0.is_some())
-            .unwrap_or(false);
-        if is_global {
+        if is_global_access(lane_addrs) {
             self.global_mem_insts += 1;
-            // Coalescing: one transaction per distinct 128B segment.
-            // Fast path: when every segment index lands in one 64-wide
-            // window (true for any coalesced or moderately strided warp
-            // access), the distinct count is a popcount over a bitmask.
-            let n_seg = {
-                let mut lo = u64::MAX;
-                let mut hi = 0u64;
-                for &a in lane_addrs {
-                    let seg = a / cost::COALESCE_SEGMENT_BYTES;
-                    lo = lo.min(seg);
-                    hi = hi.max(seg);
-                }
-                if lane_addrs.is_empty() {
-                    1
-                } else if hi - lo < 64 {
-                    let mut seen = 0u64;
-                    for &a in lane_addrs {
-                        seen |= 1u64 << (a / cost::COALESCE_SEGMENT_BYTES - lo);
-                    }
-                    u64::from(seen.count_ones())
-                } else {
-                    scratch.clear();
-                    scratch.extend(lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES));
-                    scratch.sort_unstable();
-                    scratch.dedup();
-                    scratch.len() as u64
-                }
-            };
+            let n_seg = global_segments(lane_addrs, scratch);
             self.global_transactions += n_seg;
             self.cycles +=
                 cost::GLOBAL_MEM_LATENCY + (n_seg - 1) * cost::GLOBAL_TRANSACTION_LATENCY;
         } else {
             self.shared_mem_insts += 1;
-            // Bank-conflict model: accesses to distinct words in the same
-            // bank serialize; broadcasts do not. Fast path: walk the lanes
-            // with a per-bank last-word table — as long as each bank sees
-            // at most one distinct word (conflict-free or broadcast, the
-            // overwhelmingly common case) the answer is degree 1 with no
-            // sorting.
-            let mut bank_word = [0u64; cost::SHARED_BANKS as usize];
-            let mut bank_seen = 0u32;
-            let mut clean = true;
-            for &a in lane_addrs {
-                let word = a / cost::SHARED_BANK_WORD_BYTES;
-                let bank = (word % cost::SHARED_BANKS) as usize;
-                if bank_seen & (1 << bank) == 0 {
-                    bank_seen |= 1 << bank;
-                    bank_word[bank] = word;
-                } else if bank_word[bank] != word {
-                    clean = false;
-                    break;
-                }
-            }
-            let degree = if clean {
-                1u64
-            } else {
-                // Encoded as bank << 48 | word so one sort+dedup yields,
-                // per bank, a run of its distinct words.
-                scratch.clear();
-                scratch.extend(lane_addrs.iter().map(|&a| {
-                    let word = a / cost::SHARED_BANK_WORD_BYTES;
-                    ((word % cost::SHARED_BANKS) << 48) | (word & 0xFFFF_FFFF_FFFF)
-                }));
-                scratch.sort_unstable();
-                scratch.dedup();
-                let mut degree = 1u64;
-                let mut run = 0u64;
-                let mut cur_bank = u64::MAX;
-                for &enc in scratch.iter() {
-                    let bank = enc >> 48;
-                    if bank == cur_bank {
-                        run += 1;
-                    } else {
-                        cur_bank = bank;
-                        run = 1;
-                    }
-                    degree = degree.max(run);
-                }
-                degree
-            };
+            let degree = shared_conflict_degree(lane_addrs, scratch);
             self.shared_bank_conflicts += degree - 1;
             self.cycles +=
                 cost::SHARED_MEM_LATENCY + (degree - 1) * cost::SHARED_BANK_CONFLICT_PENALTY;
@@ -172,7 +136,103 @@ impl KernelStats {
         self.global_transactions += other.global_transactions;
         self.shared_bank_conflicts += other.shared_bank_conflicts;
         self.barriers += other.barriers;
+        self.sim_cycles += other.sim_cycles;
+        self.sim_stall_cycles += other.sim_stall_cycles;
+        self.sim_issue_slots += other.sim_issue_slots;
+        self.sim_divergent_branches += other.sim_divergent_branches;
+        self.sim_reconvergences += other.sim_reconvergences;
         self.warp_size = other.warp_size.max(self.warp_size);
+    }
+}
+
+/// Whether a warp access targets global memory — global addresses carry a
+/// buffer id in the high bits (see [`crate::mem`]). An empty access
+/// defaults to shared (callers never charge empty accesses).
+pub(crate) fn is_global_access(lane_addrs: &[u64]) -> bool {
+    lane_addrs
+        .first()
+        .map(|&a| decode(a).0.is_some())
+        .unwrap_or(false)
+}
+
+/// Distinct 128-byte segments touched by a global warp access (≥ 1).
+///
+/// Fast path: when every segment index lands in one 64-wide window (true
+/// for any coalesced or moderately strided warp access), the distinct
+/// count is a popcount over a bitmask; otherwise sort+dedup into
+/// `scratch`.
+pub(crate) fn global_segments(lane_addrs: &[u64], scratch: &mut Vec<u64>) -> u64 {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for &a in lane_addrs {
+        let seg = a / cost::COALESCE_SEGMENT_BYTES;
+        lo = lo.min(seg);
+        hi = hi.max(seg);
+    }
+    if lane_addrs.is_empty() {
+        1
+    } else if hi - lo < 64 {
+        let mut seen = 0u64;
+        for &a in lane_addrs {
+            seen |= 1u64 << (a / cost::COALESCE_SEGMENT_BYTES - lo);
+        }
+        u64::from(seen.count_ones())
+    } else {
+        scratch.clear();
+        scratch.extend(lane_addrs.iter().map(|a| a / cost::COALESCE_SEGMENT_BYTES));
+        scratch.sort_unstable();
+        scratch.dedup();
+        scratch.len() as u64
+    }
+}
+
+/// Maximum bank-conflict degree of a shared warp access (≥ 1): accesses
+/// to distinct words in the same bank serialize; broadcasts do not.
+///
+/// Fast path: walk the lanes with a per-bank last-word table — as long as
+/// each bank sees at most one distinct word (conflict-free or broadcast,
+/// the overwhelmingly common case) the answer is degree 1 with no sorting.
+pub(crate) fn shared_conflict_degree(lane_addrs: &[u64], scratch: &mut Vec<u64>) -> u64 {
+    let mut bank_word = [0u64; cost::SHARED_BANKS as usize];
+    let mut bank_seen = 0u32;
+    let mut clean = true;
+    for &a in lane_addrs {
+        let word = a / cost::SHARED_BANK_WORD_BYTES;
+        let bank = (word % cost::SHARED_BANKS) as usize;
+        if bank_seen & (1 << bank) == 0 {
+            bank_seen |= 1 << bank;
+            bank_word[bank] = word;
+        } else if bank_word[bank] != word {
+            clean = false;
+            break;
+        }
+    }
+    if clean {
+        1
+    } else {
+        // Encoded as bank << 48 | word so one sort+dedup yields, per bank,
+        // a run of its distinct words.
+        scratch.clear();
+        scratch.extend(lane_addrs.iter().map(|&a| {
+            let word = a / cost::SHARED_BANK_WORD_BYTES;
+            ((word % cost::SHARED_BANKS) << 48) | (word & 0xFFFF_FFFF_FFFF)
+        }));
+        scratch.sort_unstable();
+        scratch.dedup();
+        let mut degree = 1u64;
+        let mut run = 0u64;
+        let mut cur_bank = u64::MAX;
+        for &enc in scratch.iter() {
+            let bank = enc >> 48;
+            if bank == cur_bank {
+                run += 1;
+            } else {
+                cur_bank = bank;
+                run = 1;
+            }
+            degree = degree.max(run);
+        }
+        degree
     }
 }
 
@@ -207,11 +267,34 @@ mod tests {
         let b = KernelStats {
             cycles: 5,
             barriers: 2,
+            sim_cycles: 7,
+            sim_reconvergences: 3,
             warp_size: 32,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.barriers, 2);
+        assert_eq!(a.sim_cycles, 7);
+        assert_eq!(a.sim_reconvergences, 3);
+    }
+
+    #[test]
+    fn sans_timing_zeroes_only_sim_fields() {
+        let s = KernelStats {
+            cycles: 10,
+            sim_cycles: 99,
+            sim_stall_cycles: 1,
+            sim_issue_slots: 2,
+            sim_divergent_branches: 3,
+            sim_reconvergences: 4,
+            warp_size: 32,
+            ..Default::default()
+        };
+        let t = s.sans_timing();
+        assert_eq!(t.cycles, 10);
+        assert_eq!(t.warp_size, 32);
+        assert_eq!(t.sim_cycles + t.sim_stall_cycles + t.sim_issue_slots, 0);
+        assert_eq!(t.sim_divergent_branches + t.sim_reconvergences, 0);
     }
 }

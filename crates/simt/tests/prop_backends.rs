@@ -134,6 +134,7 @@ fn gpu() -> (Gpu, darm_simt::BufferId) {
     let mut gpu = Gpu::new(GpuConfig {
         warp_size: 32,
         max_warp_instructions: 20_000,
+        ..GpuConfig::default()
     });
     let out = gpu.alloc_i32(&[0; OUT_LEN]);
     (gpu, out)

@@ -438,6 +438,7 @@ fn infinite_loop_hits_step_limit() {
     let mut g = Gpu::new(GpuConfig {
         warp_size: 32,
         max_warp_instructions: 10_000,
+        ..GpuConfig::default()
     });
     let err = g.launch(&f, &LaunchConfig::linear(1, 32), &[]).unwrap_err();
     assert!(matches!(err, SimError::StepLimit));

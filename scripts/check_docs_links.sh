@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Doc-path hygiene: every backtick-quoted repo path mentioned in the
+# top-level docs must actually exist, so ARCHITECTURE.md's crate map and
+# the README can't silently rot as files move. Run from the repo root
+# (CI does); exits 1 listing every stale reference.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+status=0
+for doc in ARCHITECTURE.md README.md; do
+    [ -f "$doc" ] || { echo "missing doc: $doc"; status=1; continue; }
+    # Backtick-quoted tokens that look like repo paths: start with a
+    # known top-level directory and contain no spaces. `grep -o` pulls
+    # each quoted token; the sed strips the backticks.
+    refs=$(grep -o '`\(crates\|src\|scripts\|vendor\|examples\)/[^` ]*`' "$doc" \
+        | sed 's/`//g' | sort -u)
+    for ref in $refs; do
+        if [ ! -e "$ref" ]; then
+            echo "$doc: stale path reference: $ref"
+            status=1
+        fi
+    done
+done
+
+# The README must link the architecture overview.
+if ! grep -q 'ARCHITECTURE.md' README.md; then
+    echo "README.md: missing link to ARCHITECTURE.md"
+    status=1
+fi
+
+exit $status

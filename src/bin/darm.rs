@@ -7,6 +7,7 @@
 //!           [--on-error degrade|fail] [--timeout-ms N] [--fuel N]
 //! darm run  <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]...
 //!           [--backend reference|prepared|bytecode]
+//!           [--timing] [--issue-width N] [--no-mem-model]
 //! darm analyze <input.ir>
 //! darm serve [--socket PATH] [--jobs N] [--queue-depth N]
 //!            [--cache-entries N] [--cache-bytes N] [--spec SPEC]
@@ -35,9 +36,13 @@
 //! prints the counters; `--backend` picks the execution tier (the per-lane
 //! `reference` interpreter, the pre-decoded `prepared` engine — the
 //! default — or the flat register `bytecode` engine; all three are
-//! bit-identical in buffers, stats, and errors). `analyze` reports
-//! divergence analysis and meldable regions for every function without
-//! transforming.
+//! bit-identical in buffers, stats, and errors). `--timing` additionally
+//! threads the cycle-level timing observer through the run (prepared and
+//! bytecode tiers) and prints simulated cycles, stalls and issue slots
+//! next to the architectural counters; `--issue-width N` sets the lanes
+//! issued per cycle and `--no-mem-model` drops the coalescing/bank-
+//! conflict occupancy terms. `analyze` reports divergence analysis and
+//! meldable regions for every function without transforming.
 //!
 //! `serve` starts the persistent compile service: a length-prefixed JSON
 //! frame protocol on stdin/stdout (or a Unix socket with `--socket`),
@@ -53,12 +58,12 @@ use darm::melding::{region, Analyses, MeldConfig, MeldMode};
 use darm::pipeline::{Budget, ModuleOptions, ModulePassManager, OnError, PipelineOptions};
 use darm::prelude::*;
 use darm::serve::{serve_stream, Engine, ServeConfig};
-use darm::simt::{BackendKind, KernelArg};
+use darm::simt::{BackendKind, KernelArg, TimingConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]... [--backend reference|prepared|bytecode]\n  darm analyze <input.ir>\n  darm serve [--socket PATH] [--jobs N] [--queue-depth N] [--cache-entries N] [--cache-bytes N] [--spec SPEC] [--timeout-ms N] [--fuel N] [--max-frame N]"
+        "usage:\n  darm meld <input.ir> [-o out.ir] [--mode darm|bf] [--threshold T] [--no-unpredicate] [--dot out.dot] [--stats] [--jobs N] [--passes SPEC] [--time-passes] [--verify-each] [--on-error degrade|fail] [--timeout-ms N] [--fuel N]\n  darm run <input.ir> --block N [--grid N] [--buf LEN]... [--i32 X]... [--backend reference|prepared|bytecode] [--timing] [--issue-width N] [--no-mem-model]\n  darm analyze <input.ir>\n  darm serve [--socket PATH] [--jobs N] [--queue-depth N] [--cache-entries N] [--cache-bytes N] [--spec SPEC] [--timeout-ms N] [--fuel N] [--max-frame N]"
     );
     std::process::exit(2);
 }
@@ -271,9 +276,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut grid = 1u32;
     let mut arg_specs: Vec<(bool, i64)> = Vec::new(); // (is_buffer, len-or-value)
     let mut backend = BackendKind::Prepared;
+    let mut timing = TimingConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--timing" => timing.enabled = true,
+            "--no-mem-model" => timing.memory_model = false,
+            "--issue-width" => {
+                timing.issue_width = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--block" => {
                 block = it
                     .next()
@@ -311,7 +325,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let Some(input) = input else { usage() };
     let module = load(&input);
     let func = &module.functions()[0];
-    let mut gpu = Gpu::new(GpuConfig::default());
+    let mut gpu = Gpu::new(GpuConfig {
+        timing,
+        ..GpuConfig::default()
+    });
     let mut kargs = Vec::new();
     let mut buffers = Vec::new();
     for &(is_buf, v) in &arg_specs {
@@ -332,6 +349,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
             println!("global mem insts:    {}", stats.global_mem_insts);
             println!("shared mem insts:    {}", stats.shared_mem_insts);
             println!("bank conflicts:      {}", stats.shared_bank_conflicts);
+            if timing.enabled {
+                println!("sim cycles:          {}", stats.sim_cycles);
+                println!("sim stall cycles:    {}", stats.sim_stall_cycles);
+                println!("sim issue slots:     {}", stats.sim_issue_slots);
+                println!("sim divergent brs:   {}", stats.sim_divergent_branches);
+                println!("sim reconvergences:  {}", stats.sim_reconvergences);
+            }
             for (k, b) in buffers.iter().enumerate() {
                 let data = gpu.read_i32(*b);
                 let head: Vec<i32> = data.iter().copied().take(8).collect();
